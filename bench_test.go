@@ -1,0 +1,328 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one per table
+// and figure; see DESIGN.md §3 for the experiment index) plus real
+// shared-memory speedup measurements and runtime microbenchmarks.
+//
+// Simulated experiments report virtual time as the custom metric
+// "sim_sec/op" — the quantity the paper's figures plot. Wall-clock ns/op
+// for those measures only how fast the simulator itself runs.
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/apps/barneshut"
+	"repro/internal/apps/cholesky"
+	"repro/internal/apps/pmake"
+	"repro/internal/apps/video"
+	"repro/internal/apps/water"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/jade"
+)
+
+// BenchmarkFig4TaskGraph regenerates the Figure 4 dynamic task graph.
+func BenchmarkFig4TaskGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7TwoMachineExecution regenerates the Figure 7 two-machine
+// message-passing execution.
+func BenchmarkFig7TwoMachineExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// waterOn runs one Figure 9 data point and reports the simulated seconds.
+func waterOn(b *testing.B, plat jade.Platform, procs int) {
+	b.Helper()
+	cfg := water.Config{N: 729, Steps: 1, Tasks: procs, Seed: 1992, WorkPerFlop: 1e-7}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		r, err := jade.NewSimulated(jade.SimConfig{Platform: plat})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := water.RunJade(r, cfg); err != nil {
+			b.Fatal(err)
+		}
+		sim = r.Makespan().Seconds()
+	}
+	b.ReportMetric(sim, "sim_sec/op")
+}
+
+// BenchmarkFig9WaterRunningTime regenerates the Figure 9 running times
+// (reduced problem size; cmd/jadebench runs the full 2197 molecules).
+func BenchmarkFig9WaterRunningTime(b *testing.B) {
+	for _, procs := range []int{1, 4, 16} {
+		procs := procs
+		b.Run(fmt.Sprintf("dash-%d", procs), func(b *testing.B) { waterOn(b, jade.DASH(procs), procs) })
+		b.Run(fmt.Sprintf("ipsc-%d", procs), func(b *testing.B) { waterOn(b, jade.IPSC860(procs), procs) })
+		if procs <= 8 {
+			b.Run(fmt.Sprintf("mica-%d", procs), func(b *testing.B) { waterOn(b, jade.Mica(procs), procs) })
+		}
+	}
+}
+
+// BenchmarkFig10WaterSpeedup reports the Figure 10 speedups directly.
+func BenchmarkFig10WaterSpeedup(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mk   func(int) jade.Platform
+		p    int
+	}{
+		{"dash-16", jade.DASH, 16},
+		{"ipsc-16", jade.IPSC860, 16},
+		{"mica-8", jade.Mica, 8},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := water.Config{N: 729, Steps: 1, Seed: 1992, WorkPerFlop: 1e-7}
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				run := func(p int) float64 {
+					c := cfg
+					c.Tasks = p
+					r, err := jade.NewSimulated(jade.SimConfig{Platform: tc.mk(p)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := water.RunJade(r, c); err != nil {
+						b.Fatal(err)
+					}
+					return r.Makespan().Seconds()
+				}
+				speedup = run(1) / run(tc.p)
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkSMPWaterReal measures real goroutine parallelism on the host:
+// the shared-memory implementation running actual computation.
+func BenchmarkSMPWaterReal(b *testing.B) {
+	for _, procs := range []int{1, 2, runtime.NumCPU()} {
+		procs := procs
+		b.Run(fmt.Sprintf("procs-%d", procs), func(b *testing.B) {
+			cfg := water.Config{N: 600, Steps: 1, Tasks: procs * 2, Seed: 7}
+			for i := 0; i < b.N; i++ {
+				r := jade.NewSMP(jade.SMPConfig{Procs: procs})
+				if _, err := water.RunJade(r, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkC1DSMFalseSharing regenerates the §6.1 DSM traffic comparison.
+func BenchmarkC1DSMFalseSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.C1DSM(6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkC2LindaCoordination regenerates the §6.2 Linda comparison.
+func BenchmarkC2LindaCoordination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.C2Linda(water.Config{N: 60, Steps: 1, Tasks: 3, Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLocality regenerates ablation A1.
+func BenchmarkAblationLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A1Locality(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPrefetch regenerates ablation A2.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A2Prefetch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationThrottle regenerates ablation A3.
+func BenchmarkAblationThrottle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A3Throttle(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinedBacksubst regenerates ablation A4 (§4.2).
+func BenchmarkPipelinedBacksubst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A4Pipeline(6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVideoPipeline regenerates H1 (§7.2).
+func BenchmarkVideoPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.H1Video(12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelMake regenerates M1 (§7.1).
+func BenchmarkParallelMake(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.M1Make(12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGrainSupernodes regenerates extension experiment G1 (§3.2).
+func BenchmarkGrainSupernodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.G1Grain(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommutingUpdates regenerates extension experiment G2 (§4.3).
+func BenchmarkCommutingUpdates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.G2Commute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGrainSweepWater regenerates extension experiment G3 (§8).
+func BenchmarkGrainSweepWater(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WaterGrainSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBarnesHutSpeedup regenerates kernel experiment K1 (§7).
+func BenchmarkBarnesHutSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.K1BarnesHut(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCholeskyJadeVsSerial measures the Jade overhead on the SMP
+// executor against the plain serial factorization.
+func BenchmarkCholeskyJadeVsSerial(b *testing.B) {
+	m := cholesky.Symbolic(cholesky.GridLaplacian(12))
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := m.Clone()
+			cholesky.FactorSerial(c)
+		}
+	})
+	b.Run("jade-smp-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := jade.NewSMP(jade.SMPConfig{Procs: 4})
+			err := r.Run(func(t *jade.Task) {
+				jm := cholesky.ToJade(t, m, 0)
+				jm.Factor(t)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBarnesHutJade measures the Barnes-Hut kernel under Jade.
+func BenchmarkBarnesHutJade(b *testing.B) {
+	cfg := barneshut.Config{N: 512, Steps: 1, Blocks: 4, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		r := jade.NewSMP(jade.SMPConfig{Procs: 4})
+		if _, err := barneshut.RunJade(r, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMakeParse measures the makefile front end.
+func BenchmarkMakeParse(b *testing.B) {
+	src := "prog: a.o b.o\n\tlink a.o b.o\na.o: a.c\n\tcc a.c\nb.o: b.c\n\tcc b.c\n"
+	for i := 0; i < b.N; i++ {
+		if _, err := pmake.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVideoSerialKernel measures the frame-processing kernel itself.
+func BenchmarkVideoSerialKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		video.RunSerial(video.Config{Frames: 4, FrameBytes: 1024})
+	}
+}
+
+// BenchmarkEngineTaskLifecycle measures the dependency engine's raw task
+// throughput (create + start + complete with one object each).
+func BenchmarkEngineTaskLifecycle(b *testing.B) {
+	e := core.New(core.Hooks{Ready: func(t *core.Task) {}})
+	root := e.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Create(root, []access.Decl{{Object: access.ObjectID(i%64 + 1), Mode: access.ReadWrite}}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Start(t); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Complete(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineConflictChain measures the engine with every task
+// conflicting on one object (worst-case queueing).
+func BenchmarkEngineConflictChain(b *testing.B) {
+	e := core.New(core.Hooks{Ready: func(t *core.Task) {}})
+	root := e.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Create(root, []access.Decl{{Object: 1, Mode: access.ReadWrite}}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Start(t); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Complete(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

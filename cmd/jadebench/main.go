@@ -1,0 +1,226 @@
+// Command jadebench regenerates every evaluation artifact of the paper:
+//
+//	jadebench                  # run everything (full problem sizes)
+//	jadebench -exp f9,f10      # just the LWS running-time/speedup curves
+//	jadebench -exp f4 -dot     # Figure 4 task graph, with DOT output
+//	jadebench -quick           # reduced problem sizes (seconds, not minutes)
+//	jadebench -csv             # also print tables as CSV
+//
+// Experiments (see DESIGN.md §3): f4, f7, f9, f10, t1, c1, c2, a1, a2, a3,
+// a4, h1, m1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps/water"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (f4,f7,f9,f10,t1,c1,c2,a1,a2,a3,a4,h1,m1,g1,g2,g3,k1) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced problem sizes")
+		dot      = flag.Bool("dot", false, "print the Figure 4 task graph in DOT format")
+		csv      = flag.Bool("csv", false, "also print tables as CSV")
+		narr     = flag.Bool("narrative", false, "print the Figure 7 event narrative")
+		gantt    = flag.Bool("gantt", false, "print a per-machine Gantt timeline for Figure 7")
+		chrome   = flag.String("chrome", "", "write the Figure 7 execution as Chrome trace-event JSON to this file")
+		waterSrc = flag.String("watersrc", "internal/apps/water/water.go", "path to the water source for the T1 construct count")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*expFlag, ",") {
+		want[strings.ToLower(strings.TrimSpace(id))] = true
+	}
+	all := want["all"]
+	selected := func(id string) bool { return all || want[strings.ToLower(id)] }
+
+	show := func(tb *experiments.Table) {
+		fmt.Println(tb)
+		if *csv {
+			fmt.Println(tb.CSV())
+		}
+	}
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "jadebench: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+
+	if selected("f4") {
+		tb, dotStr, err := experiments.Fig4()
+		if err != nil {
+			fail("f4", err)
+		}
+		show(tb)
+		if *dot {
+			fmt.Println(dotStr)
+		}
+	}
+	if selected("f7") {
+		res, err := experiments.Fig7()
+		if err != nil {
+			fail("f7", err)
+		}
+		show(res.Table)
+		if *narr {
+			for _, l := range res.Narrative {
+				fmt.Println(l)
+			}
+			fmt.Println()
+		}
+		if *gantt {
+			fmt.Println(res.Gantt)
+		}
+		if *chrome != "" {
+			if err := os.WriteFile(*chrome, res.Chrome, 0o644); err != nil {
+				fail("f7", err)
+			}
+			fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing)\n\n", *chrome)
+		}
+	}
+	if selected("f9") || selected("f10") {
+		sweep := experiments.WaterSweep{}
+		if *quick {
+			sweep = experiments.WaterSweep{Molecules: 729, Steps: 1, MaxMachines: 16}
+		}
+		f9, f10, err := experiments.Fig9and10(sweep)
+		if err != nil {
+			fail("f9/f10", err)
+		}
+		if selected("f9") {
+			show(f9)
+		}
+		if selected("f10") {
+			show(f10)
+		}
+	}
+	if selected("t1") {
+		tb, err := experiments.T1Constructs(*waterSrc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jadebench: t1 skipped (%v)\n", err)
+		} else {
+			show(tb)
+		}
+	}
+	if selected("c1") {
+		grid := 10
+		if *quick {
+			grid = 6
+		}
+		tb, err := experiments.C1DSM(grid)
+		if err != nil {
+			fail("c1", err)
+		}
+		show(tb)
+	}
+	if selected("c2") {
+		cfg := water.Config{N: 216, Steps: 2, Tasks: 4, Seed: 5}
+		if *quick {
+			cfg.N = 60
+		}
+		tb, err := experiments.C2Linda(cfg)
+		if err != nil {
+			fail("c2", err)
+		}
+		show(tb)
+	}
+	if selected("a1") {
+		grid := 12
+		if *quick {
+			grid = 8
+		}
+		tb, err := experiments.A1Locality(grid)
+		if err != nil {
+			fail("a1", err)
+		}
+		show(tb)
+	}
+	if selected("a2") {
+		tb, err := experiments.A2Prefetch()
+		if err != nil {
+			fail("a2", err)
+		}
+		show(tb)
+	}
+	if selected("a3") {
+		grid := 10
+		if *quick {
+			grid = 8
+		}
+		tb, err := experiments.A3Throttle(grid)
+		if err != nil {
+			fail("a3", err)
+		}
+		show(tb)
+	}
+	if selected("a4") {
+		grid := 8
+		if *quick {
+			grid = 6
+		}
+		tb, err := experiments.A4Pipeline(grid)
+		if err != nil {
+			fail("a4", err)
+		}
+		show(tb)
+	}
+	if selected("h1") {
+		frames := 32
+		if *quick {
+			frames = 12
+		}
+		tb, err := experiments.H1Video(frames)
+		if err != nil {
+			fail("h1", err)
+		}
+		show(tb)
+	}
+	if selected("m1") {
+		targets := 24
+		if *quick {
+			targets = 12
+		}
+		tb, err := experiments.M1Make(targets)
+		if err != nil {
+			fail("m1", err)
+		}
+		show(tb)
+	}
+	if selected("g1") {
+		grid := 12
+		if *quick {
+			grid = 8
+		}
+		tb, err := experiments.G1Grain(grid)
+		if err != nil {
+			fail("g1", err)
+		}
+		show(tb)
+	}
+	if selected("g2") {
+		tb, err := experiments.G2Commute()
+		if err != nil {
+			fail("g2", err)
+		}
+		show(tb)
+	}
+	if selected("g3") {
+		tb, err := experiments.WaterGrainSweep()
+		if err != nil {
+			fail("g3", err)
+		}
+		show(tb)
+	}
+	if selected("k1") {
+		tb, err := experiments.K1BarnesHut()
+		if err != nil {
+			fail("k1", err)
+		}
+		show(tb)
+	}
+}

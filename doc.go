@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Heterogeneous
+// Parallel Programming in Jade" (Rinard, Scales, Lam — Supercomputing 1992).
+//
+// The public API lives in package repro/jade; the runtime, simulated
+// platforms, applications and evaluation harness live under internal/.
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured results. bench_test.go in this
+// directory regenerates every table and figure as Go benchmarks.
+package repro

@@ -1,0 +1,61 @@
+// Sparse Cholesky factorization — the paper's running example (§3), plus
+// the §4.2 pipelined back-substitution. The same Jade program runs here on
+// a simulated Intel iPSC/860 and, unmodified, on the shared-memory
+// executor; both produce results bitwise-identical to the serial algorithm.
+//
+//	go run ./examples/cholesky
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps/cholesky"
+	"repro/jade"
+)
+
+func main() {
+	// A 12x12 grid Laplacian (144 unknowns) with symbolic fill.
+	orig := cholesky.GridLaplacian(12)
+	m := cholesky.Symbolic(orig)
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = math.Sin(float64(i))
+	}
+
+	run := func(name string, rt *jade.Runtime) []float64 {
+		var jm *cholesky.JadeMatrix
+		var x *jade.Array[float64]
+		err := rt.Run(func(t *jade.Task) {
+			jm = cholesky.ToJade(t, m, 2e-6)
+			x = jade.NewArrayFrom(t, append([]float64(nil), b...), "x")
+			jm.Factor(t)                // Figure 6: internal/external update tasks
+			jm.ForwardSolve(t, x, true) // §4.2: deferred reads pipeline the solve
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-22s tasks=%-5d makespan=%v\n",
+			name, rt.EngineStats().TasksCreated, rt.Makespan())
+		return jade.Final(rt, x)
+	}
+
+	simRT, err := jade.NewSimulated(jade.SimConfig{Platform: jade.IPSC860(8)})
+	if err != nil {
+		panic(err)
+	}
+	ySim := run("simulated iPSC/860-8:", simRT)
+	ySMP := run("real shared-memory:", jade.NewSMP(jade.SMPConfig{Procs: 4}))
+
+	// Both executions equal the serial forward solve exactly.
+	serial := m.Clone()
+	cholesky.FactorSerial(serial)
+	y := append([]float64(nil), b...)
+	cholesky.ForwardSolveSerial(serial, y)
+	for i := range y {
+		if ySim[i] != y[i] || ySMP[i] != y[i] {
+			panic(fmt.Sprintf("results diverged at %d", i))
+		}
+	}
+	fmt.Println("all three executions produced bitwise-identical solves ✓")
+}

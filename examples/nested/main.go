@@ -1,0 +1,104 @@
+// Hierarchical concurrency (§4.4): withonly-do constructs nest fully
+// recursively, and a parent's access specification must cover everything
+// its descendants declare. This divide-and-conquer sum gives every tree
+// node its own result object; a task declares rd on the data plus rd_wr on
+// every result cell in its subtree (covering its children), splits the
+// range between two child tasks — which run in parallel because their
+// subtree declarations are disjoint — and then combines their results,
+// blocking on its own descendants automatically.
+//
+//	go run ./examples/nested
+package main
+
+import (
+	"fmt"
+
+	"repro/jade"
+)
+
+const (
+	n      = 1 << 14
+	cutoff = 1 << 10
+)
+
+// subtree calls f for every node id in the binary subtree rooted at node
+// whose range is [lo, hi).
+func subtree(lo, hi, node int, f func(node int)) {
+	f(node)
+	if hi-lo <= cutoff {
+		return
+	}
+	mid := (lo + hi) / 2
+	subtree(lo, mid, 2*node+1, f)
+	subtree(mid, hi, 2*node+2, f)
+}
+
+// sumRange is one task body: directly sum small ranges; otherwise fork two
+// covered children and combine their results.
+func sumRange(t *jade.Task, data *jade.Array[int64], cells []*jade.Scalar[int64], lo, hi, node int) {
+	if hi-lo <= cutoff {
+		v := data.Read(t)
+		var s int64
+		for _, x := range v[lo:hi] {
+			s += x
+		}
+		data.Release(t)
+		cells[node].Set(t, s)
+		return
+	}
+	mid := (lo + hi) / 2
+	for _, half := range []struct{ lo, hi, node int }{
+		{lo, mid, 2*node + 1},
+		{mid, hi, 2*node + 2},
+	} {
+		half := half
+		t.WithOnlyOpts(jade.TaskOptions{Label: fmt.Sprintf("sum[%d:%d]", half.lo, half.hi)},
+			func(s *jade.Spec) {
+				s.Rd(data)
+				// Declare the whole subtree's cells: this covers whatever
+				// the child (and its descendants) will declare (§4.4).
+				subtree(half.lo, half.hi, half.node, func(nd int) { s.RdWr(cells[nd]) })
+			},
+			func(t *jade.Task) {
+				sumRange(t, data, cells, half.lo, half.hi, half.node)
+			})
+	}
+	// Combine. Reading the children's cells blocks until those descendant
+	// tasks complete — the join is implicit in the serial semantics.
+	left := cells[2*node+1].Get(t)
+	right := cells[2*node+2].Get(t)
+	cells[node].Set(t, left+right)
+}
+
+func main() {
+	rt := jade.NewSMP(jade.SMPConfig{Procs: 4})
+	var total, want int64
+	err := rt.Run(func(t *jade.Task) {
+		raw := make([]int64, n)
+		for i := range raw {
+			raw[i] = int64(i%7 - 3)
+			want += raw[i]
+		}
+		data := jade.NewArrayFrom(t, raw, "data")
+		cells := make([]*jade.Scalar[int64], 64)
+		for i := range cells {
+			cells[i] = jade.NewScalar[int64](t, 0, fmt.Sprintf("cell%d", i))
+		}
+		t.WithOnly(func(s *jade.Spec) {
+			s.Rd(data)
+			subtree(0, n, 0, func(nd int) { s.RdWr(cells[nd]) })
+		}, func(t *jade.Task) {
+			sumRange(t, data, cells, 0, n, 0)
+		})
+		// Reading cell 0 waits for the entire tree (serial semantics).
+		total = cells[0].Get(t)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recursive parallel sum = %d (want %d) over %d tasks\n",
+		total, want, rt.EngineStats().TasksCreated)
+	if total != want {
+		panic("wrong sum")
+	}
+}

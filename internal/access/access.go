@@ -1,0 +1,264 @@
+// Package access defines Jade access modes, access declarations and access
+// specifications, along with the conflict rules between them.
+//
+// A Jade task declares, before it runs, how it will access each shared
+// object (paper §2). The basic declarations are rd and wr; rd_wr is their
+// combination. Deferred declarations (df_rd, df_wr; paper §4.2) reserve the
+// task's serial position on an object without granting the right to access
+// it immediately: the task must later convert the deferred declaration to an
+// immediate one with a with-cont construct. no_rd and no_wr dynamically
+// retract rights the task no longer needs.
+package access
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ObjectID names a shared object. IDs are allocated by the runtime and are
+// globally valid across machines (the paper's "globally valid identifier").
+type ObjectID uint64
+
+// NilObject is the zero ObjectID; no real object has it.
+const NilObject ObjectID = 0
+
+// Mode is a bit set describing rights held or requested on one object.
+type Mode uint8
+
+const (
+	// Read is the immediate right to read the object.
+	Read Mode = 1 << iota
+	// Write is the immediate right to write the object.
+	Write
+	// DeferredRead reserves a future right to read (df_rd).
+	DeferredRead
+	// DeferredWrite reserves a future right to write (df_wr).
+	DeferredWrite
+	// Commute is the §4.3 "higher-level" declaration: the task will update
+	// the object in a way that commutes with other such updates (e.g. an
+	// accumulation). Tasks holding Commute on the same object may execute
+	// in either order — neither orders before the other — but their actual
+	// accesses are mutually exclusive (the runtime serializes the views).
+	// Commute conflicts with plain reads and writes in both directions.
+	Commute
+)
+
+// ReadWrite is the immediate rd_wr declaration.
+const ReadWrite = Read | Write
+
+// DeferredReadWrite reserves both future rights.
+const DeferredReadWrite = DeferredRead | DeferredWrite
+
+// AnyRead matches both immediate and deferred read rights.
+const AnyRead = Read | DeferredRead
+
+// AnyWrite matches both immediate and deferred write rights.
+const AnyWrite = Write | DeferredWrite
+
+// AnyUpdate matches every right that can change the object.
+const AnyUpdate = Write | DeferredWrite | Commute
+
+// Has reports whether m contains all bits of want.
+func (m Mode) Has(want Mode) bool { return m&want == want }
+
+// HasAny reports whether m contains any bit of want.
+func (m Mode) HasAny(want Mode) bool { return m&want != 0 }
+
+// Immediate returns the immediate rights contained in m (rights that gate
+// the task's start).
+func (m Mode) Immediate() Mode { return m & (Read | Write | Commute) }
+
+// Deferred returns the deferred rights contained in m.
+func (m Mode) Deferred() Mode { return m & (DeferredRead | DeferredWrite) }
+
+// Promote converts the deferred bits of m into the corresponding immediate
+// bits (used when a with-cont converts df_rd/df_wr to rd/wr).
+func (m Mode) Promote() Mode {
+	p := m.Immediate()
+	if m.Has(DeferredRead) {
+		p |= Read
+	}
+	if m.Has(DeferredWrite) {
+		p |= Write
+	}
+	return p
+}
+
+// String renders the mode using the paper's declaration names.
+func (m Mode) String() string {
+	if m == 0 {
+		return "none"
+	}
+	var parts []string
+	if m.Has(Read) {
+		parts = append(parts, "rd")
+	}
+	if m.Has(Write) {
+		parts = append(parts, "wr")
+	}
+	if m.Has(DeferredRead) {
+		parts = append(parts, "df_rd")
+	}
+	if m.Has(DeferredWrite) {
+		parts = append(parts, "df_wr")
+	}
+	if m.Has(Commute) {
+		parts = append(parts, "cm")
+	}
+	return strings.Join(parts, "|")
+}
+
+// ConflictsWith reports whether rights held earlier in serial order (m)
+// conflict with rights requested later (later). Writers conflict with
+// everything; readers conflict with writers. Deferred rights held earlier
+// reserve the serial position, so they conflict exactly as if immediate
+// (paper §4.2: a later task must wait for an earlier deferred declaration
+// to be retracted or the task to complete). Deferred bits in the LATER
+// request do not conflict with anything — they only reserve a position and
+// gate nothing until converted.
+func (m Mode) ConflictsWith(later Mode) bool {
+	earlierRead := m.HasAny(AnyRead)
+	earlierWrite := m.HasAny(AnyWrite)
+	earlierCommute := m.Has(Commute)
+	laterRead := later.Has(Read)
+	laterWrite := later.Has(Write)
+	laterCommute := later.Has(Commute)
+	if earlierWrite && (laterRead || laterWrite || laterCommute) {
+		return true
+	}
+	if earlierRead && (laterWrite || laterCommute) {
+		return true
+	}
+	// Commuting updates order freely among themselves but conflict with
+	// everything else (§4.3): a plain read or write must see a definite
+	// accumulation state.
+	if earlierCommute && (laterRead || laterWrite) {
+		return true
+	}
+	return false
+}
+
+// Covers reports whether rights m held by a parent are sufficient to grant a
+// child declaration want (paper §4.4: a task's access specification must
+// declare both its own accesses and those of all its child tasks). A
+// parent's deferred right covers a child's immediate or deferred right of
+// the same kind: the parent reserved the serial position, and the child
+// occupies a sub-position of it.
+func (m Mode) Covers(want Mode) bool {
+	if want.HasAny(AnyRead) && !m.HasAny(AnyRead) {
+		return false
+	}
+	if want.HasAny(AnyWrite) && !m.HasAny(AnyWrite) {
+		return false
+	}
+	// A commuting child right is covered by a commuting or exclusive-write
+	// parent right; a commuting parent right covers only commuting
+	// children (it never held exclusivity to delegate).
+	if want.Has(Commute) && !m.HasAny(Commute|AnyWrite) {
+		return false
+	}
+	return true
+}
+
+// Decl is one access declaration: a mode requested on one object.
+type Decl struct {
+	Object ObjectID
+	Mode   Mode
+}
+
+// String renders the declaration, e.g. "rd|wr(#12)".
+func (d Decl) String() string { return fmt.Sprintf("%v(#%d)", d.Mode, d.Object) }
+
+// Spec is a task's access specification: the set of rights it currently
+// holds, one Mode per object. The zero Spec is empty and ready to use.
+type Spec struct {
+	modes map[ObjectID]Mode
+}
+
+// NewSpec returns an empty specification.
+func NewSpec() *Spec { return &Spec{modes: make(map[ObjectID]Mode)} }
+
+// Clone returns a deep copy of the specification.
+func (s *Spec) Clone() *Spec {
+	c := NewSpec()
+	for o, m := range s.modes {
+		c.modes[o] = m
+	}
+	return c
+}
+
+// Declare adds mode bits for an object (idempotent union).
+func (s *Spec) Declare(o ObjectID, m Mode) {
+	if s.modes == nil {
+		s.modes = make(map[ObjectID]Mode)
+	}
+	s.modes[o] |= m
+}
+
+// Mode returns the rights currently held on o (0 if none).
+func (s *Spec) Mode(o ObjectID) Mode {
+	return s.modes[o]
+}
+
+// Promote converts deferred rights on o into immediate rights, returning the
+// new mode. Promoting an object with no deferred rights is a no-op.
+func (s *Spec) Promote(o ObjectID, which Mode) Mode {
+	m := s.modes[o]
+	if which.HasAny(DeferredRead) && m.Has(DeferredRead) {
+		m = (m &^ DeferredRead) | Read
+	}
+	if which.HasAny(DeferredWrite) && m.Has(DeferredWrite) {
+		m = (m &^ DeferredWrite) | Write
+	}
+	s.modes[o] = m
+	return m
+}
+
+// Retract removes rights of the given kinds on o (no_rd removes Read and
+// DeferredRead; no_wr removes Write and DeferredWrite). It returns the
+// remaining mode; when that is zero the object is dropped from the spec.
+func (s *Spec) Retract(o ObjectID, which Mode) Mode {
+	m := s.modes[o] &^ which
+	if m == 0 {
+		delete(s.modes, o)
+	} else {
+		s.modes[o] = m
+	}
+	return m
+}
+
+// Objects calls f for every object with non-zero rights. Iteration order is
+// unspecified.
+func (s *Spec) Objects(f func(ObjectID, Mode)) {
+	for o, m := range s.modes {
+		f(o, m)
+	}
+}
+
+// Len returns the number of objects with non-zero rights.
+func (s *Spec) Len() int { return len(s.modes) }
+
+// Covers reports whether s (a parent's current spec) covers every
+// declaration in decls (a prospective child's spec).
+func (s *Spec) Covers(decls []Decl) error {
+	need := map[ObjectID]Mode{}
+	for _, d := range decls {
+		need[d.Object] |= d.Mode
+	}
+	for o, m := range need {
+		if !s.modes[o].Covers(m) {
+			return fmt.Errorf("access violation: child declares %v on object #%d but parent holds only %v",
+				m, o, s.modes[o])
+		}
+	}
+	return nil
+}
+
+// String renders the spec deterministically enough for error messages.
+func (s *Spec) String() string {
+	var parts []string
+	for o, m := range s.modes {
+		parts = append(parts, fmt.Sprintf("%v(#%d)", m, o))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

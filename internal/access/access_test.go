@@ -1,0 +1,232 @@
+package access
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestModePredicates(t *testing.T) {
+	m := Read | DeferredWrite
+	if !m.Has(Read) || m.Has(Write) {
+		t.Fatal("Has wrong")
+	}
+	if !m.HasAny(AnyWrite) {
+		t.Fatal("HasAny(AnyWrite) should see DeferredWrite")
+	}
+	if m.Immediate() != Read {
+		t.Fatalf("Immediate = %v", m.Immediate())
+	}
+	if m.Deferred() != DeferredWrite {
+		t.Fatalf("Deferred = %v", m.Deferred())
+	}
+	if got := m.Promote(); got != Read|Write {
+		t.Fatalf("Promote = %v, want rd|wr", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, tc := range []struct {
+		m    Mode
+		want string
+	}{
+		{0, "none"},
+		{Read, "rd"},
+		{Write, "wr"},
+		{ReadWrite, "rd|wr"},
+		{DeferredRead, "df_rd"},
+		{Read | DeferredWrite, "rd|df_wr"},
+	} {
+		if got := tc.m.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestConflictMatrix(t *testing.T) {
+	// earlier mode -> later request -> conflict?
+	cases := []struct {
+		earlier Mode
+		later   Mode
+		want    bool
+	}{
+		{Read, Read, false},
+		{Read, Write, true},
+		{Write, Read, true},
+		{Write, Write, true},
+		{ReadWrite, Read, true},
+		{DeferredRead, Write, true}, // deferred earlier reserves
+		{DeferredWrite, Read, true}, // deferred earlier reserves
+		{DeferredWrite, Write, true},
+		{Read, DeferredWrite, false}, // deferred later gates nothing
+		{Write, DeferredRead, false}, // deferred later gates nothing
+		{Read, Read | DeferredWrite, false},
+		{0, Write, false},
+	}
+	for _, tc := range cases {
+		if got := tc.earlier.ConflictsWith(tc.later); got != tc.want {
+			t.Errorf("%v.ConflictsWith(%v) = %v, want %v", tc.earlier, tc.later, got, tc.want)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	cases := []struct {
+		parent Mode
+		child  Mode
+		want   bool
+	}{
+		{ReadWrite, Read, true},
+		{ReadWrite, Write, true},
+		{Read, Write, false},
+		{Write, Read, false}, // write alone does not grant read
+		{DeferredRead, Read, true},
+		{DeferredWrite, Write | DeferredWrite, true},
+		{Read, DeferredRead, true},
+		{0, Read, false},
+		{ReadWrite | DeferredReadWrite, ReadWrite | DeferredReadWrite, true},
+	}
+	for _, tc := range cases {
+		if got := tc.parent.Covers(tc.child); got != tc.want {
+			t.Errorf("%v.Covers(%v) = %v, want %v", tc.parent, tc.child, got, tc.want)
+		}
+	}
+}
+
+func TestSpecDeclareAndMode(t *testing.T) {
+	s := NewSpec()
+	if s.Mode(1) != 0 {
+		t.Fatal("fresh spec should have no rights")
+	}
+	s.Declare(1, Read)
+	s.Declare(1, DeferredWrite)
+	if s.Mode(1) != Read|DeferredWrite {
+		t.Fatalf("mode = %v", s.Mode(1))
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSpecZeroValueUsable(t *testing.T) {
+	var s Spec
+	s.Declare(7, Write)
+	if s.Mode(7) != Write {
+		t.Fatal("zero-value Spec should accept Declare")
+	}
+}
+
+func TestSpecPromote(t *testing.T) {
+	s := NewSpec()
+	s.Declare(1, DeferredReadWrite)
+	got := s.Promote(1, DeferredRead)
+	if got != Read|DeferredWrite {
+		t.Fatalf("after promoting df_rd: %v", got)
+	}
+	got = s.Promote(1, DeferredWrite)
+	if got != ReadWrite {
+		t.Fatalf("after promoting df_wr: %v", got)
+	}
+	// Promoting absent deferred bits is a no-op.
+	if got := s.Promote(1, DeferredReadWrite); got != ReadWrite {
+		t.Fatalf("idempotent promote: %v", got)
+	}
+}
+
+func TestSpecRetract(t *testing.T) {
+	s := NewSpec()
+	s.Declare(1, ReadWrite|DeferredReadWrite)
+	rest := s.Retract(1, AnyRead)
+	if rest != Write|DeferredWrite {
+		t.Fatalf("after no_rd: %v", rest)
+	}
+	rest = s.Retract(1, AnyWrite)
+	if rest != 0 {
+		t.Fatalf("after no_wr: %v", rest)
+	}
+	if s.Len() != 0 {
+		t.Fatal("empty entry should be dropped")
+	}
+}
+
+func TestSpecClone(t *testing.T) {
+	s := NewSpec()
+	s.Declare(1, Read)
+	c := s.Clone()
+	c.Declare(1, Write)
+	if s.Mode(1) != Read {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestSpecCovers(t *testing.T) {
+	s := NewSpec()
+	s.Declare(1, ReadWrite)
+	s.Declare(2, DeferredRead)
+	if err := s.Covers([]Decl{{1, Read}, {2, Read}}); err != nil {
+		t.Fatalf("should cover: %v", err)
+	}
+	if err := s.Covers([]Decl{{2, Write}}); err == nil {
+		t.Fatal("df_rd must not cover wr")
+	}
+	if err := s.Covers([]Decl{{3, Read}}); err == nil {
+		t.Fatal("undeclared object must not be covered")
+	}
+	if err := s.Covers([]Decl{{3, Read}}); err != nil && !strings.Contains(err.Error(), "#3") {
+		t.Fatalf("error should name the object: %v", err)
+	}
+}
+
+func TestSpecObjectsIteration(t *testing.T) {
+	s := NewSpec()
+	s.Declare(1, Read)
+	s.Declare(2, Write)
+	seen := map[ObjectID]Mode{}
+	s.Objects(func(o ObjectID, m Mode) { seen[o] = m })
+	if len(seen) != 2 || seen[1] != Read || seen[2] != Write {
+		t.Fatalf("iteration saw %v", seen)
+	}
+}
+
+func TestQuickConflictConsistency(t *testing.T) {
+	// Properties relating the conflict matrix to its definition.
+	f := func(a, b uint8) bool {
+		ea, lb := Mode(a)&0xf, Mode(b)&0xf
+		got := ea.ConflictsWith(lb)
+		want := (ea.HasAny(AnyWrite) && lb.HasAny(Read|Write)) ||
+			(ea.HasAny(AnyRead) && lb.Has(Write))
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCoversReflexive(t *testing.T) {
+	// Any mode covers itself and anything it is a superset of (per kind).
+	f := func(a uint8) bool {
+		m := Mode(a) & 0xf
+		return m.Covers(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPromoteKeepsKinds(t *testing.T) {
+	// Promote never loses a kind of right: AnyRead before => AnyRead after.
+	f := func(a uint8) bool {
+		m := Mode(a) & 0xf
+		p := m.Promote()
+		if m.HasAny(AnyRead) != p.HasAny(AnyRead) {
+			return false
+		}
+		if m.HasAny(AnyWrite) != p.HasAny(AnyWrite) {
+			return false
+		}
+		return p.Deferred() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

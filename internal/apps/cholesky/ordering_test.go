@@ -1,0 +1,142 @@
+package cholesky
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// arrowMatrix is the classic ordering pathology: a hub node connected to
+// every other node. Eliminating the hub first creates a dense clique
+// (catastrophic fill); eliminating it last creates none.
+func arrowMatrix(n int) *Matrix {
+	m := &Matrix{N: n, ColPtr: make([]int32, n+1)}
+	// Column 0: the hub, connected to everyone.
+	m.RowIdx = append(m.RowIdx, 0)
+	col0 := []float64{float64(2 * n)}
+	for r := 1; r < n; r++ {
+		m.RowIdx = append(m.RowIdx, int32(r))
+		col0 = append(col0, -1)
+	}
+	m.Cols = append(m.Cols, col0)
+	m.ColPtr[1] = int32(len(m.RowIdx))
+	for j := 1; j < n; j++ {
+		m.RowIdx = append(m.RowIdx, int32(j))
+		m.Cols = append(m.Cols, []float64{float64(2 * n)})
+		m.ColPtr[j+1] = int32(len(m.RowIdx))
+	}
+	return m
+}
+
+func TestPermuteIsSymmetricPermutation(t *testing.T) {
+	m := Symbolic(GridLaplacian(3))
+	perm := RCM(m)
+	p := Permute(m, perm)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Dense comparison: p[i][j] == m[perm[i]][perm[j]].
+	dm, dp := m.Dense(), p.Dense()
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if dp[i][j] != dm[perm[i]][perm[j]] {
+				t.Fatalf("permuted[%d][%d] = %v, want %v", i, j, dp[i][j], dm[perm[i]][perm[j]])
+			}
+		}
+	}
+}
+
+func TestRCMIsAPermutation(t *testing.T) {
+	for _, m := range []*Matrix{GridLaplacian(4), RandomSPD(30, 3, 1), arrowMatrix(12)} {
+		perm := RCM(m)
+		if len(perm) != m.N {
+			t.Fatalf("perm length %d", len(perm))
+		}
+		sorted := append([]int32(nil), perm...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		for i, v := range sorted {
+			if v != int32(i) {
+				t.Fatalf("not a permutation: %v", perm)
+			}
+		}
+	}
+}
+
+func TestRCMKillsArrowFill(t *testing.T) {
+	n := 40
+	m := arrowMatrix(n)
+	naturalFill := Symbolic(m).NNZ()
+	rcm := Permute(m, RCM(m))
+	rcmFill := Symbolic(rcm).NNZ()
+	// Natural order: eliminating the hub first forms a clique on n-1 nodes
+	// (≈ n²/2 entries). RCM puts the hub last: no fill at all.
+	if rcmFill != m.NNZ() {
+		t.Fatalf("RCM arrow should have zero fill: %d vs nnz %d", rcmFill, m.NNZ())
+	}
+	if naturalFill < 5*rcmFill {
+		t.Fatalf("expected catastrophic natural fill: natural=%d rcm=%d", naturalFill, rcmFill)
+	}
+}
+
+func TestRCMReducesRandomBandwidth(t *testing.T) {
+	m := RandomSPD(60, 2, 9)
+	before := Bandwidth(m)
+	after := Bandwidth(Permute(m, RCM(m)))
+	if after > before {
+		t.Fatalf("RCM should not increase bandwidth: %d -> %d", before, after)
+	}
+}
+
+func TestSolveWithRCMOrderingMatchesOriginalSystem(t *testing.T) {
+	orig := RandomSPD(50, 3, 4)
+	b := make([]float64, orig.N)
+	for i := range b {
+		b[i] = math.Cos(float64(i))
+	}
+	perm := RCM(orig)
+	pm := Symbolic(Permute(orig, perm))
+	FactorSerial(pm)
+	pb := PermuteVector(b, perm)
+	px := SolveSerial(pm, pb)
+	x := UnpermuteVector(px, perm)
+	ax := MulSym(orig, x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-6 {
+			t.Fatalf("residual at %d: %v vs %v", i, ax[i], b[i])
+		}
+	}
+}
+
+func TestPermuteVectorRoundTrip(t *testing.T) {
+	v := []float64{10, 20, 30, 40}
+	perm := []int32{2, 0, 3, 1}
+	p := PermuteVector(v, perm)
+	if p[0] != 30 || p[1] != 10 || p[2] != 40 || p[3] != 20 {
+		t.Fatalf("permute = %v", p)
+	}
+	back := UnpermuteVector(p, perm)
+	for i := range v {
+		if back[i] != v[i] {
+			t.Fatalf("round trip = %v", back)
+		}
+	}
+}
+
+func TestRCMHandlesDisconnectedGraphs(t *testing.T) {
+	// Block-diagonal matrix: two disconnected components.
+	m := &Matrix{N: 4, ColPtr: []int32{0, 2, 3, 5, 6},
+		RowIdx: []int32{0, 1, 1, 2, 3, 3},
+		Cols:   [][]float64{{4, -1}, {4}, {4, -1}, {4}},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	perm := RCM(m)
+	sorted := append([]int32(nil), perm...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	for i, v := range sorted {
+		if v != int32(i) {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+	}
+}

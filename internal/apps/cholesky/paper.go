@@ -1,0 +1,27 @@
+package cholesky
+
+// PaperMatrix returns a 5×5 sparse SPD matrix whose factorization produces
+// the dynamic task graph of the paper's Figure 4: the internal update to
+// column 0 feeds external updates to columns 3 and 4, the internal update
+// to column 1 feeds an external update to column 2, and so on. Column
+// structures (lower triangle):
+//
+//	col 0: {0, 3, 4}   col 1: {1, 2}   col 2: {2, 3}
+//	col 3: {3, 4}      col 4: {4}
+//
+// Values are diagonally dominant so the factorization is numerically
+// well-behaved.
+func PaperMatrix() *Matrix {
+	return &Matrix{
+		N:      5,
+		ColPtr: []int32{0, 3, 5, 7, 9, 10},
+		RowIdx: []int32{0, 3, 4, 1, 2, 2, 3, 3, 4, 4},
+		Cols: [][]float64{
+			{10, -1, -1},
+			{10, -1},
+			{10, -1},
+			{10, -1},
+			{10},
+		},
+	}
+}

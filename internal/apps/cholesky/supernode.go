@@ -1,0 +1,259 @@
+package cholesky
+
+import (
+	"fmt"
+
+	"repro/jade"
+)
+
+// Supernodes partitions a filled matrix into supernodes: maximal runs of
+// consecutive columns with identical below-diagonal structure (column j+1
+// joins column j's supernode when rows(j)\{j} == rows(j+1)). The paper's
+// §3.2 notes that the real Jade sparse Cholesky aggregates columns this way
+// to increase the task grain size. maxWidth caps a supernode's column
+// count (0 = unlimited). The result is the boundary list b with
+// b[0]=0 < b[1] < ... < b[len-1]=N: supernode s covers columns
+// [b[s], b[s+1]).
+func Supernodes(m *Matrix, maxWidth int) []int32 {
+	bounds := []int32{0}
+	width := 1
+	for j := 1; j < m.N; j++ {
+		prev := m.colRows(j - 1)
+		cur := m.colRows(j)
+		join := len(prev) == len(cur)+1
+		if join {
+			for k := range cur {
+				if prev[k+1] != cur[k] {
+					join = false
+					break
+				}
+			}
+		}
+		if maxWidth > 0 && width >= maxWidth {
+			join = false
+		}
+		if join {
+			width++
+		} else {
+			bounds = append(bounds, int32(j))
+			width = 1
+		}
+	}
+	return append(bounds, int32(m.N))
+}
+
+// snOf returns, for each column, its supernode index.
+func snOf(bounds []int32, n int) []int32 {
+	owner := make([]int32, n)
+	for s := 0; s+1 < len(bounds); s++ {
+		for j := bounds[s]; j < bounds[s+1]; j++ {
+			owner[j] = int32(s)
+		}
+	}
+	return owner
+}
+
+// FactorSerialSupernodal factors the matrix in place using the supernodal
+// operation order: each supernode's diagonal block is factored (internal
+// updates interleaved with intra-supernode external updates), then the
+// supernode's columns update each later supernode in supernode order. The
+// Jade supernodal version performs the identical operations in the
+// identical order, so results are bitwise equal.
+func FactorSerialSupernodal(m *Matrix, bounds []int32) {
+	owner := snOf(bounds, m.N)
+	for s := 0; s+1 < len(bounds); s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		// Diagonal block.
+		for j := lo; j < hi; j++ {
+			internalUpdate(m.Cols[j])
+			rowsJ := m.colRows(int(j))
+			for _, k := range rowsJ[1:] {
+				if k < hi {
+					externalUpdate(rowsJ, m.Cols[j], k, m.colRows(int(k)), m.Cols[k])
+				}
+			}
+		}
+		// External updates to each later supernode, in supernode order.
+		for t := s + 1; t+1 < len(bounds); t++ {
+			tlo, thi := bounds[t], bounds[t+1]
+			touched := false
+			for j := lo; j < hi && !touched; j++ {
+				for _, k := range m.colRows(int(j))[1:] {
+					if k >= tlo && k < thi {
+						touched = true
+						break
+					}
+				}
+			}
+			if !touched {
+				continue
+			}
+			for j := lo; j < hi; j++ {
+				rowsJ := m.colRows(int(j))
+				for _, k := range rowsJ[1:] {
+					if k >= tlo && k < thi {
+						externalUpdate(rowsJ, m.Cols[j], k, m.colRows(int(k)), m.Cols[k])
+					}
+				}
+			}
+		}
+		_ = owner
+	}
+}
+
+// JadeSupernodal is the supernodal shared-object decomposition: one object
+// per supernode holding its columns' values concatenated — coarser grain,
+// fewer tasks, less per-task runtime overhead (§3.2, §8).
+type JadeSupernodal struct {
+	N           int
+	Bounds      []int32
+	ColPtrLocal []int32
+	RowIdxLocal []int32
+	ColPtr      *jade.Array[int32]
+	RowIdx      *jade.Array[int32]
+	// Store[s] holds supernode s's column values; column j (within s)
+	// starts at local offset ColPtrLocal[j]-ColPtrLocal[bounds[s]].
+	Store       []*jade.Array[float64]
+	WorkPerFlop float64
+}
+
+// ToJadeSupernodal allocates supernodal shared objects for the matrix.
+func ToJadeSupernodal(t *jade.Task, m *Matrix, bounds []int32, workPerFlop float64) *JadeSupernodal {
+	js := &JadeSupernodal{
+		N:           m.N,
+		Bounds:      append([]int32(nil), bounds...),
+		ColPtrLocal: append([]int32(nil), m.ColPtr...),
+		RowIdxLocal: append([]int32(nil), m.RowIdx...),
+		WorkPerFlop: workPerFlop,
+	}
+	js.ColPtr = jade.NewArrayFrom(t, append([]int32(nil), m.ColPtr...), "colptr")
+	js.RowIdx = jade.NewArrayFrom(t, append([]int32(nil), m.RowIdx...), "rowidx")
+	for s := 0; s+1 < len(bounds); s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		var vals []float64
+		for j := lo; j < hi; j++ {
+			vals = append(vals, m.Cols[j]...)
+		}
+		js.Store = append(js.Store, jade.NewArrayFrom(t, vals, fmt.Sprintf("sn%d", s)))
+	}
+	return js
+}
+
+// FromJadeSupernodal reads the factored supernodes back into column form.
+func FromJadeSupernodal(r *jade.Runtime, js *JadeSupernodal) *Matrix {
+	m := &Matrix{
+		N:      js.N,
+		ColPtr: append([]int32(nil), js.ColPtrLocal...),
+		RowIdx: append([]int32(nil), js.RowIdxLocal...),
+		Cols:   make([][]float64, js.N),
+	}
+	for s := 0; s+1 < len(js.Bounds); s++ {
+		lo, hi := js.Bounds[s], js.Bounds[s+1]
+		vals := jade.Final(r, js.Store[s])
+		off := int32(0)
+		for j := lo; j < hi; j++ {
+			n := js.ColPtrLocal[j+1] - js.ColPtrLocal[j]
+			m.Cols[j] = append([]float64(nil), vals[off:off+n]...)
+			off += n
+		}
+	}
+	return m
+}
+
+// snView slices column j's rows and values out of supernode storage.
+func (js *JadeSupernodal) snView(s int, vals []float64, ri []int32, cp []int32, j int32) ([]int32, []float64) {
+	base := cp[js.Bounds[s]]
+	lo := cp[j] - base
+	hi := cp[j+1] - base
+	return ri[cp[j]:cp[j+1]], vals[lo:hi]
+}
+
+// Factor creates the supernodal task graph: one internal task per supernode
+// (factor the diagonal block) and one external task per (source, target)
+// supernode pair with updates between them — the same structure as Figure 6
+// at coarser grain.
+func (js *JadeSupernodal) Factor(t *jade.Task) {
+	owner := snOf(js.Bounds, js.N)
+	nsn := len(js.Bounds) - 1
+	for s := 0; s < nsn; s++ {
+		s := s
+		lo, hi := js.Bounds[s], js.Bounds[s+1]
+		// Cost: flops in the diagonal block.
+		var blockFlops float64
+		targets := map[int32]bool{}
+		for j := lo; j < hi; j++ {
+			rows := js.RowIdxLocal[js.ColPtrLocal[j]:js.ColPtrLocal[j+1]]
+			blockFlops += float64(len(rows) + 10)
+			for _, k := range rows[1:] {
+				if k < hi {
+					blockFlops += float64(2*len(rows) + 10)
+				} else {
+					targets[owner[k]] = true
+				}
+			}
+		}
+		t.WithOnlyOpts(
+			jade.TaskOptions{Label: fmt.Sprintf("sn-internal(%d)", s), Cost: js.WorkPerFlop * blockFlops},
+			func(sp *jade.Spec) {
+				sp.RdWr(js.Store[s])
+				sp.Rd(js.ColPtr)
+				sp.Rd(js.RowIdx)
+			},
+			func(t *jade.Task) {
+				cp := js.ColPtr.Read(t)
+				ri := js.RowIdx.Read(t)
+				vals := js.Store[s].ReadWrite(t)
+				for j := lo; j < hi; j++ {
+					rowsJ, colJ := js.snView(s, vals, ri, cp, j)
+					internalUpdate(colJ)
+					for _, k := range rowsJ[1:] {
+						if k < hi {
+							rowsK, colK := js.snView(s, vals, ri, cp, k)
+							externalUpdate(rowsJ, colJ, k, rowsK, colK)
+						}
+					}
+				}
+			})
+		// External tasks in target supernode order (matching the serial
+		// supernodal reference exactly).
+		for tt := s + 1; tt < nsn; tt++ {
+			if !targets[int32(tt)] {
+				continue
+			}
+			tt := tt
+			tlo, thi := js.Bounds[tt], js.Bounds[tt+1]
+			var extFlops float64
+			for j := lo; j < hi; j++ {
+				rows := js.RowIdxLocal[js.ColPtrLocal[j]:js.ColPtrLocal[j+1]]
+				for _, k := range rows[1:] {
+					if k >= tlo && k < thi {
+						extFlops += float64(2*len(rows) + 10)
+					}
+				}
+			}
+			t.WithOnlyOpts(
+				jade.TaskOptions{Label: fmt.Sprintf("sn-external(%d,%d)", s, tt), Cost: js.WorkPerFlop * extFlops},
+				func(sp *jade.Spec) {
+					sp.RdWr(js.Store[tt])
+					sp.Rd(js.Store[s])
+					sp.Rd(js.ColPtr)
+					sp.Rd(js.RowIdx)
+				},
+				func(t *jade.Task) {
+					cp := js.ColPtr.Read(t)
+					ri := js.RowIdx.Read(t)
+					src := js.Store[s].Read(t)
+					dst := js.Store[tt].ReadWrite(t)
+					for j := lo; j < hi; j++ {
+						rowsJ, colJ := js.snView(s, src, ri, cp, j)
+						for _, k := range rowsJ[1:] {
+							if k >= tlo && k < thi {
+								rowsK, colK := js.snView(tt, dst, ri, cp, k)
+								externalUpdate(rowsJ, colJ, k, rowsK, colK)
+							}
+						}
+					}
+				})
+		}
+	}
+}

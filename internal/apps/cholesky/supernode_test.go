@@ -1,0 +1,166 @@
+package cholesky
+
+import (
+	"math"
+	"testing"
+
+	"repro/jade"
+)
+
+func TestSupernodePartitionBasics(t *testing.T) {
+	m := Symbolic(GridLaplacian(4))
+	b := Supernodes(m, 0)
+	if b[0] != 0 || b[len(b)-1] != int32(m.N) {
+		t.Fatalf("bounds must span the matrix: %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not increasing: %v", b)
+		}
+	}
+	// Dense matrices collapse into one supernode.
+	dense := make([][]float64, 5)
+	for i := range dense {
+		dense[i] = make([]float64, 5)
+		for j := range dense[i] {
+			if i == j {
+				dense[i][j] = 10
+			} else {
+				dense[i][j] = -1
+			}
+		}
+	}
+	dm := FromDense(dense)
+	db := Supernodes(dm, 0)
+	if len(db) != 2 {
+		t.Fatalf("dense matrix should be one supernode, got bounds %v", db)
+	}
+	// maxWidth caps supernode size.
+	db2 := Supernodes(dm, 2)
+	for i := 1; i < len(db2); i++ {
+		if db2[i]-db2[i-1] > 2 {
+			t.Fatalf("width cap violated: %v", db2)
+		}
+	}
+}
+
+func TestSupernodesMergeIdenticalStructure(t *testing.T) {
+	// In a filled grid Laplacian the trailing columns become dense and must
+	// merge into supernodes (fewer supernodes than columns).
+	m := Symbolic(GridLaplacian(6))
+	b := Supernodes(m, 0)
+	if len(b)-1 >= m.N {
+		t.Fatalf("no aggregation happened: %d supernodes for %d columns", len(b)-1, m.N)
+	}
+}
+
+func TestSerialSupernodalMatchesColumnFactorization(t *testing.T) {
+	orig := Symbolic(GridLaplacian(6))
+	plain := orig.Clone()
+	FactorSerial(plain)
+	sn := orig.Clone()
+	FactorSerialSupernodal(sn, Supernodes(orig, 0))
+	for j := 0; j < orig.N; j++ {
+		for k := range plain.Cols[j] {
+			if math.Abs(sn.Cols[j][k]-plain.Cols[j][k]) > 1e-9*math.Max(1, math.Abs(plain.Cols[j][k])) {
+				t.Fatalf("col %d[%d]: supernodal %v vs column %v", j, k, sn.Cols[j][k], plain.Cols[j][k])
+			}
+		}
+	}
+}
+
+func TestJadeSupernodalMatchesSerialSupernodal(t *testing.T) {
+	m := Symbolic(GridLaplacian(6))
+	want := m.Clone()
+	bounds := Supernodes(m, 4)
+	FactorSerialSupernodal(want, bounds)
+	for name, mk := range map[string]func() (*jade.Runtime, error){
+		"smp": func() (*jade.Runtime, error) { return jade.NewSMP(jade.SMPConfig{Procs: 4}), nil },
+		"ipsc": func() (*jade.Runtime, error) {
+			return jade.NewSimulated(jade.SimConfig{Platform: jade.IPSC860(4)})
+		},
+		"ws": func() (*jade.Runtime, error) {
+			return jade.NewSimulated(jade.SimConfig{Platform: jade.Workstations(3)})
+		},
+	} {
+		r, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var js *JadeSupernodal
+		err = r.Run(func(tk *jade.Task) {
+			js = ToJadeSupernodal(tk, m, bounds, 1e-6)
+			js.Factor(tk)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := FromJadeSupernodal(r, js)
+		for j := 0; j < m.N; j++ {
+			for k := range want.Cols[j] {
+				if got.Cols[j][k] != want.Cols[j][k] {
+					t.Fatalf("%s: col %d[%d]: %v != %v (must be bitwise identical)",
+						name, j, k, got.Cols[j][k], want.Cols[j][k])
+				}
+			}
+		}
+	}
+}
+
+func TestSupernodalSolvesSystem(t *testing.T) {
+	orig := GridLaplacian(5)
+	m := Symbolic(orig)
+	FactorSerialSupernodal(m, Supernodes(m, 0))
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	x := SolveSerial(m, b)
+	ax := MulSym(orig, x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-8 {
+			t.Fatalf("residual at %d: %v vs %v", i, ax[i], b[i])
+		}
+	}
+}
+
+func TestSupernodalUsesFewerTasks(t *testing.T) {
+	m := Symbolic(GridLaplacian(8))
+	colRT := jade.NewSMP(jade.SMPConfig{Procs: 4})
+	err := colRT.Run(func(tk *jade.Task) {
+		ToJade(tk, m, 0).Factor(tk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snRT := jade.NewSMP(jade.SMPConfig{Procs: 4})
+	err = snRT.Run(func(tk *jade.Task) {
+		ToJadeSupernodal(tk, m, Supernodes(m, 0), 0).Factor(tk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colTasks := colRT.EngineStats().TasksCreated
+	snTasks := snRT.EngineStats().TasksCreated
+	if snTasks >= colTasks {
+		t.Fatalf("supernodes should cut the task count: %d vs %d", snTasks, colTasks)
+	}
+
+	// On a matrix with heavy fill (dense trailing block) the aggregation is
+	// dramatic.
+	dense := Symbolic(RandomSPD(40, 10, 3))
+	colRT2 := jade.NewSMP(jade.SMPConfig{Procs: 4})
+	if err := colRT2.Run(func(tk *jade.Task) { ToJade(tk, dense, 0).Factor(tk) }); err != nil {
+		t.Fatal(err)
+	}
+	snRT2 := jade.NewSMP(jade.SMPConfig{Procs: 4})
+	if err := snRT2.Run(func(tk *jade.Task) {
+		ToJadeSupernodal(tk, dense, Supernodes(dense, 0), 0).Factor(tk)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c2, s2 := colRT2.EngineStats().TasksCreated, snRT2.EngineStats().TasksCreated
+	if s2*4 > c2 {
+		t.Fatalf("heavy-fill matrix should aggregate strongly: %d vs %d tasks", s2, c2)
+	}
+}

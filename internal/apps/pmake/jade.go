@@ -1,0 +1,108 @@
+package pmake
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/jade"
+)
+
+// FileCap is the capacity of a shared file object: a 4-byte length prefix
+// plus contents. Commands whose output exceeds it fail the build.
+const FileCap = 64 * 1024
+
+// putContent stores data into a file object's buffer.
+func putContent(buf, data []byte) error {
+	if len(data)+4 > len(buf) {
+		return fmt.Errorf("file content %d bytes exceeds object capacity %d", len(data), len(buf)-4)
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(len(data)))
+	copy(buf[4:], data)
+	return nil
+}
+
+// getContent extracts the contents from a file object's buffer.
+func getContent(buf []byte) []byte {
+	n := binary.LittleEndian.Uint32(buf)
+	return append([]byte(nil), buf[4:4+n]...)
+}
+
+// BuildJade brings goal up to date using one Jade task per command — the
+// paper's make: "the body of this loop is enclosed in a withonly-do
+// construct that declares which files each recompilation command will
+// access". It updates the project in place and returns the rebuilt targets
+// in serial plan order. workPerByte models command cost for the simulator.
+func BuildJade(r *jade.Runtime, p *Project, mf *Makefile, goal string, workPerByte float64) ([]string, error) {
+	order, err := Plan(p, mf, goal)
+	if err != nil {
+		return nil, err
+	}
+	objs := map[string]*jade.Array[byte]{}
+	runErr := r.Run(func(t *jade.Task) {
+		// Materialize every involved file as a shared object.
+		involved := map[string]bool{}
+		for _, tgt := range order {
+			involved[tgt] = true
+			for _, d := range mf.Rule(tgt).Deps {
+				involved[d] = true
+			}
+		}
+		names := make([]string, 0, len(involved))
+		for n := range involved {
+			names = append(names, n)
+		}
+		// Deterministic allocation order.
+		sort.Strings(names)
+		for _, n := range names {
+			obj := jade.NewArray[byte](t, FileCap, "file:"+n)
+			if data, ok := p.Files[n]; ok {
+				if err := putContent(obj.ReadWrite(t), data); err != nil {
+					panic(fmt.Sprintf("pmake: %s: %v", n, err))
+				}
+				obj.Release(t)
+			}
+			objs[n] = obj
+		}
+		// One task per out-of-date command, in the serial loop's order.
+		for _, tgt := range order {
+			tgt := tgt
+			rule := mf.Rule(tgt)
+			var inBytes int
+			for _, d := range rule.Deps {
+				inBytes += len(p.Files[d])
+			}
+			t.WithOnlyOpts(
+				jade.TaskOptions{
+					Label: rule.Command[0] + " " + tgt,
+					Cost:  workPerByte * float64(inBytes+256),
+				},
+				func(s *jade.Spec) {
+					for _, d := range rule.Deps {
+						s.Rd(objs[d])
+					}
+					s.RdWr(objs[tgt])
+				},
+				func(t *jade.Task) {
+					out, err := runCommand(rule.Command, tgt, func(d string) []byte {
+						return getContent(objs[d].Read(t))
+					})
+					if err != nil {
+						panic(fmt.Sprintf("pmake: %v", err))
+					}
+					if err := putContent(objs[tgt].ReadWrite(t), out); err != nil {
+						panic(fmt.Sprintf("pmake: %s: %v", tgt, err))
+					}
+				})
+		}
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	// Read back results and stamp modification times in plan order, exactly
+	// as the serial build would have.
+	for _, tgt := range order {
+		p.WriteFile(tgt, getContent(jade.Final(r, objs[tgt])))
+	}
+	return order, nil
+}

@@ -1,0 +1,210 @@
+// Package video implements the paper's digital image processing application
+// (§7.2) for the simulated HRV workstation: a SPARC host captures and
+// compresses video frames in hardware; i860 graphics accelerators
+// decompress each frame in software, apply a digital transformation, and
+// display it on the HDTV monitor.
+//
+// The Jade version is, as in the paper, "a loop with two withonly-do
+// constructs": one capture task per frame (placed on the camera-capable
+// machine; captures serialize on the camera device object) and one
+// transform+display task per frame (placed on an accelerator; displays
+// serialize on the display device object, keeping frame order). Jade's
+// object management moves each frame from the host to an accelerator —
+// converting its representation between the big-endian SPARC and the
+// little-endian i860 — without the programmer writing any message-passing
+// code.
+package video
+
+import (
+	"fmt"
+
+	"repro/jade"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Frames is the number of video frames to process.
+	Frames int
+	// FrameBytes is the uncompressed frame size.
+	FrameBytes int
+	// CaptureWork and TransformWork are the modeled costs (work units) of
+	// capturing/compressing one frame in hardware and of software
+	// decompression + transformation + display.
+	CaptureWork   float64
+	TransformWork float64
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Frames == 0 {
+		c.Frames = 16
+	}
+	if c.FrameBytes == 0 {
+		c.FrameBytes = 4096
+	}
+	if c.CaptureWork == 0 {
+		c.CaptureWork = 0.004
+	}
+	if c.TransformWork == 0 {
+		c.TransformWork = 0.03
+	}
+	return c
+}
+
+// capture synthesizes frame f's compressed data: a deterministic run-length
+// encoding of a synthetic image.
+func capture(f, frameBytes int) []byte {
+	// Synthetic image: a gradient whose phase depends on the frame number.
+	img := make([]byte, frameBytes)
+	for i := range img {
+		img[i] = byte((i + 7*f) % 251)
+	}
+	return rle(img)
+}
+
+// rle is a toy run-length compressor: (count, value) pairs.
+func rle(data []byte) []byte {
+	var out []byte
+	for i := 0; i < len(data); {
+		j := i
+		for j < len(data) && data[j] == data[i] && j-i < 255 {
+			j++
+		}
+		out = append(out, byte(j-i), data[i])
+		i = j
+	}
+	return out
+}
+
+// unrle decompresses run-length data.
+func unrle(data []byte) []byte {
+	var out []byte
+	for i := 0; i+1 < len(data); i += 2 {
+		for k := 0; k < int(data[i]); k++ {
+			out = append(out, data[i+1])
+		}
+	}
+	return out
+}
+
+// transform applies the digital transformation (video inversion).
+func transform(img []byte) {
+	for i := range img {
+		img[i] = 255 - img[i]
+	}
+}
+
+// checksum digests a displayed frame for verification.
+func checksum(img []byte) int64 {
+	var sum int64
+	for _, b := range img {
+		sum = sum*131 + int64(b)
+	}
+	return sum
+}
+
+// RunSerial computes the displayed-frame checksums serially (the semantic
+// reference).
+func RunSerial(cfg Config) []int64 {
+	cfg = cfg.WithDefaults()
+	out := make([]int64, cfg.Frames)
+	for f := 0; f < cfg.Frames; f++ {
+		img := unrle(capture(f, cfg.FrameBytes))
+		transform(img)
+		out[f] = checksum(img)
+	}
+	return out
+}
+
+// Result reports a Jade pipeline run.
+type Result struct {
+	// Checksums are the displayed frames' digests, in frame order.
+	Checksums []int64
+	// TransformMachines records which machine transformed each frame.
+	TransformMachines []int
+}
+
+// RunJade executes the pipeline on a runtime whose platform must offer the
+// camera and accelerator capabilities (jade.HRV does).
+func RunJade(r *jade.Runtime, cfg Config) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	res := &Result{
+		Checksums:         make([]int64, cfg.Frames),
+		TransformMachines: make([]int, cfg.Frames),
+	}
+	err := r.Run(func(t *jade.Task) {
+		// The camera and display device objects: capturing tasks serialize
+		// on the camera, display updates serialize in frame order.
+		camera := jade.NewArray[int64](t, 1, "camera")
+		display := jade.NewArray[int64](t, cfg.Frames, "display")
+		machines := jade.NewArray[int64](t, cfg.Frames, "machines")
+		for f := 0; f < cfg.Frames; f++ {
+			f := f
+			// Compressed frames fit comfortably in 2×FrameBytes.
+			frame := jade.NewArray[byte](t, 2*cfg.FrameBytes+8, fmt.Sprintf("frame%d", f))
+			// Capture task: camera hardware on the SPARC host.
+			t.WithOnlyOpts(
+				jade.TaskOptions{
+					Label:      fmt.Sprintf("capture(%d)", f),
+					Cost:       cfg.CaptureWork,
+					RequireCap: jade.CapCamera,
+				},
+				func(s *jade.Spec) {
+					s.RdWr(camera)
+					s.Wr(frame)
+				},
+				func(t *jade.Task) {
+					camera.ReadWrite(t)[0]++
+					buf := frame.Write(t)
+					data := capture(f, cfg.FrameBytes)
+					buf[0] = byte(len(data))
+					buf[1] = byte(len(data) >> 8)
+					buf[2] = byte(len(data) >> 16)
+					copy(buf[3:], data)
+				})
+			// Transform + display task: an i860 accelerator. The display
+			// access is declared deferred (§4.2): transforms of different
+			// frames run concurrently on different accelerators, and only
+			// the final display update serializes — in frame order, because
+			// deferred declarations hold the tasks' serial queue positions.
+			t.WithOnlyOpts(
+				jade.TaskOptions{
+					Label:      fmt.Sprintf("transform(%d)", f),
+					Cost:       cfg.TransformWork,
+					RequireCap: jade.CapAccelerator,
+				},
+				func(s *jade.Spec) {
+					s.Rd(frame)
+					s.DfRdWr(display)
+					s.DfRdWr(machines)
+				},
+				func(t *jade.Task) {
+					buf := frame.Read(t)
+					n := int(buf[0]) | int(buf[1])<<8 | int(buf[2])<<16
+					img := unrle(buf[3 : 3+n])
+					transform(img)
+					sum := checksum(img)
+					t.WithCont(func(c *jade.Cont) {
+						c.RdWr(display)
+						c.RdWr(machines)
+					})
+					display.ReadWrite(t)[f] = sum
+					machines.ReadWrite(t)[f] = int64(t.Machine())
+				})
+		}
+		// The main program reads the display after all frames are shown
+		// (Jade makes it wait automatically).
+		shown := display.Read(t)
+		ms := machines.Read(t)
+		for f := 0; f < cfg.Frames; f++ {
+			res.Checksums[f] = shown[f]
+			res.TransformMachines[f] = int(ms[f])
+		}
+		display.Release(t)
+		machines.Release(t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,354 @@
+// Package water implements the paper's LWS application (§7.3): a liquid
+// water molecular-dynamics kernel derived from the Perfect Club MDG
+// benchmark. Almost all computation is the O(n²) pairwise interaction
+// phase, which the Jade version executes in parallel; the O(n) integration
+// phases run serially — exactly the paper's parallelization strategy.
+//
+// The paper's evaluation (Figures 9 and 10) runs this program unmodified on
+// the Intel iPSC/860, the Mica Ethernet workstation array and the Stanford
+// DASH multiprocessor with 2197 molecules; cmd/jadebench regenerates those
+// curves on the simulated platforms.
+package water
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/jade"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// N is the number of molecules (the paper uses 2197 = 13³).
+	N int
+	// Steps is the number of timesteps.
+	Steps int
+	// Tasks is the number of parallel interaction tasks per step (the
+	// paper's task granularity knob; typically the machine count).
+	Tasks int
+	// Dt is the integration timestep.
+	Dt float64
+	// Seed drives the deterministic initial state.
+	Seed int64
+	// WorkPerFlop converts modeled flops into simulator work units.
+	WorkPerFlop float64
+}
+
+// WithDefaults fills zero fields with sensible values.
+func (c Config) WithDefaults() Config {
+	if c.N == 0 {
+		c.N = 125
+	}
+	if c.Steps == 0 {
+		c.Steps = 2
+	}
+	if c.Tasks == 0 {
+		c.Tasks = 4
+	}
+	if c.Dt == 0 {
+		c.Dt = 1e-3
+	}
+	if c.WorkPerFlop == 0 {
+		c.WorkPerFlop = 1e-8
+	}
+	return c
+}
+
+// State is the simulation state: positions, velocities and forces are
+// flat 3-vectors per molecule; Energy is the potential energy of the last
+// computed configuration.
+type State struct {
+	N      int
+	Box    float64
+	Pos    []float64
+	Vel    []float64
+	Force  []float64
+	Energy float64
+}
+
+// Lennard-Jones parameters (reduced units) and lattice spacing.
+const (
+	epsilon = 1.0
+	sigma   = 1.0
+	spacing = 1.5874 // ~2^(2/3): near the LJ minimum for a lattice
+)
+
+// NewState places molecules on a cubic lattice with a small deterministic
+// jitter and small random velocities — a liquid-like, stable start.
+func NewState(cfg Config) *State {
+	cfg = cfg.WithDefaults()
+	k := int(math.Ceil(math.Cbrt(float64(cfg.N))))
+	box := float64(k) * spacing
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &State{
+		N:     cfg.N,
+		Box:   box,
+		Pos:   make([]float64, 3*cfg.N),
+		Vel:   make([]float64, 3*cfg.N),
+		Force: make([]float64, 3*cfg.N),
+	}
+	i := 0
+	for x := 0; x < k && i < cfg.N; x++ {
+		for y := 0; y < k && i < cfg.N; y++ {
+			for z := 0; z < k && i < cfg.N; z++ {
+				s.Pos[3*i+0] = (float64(x)+0.5)*spacing + 0.05*(rng.Float64()-0.5)
+				s.Pos[3*i+1] = (float64(y)+0.5)*spacing + 0.05*(rng.Float64()-0.5)
+				s.Pos[3*i+2] = (float64(z)+0.5)*spacing + 0.05*(rng.Float64()-0.5)
+				s.Vel[3*i+0] = 0.1 * (rng.Float64() - 0.5)
+				s.Vel[3*i+1] = 0.1 * (rng.Float64() - 0.5)
+				s.Vel[3*i+2] = 0.1 * (rng.Float64() - 0.5)
+				i++
+			}
+		}
+	}
+	return s
+}
+
+// minImage applies the periodic minimum-image convention.
+func minImage(d, box float64) float64 {
+	if d > box/2 {
+		d -= box
+	} else if d < -box/2 {
+		d += box
+	}
+	return d
+}
+
+// pairInteractions accumulates Lennard-Jones forces and potential energy
+// for all pairs (i, j), j > i, where i ≡ task (mod tasks), into out (length
+// 3n+1; the last slot is the energy). This is the body of one parallel
+// interaction task; the partition by i interleaves work so task loads
+// balance despite the triangular pair loop.
+func pairInteractions(pos []float64, box float64, n, task, tasks int, out []float64) {
+	s6 := math.Pow(sigma, 6)
+	for i := task; i < n; i += tasks {
+		xi, yi, zi := pos[3*i], pos[3*i+1], pos[3*i+2]
+		for j := i + 1; j < n; j++ {
+			dx := minImage(xi-pos[3*j], box)
+			dy := minImage(yi-pos[3*j+1], box)
+			dz := minImage(zi-pos[3*j+2], box)
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 < 1e-12 {
+				continue
+			}
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2 * s6
+			// LJ: U = 4ε(inv6² − inv6); F = 24ε(2·inv6² − inv6)/r · r̂
+			f := 24 * epsilon * (2*inv6*inv6 - inv6) * inv2
+			out[3*i+0] += f * dx
+			out[3*i+1] += f * dy
+			out[3*i+2] += f * dz
+			out[3*j+0] -= f * dx
+			out[3*j+1] -= f * dy
+			out[3*j+2] -= f * dz
+			out[len(out)-1] += 4 * epsilon * (inv6*inv6 - inv6)
+		}
+	}
+}
+
+// integrate advances velocities and positions one step (semi-implicit
+// Euler) and wraps positions into the box — the serial O(n) phase.
+func integrate(pos, vel, force []float64, n int, dt, box float64) {
+	for i := 0; i < 3*n; i++ {
+		vel[i] += dt * force[i]
+		pos[i] += dt * vel[i]
+		if pos[i] < 0 {
+			pos[i] += box
+		} else if pos[i] >= box {
+			pos[i] -= box
+		}
+	}
+}
+
+// addInto adds src into dst elementwise (one tree-reduction step).
+func addInto(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// reduceTree sums the task-private partial arrays pairwise (a binary
+// reduction tree: 1←0+1 stride doubling), leaving the total in partials[0]
+// and returning the potential energy. Real message-passing codes reduce
+// this way so the log-depth communication pattern scales; the Jade version
+// creates one task per tree edge with the same arithmetic order, so results
+// stay bitwise identical to this serial reference.
+func reduceTree(partials [][]float64) float64 {
+	n := len(partials)
+	for stride := 1; stride < n; stride *= 2 {
+		for k := 0; k+stride < n; k += 2 * stride {
+			addInto(partials[k], partials[k+stride])
+		}
+	}
+	return partials[0][len(partials[0])-1]
+}
+
+// reduce sums partials (tree order) into force and returns the potential
+// energy. partials are consumed (mutated).
+func reduce(partials [][]float64, force []float64) float64 {
+	energy := reduceTree(partials)
+	copy(force, partials[0])
+	return energy
+}
+
+// RunSerial executes the simulation serially with the same task-partitioned
+// arithmetic the Jade version uses, so both produce bitwise-identical
+// results — the determinism the paper guarantees.
+func RunSerial(cfg Config) *State {
+	cfg = cfg.WithDefaults()
+	s := NewState(cfg)
+	partials := make([][]float64, cfg.Tasks)
+	for t := range partials {
+		partials[t] = make([]float64, 3*cfg.N+1)
+	}
+	for step := 0; step < cfg.Steps; step++ {
+		for t := 0; t < cfg.Tasks; t++ {
+			for i := range partials[t] {
+				partials[t][i] = 0
+			}
+			pairInteractions(s.Pos, s.Box, cfg.N, t, cfg.Tasks, partials[t])
+		}
+		s.Energy = reduceTree(partials)
+		copy(s.Force, partials[0])
+		integrate(s.Pos, s.Vel, s.Force, cfg.N, cfg.Dt, s.Box)
+	}
+	return s
+}
+
+// PairForces exposes the interaction kernel for the §6.2 Linda-style
+// comparison (the explicitly parallel version of this application).
+func PairForces(pos []float64, box float64, n, task, tasks int, out []float64) {
+	pairInteractions(pos, box, n, task, tasks, out)
+}
+
+// Reduce exposes the partial-force reduction for the Linda comparison.
+func Reduce(partials [][]float64, force []float64) float64 {
+	return reduce(partials, force)
+}
+
+// Integrate exposes the integration phase for the Linda comparison.
+func Integrate(pos, vel, force []float64, n int, dt, box float64) {
+	integrate(pos, vel, force, n, dt, box)
+}
+
+// PairFlops estimates the floating-point work of one interaction task.
+func PairFlops(n, tasks int) float64 {
+	pairs := float64(n) * float64(n-1) / 2 / float64(tasks)
+	return pairs * 30
+}
+
+// JadeState bundles the shared objects of a Jade water run.
+type JadeState struct {
+	cfg      Config
+	box      float64
+	pos      *jade.Array[float64]
+	vel      *jade.Array[float64]
+	partials []*jade.Array[float64]
+}
+
+// Setup allocates the shared objects from a deterministic initial state.
+// Call from the main program task.
+func Setup(t *jade.Task, cfg Config) *JadeState {
+	cfg = cfg.WithDefaults()
+	init := NewState(cfg)
+	js := &JadeState{cfg: cfg, box: init.Box}
+	js.pos = jade.NewArrayFrom(t, init.Pos, "pos")
+	js.vel = jade.NewArrayFrom(t, init.Vel, "vel")
+	for i := 0; i < cfg.Tasks; i++ {
+		js.partials = append(js.partials,
+			jade.NewArray[float64](t, 3*cfg.N+1, fmt.Sprintf("partial%d", i)))
+	}
+	return js
+}
+
+// Step creates the tasks of one timestep: Tasks parallel interaction tasks
+// (each rd(pos), rd_wr(its partial)), one reduction task (rd all partials,
+// rd_wr(force)), and one serial integration task (rd(force), rd_wr(pos),
+// rd_wr(vel)). The next step's interaction tasks read pos and therefore
+// automatically wait for this step's integration — Jade discovers the
+// inter-step dependence from the declarations alone.
+func (js *JadeState) Step(t *jade.Task) {
+	cfg := js.cfg
+	interactionCost := cfg.WorkPerFlop * PairFlops(cfg.N, cfg.Tasks)
+	for i := 0; i < cfg.Tasks; i++ {
+		i := i
+		t.WithOnlyOpts(
+			jade.TaskOptions{Label: fmt.Sprintf("forces(%d)", i), Cost: interactionCost},
+			func(s *jade.Spec) {
+				s.Rd(js.pos)
+				// wr, not rd_wr: the task fully overwrites its partial, so
+				// the runtime transfers ownership without moving the stale
+				// contents across the network.
+				s.Wr(js.partials[i])
+			},
+			func(t *jade.Task) {
+				pos := js.pos.Read(t)
+				out := js.partials[i].Write(t)
+				for k := range out {
+					out[k] = 0
+				}
+				pairInteractions(pos, js.box, cfg.N, i, cfg.Tasks, out)
+			})
+	}
+	// Tree reduction: one task per tree edge, each adding a higher-indexed
+	// partial into a lower-indexed one (rd the source, rd_wr the target).
+	// Independent edges of a level reduce in parallel on different
+	// machines — the log-depth communication pattern that scales on
+	// message-passing platforms.
+	reduceCost := cfg.WorkPerFlop * float64(2*(3*cfg.N+1))
+	for stride := 1; stride < cfg.Tasks; stride *= 2 {
+		for k := 0; k+stride < cfg.Tasks; k += 2 * stride {
+			k, src := k, k+stride
+			t.WithOnlyOpts(
+				jade.TaskOptions{Label: fmt.Sprintf("reduce(%d<-%d)", k, src), Cost: reduceCost},
+				func(s *jade.Spec) {
+					s.RdWr(js.partials[k])
+					s.Rd(js.partials[src])
+				},
+				func(t *jade.Task) {
+					addInto(js.partials[k].ReadWrite(t), js.partials[src].Read(t))
+				})
+		}
+	}
+	integrateCost := cfg.WorkPerFlop * float64(9*cfg.N)
+	t.WithOnlyOpts(
+		jade.TaskOptions{Label: "integrate", Cost: integrateCost},
+		func(s *jade.Spec) {
+			s.Rd(js.partials[0])
+			s.RdWr(js.pos)
+			s.RdWr(js.vel)
+		},
+		func(t *jade.Task) {
+			pos := js.pos.ReadWrite(t)
+			vel := js.vel.ReadWrite(t)
+			force := js.partials[0].Read(t)
+			integrate(pos, vel, force, cfg.N, cfg.Dt, js.box)
+		})
+}
+
+// RunJade executes the full simulation on the runtime and returns the final
+// state (bitwise identical to RunSerial of the same Config).
+func RunJade(r *jade.Runtime, cfg Config) (*State, error) {
+	cfg = cfg.WithDefaults()
+	var js *JadeState
+	err := r.Run(func(t *jade.Task) {
+		js = Setup(t, cfg)
+		for step := 0; step < cfg.Steps; step++ {
+			js.Step(t)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &State{
+		N:   cfg.N,
+		Box: js.box,
+		Pos: append([]float64(nil), jade.Final(r, js.pos)...),
+		Vel: append([]float64(nil), jade.Final(r, js.vel)...),
+	}
+	p0 := jade.Final(r, js.partials[0])
+	s.Force = append([]float64(nil), p0[:3*cfg.N]...)
+	s.Energy = p0[len(p0)-1]
+	return s, nil
+}

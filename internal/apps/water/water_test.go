@@ -1,0 +1,203 @@
+package water
+
+import (
+	"math"
+	"testing"
+
+	"repro/jade"
+)
+
+func TestInitialStateDeterministic(t *testing.T) {
+	cfg := Config{N: 64, Seed: 5}
+	a, b := NewState(cfg), NewState(cfg)
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatal("initial state not deterministic")
+		}
+	}
+	c := NewState(Config{N: 64, Seed: 6})
+	same := true
+	for i := range a.Pos {
+		if a.Pos[i] != c.Pos[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestMoleculesInsideBox(t *testing.T) {
+	s := RunSerial(Config{N: 100, Steps: 5, Tasks: 3, Seed: 1})
+	for i := 0; i < 3*s.N; i++ {
+		if s.Pos[i] < 0 || s.Pos[i] >= s.Box {
+			t.Fatalf("position %d out of box: %v (box %v)", i, s.Pos[i], s.Box)
+		}
+		if math.IsNaN(s.Pos[i]) || math.IsInf(s.Pos[i], 0) {
+			t.Fatalf("position %d diverged: %v", i, s.Pos[i])
+		}
+	}
+	if math.IsNaN(s.Energy) {
+		t.Fatal("energy NaN")
+	}
+}
+
+func TestMomentumApproximatelyConserved(t *testing.T) {
+	// Pairwise forces are equal and opposite, so total momentum change per
+	// step is zero up to floating point.
+	cfg := Config{N: 64, Steps: 4, Tasks: 2, Seed: 3}
+	s0 := NewState(cfg)
+	var p0 [3]float64
+	for i := 0; i < s0.N; i++ {
+		for d := 0; d < 3; d++ {
+			p0[d] += s0.Vel[3*i+d]
+		}
+	}
+	s := RunSerial(cfg)
+	var p1 [3]float64
+	for i := 0; i < s.N; i++ {
+		for d := 0; d < 3; d++ {
+			p1[d] += s.Vel[3*i+d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(p1[d]-p0[d]) > 1e-8 {
+			t.Fatalf("momentum drift in dim %d: %v -> %v", d, p0[d], p1[d])
+		}
+	}
+}
+
+func TestForcesSumToZero(t *testing.T) {
+	cfg := Config{N: 50, Tasks: 4, Seed: 2}.WithDefaults()
+	s := NewState(cfg)
+	out := make([]float64, 3*cfg.N+1)
+	for task := 0; task < cfg.Tasks; task++ {
+		pairInteractions(s.Pos, s.Box, cfg.N, task, cfg.Tasks, out)
+	}
+	var sum [3]float64
+	for i := 0; i < cfg.N; i++ {
+		for d := 0; d < 3; d++ {
+			sum[d] += out[3*i+d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(sum[d]) > 1e-9 {
+			t.Fatalf("net force nonzero in dim %d: %v", d, sum[d])
+		}
+	}
+}
+
+func TestTaskPartitionCoversAllPairs(t *testing.T) {
+	// The union of all tasks' partial forces must equal a single task's
+	// all-pairs result.
+	cfg := Config{N: 40, Tasks: 5, Seed: 9}.WithDefaults()
+	s := NewState(cfg)
+	all := make([]float64, 3*cfg.N+1)
+	pairInteractions(s.Pos, s.Box, cfg.N, 0, 1, all)
+	parts := make([][]float64, cfg.Tasks)
+	for task := 0; task < cfg.Tasks; task++ {
+		parts[task] = make([]float64, 3*cfg.N+1)
+		pairInteractions(s.Pos, s.Box, cfg.N, task, cfg.Tasks, parts[task])
+	}
+	force := make([]float64, 3*cfg.N)
+	energy := reduce(parts, force)
+	for i := range force {
+		if math.Abs(force[i]-all[i]) > 1e-9 {
+			t.Fatalf("partitioned force[%d] = %v, all-pairs %v", i, force[i], all[i])
+		}
+	}
+	if math.Abs(energy-all[len(all)-1]) > 1e-9 {
+		t.Fatalf("partitioned energy %v, all-pairs %v", energy, all[len(all)-1])
+	}
+}
+
+func TestJadeMatchesSerialSMP(t *testing.T) {
+	cfg := Config{N: 80, Steps: 3, Tasks: 4, Seed: 11}
+	want := RunSerial(cfg)
+	r := jade.NewSMP(jade.SMPConfig{Procs: 4})
+	got, err := RunJade(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Pos {
+		if got.Pos[i] != want.Pos[i] || got.Vel[i] != want.Vel[i] {
+			t.Fatalf("state diverged at %d: pos %v vs %v", i, got.Pos[i], want.Pos[i])
+		}
+	}
+	if got.Energy != want.Energy {
+		t.Fatalf("energy %v vs %v", got.Energy, want.Energy)
+	}
+}
+
+func TestJadeMatchesSerialSimulatedPlatforms(t *testing.T) {
+	cfg := Config{N: 60, Steps: 2, Tasks: 4, Seed: 13}
+	want := RunSerial(cfg)
+	for name, plat := range map[string]jade.Platform{
+		"ipsc": jade.IPSC860(4),
+		"mica": jade.Mica(3),
+		"ws":   jade.Workstations(4),
+	} {
+		r, err := jade.NewSimulated(jade.SimConfig{Platform: plat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunJade(r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Pos {
+			if got.Pos[i] != want.Pos[i] {
+				t.Fatalf("%s: pos[%d] %v vs %v", name, i, got.Pos[i], want.Pos[i])
+			}
+		}
+	}
+}
+
+func TestSpeedupOnSimulatedDASH(t *testing.T) {
+	makespan := func(machines int) float64 {
+		cfg := Config{N: 125, Steps: 2, Tasks: machines, Seed: 1, WorkPerFlop: 1e-7}
+		r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.DASH(machines)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunJade(r, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return r.Makespan().Seconds()
+	}
+	t1, t4 := makespan(1), makespan(4)
+	sp := t1 / t4
+	if sp < 2.0 {
+		t.Fatalf("DASH water speedup at 4 machines only %.2f (t1=%.4f t4=%.4f)", sp, t1, t4)
+	}
+}
+
+func TestEthernetSlowerThanDASH(t *testing.T) {
+	// The Mica Ethernet bus must cost more than DASH's backplane for the
+	// same program — the qualitative content of Figure 9.
+	run := func(plat jade.Platform) float64 {
+		cfg := Config{N: 125, Steps: 2, Tasks: 4, Seed: 1, WorkPerFlop: 1e-7}
+		r, err := jade.NewSimulated(jade.SimConfig{Platform: plat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunJade(r, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return r.Makespan().Seconds()
+	}
+	dash := run(jade.DASH(4))
+	mica := run(jade.Mica(4))
+	if mica <= dash {
+		t.Fatalf("Mica (%.4fs) should be slower than DASH (%.4fs)", mica, dash)
+	}
+}
+
+func TestPairFlopsScaling(t *testing.T) {
+	if PairFlops(100, 4) >= PairFlops(100, 2) {
+		t.Fatal("more tasks should mean fewer flops per task")
+	}
+	if PairFlops(200, 4) <= PairFlops(100, 4) {
+		t.Fatal("more molecules should mean more flops")
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/access"
+)
+
+func TestTaskAccessors(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	if root.Parent() != nil {
+		t.Fatal("root has no parent")
+	}
+	if root.State() != Running {
+		t.Fatal("root should be running")
+	}
+	tk := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Read | access.DeferredWrite})
+	if tk.Parent() != root {
+		t.Fatal("parent should be root")
+	}
+	if tk.State() != Ready {
+		t.Fatalf("state = %v", tk.State())
+	}
+	if got := tk.Mode(1); got != access.Read|access.DeferredWrite {
+		t.Fatalf("mode = %v", got)
+	}
+	if got := tk.Mode(99); got != 0 {
+		t.Fatalf("undeclared mode = %v", got)
+	}
+	run(t, e, tk)
+	if tk.State() != Done {
+		t.Fatal("should be done")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Waiting:  "waiting",
+		Ready:    "ready",
+		Running:  "running",
+		Done:     "done",
+		State(9): "state(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestClearAccessDirectly(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	ok, err := e.Access(root, 1, access.ReadWrite, nil)
+	if err != nil || !ok {
+		t.Fatal("root view")
+	}
+	e.ClearAccess(root, 1)
+	// All views gone: a conflicting child is now fine.
+	if _, err := e.Create(root, []access.Decl{{Object: 1, Mode: access.Write}}, nil); err != nil {
+		t.Fatalf("ClearAccess should release views: %v", err)
+	}
+	// ClearAccess on an object with no entry is a no-op.
+	e.ClearAccess(root, 42)
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/access"
+)
+
+func TestCommutingTasksBothReady(t *testing.T) {
+	e, c := newEngine()
+	root := e.Root()
+	a := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Commute})
+	b := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Commute})
+	if !c.has(a) || !c.has(b) {
+		t.Fatal("commuting tasks must not order against each other")
+	}
+}
+
+func TestCommuteConflictsWithReadersAndWriters(t *testing.T) {
+	e, c := newEngine()
+	root := e.Root()
+	w := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	cm := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Commute})
+	if c.has(cm) {
+		t.Fatal("commuting task must wait for an earlier writer")
+	}
+	run(t, e, w)
+	if !c.has(cm) {
+		t.Fatal("commuting task ready after writer completes")
+	}
+	// A reader after the commuting task waits for it.
+	r := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Read})
+	if c.has(r) {
+		t.Fatal("reader must wait for earlier commuting task")
+	}
+	run(t, e, cm)
+	if !c.has(r) {
+		t.Fatal("reader ready after commuting task completes")
+	}
+}
+
+func TestCommuteLockIsExclusive(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	a := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Commute})
+	b := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Commute})
+	if err := e.Start(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(b); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := e.Access(a, 1, access.Commute, nil)
+	if err != nil || !ok {
+		t.Fatalf("first lock: ok=%v err=%v", ok, err)
+	}
+	woken := false
+	ok, err = e.Access(b, 1, access.Commute, func() { woken = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("second commuting access must wait for the lock")
+	}
+	e.EndAccess(a, 1, access.Commute)
+	if !woken {
+		t.Fatal("lock release should grant the queued commuting access")
+	}
+	e.EndAccess(b, 1, access.Commute)
+	if err := e.Complete(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Complete(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommuteLockReleasedOnComplete(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	a := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Commute})
+	b := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Commute})
+	if err := e.Start(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(b); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := e.Access(a, 1, access.Commute, nil); !ok {
+		t.Fatal("first lock")
+	}
+	woken := false
+	if ok, _ := e.Access(b, 1, access.Commute, func() { woken = true }); ok {
+		t.Fatal("should queue")
+	}
+	// a completes WITHOUT EndAccess: the lock must still be released.
+	if err := e.Complete(a); err != nil {
+		t.Fatal(err)
+	}
+	if !woken {
+		t.Fatal("completing the holder must release the commute lock")
+	}
+}
+
+func TestCommuteChainFIFO(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	var order []int
+	var tasks []*Task
+	for i := 0; i < 3; i++ {
+		tk := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Commute})
+		if err := e.Start(tk); err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, tk)
+	}
+	// First takes the lock; the others queue.
+	if ok, _ := e.Access(tasks[0], 1, access.Commute, nil); !ok {
+		t.Fatal("t0 lock")
+	}
+	for i := 1; i < 3; i++ {
+		i := i
+		ok, _ := e.Access(tasks[i], 1, access.Commute, func() { order = append(order, i) })
+		if ok {
+			t.Fatalf("t%d should queue", i)
+		}
+	}
+	e.EndAccess(tasks[0], 1, access.Commute)
+	e.EndAccess(tasks[1], 1, access.Commute)
+	e.EndAccess(tasks[2], 1, access.Commute)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("grant order = %v, want FIFO [1 2]", order)
+	}
+}
+
+func TestCommuteCoveringRules(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	parent := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Commute})
+	if err := e.Start(parent); err != nil {
+		t.Fatal(err)
+	}
+	// Acc parent covers Acc child.
+	if _, err := e.Create(parent, []access.Decl{{Object: 1, Mode: access.Commute}}, nil); err != nil {
+		t.Fatalf("cm->cm should be covered: %v", err)
+	}
+	// Acc parent does not cover exclusive write or read.
+	if _, err := e.Create(parent, []access.Decl{{Object: 1, Mode: access.Write}}, nil); err == nil {
+		t.Fatal("cm parent must not cover wr child")
+	}
+	if _, err := e.Create(parent, []access.Decl{{Object: 1, Mode: access.Read}}, nil); err == nil {
+		t.Fatal("cm parent must not cover rd child")
+	}
+	// Write parent covers Acc child.
+	wparent := mustCreate(t, e, root, access.Decl{Object: 2, Mode: access.ReadWrite})
+	if err := e.Start(wparent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Create(wparent, []access.Decl{{Object: 2, Mode: access.Commute}}, nil); err != nil {
+		t.Fatalf("rd_wr->cm should be covered: %v", err)
+	}
+}
+
+func TestRetractThenConvertIsViolation(t *testing.T) {
+	// Retracting a deferred right surrenders it for good: a later with-cont
+	// cannot re-extend the specification.
+	e, _ := newEngine()
+	root := e.Root()
+	tk := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.DeferredRead})
+	if err := e.Start(tk); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Retract(tk, 1, access.AnyRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Convert(tk, 1, access.DeferredRead, nil); err == nil {
+		t.Fatal("convert after no_rd must be a violation (spec cannot re-extend)")
+	}
+}
+
+func TestRetractUnheldRightsIsNoOp(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	tk := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Read})
+	if err := e.Start(tk); err != nil {
+		t.Fatal(err)
+	}
+	// no_wr on a read-only declaration and no_rd on an undeclared object
+	// are declarations of non-use, not errors.
+	if err := e.Retract(tk, 1, access.AnyWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Retract(tk, 99, access.AnyRead); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := e.Access(tk, 1, access.Read, nil); err != nil || !ok {
+		t.Fatalf("read right should survive a no_wr: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCommuteUndeclaredAccessViolations(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	tk := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Commute})
+	if err := e.Start(tk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Access(tk, 1, access.Write, nil); err == nil {
+		t.Fatal("cm declaration must not permit a plain write view")
+	}
+	if _, err := e.Access(tk, 1, access.Read, nil); err == nil {
+		t.Fatal("cm declaration must not permit a plain read view")
+	}
+	tk2 := mustCreate(t, e, root, access.Decl{Object: 2, Mode: access.ReadWrite})
+	// tk2 is behind nothing; starts fine, but never declared cm on 2.
+	if err := e.Start(tk2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Access(tk2, 2, access.Commute, nil); err == nil {
+		t.Fatal("cm access requires a cm declaration")
+	}
+}

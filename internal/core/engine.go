@@ -1,0 +1,782 @@
+// Package core implements the Jade dependency engine: the dynamic machinery
+// that turns access specifications into deterministic parallel execution.
+//
+// The engine is a pure, event-driven data structure. It knows nothing about
+// goroutines, machines, messages or time; executors (internal/exec/...)
+// supply blocking and scheduling on top of it. Every mutating operation is
+// serialized under one mutex and notifies interested parties through
+// callbacks fired after the mutex is released.
+//
+// # Semantics
+//
+// Each shared object has a queue of access entries ordered by the serial
+// sequence numbers of the declaring tasks (package seq; note the
+// ancestor-residual rule: an ancestor's entry orders after all entries of
+// its descendants). An entry is "enabled" for an immediate mode m when no
+// earlier entry in the queue holds rights that conflict with m. A task may
+// begin when every immediate declaration in its specification is enabled; a
+// deferred declaration reserves the queue position but gates nothing until
+// the task converts it with a with-cont construct. Completing a task, or
+// retracting rights with no_rd/no_wr, removes or shrinks entries and wakes
+// any waiters that become enabled.
+//
+// This realizes the paper's execution model (§2, §3.3, §4.2): conflicting
+// tasks execute in the original serial order, non-conflicting tasks execute
+// concurrently, and a task never waits on a task later in serial order —
+// which is also why suspending task creators or inlining children can never
+// deadlock.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/seq"
+)
+
+// TaskID identifies a task within one engine. IDs increase in creation
+// order; the root task has ID 1.
+type TaskID uint64
+
+// State is a task's lifecycle state.
+type State int
+
+const (
+	// Waiting means the task exists but some immediate declaration is not
+	// yet enabled.
+	Waiting State = iota
+	// Ready means every immediate declaration is enabled; the executor may
+	// run the task at any time.
+	Ready
+	// Running means the executor has started the task body.
+	Running
+	// Done means the task body has completed and its entries are removed.
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Waiting:
+		return "waiting"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Task is the engine's record of one Jade task. Executors attach their own
+// state through Payload and must treat all other fields as read-only.
+type Task struct {
+	// ID is the engine-unique task identifier.
+	ID TaskID
+	// Seq is the task's serial sequence number.
+	Seq seq.Seq
+	// Decls is the task's initial access specification, as declared.
+	Decls []access.Decl
+	// Payload is executor-owned attachment (never touched by the engine).
+	Payload any
+
+	parent    *Task
+	engine    *Engine
+	spec      *access.Spec
+	entries   map[access.ObjectID]*entry
+	state     State
+	gates     int // unsatisfied start gates
+	nextChild uint32
+	children  int // live (not Done) children
+}
+
+// Parent returns the task's parent (nil for the root task).
+func (t *Task) Parent() *Task { return t.parent }
+
+// State returns the task's current lifecycle state.
+func (t *Task) State() State {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	return t.state
+}
+
+// Mode returns the rights t currently holds on obj (engine-locked snapshot).
+func (t *Task) Mode(obj access.ObjectID) access.Mode {
+	t.engine.mu.Lock()
+	defer t.engine.mu.Unlock()
+	return t.spec.Mode(obj)
+}
+
+// ImmediateDecls returns the objects and modes the task must hold to start:
+// the immediate portion of its initial declarations. Executors use this to
+// plan data movement before running the task.
+func (t *Task) ImmediateDecls() []access.Decl {
+	var out []access.Decl
+	seen := map[access.ObjectID]access.Mode{}
+	for _, d := range t.Decls {
+		seen[d.Object] |= d.Mode
+	}
+	ids := make([]access.ObjectID, 0, len(seen))
+	for o := range seen {
+		ids = append(ids, o)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, o := range ids {
+		if m := seen[o].Immediate(); m != 0 {
+			out = append(out, access.Decl{Object: o, Mode: m})
+		}
+	}
+	return out
+}
+
+// entry is one task's rights on one object, positioned in the object queue.
+type entry struct {
+	task *Task
+	obj  access.ObjectID
+	mode access.Mode
+	// checkouts counts live data views per immediate mode, used to detect
+	// a parent that creates a conflicting child while still holding a view.
+	checkouts map[access.Mode]int
+}
+
+// waitKind distinguishes why a waiter is registered.
+type waitKind int
+
+const (
+	waitStart   waitKind = iota // task start gate
+	waitAccess                  // blocked data access of a running task
+	waitConvert                 // blocked with-cont conversion
+)
+
+// waiter is a pending wakeup for when e becomes enabled for mode. gate runs
+// under the engine mutex (start-gate bookkeeping); wake runs after the
+// mutex is released (unblocking an executor). Checkout and lock updates for
+// granted accesses happen inside the engine, never in callbacks.
+type waiter struct {
+	e    *entry
+	mode access.Mode
+	kind waitKind
+	gate func() // waitStart only; called with e.mu held
+	wake func() // called after unlock
+}
+
+// objQueue is the per-object ordered queue of entries plus its waiters.
+// cmLock serializes the actual data accesses of commuting tasks (§4.3):
+// tasks whose declarations commute may start in any order, but only one at
+// a time may hold a view of the object.
+type objQueue struct {
+	id        access.ObjectID
+	entries   []*entry // sorted by task.Seq queue order
+	waiters   []*waiter
+	cmLock    *entry
+	cmWaiters []*waiter
+}
+
+func (q *objQueue) indexOf(e *entry) int {
+	for i, x := range q.entries {
+		if x == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// insert places e at its serial position.
+func (q *objQueue) insert(e *entry) {
+	i := sort.Search(len(q.entries), func(i int) bool {
+		return e.task.Seq.Less(q.entries[i].task.Seq)
+	})
+	q.entries = append(q.entries, nil)
+	copy(q.entries[i+1:], q.entries[i:])
+	q.entries[i] = e
+}
+
+func (q *objQueue) remove(e *entry) {
+	if i := q.indexOf(e); i >= 0 {
+		q.entries = append(q.entries[:i], q.entries[i+1:]...)
+	}
+}
+
+// enabled reports whether e is enabled for immediate mode m: no earlier
+// entry conflicts with m.
+func (q *objQueue) enabled(e *entry, m access.Mode) bool {
+	for _, x := range q.entries {
+		if x == e {
+			return true
+		}
+		if x.mode.ConflictsWith(m) {
+			return false
+		}
+	}
+	// Entry not present (already removed): treat as enabled; callers
+	// guarantee e belongs to q while rights are held.
+	return true
+}
+
+// Hooks are the engine's outbound notifications. They are fired after the
+// engine mutex is released, in the order the events occurred. Hook
+// implementations may call back into the engine.
+type Hooks struct {
+	// Ready fires when a task's start gates are all enabled. It fires
+	// exactly once per task, possibly during the Create call that made it.
+	Ready func(*Task)
+	// Violation fires when a task performs an undeclared access or breaks
+	// the hierarchy covering rule. The same error is also returned from the
+	// offending call; the hook exists so executors can abort the program.
+	Violation func(*Task, error)
+	// Depend fires once per (earlier, later) task pair per object when
+	// Create detects a dynamic data dependence: the earlier task holds
+	// rights on obj that conflict with the new task's declaration. This is
+	// the paper's dynamic task graph (Figure 4).
+	Depend func(earlier, later *Task, obj access.ObjectID)
+}
+
+// Stats are cumulative engine counters (snapshot via Engine.Stats).
+type Stats struct {
+	TasksCreated   uint64
+	TasksCompleted uint64
+	MaxQueueLen    int
+	Waits          uint64 // times anything had to wait (start gates + accesses)
+	Violations     uint64
+}
+
+// Engine is the Jade dependency engine. Create one per program run.
+type Engine struct {
+	mu     sync.Mutex
+	hooks  Hooks
+	queues map[access.ObjectID]*objQueue
+	root   *Task
+	nextID TaskID
+	stats  Stats
+	live   int
+}
+
+// New returns an engine with a root task in Running state. The root task
+// models the main program: it implicitly acquires full rights to any object
+// it touches (its residual rights order after all other tasks, so the main
+// program waits for conflicting tasks exactly as the serial semantics
+// requires).
+func New(hooks Hooks) *Engine {
+	e := &Engine{
+		hooks:  hooks,
+		queues: make(map[access.ObjectID]*objQueue),
+		nextID: 1,
+	}
+	e.root = &Task{
+		ID:      1,
+		Seq:     seq.Root(),
+		engine:  e,
+		spec:    access.NewSpec(),
+		entries: make(map[access.ObjectID]*entry),
+		state:   Running,
+	}
+	e.nextID = 2
+	e.live = 1
+	return e
+}
+
+// Root returns the root (main program) task.
+func (e *Engine) Root() *Task { return e.root }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Live returns the number of tasks that are not Done (including the root).
+func (e *Engine) Live() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.live
+}
+
+// queue returns (creating if needed) the queue for obj.
+func (e *Engine) queue(obj access.ObjectID) *objQueue {
+	q := e.queues[obj]
+	if q == nil {
+		q = &objQueue{id: obj}
+		e.queues[obj] = q
+	}
+	return q
+}
+
+// RegisterObject records that task t allocated obj and grants t implicit
+// immediate read/write rights on it: a freshly allocated object is private
+// to its creator until the creator passes it to child tasks.
+func (e *Engine) RegisterObject(t *Task, obj access.ObjectID) {
+	e.mu.Lock()
+	e.declareLocked(t, obj, access.ReadWrite)
+	e.mu.Unlock()
+}
+
+// declareLocked unions mode bits into t's entry on obj, inserting the entry
+// if absent. Caller holds e.mu.
+func (e *Engine) declareLocked(t *Task, obj access.ObjectID, m access.Mode) *entry {
+	t.spec.Declare(obj, m)
+	en := t.entries[obj]
+	if en == nil {
+		en = &entry{task: t, obj: obj, mode: m, checkouts: map[access.Mode]int{}}
+		t.entries[obj] = en
+		q := e.queue(obj)
+		q.insert(en)
+		if len(q.entries) > e.stats.MaxQueueLen {
+			e.stats.MaxQueueLen = len(q.entries)
+		}
+	} else {
+		en.mode |= m
+	}
+	return en
+}
+
+// violationLocked records a violation and returns the error; the hook fires
+// after unlock via the returned fire list.
+func (e *Engine) violationLocked(t *Task, format string, args ...any) (error, []func()) {
+	err := fmt.Errorf(format, args...)
+	e.stats.Violations++
+	var fires []func()
+	if e.hooks.Violation != nil {
+		h := e.hooks.Violation
+		fires = append(fires, func() { h(t, err) })
+	}
+	return err, fires
+}
+
+// Create makes a child task of parent with the given access declarations
+// and executor payload (attached before any hook can observe the task).
+// It enforces the hierarchy covering rule (paper §4.4): every declared right
+// must be covered by the parent's current specification (the root task is
+// exempt — it implicitly owns everything it touches). It also rejects
+// creation while the parent holds a live data view that conflicts with the
+// child's declarations, since the parent's subsequent uses of that view
+// would race with the child.
+//
+// If the new task has no blocked immediate declarations the Ready hook fires
+// before Create returns.
+func (e *Engine) Create(parent *Task, decls []access.Decl, payload any) (*Task, error) {
+	e.mu.Lock()
+	if parent.engine != e {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("task %d belongs to a different engine", parent.ID)
+	}
+	if parent.state != Running {
+		err, fires := e.violationLocked(parent, "task %d (%v) created a child while %v; only running tasks may create tasks",
+			parent.ID, parent.Seq, parent.state)
+		e.mu.Unlock()
+		runAll(fires)
+		return nil, err
+	}
+	// Root implicitly owns what it touches.
+	if parent == e.root {
+		for _, d := range decls {
+			e.declareLocked(parent, d.Object, access.ReadWrite|access.DeferredReadWrite)
+		}
+	}
+	if err := parent.spec.Covers(decls); err != nil {
+		verr, fires := e.violationLocked(parent, "task %d (%v): %w", parent.ID, parent.Seq, err)
+		e.mu.Unlock()
+		runAll(fires)
+		return nil, verr
+	}
+	// Live conflicting views?
+	for _, d := range decls {
+		pe := parent.entries[d.Object]
+		if pe == nil {
+			continue
+		}
+		for m, n := range pe.checkouts {
+			if n > 0 && (m.ConflictsWith(d.Mode) || d.Mode.ConflictsWith(m)) {
+				verr, fires := e.violationLocked(parent,
+					"task %d (%v) creates a child declaring %v on object #%d while holding a live %v view of it; release the view (EndAccess) first",
+					parent.ID, parent.Seq, d.Mode, d.Object, m)
+				e.mu.Unlock()
+				runAll(fires)
+				return nil, verr
+			}
+		}
+	}
+
+	parent.nextChild++
+	t := &Task{
+		ID:      e.nextID,
+		Seq:     parent.Seq.Child(parent.nextChild),
+		Decls:   append([]access.Decl(nil), decls...),
+		Payload: payload,
+		parent:  parent,
+		engine:  e,
+		spec:    access.NewSpec(),
+		entries: make(map[access.ObjectID]*entry),
+		state:   Waiting,
+	}
+	e.nextID++
+	e.stats.TasksCreated++
+	e.live++
+	parent.children++
+
+	for _, d := range decls {
+		e.declareLocked(t, d.Object, d.Mode)
+	}
+
+	var fires []func()
+	// Report dynamic data dependences for the task graph: earlier entries
+	// whose rights conflict with the new task's eventual accesses.
+	if e.hooks.Depend != nil {
+		for obj, en := range t.entries {
+			q := e.queue(obj)
+			eventual := en.mode.Promote()
+			for _, prior := range q.entries {
+				if prior == en {
+					break
+				}
+				if prior.mode.ConflictsWith(eventual) {
+					h, earlier, obj := e.hooks.Depend, prior.task, obj
+					fires = append(fires, func() { h(earlier, t, obj) })
+				}
+			}
+		}
+	}
+
+	// Count start gates: each (object, immediate mode) not yet enabled.
+	for obj, en := range t.entries {
+		im := en.mode.Immediate()
+		if im == 0 {
+			continue
+		}
+		q := e.queue(obj)
+		if !q.enabled(en, im) {
+			t.gates++
+			e.stats.Waits++
+			en := en
+			q.waiters = append(q.waiters, &waiter{
+				e: en, mode: im, kind: waitStart,
+				gate: func() {
+					// Runs with e.mu held (from wakeLocked).
+					t.gates--
+					if t.gates == 0 && t.state == Waiting {
+						t.state = Ready
+					}
+				},
+			})
+		}
+	}
+	if t.gates == 0 {
+		t.state = Ready
+		if e.hooks.Ready != nil {
+			h := e.hooks.Ready
+			fires = append(fires, func() { h(t) })
+		}
+	}
+	e.mu.Unlock()
+	runAll(fires)
+	return t, nil
+}
+
+// Start transitions a Ready task to Running. Executors must call it exactly
+// once before running the task body.
+func (e *Engine) Start(t *Task) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t.state != Ready {
+		return fmt.Errorf("task %d (%v): Start in state %v", t.ID, t.Seq, t.state)
+	}
+	t.state = Running
+	return nil
+}
+
+// Complete marks t done, removes all its entries and wakes newly enabled
+// waiters. Children of t may still be live; their entries are their own.
+func (e *Engine) Complete(t *Task) error {
+	e.mu.Lock()
+	if t.state != Running {
+		e.mu.Unlock()
+		return fmt.Errorf("task %d (%v): Complete in state %v", t.ID, t.Seq, t.state)
+	}
+	t.state = Done
+	e.stats.TasksCompleted++
+	e.live--
+	if t.parent != nil {
+		t.parent.children--
+	}
+	var fires []func()
+	for obj, en := range t.entries {
+		q := e.queue(obj)
+		fires = append(fires, e.releaseCmLocked(q, en)...)
+		q.remove(en)
+		fires = append(fires, e.wakeLocked(q)...)
+	}
+	t.entries = make(map[access.ObjectID]*entry)
+	t.spec = access.NewSpec()
+	e.mu.Unlock()
+	runAll(fires)
+	return nil
+}
+
+// Access acquires a checked data view on obj for immediate mode m (Read,
+// Write or ReadWrite). If the task holds the right and its queue entry is
+// enabled, the view is checked out and Access returns ok=true. If the entry
+// is not currently enabled (a conflicting child was created meanwhile, or
+// the caller is the root whose residual rights follow other tasks), Access
+// returns ok=false and arranges for wake to be called exactly once when the
+// view has been checked out; the caller must then block until wake.
+// Undeclared access is a violation and returns an error.
+func (e *Engine) Access(t *Task, obj access.ObjectID, m access.Mode, wake func()) (ok bool, err error) {
+	if m.Immediate() == 0 || m.Deferred() != 0 {
+		return false, fmt.Errorf("Access wants an immediate mode, got %v", m)
+	}
+	e.mu.Lock()
+	if t.state != Running {
+		err, fires := e.violationLocked(t, "task %d (%v) accessed object #%d while %v", t.ID, t.Seq, obj, t.state)
+		e.mu.Unlock()
+		runAll(fires)
+		return false, err
+	}
+	if t == e.root {
+		e.declareLocked(t, obj, access.ReadWrite|access.Commute)
+	}
+	if !t.spec.Mode(obj).Has(m) {
+		err, fires := e.violationLocked(t,
+			"access violation: task %d (%v) performs an undeclared %v access to object #%d (declared: %v)",
+			t.ID, t.Seq, m, obj, t.spec.Mode(obj))
+		e.mu.Unlock()
+		runAll(fires)
+		return false, err
+	}
+	en := t.entries[obj]
+	q := e.queue(obj)
+	if q.enabled(en, m) {
+		if m.Has(access.Commute) {
+			// Order is satisfied; now take the mutual-exclusion lock.
+			if q.cmLock != nil && q.cmLock != en {
+				e.stats.Waits++
+				q.cmWaiters = append(q.cmWaiters, &waiter{e: en, mode: m, kind: waitAccess, wake: wake})
+				e.mu.Unlock()
+				return false, nil
+			}
+			q.cmLock = en
+		}
+		en.checkouts[m]++
+		e.mu.Unlock()
+		return true, nil
+	}
+	e.stats.Waits++
+	q.waiters = append(q.waiters, &waiter{e: en, mode: m, kind: waitAccess, wake: wake})
+	e.mu.Unlock()
+	return false, nil
+}
+
+// releaseCmLocked frees q's commute lock if en holds it and hands it to the
+// first queued commuting access. Caller holds e.mu; returned fires run
+// after unlock.
+func (e *Engine) releaseCmLocked(q *objQueue, en *entry) []func() {
+	if q.cmLock != en {
+		return nil
+	}
+	q.cmLock = nil
+	if len(q.cmWaiters) == 0 {
+		return nil
+	}
+	w := q.cmWaiters[0]
+	q.cmWaiters = q.cmWaiters[1:]
+	q.cmLock = w.e
+	w.e.checkouts[w.mode]++
+	return []func(){w.wake}
+}
+
+// EndAccess releases a view previously checked out by Access with the same
+// mode. Views are also released implicitly by Complete and by Retract of
+// the corresponding rights. Releasing the last commuting view hands the
+// object's mutual-exclusion lock to the next queued commuting task.
+func (e *Engine) EndAccess(t *Task, obj access.ObjectID, m access.Mode) {
+	e.mu.Lock()
+	var fires []func()
+	if en := t.entries[obj]; en != nil && en.checkouts[m] > 0 {
+		en.checkouts[m]--
+		if m.Has(access.Commute) && en.checkouts[m] == 0 {
+			fires = e.releaseCmLocked(e.queue(obj), en)
+		}
+	}
+	e.mu.Unlock()
+	runAll(fires)
+}
+
+// ClearAccess releases every view t holds on obj (all modes). Tasks use it
+// before creating a child whose declaration conflicts with views they still
+// hold (typically the main program after initializing an object).
+func (e *Engine) ClearAccess(t *Task, obj access.ObjectID) {
+	e.mu.Lock()
+	var fires []func()
+	if en := t.entries[obj]; en != nil {
+		en.checkouts = map[access.Mode]int{}
+		fires = e.releaseCmLocked(e.queue(obj), en)
+	}
+	e.mu.Unlock()
+	runAll(fires)
+}
+
+// Convert promotes deferred rights on obj to immediate rights (the with-cont
+// rd/wr statements, paper §4.2). which selects the deferred bits to promote
+// (DeferredRead, DeferredWrite or both). If after promotion the entry is
+// enabled for the newly immediate bits Convert returns ok=true; otherwise it
+// returns ok=false and wake fires once the task may proceed. Converting
+// rights that were never declared (even deferred) is a violation: a
+// with-cont may refine a specification but never extend it, because the
+// task's serial queue position was fixed at creation.
+func (e *Engine) Convert(t *Task, obj access.ObjectID, which access.Mode, wake func()) (ok bool, err error) {
+	e.mu.Lock()
+	if t.state != Running {
+		err, fires := e.violationLocked(t, "task %d (%v) executed with-cont on object #%d while %v", t.ID, t.Seq, obj, t.state)
+		e.mu.Unlock()
+		runAll(fires)
+		return false, err
+	}
+	if t == e.root {
+		e.declareLocked(t, obj, access.ReadWrite|access.DeferredReadWrite)
+	}
+	cur := t.spec.Mode(obj)
+	var want access.Mode // immediate bits we need enabled afterwards
+	if which.HasAny(access.DeferredRead) {
+		if !cur.HasAny(access.AnyRead) {
+			err, fires := e.violationLocked(t,
+				"task %d (%v): with-cont declares rd on object #%d which was never declared (a with-cont cannot extend the specification)",
+				t.ID, t.Seq, obj)
+			e.mu.Unlock()
+			runAll(fires)
+			return false, err
+		}
+		want |= access.Read
+	}
+	if which.HasAny(access.DeferredWrite) {
+		if !cur.HasAny(access.AnyWrite) {
+			err, fires := e.violationLocked(t,
+				"task %d (%v): with-cont declares wr on object #%d which was never declared (a with-cont cannot extend the specification)",
+				t.ID, t.Seq, obj)
+			e.mu.Unlock()
+			runAll(fires)
+			return false, err
+		}
+		want |= access.Write
+	}
+	t.spec.Promote(obj, which)
+	en := t.entries[obj]
+	if en != nil {
+		en.mode = t.spec.Mode(obj)
+	}
+	q := e.queue(obj)
+	if en == nil || q.enabled(en, want) {
+		e.mu.Unlock()
+		return true, nil
+	}
+	e.stats.Waits++
+	q.waiters = append(q.waiters, &waiter{e: en, mode: want, kind: waitConvert, wake: wake})
+	e.mu.Unlock()
+	return false, nil
+}
+
+// Retract removes rights on obj (the with-cont no_rd/no_wr statements).
+// which selects right kinds: AnyRead for no_rd, AnyWrite for no_wr. Live
+// views of the retracted kind are released. Waiters that become enabled are
+// woken. Retracting rights the task does not hold is a no-op (the paper's
+// statements are declarations of non-use, not assertions of prior use).
+func (e *Engine) Retract(t *Task, obj access.ObjectID, which access.Mode) error {
+	e.mu.Lock()
+	if t.state != Running {
+		err, fires := e.violationLocked(t, "task %d (%v) executed with-cont while %v", t.ID, t.Seq, t.state)
+		e.mu.Unlock()
+		runAll(fires)
+		return err
+	}
+	en := t.entries[obj]
+	if en == nil {
+		e.mu.Unlock()
+		return nil
+	}
+	rest := t.spec.Retract(obj, which)
+	en.mode = rest
+	// Release views of the retracted kinds.
+	for m := range en.checkouts {
+		if m.HasAny(which.Promote()) {
+			delete(en.checkouts, m)
+		}
+	}
+	q := e.queue(obj)
+	var fires []func()
+	if !en.mode.Has(access.Commute) {
+		fires = append(fires, e.releaseCmLocked(q, en)...)
+	}
+	if rest == 0 {
+		q.remove(en)
+		delete(t.entries, obj)
+	}
+	fires = append(fires, e.wakeLocked(q)...)
+	e.mu.Unlock()
+	runAll(fires)
+	return nil
+}
+
+// wakeLocked rescans q's waiters after the queue shrank, firing those whose
+// entries became enabled. Start-gate waiters may complete a task's gate
+// count, in which case the Ready hook is appended to the returned fire list.
+// Caller holds e.mu; returned funcs run after unlock.
+func (e *Engine) wakeLocked(q *objQueue) []func() {
+	var fires []func()
+	var remaining []*waiter
+	for _, w := range q.waiters {
+		if q.enabled(w.e, w.mode) {
+			switch w.kind {
+			case waitStart:
+				w.gate() // updates gate count under lock
+				t := w.e.task
+				if t.state == Ready && t.gates == 0 {
+					// Fire Ready exactly once: mark via gates = -1 sentinel.
+					t.gates = -1
+					if e.hooks.Ready != nil {
+						h, tt := e.hooks.Ready, t
+						fires = append(fires, func() { h(tt) })
+					}
+				}
+			case waitAccess:
+				if w.mode.Has(access.Commute) && q.cmLock != nil && q.cmLock != w.e {
+					// Ordered, but the mutual-exclusion lock is busy.
+					q.cmWaiters = append(q.cmWaiters, w)
+					continue
+				}
+				if w.mode.Has(access.Commute) {
+					q.cmLock = w.e
+				}
+				w.e.checkouts[w.mode]++
+				fires = append(fires, w.wake)
+			case waitConvert:
+				fires = append(fires, w.wake)
+			}
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	q.waiters = remaining
+	return fires
+}
+
+// QueueSnapshot returns, for tests and tracing, the IDs of tasks currently
+// holding entries on obj in queue order.
+func (e *Engine) QueueSnapshot(obj access.ObjectID) []TaskID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := e.queues[obj]
+	if q == nil {
+		return nil
+	}
+	out := make([]TaskID, len(q.entries))
+	for i, en := range q.entries {
+		out[i] = en.task.ID
+	}
+	return out
+}
+
+func runAll(fires []func()) {
+	for _, f := range fires {
+		f()
+	}
+}

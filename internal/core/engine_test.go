@@ -1,0 +1,531 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+)
+
+// collector gathers Ready hook firings.
+type collector struct {
+	ready []*Task
+}
+
+func newEngine() (*Engine, *collector) {
+	c := &collector{}
+	e := New(Hooks{Ready: func(t *Task) { c.ready = append(c.ready, t) }})
+	return e, c
+}
+
+func (c *collector) has(t *Task) bool {
+	for _, x := range c.ready {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func mustCreate(t *testing.T, e *Engine, parent *Task, decls ...access.Decl) *Task {
+	t.Helper()
+	task, err := e.Create(parent, decls, nil)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return task
+}
+
+func run(t *testing.T, e *Engine, task *Task) {
+	t.Helper()
+	if err := e.Start(task); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := e.Complete(task); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+}
+
+func TestIndependentTasksAllReady(t *testing.T) {
+	e, c := newEngine()
+	root := e.Root()
+	a := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.ReadWrite})
+	b := mustCreate(t, e, root, access.Decl{Object: 2, Mode: access.ReadWrite})
+	if !c.has(a) || !c.has(b) {
+		t.Fatal("independent tasks should be immediately ready")
+	}
+}
+
+func TestReadersShareWritersSerialize(t *testing.T) {
+	e, c := newEngine()
+	root := e.Root()
+	w := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	r1 := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Read})
+	r2 := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Read})
+	if !c.has(w) {
+		t.Fatal("first writer should be ready")
+	}
+	if c.has(r1) || c.has(r2) {
+		t.Fatal("readers must wait for earlier writer")
+	}
+	run(t, e, w)
+	if !c.has(r1) || !c.has(r2) {
+		t.Fatal("both readers should be ready after writer completes")
+	}
+	// A later writer now waits for both readers.
+	w2 := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	if c.has(w2) {
+		t.Fatal("writer must wait for earlier readers")
+	}
+	run(t, e, r1)
+	if c.has(w2) {
+		t.Fatal("writer must wait for ALL earlier readers")
+	}
+	run(t, e, r2)
+	if !c.has(w2) {
+		t.Fatal("writer should be ready after readers complete")
+	}
+}
+
+func TestWritersSerializeInCreationOrder(t *testing.T) {
+	e, c := newEngine()
+	root := e.Root()
+	w1 := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.ReadWrite})
+	w2 := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.ReadWrite})
+	w3 := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.ReadWrite})
+	if !c.has(w1) || c.has(w2) || c.has(w3) {
+		t.Fatal("only first writer ready")
+	}
+	run(t, e, w1)
+	if !c.has(w2) || c.has(w3) {
+		t.Fatal("second writer ready, third not")
+	}
+	run(t, e, w2)
+	if !c.has(w3) {
+		t.Fatal("third writer ready")
+	}
+}
+
+func TestMultiObjectTaskWaitsForAll(t *testing.T) {
+	e, c := newEngine()
+	root := e.Root()
+	w1 := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	w2 := mustCreate(t, e, root, access.Decl{Object: 2, Mode: access.Write})
+	both := mustCreate(t, e, root,
+		access.Decl{Object: 1, Mode: access.Read},
+		access.Decl{Object: 2, Mode: access.Read})
+	if c.has(both) {
+		t.Fatal("task must wait for both writers")
+	}
+	run(t, e, w1)
+	if c.has(both) {
+		t.Fatal("task must wait for second writer too")
+	}
+	run(t, e, w2)
+	if !c.has(both) {
+		t.Fatal("task ready after both complete")
+	}
+}
+
+func TestRootAccessWaitsForChildren(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	w := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	woken := false
+	ok, err := e.Access(root, 1, access.Read, func() { woken = true })
+	if err != nil {
+		t.Fatalf("Access: %v", err)
+	}
+	if ok {
+		t.Fatal("root read must block on outstanding child writer")
+	}
+	run(t, e, w)
+	if !woken {
+		t.Fatal("root should be woken when writer completes")
+	}
+	e.EndAccess(root, 1, access.Read)
+}
+
+func TestRootAccessImmediateWhenNoConflict(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	ok, err := e.Access(root, 9, access.ReadWrite, func() { t.Fatal("no wake expected") })
+	if err != nil || !ok {
+		t.Fatalf("root touch of fresh object: ok=%v err=%v", ok, err)
+	}
+	e.EndAccess(root, 9, access.ReadWrite)
+}
+
+func TestDeferredDoesNotGateStart(t *testing.T) {
+	e, c := newEngine()
+	root := e.Root()
+	w := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	// Task with deferred read on the same object starts immediately.
+	d := mustCreate(t, e, root,
+		access.Decl{Object: 1, Mode: access.DeferredRead},
+		access.Decl{Object: 2, Mode: access.ReadWrite})
+	if !c.has(d) {
+		t.Fatal("deferred declaration must not gate task start")
+	}
+	if err := e.Start(d); err != nil {
+		t.Fatal(err)
+	}
+	// Conversion blocks until the writer completes.
+	woken := false
+	ok, err := e.Convert(d, 1, access.DeferredRead, func() { woken = true })
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	if ok {
+		t.Fatal("conversion must block on earlier writer")
+	}
+	run(t, e, w)
+	if !woken {
+		t.Fatal("conversion should complete when writer is done")
+	}
+	// After conversion the task can access.
+	ok, err = e.Access(d, 1, access.Read, nil)
+	if err != nil || !ok {
+		t.Fatalf("post-conversion access: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDeferredReservesPosition(t *testing.T) {
+	e, c := newEngine()
+	root := e.Root()
+	d := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.DeferredRead})
+	// A later writer must wait for the deferred reader.
+	w := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	if c.has(w) {
+		t.Fatal("writer must wait behind a deferred read reservation")
+	}
+	if err := e.Start(d); err != nil {
+		t.Fatal(err)
+	}
+	// no_rd retracts the reservation and unblocks the writer.
+	if err := e.Retract(d, 1, access.AnyRead); err != nil {
+		t.Fatal(err)
+	}
+	if !c.has(w) {
+		t.Fatal("writer should run after no_rd retraction")
+	}
+	if err := e.Complete(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetractAllowsPipelining(t *testing.T) {
+	// The §4.2 back-substitution pattern: a long-lived task converts and
+	// retracts column reads one at a time while later writers proceed.
+	e, c := newEngine()
+	root := e.Root()
+	long := mustCreate(t, e, root,
+		access.Decl{Object: 1, Mode: access.DeferredRead},
+		access.Decl{Object: 2, Mode: access.DeferredRead})
+	if err := e.Start(long); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := e.Convert(long, 1, access.DeferredRead, nil)
+	if err != nil || !ok {
+		t.Fatalf("convert obj1: ok=%v err=%v", ok, err)
+	}
+	if err := e.Retract(long, 1, access.AnyRead); err != nil {
+		t.Fatal(err)
+	}
+	// A writer to obj1 can now run even though `long` is still live.
+	w1 := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	if !c.has(w1) {
+		t.Fatal("writer to retracted object should be ready while long task lives")
+	}
+	// But a writer to obj2 still waits.
+	w2 := mustCreate(t, e, root, access.Decl{Object: 2, Mode: access.Write})
+	if c.has(w2) {
+		t.Fatal("writer to still-reserved object must wait")
+	}
+	if err := e.Complete(long); err != nil {
+		t.Fatal(err)
+	}
+	if !c.has(w2) {
+		t.Fatal("writer ready after long task completes")
+	}
+}
+
+func TestHierarchyCoveringViolation(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	parent := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Read})
+	if err := e.Start(parent); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Create(parent, []access.Decl{{Object: 1, Mode: access.Write}}, nil)
+	if err == nil {
+		t.Fatal("child wr not covered by parent rd must be a violation")
+	}
+	if !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("error should say violation: %v", err)
+	}
+	_, err = e.Create(parent, []access.Decl{{Object: 2, Mode: access.Read}}, nil)
+	if err == nil {
+		t.Fatal("child access to undeclared object must be a violation")
+	}
+}
+
+func TestHierarchyCoveredChildOK(t *testing.T) {
+	e, c := newEngine()
+	root := e.Root()
+	parent := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.ReadWrite})
+	if err := e.Start(parent); err != nil {
+		t.Fatal(err)
+	}
+	child := mustCreate(t, e, parent, access.Decl{Object: 1, Mode: access.Write})
+	if !c.has(child) {
+		t.Fatal("covered child should be ready (parent residual follows child)")
+	}
+	// Parent's own access now waits behind the child.
+	woken := false
+	ok, err := e.Access(parent, 1, access.Read, func() { woken = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("parent access must wait for conflicting child")
+	}
+	run(t, e, child)
+	if !woken {
+		t.Fatal("parent wakes when child completes")
+	}
+	if err := e.Complete(parent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentCompletesBeforeChild(t *testing.T) {
+	e, c := newEngine()
+	root := e.Root()
+	parent := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	if err := e.Start(parent); err != nil {
+		t.Fatal(err)
+	}
+	child := mustCreate(t, e, parent, access.Decl{Object: 1, Mode: access.Write})
+	if err := e.Complete(parent); err != nil {
+		t.Fatal(err)
+	}
+	// A later sibling of parent must still wait for the live child.
+	later := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Read})
+	if c.has(later) {
+		t.Fatal("later task must wait for live grandchild writer")
+	}
+	run(t, e, child)
+	if !c.has(later) {
+		t.Fatal("later task ready once grandchild completes")
+	}
+}
+
+func TestUndeclaredAccessViolation(t *testing.T) {
+	var violated error
+	e := New(Hooks{Violation: func(_ *Task, err error) { violated = err }})
+	root := e.Root()
+	task, err := e.Create(root, []access.Decl{{Object: 1, Mode: access.Read}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Access(task, 1, access.Write, nil); err == nil {
+		t.Fatal("undeclared write must fail")
+	}
+	if violated == nil {
+		t.Fatal("violation hook should fire")
+	}
+	if _, err := e.Access(task, 2, access.Read, nil); err == nil {
+		t.Fatal("undeclared object must fail")
+	}
+	// Deferred-only rights do not permit access before conversion.
+	task2, err := e.Create(root, []access.Decl{{Object: 3, Mode: access.DeferredRead}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(task2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Access(task2, 3, access.Read, nil); err == nil {
+		t.Fatal("deferred rights must not permit immediate access")
+	}
+}
+
+func TestWithContCannotExtendSpec(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	task := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Read})
+	if err := e.Start(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Convert(task, 2, access.DeferredRead, nil); err == nil {
+		t.Fatal("with-cont rd on undeclared object must be a violation")
+	}
+	if _, err := e.Convert(task, 1, access.DeferredWrite, nil); err == nil {
+		t.Fatal("with-cont wr without any write declaration must be a violation")
+	}
+	// Converting an already-immediate right is fine (idempotent).
+	if ok, err := e.Convert(task, 1, access.DeferredRead, nil); err != nil || !ok {
+		t.Fatalf("idempotent convert: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCreateWhileHoldingConflictingView(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	ok, err := e.Access(root, 1, access.Write, nil)
+	if err != nil || !ok {
+		t.Fatal("root write view")
+	}
+	if _, err := e.Create(root, []access.Decl{{Object: 1, Mode: access.Read}}, nil); err == nil {
+		t.Fatal("creating a reader child while holding a write view must be a violation")
+	}
+	e.EndAccess(root, 1, access.Write)
+	if _, err := e.Create(root, []access.Decl{{Object: 1, Mode: access.Read}}, nil); err != nil {
+		t.Fatalf("after EndAccess the creation should succeed: %v", err)
+	}
+}
+
+func TestCreateWithReadViewAndReaderChildOK(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	ok, err := e.Access(root, 1, access.Read, nil)
+	if err != nil || !ok {
+		t.Fatal("root read view")
+	}
+	if _, err := e.Create(root, []access.Decl{{Object: 1, Mode: access.Read}}, nil); err != nil {
+		t.Fatalf("read view + reader child should not conflict: %v", err)
+	}
+	e.EndAccess(root, 1, access.Read)
+}
+
+func TestCreateFromNonRunningTask(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	w := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	blocked := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	_ = w
+	if _, err := e.Create(blocked, []access.Decl{}, nil); err == nil {
+		t.Fatal("waiting task must not create children")
+	}
+}
+
+func TestRegisterObjectGrantsCreator(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	parent := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Read})
+	if err := e.Start(parent); err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterObject(parent, 50)
+	if ok, err := e.Access(parent, 50, access.ReadWrite, nil); err != nil || !ok {
+		t.Fatalf("creator should access its own allocation: ok=%v err=%v", ok, err)
+	}
+	e.EndAccess(parent, 50, access.ReadWrite)
+	// And it can hand the object to children.
+	if _, err := e.Create(parent, []access.Decl{{Object: 50, Mode: access.Write}}, nil); err != nil {
+		t.Fatalf("creator should cover children on its allocation: %v", err)
+	}
+}
+
+func TestQueueSnapshotOrder(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	parent := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.ReadWrite})
+	if err := e.Start(parent); err != nil {
+		t.Fatal(err)
+	}
+	child := mustCreate(t, e, parent, access.Decl{Object: 1, Mode: access.Read})
+	snap := e.QueueSnapshot(1)
+	// Queue order: deepest descendants first, ancestors' residual rights
+	// after, the root's implicit rights last.
+	want := []TaskID{child.ID, parent.ID, root.ID}
+	if len(snap) != 3 || snap[0] != want[0] || snap[1] != want[1] || snap[2] != want[2] {
+		t.Fatalf("queue order = %v, want %v", snap, want)
+	}
+}
+
+func TestImmediateDecls(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	task := mustCreate(t, e, root,
+		access.Decl{Object: 2, Mode: access.DeferredRead},
+		access.Decl{Object: 1, Mode: access.ReadWrite},
+		access.Decl{Object: 3, Mode: access.Read | access.DeferredWrite})
+	got := task.ImmediateDecls()
+	if len(got) != 2 {
+		t.Fatalf("ImmediateDecls = %v", got)
+	}
+	if got[0].Object != 1 || got[0].Mode != access.ReadWrite {
+		t.Fatalf("decl[0] = %v", got[0])
+	}
+	if got[1].Object != 3 || got[1].Mode != access.Read {
+		t.Fatalf("decl[1] = %v", got[1])
+	}
+}
+
+func TestStatsAndLive(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	if e.Live() != 1 {
+		t.Fatalf("live = %d, want 1 (root)", e.Live())
+	}
+	a := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	b := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	_ = b
+	if e.Live() != 3 {
+		t.Fatalf("live = %d, want 3", e.Live())
+	}
+	run(t, e, a)
+	st := e.Stats()
+	if st.TasksCreated != 2 || st.TasksCompleted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Waits == 0 {
+		t.Fatal("blocked second writer should count as a wait")
+	}
+}
+
+func TestDoubleStartAndCompleteErrors(t *testing.T) {
+	e, _ := newEngine()
+	root := e.Root()
+	a := mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.Write})
+	if err := e.Start(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(a); err == nil {
+		t.Fatal("double Start must error")
+	}
+	if err := e.Complete(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Complete(a); err == nil {
+		t.Fatal("double Complete must error")
+	}
+}
+
+func TestReadyOrderIsSerialOrderForOneObject(t *testing.T) {
+	// When several writers queue on one object, readiness follows serial
+	// creation order one at a time.
+	e, c := newEngine()
+	root := e.Root()
+	var tasks []*Task
+	for i := 0; i < 10; i++ {
+		tasks = append(tasks, mustCreate(t, e, root, access.Decl{Object: 1, Mode: access.ReadWrite}))
+	}
+	for i, task := range tasks {
+		if !c.has(task) {
+			t.Fatalf("task %d should be ready at its turn", i)
+		}
+		// No later writer is ready yet.
+		for j := i + 1; j < len(tasks); j++ {
+			if c.has(tasks[j]) {
+				t.Fatalf("task %d ready before its turn (while %d at head)", j, i)
+			}
+		}
+		run(t, e, task)
+	}
+}

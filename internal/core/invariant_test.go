@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/access"
+)
+
+// checkInvariants verifies the engine's internal consistency. Callers hold
+// no lock; the engine is quiescent between operations in these tests.
+func checkInvariants(e *Engine) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for obj, q := range e.queues {
+		for i := 1; i < len(q.entries); i++ {
+			if !q.entries[i-1].task.Seq.Less(q.entries[i].task.Seq) {
+				return fmt.Errorf("object #%d: queue not strictly ordered at %d (%v vs %v)",
+					obj, i, q.entries[i-1].task.Seq, q.entries[i].task.Seq)
+			}
+		}
+		for _, en := range q.entries {
+			if en.task.state == Done {
+				return fmt.Errorf("object #%d: completed task %d still queued", obj, en.task.ID)
+			}
+			if got := en.task.spec.Mode(obj); got != en.mode {
+				return fmt.Errorf("object #%d: entry mode %v != spec mode %v for task %d",
+					obj, en.mode, got, en.task.ID)
+			}
+		}
+		if q.cmLock != nil {
+			found := false
+			for _, en := range q.entries {
+				if en == q.cmLock {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("object #%d: commute lock held by dequeued entry", obj)
+			}
+		}
+		// No waiter left parked whose entry is already enabled (wakeLocked
+		// must have fired it).
+		for _, w := range q.waiters {
+			if q.enabled(w.e, w.mode) {
+				return fmt.Errorf("object #%d: enabled waiter left parked (task %d mode %v)",
+					obj, w.e.task.ID, w.mode)
+			}
+		}
+		// Commute-lock waiters must be ordered-enabled (they queued on the
+		// lock only after passing the order check) and the lock must be
+		// busy while they wait.
+		if len(q.cmWaiters) > 0 && q.cmLock == nil {
+			return fmt.Errorf("object #%d: commute waiters with free lock", obj)
+		}
+	}
+	return nil
+}
+
+// TestEngineInvariantsUnderRandomOps drives the engine with random valid
+// operation sequences and checks internal invariants after every step.
+func TestEngineInvariantsUnderRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var ready []*Task
+		e := New(Hooks{Ready: func(tk *Task) { ready = append(ready, tk) }})
+		root := e.Root()
+		var running []*Task
+		nObjects := 4 + rng.Intn(4)
+
+		step := func() {
+			switch rng.Intn(5) {
+			case 0, 1: // create a task from root
+				var decls []access.Decl
+				n := 1 + rng.Intn(3)
+				for k := 0; k < n; k++ {
+					mode := []access.Mode{
+						access.Read, access.Write, access.ReadWrite,
+						access.DeferredRead, access.Commute,
+					}[rng.Intn(5)]
+					decls = append(decls, access.Decl{
+						Object: access.ObjectID(rng.Intn(nObjects) + 1),
+						Mode:   mode,
+					})
+				}
+				if _, err := e.Create(root, decls, nil); err != nil {
+					t.Fatalf("seed %d: create: %v", seed, err)
+				}
+			case 2: // start a ready task
+				if len(ready) > 0 {
+					i := rng.Intn(len(ready))
+					tk := ready[i]
+					ready = append(ready[:i], ready[i+1:]...)
+					if err := e.Start(tk); err != nil {
+						t.Fatalf("seed %d: start: %v", seed, err)
+					}
+					running = append(running, tk)
+				}
+			case 3: // complete a running task
+				if len(running) > 0 {
+					i := rng.Intn(len(running))
+					tk := running[i]
+					running = append(running[:i], running[i+1:]...)
+					if err := e.Complete(tk); err != nil {
+						t.Fatalf("seed %d: complete: %v", seed, err)
+					}
+				}
+			case 4: // a running task retracts something it holds
+				if len(running) > 0 {
+					tk := running[rng.Intn(len(running))]
+					for _, d := range tk.Decls {
+						which := access.AnyRead
+						if rng.Intn(2) == 0 {
+							which = access.AnyWrite
+						}
+						if err := e.Retract(tk, d.Object, which); err != nil {
+							t.Fatalf("seed %d: retract: %v", seed, err)
+						}
+						break
+					}
+				}
+			}
+		}
+		for i := 0; i < 120; i++ {
+			step()
+			if err := checkInvariants(e); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, i, err)
+			}
+		}
+		// Drain: start and complete everything so the program can finish.
+		for len(ready) > 0 || len(running) > 0 {
+			for _, tk := range ready {
+				if err := e.Start(tk); err != nil {
+					t.Fatalf("seed %d drain start: %v", seed, err)
+				}
+				running = append(running, tk)
+			}
+			ready = nil
+			for _, tk := range running {
+				if err := e.Complete(tk); err != nil {
+					t.Fatalf("seed %d drain complete: %v", seed, err)
+				}
+			}
+			running = nil
+			if err := checkInvariants(e); err != nil {
+				t.Fatalf("seed %d drain: %v", seed, err)
+			}
+		}
+		if err := e.Complete(root); err != nil {
+			t.Fatalf("seed %d: complete root: %v", seed, err)
+		}
+		if e.Live() != 0 {
+			t.Fatalf("seed %d: %d tasks leaked", seed, e.Live())
+		}
+		// All queues empty at the end.
+		e.mu.Lock()
+		for obj, q := range e.queues {
+			if len(q.entries) != 0 || len(q.waiters) != 0 || q.cmLock != nil {
+				e.mu.Unlock()
+				t.Fatalf("seed %d: object #%d not drained", seed, obj)
+			}
+		}
+		e.mu.Unlock()
+	}
+}
+
+// TestEngineInvariantsWithHierarchy drives random nested creations.
+func TestEngineInvariantsWithHierarchy(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		var ready []*Task
+		e := New(Hooks{Ready: func(tk *Task) { ready = append(ready, tk) }})
+		root := e.Root()
+		var running []*Task
+
+		for i := 0; i < 60; i++ {
+			switch rng.Intn(4) {
+			case 0: // root creates a rd_wr task
+				obj := access.ObjectID(rng.Intn(4) + 1)
+				if _, err := e.Create(root, []access.Decl{{Object: obj, Mode: access.ReadWrite}}, nil); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // a running task creates a covered child
+				if len(running) > 0 {
+					tk := running[rng.Intn(len(running))]
+					if len(tk.Decls) > 0 {
+						d := tk.Decls[0]
+						if _, err := e.Create(tk, []access.Decl{{Object: d.Object, Mode: d.Mode.Promote()}}, nil); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			case 2:
+				if len(ready) > 0 {
+					tk := ready[0]
+					ready = ready[1:]
+					if err := e.Start(tk); err != nil {
+						t.Fatal(err)
+					}
+					running = append(running, tk)
+				}
+			case 3:
+				if len(running) > 0 {
+					i := rng.Intn(len(running))
+					tk := running[i]
+					running = append(running[:i], running[i+1:]...)
+					if err := e.Complete(tk); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := checkInvariants(e); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, i, err)
+			}
+		}
+		// Drain.
+		for len(ready) > 0 || len(running) > 0 {
+			for _, tk := range ready {
+				_ = e.Start(tk)
+				running = append(running, tk)
+			}
+			ready = nil
+			for _, tk := range running {
+				_ = e.Complete(tk)
+			}
+			running = nil
+		}
+	}
+}

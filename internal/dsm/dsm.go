@@ -1,0 +1,155 @@
+// Package dsm simulates an IVY-style page-based distributed shared memory
+// system — the §6.1 comparison baseline. Pages take the place of cache
+// lines: a read fault copies the page from its owner, a write fault
+// invalidates all other copies and migrates ownership. The simulator replays
+// an access stream and counts faults, messages and bytes, so the benchmark
+// harness can measure the paper's §6.1 claims: page granularity causes
+// false sharing and moves far more data than Jade's object granularity.
+package dsm
+
+import "fmt"
+
+// Config describes the simulated DSM.
+type Config struct {
+	// PageSize is the coherence unit in bytes (IVY used the VM page).
+	PageSize int
+	// Machines is the number of nodes.
+	Machines int
+}
+
+// Stats counts the traffic of a replay.
+type Stats struct {
+	// ReadFaults and WriteFaults count page faults taken.
+	ReadFaults, WriteFaults int
+	// Messages counts protocol messages (page transfers + invalidations).
+	Messages int
+	// Bytes counts payload bytes moved (page transfers).
+	Bytes int64
+	// Invalidations counts copies destroyed by write faults.
+	Invalidations int
+}
+
+// Access is one step of an access stream.
+type Access struct {
+	// Machine performs the access.
+	Machine int
+	// Addr and Size delimit the touched bytes.
+	Addr, Size uint64
+	// Write selects write (vs read) semantics.
+	Write bool
+}
+
+type pageState struct {
+	owner  int
+	copies map[int]bool
+}
+
+// System is a DSM instance. The zero value is unusable; call New.
+type System struct {
+	cfg   Config
+	pages map[uint64]*pageState
+	stats Stats
+}
+
+// New returns an empty DSM. All pages initially live on machine 0.
+func New(cfg Config) (*System, error) {
+	if cfg.PageSize <= 0 || cfg.PageSize&(cfg.PageSize-1) != 0 {
+		return nil, fmt.Errorf("dsm: page size %d must be a positive power of two", cfg.PageSize)
+	}
+	if cfg.Machines < 1 {
+		return nil, fmt.Errorf("dsm: need at least one machine")
+	}
+	return &System{cfg: cfg, pages: map[uint64]*pageState{}}, nil
+}
+
+func (s *System) page(addr uint64) *pageState {
+	pn := addr / uint64(s.cfg.PageSize)
+	p := s.pages[pn]
+	if p == nil {
+		p = &pageState{owner: 0, copies: map[int]bool{0: true}}
+		s.pages[pn] = p
+	}
+	return p
+}
+
+// Apply replays one access, taking any faults it implies. Accesses spanning
+// multiple pages fault on each page.
+func (s *System) Apply(a Access) error {
+	if a.Machine < 0 || a.Machine >= s.cfg.Machines {
+		return fmt.Errorf("dsm: machine %d out of range", a.Machine)
+	}
+	if a.Size == 0 {
+		return nil
+	}
+	first := a.Addr / uint64(s.cfg.PageSize)
+	last := (a.Addr + a.Size - 1) / uint64(s.cfg.PageSize)
+	for pn := first; pn <= last; pn++ {
+		p := s.page(pn * uint64(s.cfg.PageSize))
+		if a.Write {
+			s.writeFault(p, a.Machine)
+		} else {
+			s.readFault(p, a.Machine)
+		}
+	}
+	return nil
+}
+
+func (s *System) readFault(p *pageState, m int) {
+	if p.copies[m] {
+		return
+	}
+	s.stats.ReadFaults++
+	s.stats.Messages += 2 // request + page reply
+	s.stats.Bytes += int64(s.cfg.PageSize)
+	p.copies[m] = true
+}
+
+func (s *System) writeFault(p *pageState, m int) {
+	if p.owner == m && len(p.copies) == 1 && p.copies[m] {
+		return
+	}
+	s.stats.WriteFaults++
+	if !p.copies[m] {
+		s.stats.Messages += 2 // request + page reply
+		s.stats.Bytes += int64(s.cfg.PageSize)
+	}
+	for c := range p.copies {
+		if c != m {
+			s.stats.Messages++ // invalidation
+			s.stats.Invalidations++
+		}
+	}
+	p.owner = m
+	p.copies = map[int]bool{m: true}
+}
+
+// Stats returns the cumulative counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Pages returns the number of distinct pages touched.
+func (s *System) Pages() int { return len(s.pages) }
+
+// Layout packs objects into the DSM address space the way a malloc would:
+// consecutively, 8-byte aligned — which is exactly what puts unrelated small
+// objects on the same page (false sharing).
+type Layout struct {
+	next uint64
+}
+
+// Place reserves size bytes and returns the base address.
+func (l *Layout) Place(size int) uint64 {
+	addr := l.next
+	l.next += uint64((size + 7) &^ 7)
+	return addr
+}
+
+// PlacePageAligned reserves size bytes starting on a page boundary —
+// the workaround DSM programmers use to dodge false sharing, at the cost of
+// fragmentation.
+func (l *Layout) PlacePageAligned(size, pageSize int) uint64 {
+	ps := uint64(pageSize)
+	l.next = (l.next + ps - 1) / ps * ps
+	addr := l.next
+	l.next += uint64(size)
+	return addr
+}

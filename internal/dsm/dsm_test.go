@@ -1,0 +1,110 @@
+package dsm
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{PageSize: 3000, Machines: 2}); err == nil {
+		t.Fatal("non-power-of-two page should fail")
+	}
+	if _, err := New(Config{PageSize: 4096, Machines: 0}); err == nil {
+		t.Fatal("zero machines should fail")
+	}
+}
+
+func TestReadReplicationThenWriteInvalidation(t *testing.T) {
+	s, _ := New(Config{PageSize: 1024, Machines: 4})
+	// Three machines read the same page: 3 read faults... machine 0 owns it.
+	for m := 1; m <= 3; m++ {
+		if err := s.Apply(Access{Machine: m, Addr: 100, Size: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.ReadFaults != 3 || st.Bytes != 3*1024 {
+		t.Fatalf("after reads: %+v", st)
+	}
+	// Re-reads are free.
+	_ = s.Apply(Access{Machine: 1, Addr: 200, Size: 8})
+	if s.Stats().ReadFaults != 3 {
+		t.Fatal("cached read should not fault")
+	}
+	// A write invalidates the three other copies.
+	_ = s.Apply(Access{Machine: 2, Addr: 50, Size: 8, Write: true})
+	st = s.Stats()
+	if st.WriteFaults != 1 || st.Invalidations != 3 {
+		t.Fatalf("after write: %+v", st)
+	}
+	// Writer re-writes free.
+	_ = s.Apply(Access{Machine: 2, Addr: 51, Size: 8, Write: true})
+	if s.Stats().WriteFaults != 1 {
+		t.Fatal("exclusive write should not fault")
+	}
+}
+
+func TestWriteFaultFetchesWhenAbsent(t *testing.T) {
+	s, _ := New(Config{PageSize: 512, Machines: 2})
+	_ = s.Apply(Access{Machine: 1, Addr: 0, Size: 4, Write: true})
+	st := s.Stats()
+	if st.Bytes != 512 {
+		t.Fatalf("write fault should fetch the page: %+v", st)
+	}
+	if st.Invalidations != 1 {
+		t.Fatalf("machine 0's initial copy should be invalidated: %+v", st)
+	}
+}
+
+func TestMultiPageAccess(t *testing.T) {
+	s, _ := New(Config{PageSize: 256, Machines: 2})
+	// 600 bytes starting at 100 spans pages 0,1,2.
+	_ = s.Apply(Access{Machine: 1, Addr: 100, Size: 600})
+	if s.Stats().ReadFaults != 3 {
+		t.Fatalf("spanning access should fault per page: %+v", s.Stats())
+	}
+	if s.Pages() != 3 {
+		t.Fatalf("pages touched = %d", s.Pages())
+	}
+}
+
+func TestFalseSharingPingPong(t *testing.T) {
+	// Two machines alternately write DISJOINT 8-byte objects that share a
+	// page: every write faults (the §6.1 pathology). With page-sized
+	// placement there is no interaction.
+	shared, _ := New(Config{PageSize: 4096, Machines: 2})
+	var l Layout
+	a := l.Place(8)
+	b := l.Place(8)
+	for i := 0; i < 10; i++ {
+		_ = shared.Apply(Access{Machine: 0, Addr: a, Size: 8, Write: true})
+		_ = shared.Apply(Access{Machine: 1, Addr: b, Size: 8, Write: true})
+	}
+	if shared.Stats().WriteFaults < 19 {
+		t.Fatalf("false sharing should ping-pong: %+v", shared.Stats())
+	}
+
+	aligned, _ := New(Config{PageSize: 4096, Machines: 2})
+	var l2 Layout
+	a2 := l2.PlacePageAligned(8, 4096)
+	b2 := l2.PlacePageAligned(8, 4096)
+	for i := 0; i < 10; i++ {
+		_ = aligned.Apply(Access{Machine: 0, Addr: a2, Size: 8, Write: true})
+		_ = aligned.Apply(Access{Machine: 1, Addr: b2, Size: 8, Write: true})
+	}
+	if got := aligned.Stats().WriteFaults; got > 2 {
+		t.Fatalf("page-aligned objects should not ping-pong: %d faults", got)
+	}
+}
+
+func TestZeroSizeAccessIsFree(t *testing.T) {
+	s, _ := New(Config{PageSize: 256, Machines: 2})
+	_ = s.Apply(Access{Machine: 1, Addr: 0, Size: 0, Write: true})
+	if s.Stats().Messages != 0 {
+		t.Fatal("zero-size access should be free")
+	}
+}
+
+func TestMachineRangeChecked(t *testing.T) {
+	s, _ := New(Config{PageSize: 256, Machines: 2})
+	if err := s.Apply(Access{Machine: 5, Addr: 0, Size: 1}); err == nil {
+		t.Fatal("out-of-range machine should error")
+	}
+}

@@ -1,0 +1,665 @@
+// Package dist is the message-passing Jade executor: it runs a Jade program
+// on a simulated platform of machines with private memories connected by a
+// modeled network — the paper's iPSC/860, Mica Ethernet array, and
+// heterogeneous HRV implementations.
+//
+// Task bodies execute for real (so results and the dynamic task graph are
+// genuine), but computation and communication are charged in virtual time
+// on a discrete-event simulator (internal/sim). This reproduces the paper's
+// implementation activities (§5):
+//
+//   - Object management: objects migrate on write access and replicate on
+//     read access; global identifiers translate to machine-local versions.
+//   - Data format conversion: transfers between machines of different
+//     formats re-encode the data (internal/format) and charge per-word cost.
+//   - Dynamic load balancing: ready tasks go to the least-loaded machine.
+//   - Locality heuristic: machines already holding a task's objects are
+//     preferred, saving transfers.
+//   - Latency hiding: a task's objects are fetched before it claims a
+//     processor, overlapping communication with other tasks' computation.
+//   - Throttling: above the live-task bound creators inline children,
+//     which can never deadlock (§3.3).
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/format"
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/rt"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Options configure the executor.
+type Options struct {
+	// Platform describes machines, network and runtime costs.
+	Platform machine.Platform
+	// MaxLiveTasks bounds concurrently existing tasks (0 = 256); above it
+	// creators inline children.
+	MaxLiveTasks int
+	// NoPrefetch disables latency hiding: objects are fetched only after
+	// the task has claimed its processor (ablation A2).
+	NoPrefetch bool
+	// NoLocality disables the locality heuristic in machine selection
+	// (ablation A1).
+	NoLocality bool
+	// Trace enables event recording.
+	Trace bool
+	// EventLimit bounds simulator events (0 = 50M) to catch runaways.
+	EventLimit uint64
+}
+
+// Exec is the distributed executor. Create with New; each Exec runs one
+// program.
+type Exec struct {
+	opts Options
+	plat machine.Platform
+	seng *sim.Engine
+	net  netmodel.Network
+	eng  *core.Engine
+	log  *trace.Log
+
+	cpus    []*sim.Resource
+	stores  []map[access.ObjectID]any
+	dir     map[access.ObjectID]*objDir
+	labels  map[access.ObjectID]string
+	nextObj access.ObjectID
+	// fetches tracks in-flight read replications per object, enabling the
+	// wave (binomial-tree) distribution of hot read-shared objects.
+	fetches map[access.ObjectID]*objFetch
+
+	pendingWork  []float64 // per-machine assigned-unfinished work units
+	pendingTasks []int
+	liveUser     int
+	// planned[obj] marks machines that already have an assigned (but not
+	// yet fetched) task reading obj: the scheduler treats the copy as
+	// present so several tasks sharing a big object gravitate to the
+	// machines that will fetch it once. Cleared when a writer migrates the
+	// object.
+	planned map[access.ObjectID]map[int]bool
+
+	firstErr error
+	ran      bool
+}
+
+// objDir is the object directory entry: who owns the latest version and who
+// holds read copies of it. The owner is always in copies.
+type objDir struct {
+	owner  int
+	copies map[int]bool
+	label  string
+}
+
+// objFetch coordinates concurrent read fetches of one object: each current
+// copy holder sources at most one transfer at a time, and each destination
+// fetches at most once. Waiters retry when the copy set or the busy sets
+// change, which makes simultaneous fan-out replicate the object along a
+// binomial tree (machine 0 → 1; then 0 → 2 and 1 → 3 in parallel; ...)
+// exactly like the distribution protocols real message-passing codes use.
+type objFetch struct {
+	cond    *sim.Cond
+	srcBusy map[int]bool
+	dstBusy map[int]bool
+}
+
+// payload is the executor attachment on core tasks.
+type payload struct {
+	body    func(rt.TC)
+	opts    rt.TaskOpts
+	creator int // machine that executed the withonly-do
+	machine int // assigned machine
+	inline  bool
+	ready   *sim.Cond
+	isReady bool
+}
+
+// New returns an executor for the platform.
+func New(opts Options) (*Exec, error) {
+	if err := opts.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxLiveTasks <= 0 {
+		opts.MaxLiveTasks = 256
+	}
+	if opts.EventLimit == 0 {
+		opts.EventLimit = 50_000_000
+	}
+	n := len(opts.Platform.Machines)
+	x := &Exec{
+		opts:         opts,
+		plat:         opts.Platform,
+		seng:         sim.New(),
+		dir:          map[access.ObjectID]*objDir{},
+		labels:       map[access.ObjectID]string{},
+		nextObj:      1,
+		fetches:      map[access.ObjectID]*objFetch{},
+		pendingWork:  make([]float64, n),
+		pendingTasks: make([]int, n),
+		planned:      map[access.ObjectID]map[int]bool{},
+	}
+	x.seng.SetEventLimit(opts.EventLimit)
+	x.net = opts.Platform.Net.Instantiate(x.seng, n)
+	x.cpus = make([]*sim.Resource, n)
+	x.stores = make([]map[access.ObjectID]any, n)
+	for i := 0; i < n; i++ {
+		x.cpus[i] = x.seng.NewResource(1)
+		x.stores[i] = map[access.ObjectID]any{}
+	}
+	if opts.Trace {
+		x.log = trace.New()
+	}
+	x.eng = core.New(core.Hooks{
+		Ready:     x.onReady,
+		Violation: x.onViolation,
+		Depend: func(earlier, later *core.Task, obj access.ObjectID) {
+			x.record(trace.Event{Kind: trace.Depend, Task: uint64(earlier.ID), Other: uint64(later.ID), Object: uint64(obj)})
+		},
+	})
+	return x, nil
+}
+
+// Engine returns the dependency engine.
+func (x *Exec) Engine() *core.Engine { return x.eng }
+
+// Log returns the trace log (nil unless Options.Trace).
+func (x *Exec) Log() *trace.Log { return x.log }
+
+// Makespan returns the virtual time at which the program finished.
+func (x *Exec) Makespan() time.Duration { return time.Duration(x.seng.Now()) }
+
+// NetStats returns cumulative network transfer counters.
+func (x *Exec) NetStats() netmodel.Stats { return x.net.Stats() }
+
+func (x *Exec) record(ev trace.Event) {
+	if x.log == nil {
+		return
+	}
+	ev.At = time.Duration(x.seng.Now())
+	x.log.Add(ev)
+}
+
+func (x *Exec) fail(err error) {
+	if x.firstErr == nil {
+		x.firstErr = err
+	}
+}
+
+func (x *Exec) onViolation(t *core.Task, err error) {
+	x.record(trace.Event{Kind: trace.Violation, Task: uint64(t.ID), Label: err.Error()})
+	x.fail(err)
+}
+
+// onReady fires when a task's declarations enable. Inline tasks signal the
+// waiting creator; normal tasks are placed on a machine and get a process.
+func (x *Exec) onReady(t *core.Task) {
+	pl := t.Payload.(*payload)
+	x.record(trace.Event{Kind: trace.TaskReady, Task: uint64(t.ID)})
+	pl.isReady = true
+	if pl.inline {
+		if pl.ready != nil {
+			pl.ready.Broadcast()
+		}
+		return
+	}
+	m, err := x.place(t, pl)
+	if err != nil {
+		x.fail(err)
+		// Run the task anyway on machine 0 so the program terminates.
+		m = 0
+	}
+	pl.machine = m
+	x.pendingWork[m] += pl.opts.Cost
+	x.pendingTasks[m]++
+	x.record(trace.Event{Kind: trace.TaskAssigned, Task: uint64(t.ID), Dst: m, Label: pl.opts.Label})
+	x.seng.Spawn(fmt.Sprintf("task-%d", t.ID), func(p *sim.Proc) {
+		x.runTask(p, t, pl)
+	})
+}
+
+// place chooses the machine for a task: §4.5 pinning and capability
+// constraints first, then least estimated load, with a locality bonus for
+// machines already holding the task's objects.
+func (x *Exec) place(t *core.Task, pl *payload) (int, error) {
+	if m, pinned := pl.opts.PinnedMachine(); pinned {
+		if m >= len(x.plat.Machines) {
+			return 0, fmt.Errorf("task %q pinned to invalid machine %d", pl.opts.Label, m)
+		}
+		if pl.opts.RequireCap != "" && !x.plat.Machines[m].HasCap(pl.opts.RequireCap) {
+			return 0, fmt.Errorf("task %q pinned to machine %d which lacks capability %q", pl.opts.Label, m, pl.opts.RequireCap)
+		}
+		return m, nil
+	}
+	best, bestScore := -1, 0.0
+	for m := range x.plat.Machines {
+		if pl.opts.RequireCap != "" && !x.plat.Machines[m].HasCap(pl.opts.RequireCap) {
+			continue
+		}
+		spec := x.plat.Machines[m]
+		// Estimated seconds until this machine would finish the task:
+		// queued work, per-task overhead, the task itself.
+		score := x.pendingWork[m]/spec.Speed +
+			float64(x.pendingTasks[m])*x.plat.TaskOverhead.Seconds() +
+			pl.opts.Cost/spec.Speed
+		if !x.opts.NoLocality {
+			// Add the transfer time for the task's objects this machine
+			// does NOT already hold and no assigned task will fetch
+			// (write-only declarations move no data).
+			var missing int
+			for _, d := range t.ImmediateDecls() {
+				if !d.Mode.Has(access.Read) {
+					continue
+				}
+				if x.planned[d.Object][m] {
+					continue
+				}
+				if dir := x.dir[d.Object]; dir != nil && !dir.copies[m] {
+					missing += format.SizeOf(x.stores[dir.owner][d.Object])
+				}
+			}
+			score += x.plat.Net.ApproxTime(missing).Seconds()
+		}
+		if best == -1 || score < bestScore {
+			best, bestScore = m, score
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("task %q: no machine offers capability %q", pl.opts.Label, pl.opts.RequireCap)
+	}
+	// Record the reads this assignment implies so later placements know the
+	// copies are coming.
+	for _, d := range t.ImmediateDecls() {
+		if d.Mode.Has(access.Read) {
+			p := x.planned[d.Object]
+			if p == nil {
+				p = map[int]bool{}
+				x.planned[d.Object] = p
+			}
+			p[best] = true
+		}
+	}
+	return best, nil
+}
+
+// runTask is the simulated process for one assigned task.
+func (x *Exec) runTask(p *sim.Proc, t *core.Task, pl *payload) {
+	m := pl.machine
+	// Model the task-dispatch control message (Fig. 7(b-c): the task moves
+	// to the machine that will execute it).
+	if pl.creator != m && x.plat.DispatchBytes > 0 {
+		x.net.Send(p, pl.creator, m, x.plat.DispatchBytes)
+		x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Src: pl.creator, Dst: m, Bytes: x.plat.DispatchBytes, Label: "dispatch"})
+	}
+	if !x.opts.NoPrefetch {
+		// Latency hiding: fetch while other tasks compute on this cpu.
+		x.fetchAll(p, t, m)
+	}
+	x.cpus[m].Acquire(p, 1)
+	if x.opts.NoPrefetch {
+		// Machine sits idle during its own fetches.
+		x.fetchAll(p, t, m)
+	}
+	p.Sleep(x.plat.TaskOverhead)
+	if err := x.eng.Start(t); err != nil {
+		x.fail(err)
+		x.cpus[m].Release(1)
+		return
+	}
+	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: m, Label: pl.opts.Label})
+	tc := &taskCtx{x: x, t: t, p: p, machine: m, wake: x.seng.NewCond()}
+	if pl.opts.Cost > 0 {
+		p.Sleep(time.Duration(pl.opts.Cost / x.plat.Machines[m].Speed * 1e9))
+	}
+	x.runBody(tc, pl.body)
+	if err := x.eng.Complete(t); err != nil {
+		x.fail(err)
+	}
+	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: m})
+	x.cpus[m].Release(1)
+	x.pendingWork[m] -= pl.opts.Cost
+	x.pendingTasks[m]--
+	x.liveUser--
+}
+
+// runBody executes a task body, converting panics into program failure.
+func (x *Exec) runBody(tc *taskCtx, body func(rt.TC)) {
+	defer func() {
+		if r := recover(); r != nil {
+			x.fail(fmt.Errorf("task %d (%v) panicked: %v", tc.t.ID, tc.t.Seq, r))
+		}
+	}()
+	body(tc)
+}
+
+// fetchAll moves or copies every immediately-declared object to machine m.
+// Commuting declarations are skipped: the object is fetched when the task
+// actually takes the mutual-exclusion lock, since another commuting task
+// may legitimately hold (and be mutating) it right now.
+func (x *Exec) fetchAll(p *sim.Proc, t *core.Task, m int) {
+	for _, d := range t.ImmediateDecls() {
+		if d.Mode.Has(access.Commute) {
+			continue
+		}
+		x.fetchObject(p, t, d.Object, m, d.Mode.Has(access.Read), d.Mode.Has(access.Write))
+	}
+}
+
+// fetchObject implements the object management protocol: migrate on write
+// (invalidating other copies — the old versions are obsolete once the
+// writer runs, Fig. 7(c)), replicate on read (concurrent read copies, §5
+// "Object Replication"). A write-only declaration (wr without rd) transfers
+// ownership with a control message but no data: the task may not read the
+// old contents, so they never cross the network — the writer gets a fresh
+// zeroed buffer.
+func (x *Exec) fetchObject(p *sim.Proc, t *core.Task, obj access.ObjectID, m int, read, write bool) {
+	d := x.dir[obj]
+	if d == nil {
+		// Access checking rejects undeclared objects before we get here,
+		// so a missing directory entry is an internal error.
+		x.fail(fmt.Errorf("object #%d has no directory entry", obj))
+		return
+	}
+	if write {
+		if d.owner != m {
+			if read {
+				x.transfer(p, t, d.owner, m, obj)
+				x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
+					Bytes: format.SizeOf(x.stores[m][obj]), Label: d.label})
+			} else {
+				// Ownership transfer only: small control message.
+				ctl := 32
+				x.net.Send(p, d.owner, m, ctl)
+				x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m, Bytes: ctl, Label: "ownership"})
+				x.stores[m][obj] = format.ZeroLike(x.stores[d.owner][obj])
+				x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
+					Bytes: 0, Label: d.label + " (write-only)"})
+			}
+		}
+		for c := range d.copies {
+			if c != m {
+				delete(x.stores[c], obj)
+				x.record(trace.Event{Kind: trace.ObjectInvalidated, Object: uint64(obj), Src: c, Dst: c, Label: d.label})
+			}
+		}
+		d.owner = m
+		d.copies = map[int]bool{m: true}
+		// Planned read copies of the old version are moot.
+		delete(x.planned, obj)
+		return
+	}
+	if d.copies[m] {
+		return
+	}
+	// Read replication. Concurrent fetches of a hot object coordinate so
+	// every copy holder feeds one new machine per wave (binomial-tree
+	// distribution), and duplicate fetches to the same machine wait for
+	// the first (two queued tasks reading the same column, Fig. 7(f)).
+	f := x.fetches[obj]
+	if f == nil {
+		f = &objFetch{cond: x.seng.NewCond(), srcBusy: map[int]bool{}, dstBusy: map[int]bool{}}
+		x.fetches[obj] = f
+	}
+	for !d.copies[m] {
+		if f.dstBusy[m] {
+			f.cond.Wait(p, "fetch-dup")
+			continue
+		}
+		src := -1
+		for c := range d.copies {
+			if !f.srcBusy[c] && (src == -1 || c < src) {
+				src = c
+			}
+		}
+		if src == -1 {
+			f.cond.Wait(p, "fetch-source")
+			continue
+		}
+		f.srcBusy[src] = true
+		f.dstBusy[m] = true
+		x.transfer(p, t, src, m, obj)
+		d.copies[m] = true
+		x.record(trace.Event{Kind: trace.ObjectCopied, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: m,
+			Bytes: format.SizeOf(x.stores[m][obj]), Label: d.label})
+		delete(f.srcBusy, src)
+		delete(f.dstBusy, m)
+		f.cond.Broadcast()
+	}
+}
+
+// transfer moves the bytes of obj from machine src to machine dst: encode in
+// src's format, send over the network, convert format if needed, decode into
+// dst's local store. The encode/convert/decode all really happen.
+func (x *Exec) transfer(p *sim.Proc, t *core.Task, src, dst int, obj access.ObjectID) {
+	if src == dst {
+		return
+	}
+	val := x.stores[src][obj]
+	if val == nil {
+		x.fail(fmt.Errorf("object #%d missing from owner machine %d's store", obj, src))
+		return
+	}
+	srcFmt := x.plat.Machines[src].Format
+	dstFmt := x.plat.Machines[dst].Format
+	img, err := format.Encode(val, srcFmt)
+	if err != nil {
+		x.fail(fmt.Errorf("encode object #%d: %w", obj, err))
+		return
+	}
+	x.net.Send(p, src, dst, len(img))
+	x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: dst, Bytes: len(img), Label: "object"})
+	if srcFmt != dstFmt {
+		conv, words, err := format.Convert(img, srcFmt, dstFmt)
+		if err != nil {
+			x.fail(fmt.Errorf("convert object #%d: %w", obj, err))
+			return
+		}
+		img = conv
+		if words > 0 {
+			p.Sleep(time.Duration(words) * x.plat.ConvertPerWord)
+			x.record(trace.Event{Kind: trace.Converted, Object: uint64(obj), Src: src, Dst: dst, Bytes: words})
+		}
+	}
+	decoded, err := format.Decode(img, dstFmt)
+	if err != nil {
+		x.fail(fmt.Errorf("decode object #%d: %w", obj, err))
+		return
+	}
+	x.stores[dst][obj] = decoded
+}
+
+// Run implements rt.Exec: execute the main program on machine 0 and drive
+// the simulation until every task completes.
+func (x *Exec) Run(root func(rt.TC)) error {
+	if x.ran {
+		return fmt.Errorf("dist: Run called twice on the same executor")
+	}
+	x.ran = true
+	x.seng.Spawn("main", func(p *sim.Proc) {
+		x.cpus[0].Acquire(p, 1)
+		t := x.eng.Root()
+		x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: 0, Label: "main"})
+		tc := &taskCtx{x: x, t: t, p: p, machine: 0, wake: x.seng.NewCond()}
+		x.runBody(tc, root)
+		if err := x.eng.Complete(t); err != nil {
+			x.fail(err)
+		}
+		x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: 0})
+		x.cpus[0].Release(1)
+	})
+	if err := x.seng.Run(); err != nil {
+		x.fail(err)
+	}
+	if x.firstErr == nil && x.eng.Live() != 0 {
+		x.fail(fmt.Errorf("program ended with %d live tasks", x.eng.Live()))
+	}
+	return x.firstErr
+}
+
+// ObjectValue implements rt.Exec: the owner machine's version after Run.
+func (x *Exec) ObjectValue(obj access.ObjectID) any {
+	d := x.dir[obj]
+	if d == nil {
+		return nil
+	}
+	return x.stores[d.owner][obj]
+}
+
+// taskCtx implements rt.TC for one running task (or the main program).
+type taskCtx struct {
+	x       *Exec
+	t       *core.Task
+	p       *sim.Proc
+	machine int
+	wake    *sim.Cond
+}
+
+// CoreTask implements rt.TC.
+func (tc *taskCtx) CoreTask() *core.Task { return tc.t }
+
+// Machine implements rt.TC.
+func (tc *taskCtx) Machine() int { return tc.machine }
+
+// engineWait performs an engine operation that may block; while blocked the
+// task releases its processor so other tasks can run on this machine.
+func (tc *taskCtx) engineWait(register func(wake func()) (bool, error)) error {
+	done := false
+	ok, err := register(func() {
+		done = true
+		tc.wake.Broadcast()
+	})
+	if err != nil {
+		return err
+	}
+	if ok {
+		return nil
+	}
+	tc.x.cpus[tc.machine].Release(1)
+	for !done {
+		tc.wake.Wait(tc.p, "engine-wait")
+	}
+	tc.x.cpus[tc.machine].Acquire(tc.p, 1)
+	return nil
+}
+
+// Access implements rt.TC: grant the access, make the object local, return
+// the machine-local version (the paper's global-to-local translation).
+func (tc *taskCtx) Access(obj access.ObjectID, m access.Mode) (any, error) {
+	err := tc.engineWait(func(wake func()) (bool, error) {
+		return tc.x.eng.Access(tc.t, obj, m, wake)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The initial immediate declarations were fetched before the task
+	// started; converted, commuting or root accesses may still need a
+	// fetch. A commuting access reads and updates the current value.
+	read := m.Has(access.Read) || m.Has(access.Commute)
+	write := m.Has(access.Write) || m.Has(access.Commute)
+	tc.x.fetchObject(tc.p, tc.t, obj, tc.machine, read, write)
+	v, exists := tc.x.stores[tc.machine][obj]
+	if !exists {
+		return nil, fmt.Errorf("task %d: object #%d not present on machine %d after fetch", tc.t.ID, obj, tc.machine)
+	}
+	return v, nil
+}
+
+// EndAccess implements rt.TC.
+func (tc *taskCtx) EndAccess(obj access.ObjectID, m access.Mode) {
+	tc.x.eng.EndAccess(tc.t, obj, m)
+}
+
+// ClearAccess implements rt.TC.
+func (tc *taskCtx) ClearAccess(obj access.ObjectID) {
+	tc.x.eng.ClearAccess(tc.t, obj)
+}
+
+// Convert implements rt.TC: promote deferred rights, then move the object
+// here so the upcoming accesses are local.
+func (tc *taskCtx) Convert(obj access.ObjectID, which access.Mode) error {
+	return tc.engineWait(func(wake func()) (bool, error) {
+		return tc.x.eng.Convert(tc.t, obj, which, wake)
+	})
+}
+
+// Retract implements rt.TC.
+func (tc *taskCtx) Retract(obj access.ObjectID, which access.Mode) error {
+	return tc.x.eng.Retract(tc.t, obj, which)
+}
+
+// Create implements rt.TC: the withonly-do construct.
+func (tc *taskCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC)) error {
+	pl := &payload{body: body, opts: opts, creator: tc.machine, machine: -1}
+	if tc.x.liveUser >= tc.x.opts.MaxLiveTasks {
+		pl.inline = true
+		pl.ready = tc.x.seng.NewCond()
+	} else {
+		tc.x.liveUser++
+	}
+	t, err := tc.x.eng.Create(tc.t, decls, pl)
+	if err != nil {
+		if !pl.inline {
+			tc.x.liveUser--
+		}
+		return err
+	}
+	tc.x.record(trace.Event{Kind: trace.TaskCreated, Task: uint64(t.ID), Label: opts.Label})
+	if !pl.inline {
+		return nil
+	}
+
+	// Inline execution: wait (without the processor) for the child's
+	// declarations to enable, then run it here as part of this task.
+	if !pl.isReady {
+		tc.x.cpus[tc.machine].Release(1)
+		for !pl.isReady {
+			pl.ready.Wait(tc.p, "inline-ready")
+		}
+		tc.x.cpus[tc.machine].Acquire(tc.p, 1)
+	}
+	tc.x.fetchAll(tc.p, t, tc.machine)
+	if err := tc.x.eng.Start(t); err != nil {
+		tc.x.fail(err)
+		return err
+	}
+	tc.x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: tc.machine, Label: opts.Label})
+	child := &taskCtx{x: tc.x, t: t, p: tc.p, machine: tc.machine, wake: tc.x.seng.NewCond()}
+	if opts.Cost > 0 {
+		tc.p.Sleep(time.Duration(opts.Cost / tc.x.plat.Machines[tc.machine].Speed * 1e9))
+	}
+	tc.x.runBody(child, body)
+	if err := tc.x.eng.Complete(t); err != nil {
+		tc.x.fail(err)
+		return err
+	}
+	tc.x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: tc.machine})
+	return nil
+}
+
+// Alloc implements rt.TC: the object is born on the allocating machine.
+func (tc *taskCtx) Alloc(initial any, label string) (access.ObjectID, error) {
+	if format.KindOf(initial) == format.KindInvalid {
+		return 0, fmt.Errorf("alloc %q: unsupported object type %T (objects must be format-encodable to cross machines)", label, initial)
+	}
+	id := tc.x.nextObj
+	tc.x.nextObj++
+	tc.x.stores[tc.machine][id] = initial
+	tc.x.dir[id] = &objDir{owner: tc.machine, copies: map[int]bool{tc.machine: true}, label: label}
+	tc.x.labels[id] = label
+	tc.x.eng.RegisterObject(tc.t, id)
+	return id, nil
+}
+
+// Charge implements rt.TC: dynamic work takes virtual time at this machine's
+// speed.
+func (tc *taskCtx) Charge(work float64) {
+	if work > 0 {
+		tc.p.Sleep(time.Duration(work / tc.x.plat.Machines[tc.machine].Speed * 1e9))
+	}
+}
+
+var _ rt.Exec = (*Exec)(nil)
+var _ rt.TC = (*taskCtx)(nil)

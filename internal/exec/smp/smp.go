@@ -1,0 +1,342 @@
+// Package smp is the shared-memory Jade executor: real goroutines over the
+// host's processors, one shared object store, hardware-shared memory — the
+// paper's Silicon Graphics 4D/240S and Stanford DASH implementations. Only
+// synchronization is needed; the shared address space is the real one.
+//
+// Each Jade task runs as a goroutine. A counting semaphore of P "processor
+// slots" models P processors: a task holds a slot while computing and
+// releases it while blocked, so blocked tasks never waste a processor and
+// suspending a task creator (the paper's §3.3 throttling) cannot deadlock.
+package smp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/format"
+	"repro/internal/rt"
+	"repro/internal/trace"
+)
+
+// Options configure the executor.
+type Options struct {
+	// Procs is the number of processor slots; 0 means runtime.NumCPU().
+	Procs int
+	// MaxLiveTasks bounds concurrently existing (created, not completed)
+	// tasks, excluding the main program; task creators block above the
+	// bound ("matching exploited concurrency with available concurrency",
+	// §5). 0 means 64 × Procs.
+	MaxLiveTasks int
+	// Trace enables event recording (small overhead).
+	Trace bool
+}
+
+// Exec is the shared-memory executor. Create with New; each Exec runs one
+// program.
+type Exec struct {
+	opts  Options
+	eng   *core.Engine
+	log   *trace.Log
+	start time.Time
+
+	slots chan int // processor slot tokens (slot index as value)
+
+	mu       sync.Mutex
+	cond     *sync.Cond // throttle: signalled on task completion
+	store    map[access.ObjectID]any
+	labels   map[access.ObjectID]string
+	nextObj  access.ObjectID
+	liveUser int
+	firstErr error
+
+	wg sync.WaitGroup
+}
+
+// payload is the executor attachment on core tasks.
+type payload struct {
+	body  func(rt.TC)
+	label string
+	// inline marks a task the creator will execute itself (throttling,
+	// §3.3: "the implementation can ... legally inline any task without
+	// risking deadlock"). readyCh is closed when the task becomes Ready.
+	inline  bool
+	readyCh chan struct{}
+}
+
+// New returns an executor ready to Run one program.
+func New(opts Options) *Exec {
+	if opts.Procs <= 0 {
+		opts.Procs = runtime.NumCPU()
+	}
+	if opts.MaxLiveTasks <= 0 {
+		opts.MaxLiveTasks = 64 * opts.Procs
+	}
+	x := &Exec{
+		opts:    opts,
+		store:   map[access.ObjectID]any{},
+		labels:  map[access.ObjectID]string{},
+		nextObj: 1,
+		slots:   make(chan int, opts.Procs),
+	}
+	x.cond = sync.NewCond(&x.mu)
+	if opts.Trace {
+		x.log = trace.New()
+	}
+	for i := 0; i < opts.Procs; i++ {
+		x.slots <- i
+	}
+	x.eng = core.New(core.Hooks{
+		Ready: func(t *core.Task) {
+			x.record(trace.Event{Kind: trace.TaskReady, Task: uint64(t.ID)})
+			if pl := t.Payload.(*payload); pl.inline {
+				close(pl.readyCh)
+				return
+			}
+			x.wg.Add(1)
+			go x.runTask(t)
+		},
+		Violation: func(t *core.Task, err error) {
+			x.record(trace.Event{Kind: trace.Violation, Task: uint64(t.ID), Label: err.Error()})
+			x.fail(err)
+		},
+		Depend: func(earlier, later *core.Task, obj access.ObjectID) {
+			x.record(trace.Event{Kind: trace.Depend, Task: uint64(earlier.ID), Other: uint64(later.ID), Object: uint64(obj)})
+		},
+	})
+	return x
+}
+
+// Engine returns the dependency engine.
+func (x *Exec) Engine() *core.Engine { return x.eng }
+
+// Log returns the trace log (nil unless Options.Trace).
+func (x *Exec) Log() *trace.Log { return x.log }
+
+func (x *Exec) record(ev trace.Event) {
+	if x.log == nil {
+		return
+	}
+	ev.At = time.Since(x.start)
+	x.log.Add(ev)
+}
+
+func (x *Exec) fail(err error) {
+	x.mu.Lock()
+	if x.firstErr == nil {
+		x.firstErr = err
+	}
+	x.mu.Unlock()
+}
+
+// Run implements rt.Exec.
+func (x *Exec) Run(root func(rt.TC)) error {
+	x.mu.Lock()
+	if !x.start.IsZero() {
+		x.mu.Unlock()
+		return fmt.Errorf("smp: Run called twice on the same executor")
+	}
+	x.start = time.Now()
+	x.mu.Unlock()
+	slot := <-x.slots
+	tc := &taskCtx{x: x, t: x.eng.Root(), slot: slot}
+	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(tc.t.ID), Dst: slot, Label: "main"})
+	x.runBody(tc, root)
+	if err := x.eng.Complete(tc.t); err != nil {
+		x.fail(err)
+	}
+	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(tc.t.ID)})
+	x.slots <- tc.slot
+	x.wg.Wait()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.firstErr
+}
+
+// runBody executes a task body, converting panics into program failure so
+// one broken task cannot hang the rest of the graph.
+func (x *Exec) runBody(tc *taskCtx, body func(rt.TC)) {
+	defer func() {
+		if r := recover(); r != nil {
+			x.fail(fmt.Errorf("task %d (%v) panicked: %v", tc.t.ID, tc.t.Seq, r))
+		}
+	}()
+	body(tc)
+}
+
+// runTask is the goroutine for one ready task.
+func (x *Exec) runTask(t *core.Task) {
+	defer x.wg.Done()
+	pl := t.Payload.(*payload)
+	slot := <-x.slots
+	tc := &taskCtx{x: x, t: t, slot: slot}
+	if err := x.eng.Start(t); err != nil {
+		x.fail(err)
+		x.slots <- slot
+		return
+	}
+	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: slot, Label: pl.label})
+	x.runBody(tc, pl.body)
+	if err := x.eng.Complete(t); err != nil {
+		x.fail(err)
+	}
+	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID)})
+	x.slots <- tc.slot
+
+	x.mu.Lock()
+	x.liveUser--
+	x.cond.Broadcast()
+	x.mu.Unlock()
+}
+
+// ObjectValue implements rt.Exec.
+func (x *Exec) ObjectValue(obj access.ObjectID) any {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.store[obj]
+}
+
+// taskCtx implements rt.TC for one running task.
+type taskCtx struct {
+	x    *Exec
+	t    *core.Task
+	slot int
+}
+
+// CoreTask implements rt.TC.
+func (tc *taskCtx) CoreTask() *core.Task { return tc.t }
+
+// Machine implements rt.TC: the processor slot currently held.
+func (tc *taskCtx) Machine() int { return tc.slot }
+
+// yieldSlot releases the processor while blocked and reacquires one after.
+func (tc *taskCtx) yieldSlot(wait func()) {
+	tc.x.slots <- tc.slot
+	wait()
+	tc.slot = <-tc.x.slots
+}
+
+// Access implements rt.TC.
+func (tc *taskCtx) Access(obj access.ObjectID, m access.Mode) (any, error) {
+	ch := make(chan struct{})
+	ok, err := tc.x.eng.Access(tc.t, obj, m, func() { close(ch) })
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		tc.yieldSlot(func() { <-ch })
+	}
+	tc.x.mu.Lock()
+	v, exists := tc.x.store[obj]
+	tc.x.mu.Unlock()
+	if !exists {
+		return nil, fmt.Errorf("task %d: access to unallocated object #%d", tc.t.ID, obj)
+	}
+	return v, nil
+}
+
+// EndAccess implements rt.TC.
+func (tc *taskCtx) EndAccess(obj access.ObjectID, m access.Mode) {
+	tc.x.eng.EndAccess(tc.t, obj, m)
+}
+
+// ClearAccess implements rt.TC.
+func (tc *taskCtx) ClearAccess(obj access.ObjectID) {
+	tc.x.eng.ClearAccess(tc.t, obj)
+}
+
+// Convert implements rt.TC.
+func (tc *taskCtx) Convert(obj access.ObjectID, which access.Mode) error {
+	ch := make(chan struct{})
+	ok, err := tc.x.eng.Convert(tc.t, obj, which, func() { close(ch) })
+	if err != nil {
+		return err
+	}
+	if !ok {
+		tc.yieldSlot(func() { <-ch })
+	}
+	return nil
+}
+
+// Retract implements rt.TC.
+func (tc *taskCtx) Retract(obj access.ObjectID, which access.Mode) error {
+	return tc.x.eng.Retract(tc.t, obj, which)
+}
+
+// Create implements rt.TC.
+//
+// When the live-task bound is reached the child is created but executed
+// inline by the creator on its own processor (§3.3). Inlining rather than
+// blocking is what makes throttling deadlock-free even when every live task
+// depends on the creator's subtree.
+func (tc *taskCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC)) error {
+	pl := &payload{body: body, label: opts.Label}
+	tc.x.mu.Lock()
+	if tc.x.liveUser >= tc.x.opts.MaxLiveTasks {
+		pl.inline = true
+		pl.readyCh = make(chan struct{})
+	} else {
+		tc.x.liveUser++
+	}
+	tc.x.mu.Unlock()
+
+	t, err := tc.x.eng.Create(tc.t, decls, pl)
+	if err != nil {
+		if !pl.inline {
+			tc.x.mu.Lock()
+			tc.x.liveUser--
+			tc.x.mu.Unlock()
+		}
+		return err
+	}
+	tc.x.record(trace.Event{Kind: trace.TaskCreated, Task: uint64(t.ID), Label: opts.Label})
+	if !pl.inline {
+		return nil
+	}
+
+	// Wait (yielding the processor) until the child's declarations enable,
+	// then run it here. The wait is on strictly earlier tasks, so it cannot
+	// cycle back to this creator.
+	select {
+	case <-pl.readyCh:
+	default:
+		tc.yieldSlot(func() { <-pl.readyCh })
+	}
+	if err := tc.x.eng.Start(t); err != nil {
+		tc.x.fail(err)
+		return err
+	}
+	child := &taskCtx{x: tc.x, t: t, slot: tc.slot}
+	tc.x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: tc.slot, Label: opts.Label})
+	tc.x.runBody(child, body)
+	if err := tc.x.eng.Complete(t); err != nil {
+		tc.x.fail(err)
+		return err
+	}
+	tc.x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID)})
+	return nil
+}
+
+// Alloc implements rt.TC.
+func (tc *taskCtx) Alloc(initial any, label string) (access.ObjectID, error) {
+	if format.KindOf(initial) == format.KindInvalid {
+		return 0, fmt.Errorf("alloc %q: unsupported object type %T (portable Jade objects must be format-encodable)", label, initial)
+	}
+	tc.x.mu.Lock()
+	id := tc.x.nextObj
+	tc.x.nextObj++
+	tc.x.store[id] = initial
+	tc.x.labels[id] = label
+	tc.x.mu.Unlock()
+	tc.x.eng.RegisterObject(tc.t, id)
+	return id, nil
+}
+
+// Charge implements rt.TC: computation takes real time here.
+func (tc *taskCtx) Charge(work float64) {}
+
+var _ rt.Exec = (*Exec)(nil)
+var _ rt.TC = (*taskCtx)(nil)

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/water"
+)
+
+func TestFig4GraphShape(t *testing.T) {
+	tb, dot, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot, "internal(0)") || !strings.Contains(dot, "->") {
+		t.Fatalf("dot incomplete:\n%s", dot)
+	}
+	// The Figure-4 matrix: internal(0) feeds external(0,3) and external(0,4);
+	// internal(1) feeds external(1,2).
+	byTask := map[string]string{}
+	for _, row := range tb.Rows {
+		byTask[row[0]] = row[1]
+	}
+	for task, wantDep := range map[string]string{
+		"external(0,3)": "internal(0)",
+		"external(0,4)": "internal(0)",
+		"external(1,2)": "internal(1)",
+	} {
+		if !strings.Contains(byTask[task], wantDep) {
+			t.Fatalf("%s should depend on %s; got %q", task, wantDep, byTask[task])
+		}
+	}
+}
+
+func TestFig7ExecutionNarrative(t *testing.T) {
+	res, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, lines := res.Table, res.Narrative
+	get := func(metric string) string {
+		for _, row := range tb.Rows {
+			if row[0] == metric {
+				return row[1]
+			}
+		}
+		return ""
+	}
+	if get("objects moved (write migration)") == "0" {
+		t.Fatal("columns must migrate to writer machines")
+	}
+	if get("objects copied (read replication)") == "0" {
+		t.Fatal("read-only structure must replicate")
+	}
+	if get("messages") == "0" {
+		t.Fatal("two machines must exchange messages")
+	}
+	// The narrative must show work on both machines.
+	sawM1 := false
+	for _, l := range lines {
+		if strings.Contains(l, "task-started") && strings.Contains(l, "dispatch") {
+			continue
+		}
+		if strings.Contains(l, "task-assigned") && strings.HasSuffix(l, `"main"`) {
+			continue
+		}
+		_ = l
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "task-started") {
+			// Event string for started tasks carries no src/dst rendering;
+			// use assigned events instead.
+			continue
+		}
+		if strings.Contains(l, "task-assigned") {
+			// trace prints assigned without machine; rely on moved events.
+			continue
+		}
+		if strings.Contains(l, "object-moved") && strings.Contains(l, "0->1") {
+			sawM1 = true
+		}
+	}
+	if !sawM1 {
+		t.Fatal("narrative should show an object moving from machine 0 to machine 1 (Fig. 7(c))")
+	}
+}
+
+// parseSpeedups extracts a column of speedups from the F10 table.
+func parseSpeedups(t *testing.T, tb *Table, col int) map[int]float64 {
+	t.Helper()
+	out := map[int]float64{}
+	for _, row := range tb.Rows {
+		p, err := strconv.Atoi(row[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[col] == "-" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[p] = v
+	}
+	return out
+}
+
+func TestFig9and10Shapes(t *testing.T) {
+	// The paper's problem size (2197 molecules), one step, up to 16
+	// machines. Shape requirements per the paper: DASH near-linear,
+	// iPSC/860 close behind, Mica flattening on the shared Ethernet.
+	f9, f10, err := Fig9and10(WaterSweep{Molecules: 2197, Steps: 1, MaxMachines: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f9.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	ipsc := parseSpeedups(t, f10, 1)
+	mica := parseSpeedups(t, f10, 2)
+	dash := parseSpeedups(t, f10, 3)
+
+	// DASH: good scaling through 16 processors.
+	if dash[16] < 8 {
+		t.Fatalf("DASH speedup at 16 procs = %.2f, want near-linear (>8)", dash[16])
+	}
+	// Monotone increase for DASH.
+	if !(dash[2] > dash[1] && dash[4] > dash[2] && dash[8] > dash[4]) {
+		t.Fatalf("DASH speedups not increasing: %v", dash)
+	}
+	// DASH beats Mica at every shared machine count > 1.
+	for _, p := range []int{2, 4, 8} {
+		if dash[p] < mica[p] {
+			t.Fatalf("at %d procs DASH (%.2f) should outscale Mica (%.2f)", p, dash[p], mica[p])
+		}
+	}
+	// Mica flattens: its marginal gain from 4 to 8 is visibly worse than
+	// DASH's (the Ethernet saturates).
+	micaGain := mica[8] / mica[4]
+	dashGain := dash[8] / dash[4]
+	if micaGain >= dashGain {
+		t.Fatalf("Mica should flatten vs DASH: mica 4→8 gain %.2f, dash %.2f", micaGain, dashGain)
+	}
+	// iPSC/860 scales well (within 45%% of DASH at 16).
+	if ipsc[16] < dash[16]*0.55 {
+		t.Fatalf("iPSC/860 speedup %.2f too far below DASH %.2f", ipsc[16], dash[16])
+	}
+	// Running times: every platform gets faster from 1 to its max.
+	_ = f9
+}
+
+func TestC1DSMMovesMoreBytes(t *testing.T) {
+	tb, err := C1DSM(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jadeBytes, dsmPacked4k float64
+	for _, row := range tb.Rows {
+		if row[0] == "Jade (object granularity)" {
+			v, _ := strconv.ParseFloat(row[2], 64)
+			jadeBytes = v
+		}
+		if row[0] == "DSM 4096B pages" && row[1] == "malloc-packed" {
+			v, _ := strconv.ParseFloat(row[2], 64)
+			dsmPacked4k = v
+		}
+	}
+	if jadeBytes == 0 || dsmPacked4k == 0 {
+		t.Fatalf("missing rows:\n%s", tb)
+	}
+	if dsmPacked4k < 3*jadeBytes {
+		t.Fatalf("§6.1 expectation: packed 4K-page DSM should move several times Jade's bytes (dsm=%v jade=%v)",
+			dsmPacked4k, jadeBytes)
+	}
+}
+
+func TestC2LindaNeedsExplicitCoordination(t *testing.T) {
+	tb, err := C2Linda(water.Config{N: 60, Steps: 2, Tasks: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outs, jadeSync int = -1, -1
+	for _, row := range tb.Rows {
+		if row[0] == "Linda" && row[1] == "out operations" {
+			outs, _ = strconv.Atoi(row[2])
+		}
+		if row[0] == "Jade" && strings.Contains(row[1], "explicit synchronization") {
+			jadeSync, _ = strconv.Atoi(row[2])
+		}
+	}
+	if outs <= 0 {
+		t.Fatalf("linda ops not counted:\n%s", tb)
+	}
+	if jadeSync != 0 {
+		t.Fatal("jade version should need zero explicit synchronization")
+	}
+}
+
+func TestT1ConstructCount(t *testing.T) {
+	tb, err := T1Constructs("../apps/water/water.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, row := range tb.Rows {
+		if row[0] == "total" {
+			total, _ = strconv.Atoi(row[1])
+		}
+	}
+	if total < 10 || total > 60 {
+		t.Fatalf("construct count %d outside the plausible range of the paper's 23:\n%s", total, tb)
+	}
+}
+
+func TestA1LocalityReducesTraffic(t *testing.T) {
+	tb, err := A1Locality(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, _ := strconv.Atoi(tb.Rows[0][2])
+	off, _ := strconv.Atoi(tb.Rows[1][2])
+	if on > off {
+		t.Fatalf("locality heuristic should not increase messages: on=%d off=%d", on, off)
+	}
+	// On the shared Ethernet the saved traffic must shorten the run.
+	onSpan, _ := strconv.ParseFloat(strings.TrimSuffix(tb.Rows[0][1], "s"), 64)
+	offSpan, _ := strconv.ParseFloat(strings.TrimSuffix(tb.Rows[1][1], "s"), 64)
+	if onSpan >= offSpan {
+		t.Fatalf("locality should shorten the Mica run: on=%v off=%v", onSpan, offSpan)
+	}
+}
+
+func TestA2PrefetchHelps(t *testing.T) {
+	tb, err := A2Prefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := tb.Rows[0][1]
+	without := tb.Rows[1][1]
+	w, _ := strconv.ParseFloat(strings.TrimSuffix(with, "s"), 64)
+	wo, _ := strconv.ParseFloat(strings.TrimSuffix(without, "s"), 64)
+	if w >= wo {
+		t.Fatalf("prefetch should reduce makespan: with=%v without=%v", with, without)
+	}
+}
+
+func TestA3ThrottleBoundsPeak(t *testing.T) {
+	tb, err := A3Throttle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unboundedPeak, _ := strconv.Atoi(tb.Rows[0][1])
+	tightPeak, _ := strconv.Atoi(tb.Rows[2][1])
+	if tightPeak > 8+2 {
+		t.Fatalf("bound 8 should cap peak live tasks near 8, got %d", tightPeak)
+	}
+	if unboundedPeak <= tightPeak {
+		t.Fatalf("unbounded run should have higher peak: %d vs %d", unboundedPeak, tightPeak)
+	}
+	// All variants run the same number of tasks.
+	if tb.Rows[0][3] != tb.Rows[2][3] {
+		t.Fatalf("task counts differ: %v", tb.Rows)
+	}
+}
+
+func TestA4PipelineImproves(t *testing.T) {
+	tb, err := A4Pipeline(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		barrier, _ := strconv.ParseFloat(strings.TrimSuffix(row[1], "s"), 64)
+		pipe, _ := strconv.ParseFloat(strings.TrimSuffix(row[2], "s"), 64)
+		if pipe > barrier {
+			t.Fatalf("pipelined solve slower at %s machines: %v vs %v", row[0], pipe, barrier)
+		}
+	}
+}
+
+func TestH1VideoScalesWithAccelerators(t *testing.T) {
+	tb, err := H1Video(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := func(i int) float64 {
+		v, _ := strconv.ParseFloat(tb.Rows[i][2], 64)
+		return v
+	}
+	if fps(1) <= fps(0) {
+		t.Fatalf("2 accelerators should beat 1: %v vs %v fps", fps(1), fps(0))
+	}
+	conv, _ := strconv.Atoi(tb.Rows[0][3])
+	if conv == 0 {
+		t.Fatal("heterogeneous run must convert data formats")
+	}
+}
+
+func TestM1MakeSpeedup(t *testing.T) {
+	tb, err := M1Make(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	sp, _ := strconv.ParseFloat(last[2], 64)
+	if sp < 2 {
+		t.Fatalf("8-machine make speedup %.2f too low:\n%s", sp, tb)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "test", Columns: []string{"a", "b"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("xyz", "w")
+	s := tb.String()
+	if !strings.Contains(s, "== X: test ==") || !strings.Contains(s, "2.500") {
+		t.Fatalf("render:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,b\n1,2.500\n") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseSeconds(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "s"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestG1SupernodesReduceOverheadAndTraffic(t *testing.T) {
+	tb, err := G1Grain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colTasks, _ := strconv.Atoi(tb.Rows[0][1])
+	snTasks, _ := strconv.Atoi(tb.Rows[1][1])
+	if snTasks >= colTasks {
+		t.Fatalf("supernodes should create fewer tasks: %d vs %d", snTasks, colTasks)
+	}
+	colMsgs, _ := strconv.Atoi(tb.Rows[0][3])
+	snMsgs, _ := strconv.Atoi(tb.Rows[1][3])
+	if snMsgs >= colMsgs {
+		t.Fatalf("supernodes should send fewer messages: %d vs %d", snMsgs, colMsgs)
+	}
+	colSpan := parseSeconds(t, tb.Rows[0][2])
+	snSpan := parseSeconds(t, tb.Rows[1][2])
+	if snSpan >= colSpan {
+		t.Fatalf("coarser grain should be faster here: sn=%.3fs col=%.3fs", snSpan, colSpan)
+	}
+}
+
+func TestG2CommutingUnlocksConcurrency(t *testing.T) {
+	tb, err := G2Commute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := parseSeconds(t, tb.Rows[0][1])
+	ex := parseSeconds(t, tb.Rows[1][1])
+	if cm*3 > ex {
+		t.Fatalf("cm should be several times faster than rd_wr: cm=%.3fs ex=%.3fs", cm, ex)
+	}
+}
+
+func TestK1BarnesHutSpeedup(t *testing.T) {
+	tb, err := K1BarnesHut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	sp, _ := strconv.ParseFloat(last[2], 64)
+	if sp < 4 {
+		t.Fatalf("BH speedup at 8 machines %.2f too low:\n%s", sp, tb)
+	}
+}
+
+func TestG3GrainSweepHasInteriorOptimum(t *testing.T) {
+	tb, err := WaterGrainSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := make([]float64, len(tb.Rows))
+	for i, row := range tb.Rows {
+		spans[i] = parseSeconds(t, row[2])
+	}
+	// The finest grain must be worse than the best configuration (per-task
+	// overhead dominates), demonstrating §8's grain-size limit.
+	best := spans[0]
+	for _, s := range spans {
+		if s < best {
+			best = s
+		}
+	}
+	finest := spans[len(spans)-1]
+	if finest <= best*1.05 {
+		t.Fatalf("finest grain should pay visible overhead: finest=%.4fs best=%.4fs (%v)", finest, best, spans)
+	}
+}

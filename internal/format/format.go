@@ -1,0 +1,296 @@
+// Package format implements machine data formats and the typed encoding
+// Jade uses to move shared objects between heterogeneous machines.
+//
+// The paper (§2, §5 "Data Format Conversion") requires the implementation to
+// convert data representations when an object moves between machines with
+// different formats — in 1992, SPARC workstations (big-endian) exchanging
+// objects with i860 accelerators (little-endian) over PVM's typed transport.
+// We reproduce that substrate: every shared object's payload is one of a
+// small set of typed values; Encode produces a self-describing wire image in
+// a machine's byte order, Decode reconstructs the value, and Convert
+// re-encodes a wire image from one order to another. The word-level swap
+// work is real, so conversion cost in the simulator corresponds to actual
+// code executed.
+package format
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ByteOrder identifies a machine's data format.
+type ByteOrder int
+
+const (
+	// LittleEndian is the format of i860 and MIPS (DECStation) machines.
+	LittleEndian ByteOrder = iota
+	// BigEndian is the format of SPARC and SGI MIPS machines.
+	BigEndian
+)
+
+func (o ByteOrder) String() string {
+	if o == BigEndian {
+		return "big-endian"
+	}
+	return "little-endian"
+}
+
+func (o ByteOrder) order() binary.ByteOrder {
+	if o == BigEndian {
+		return binary.BigEndian
+	}
+	return binary.LittleEndian
+}
+
+func (o ByteOrder) appender() binary.AppendByteOrder {
+	if o == BigEndian {
+		return binary.BigEndian
+	}
+	return binary.LittleEndian
+}
+
+// Kind tags the payload type in the wire image.
+type Kind byte
+
+const (
+	// KindInvalid is the zero Kind; no valid image uses it.
+	KindInvalid Kind = iota
+	// KindBytes is a raw byte slice (no conversion needed).
+	KindBytes
+	// KindInt32s is a []int32.
+	KindInt32s
+	// KindInt64s is a []int64.
+	KindInt64s
+	// KindFloat32s is a []float32.
+	KindFloat32s
+	// KindFloat64s is a []float64.
+	KindFloat64s
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBytes:
+		return "bytes"
+	case KindInt32s:
+		return "int32s"
+	case KindInt64s:
+		return "int64s"
+	case KindFloat32s:
+		return "float32s"
+	case KindFloat64s:
+		return "float64s"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// elemSize returns the element width in bytes.
+func (k Kind) elemSize() int {
+	switch k {
+	case KindBytes:
+		return 1
+	case KindInt32s, KindFloat32s:
+		return 4
+	case KindInt64s, KindFloat64s:
+		return 8
+	}
+	return 0
+}
+
+// header layout: 1 byte kind + 4 bytes element count (always little-endian:
+// the header is protocol metadata, not machine data).
+const headerSize = 5
+
+// KindOf returns the Kind of a supported value, or KindInvalid.
+func KindOf(v any) Kind {
+	switch v.(type) {
+	case []byte:
+		return KindBytes
+	case []int32:
+		return KindInt32s
+	case []int64:
+		return KindInt64s
+	case []float32:
+		return KindFloat32s
+	case []float64:
+		return KindFloat64s
+	}
+	return KindInvalid
+}
+
+// SizeOf returns the wire size of a supported value, including the header.
+// It returns 0 for unsupported values.
+func SizeOf(v any) int {
+	k := KindOf(v)
+	if k == KindInvalid {
+		return 0
+	}
+	return headerSize + k.elemSize()*lengthOf(v)
+}
+
+func lengthOf(v any) int {
+	switch x := v.(type) {
+	case []byte:
+		return len(x)
+	case []int32:
+		return len(x)
+	case []int64:
+		return len(x)
+	case []float32:
+		return len(x)
+	case []float64:
+		return len(x)
+	}
+	return 0
+}
+
+// Clone returns a deep copy of a supported value. Unsupported values panic:
+// they cannot cross machine boundaries.
+func Clone(v any) any {
+	switch x := v.(type) {
+	case []byte:
+		return append([]byte(nil), x...)
+	case []int32:
+		return append([]int32(nil), x...)
+	case []int64:
+		return append([]int64(nil), x...)
+	case []float32:
+		return append([]float32(nil), x...)
+	case []float64:
+		return append([]float64(nil), x...)
+	}
+	panic(fmt.Sprintf("format: cannot clone unsupported type %T", v))
+}
+
+// ZeroLike returns a zeroed value of the same kind and length as v. The
+// distributed executor uses it for write-only object migration: a task that
+// declared wr (without rd) gets ownership and a fresh buffer, and the stale
+// bytes never cross the network.
+func ZeroLike(v any) any {
+	switch x := v.(type) {
+	case []byte:
+		return make([]byte, len(x))
+	case []int32:
+		return make([]int32, len(x))
+	case []int64:
+		return make([]int64, len(x))
+	case []float32:
+		return make([]float32, len(x))
+	case []float64:
+		return make([]float64, len(x))
+	}
+	panic(fmt.Sprintf("format: cannot zero unsupported type %T", v))
+}
+
+// Encode produces the self-describing wire image of v in byte order ord.
+func Encode(v any, ord ByteOrder) ([]byte, error) {
+	k := KindOf(v)
+	if k == KindInvalid {
+		return nil, fmt.Errorf("format: unsupported type %T", v)
+	}
+	n := lengthOf(v)
+	buf := make([]byte, headerSize, headerSize+n*k.elemSize())
+	buf[0] = byte(k)
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(n))
+	bo := ord.appender()
+	switch x := v.(type) {
+	case []byte:
+		buf = append(buf, x...)
+	case []int32:
+		for _, e := range x {
+			buf = bo.AppendUint32(buf, uint32(e))
+		}
+	case []int64:
+		for _, e := range x {
+			buf = bo.AppendUint64(buf, uint64(e))
+		}
+	case []float32:
+		for _, e := range x {
+			buf = bo.AppendUint32(buf, math.Float32bits(e))
+		}
+	case []float64:
+		for _, e := range x {
+			buf = bo.AppendUint64(buf, math.Float64bits(e))
+		}
+	}
+	return buf, nil
+}
+
+// Decode reconstructs the value from a wire image in byte order ord.
+func Decode(data []byte, ord ByteOrder) (any, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("format: truncated image (%d bytes)", len(data))
+	}
+	k := Kind(data[0])
+	n := int(binary.LittleEndian.Uint32(data[1:5]))
+	es := k.elemSize()
+	if es == 0 {
+		return nil, fmt.Errorf("format: invalid kind %d", data[0])
+	}
+	if len(data) != headerSize+n*es {
+		return nil, fmt.Errorf("format: image size %d does not match %v[%d]", len(data), k, n)
+	}
+	payload := data[headerSize:]
+	bo := ord.order()
+	switch k {
+	case KindBytes:
+		return append([]byte(nil), payload...), nil
+	case KindInt32s:
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(bo.Uint32(payload[i*4:]))
+		}
+		return out, nil
+	case KindInt64s:
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = int64(bo.Uint64(payload[i*8:]))
+		}
+		return out, nil
+	case KindFloat32s:
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = math.Float32frombits(bo.Uint32(payload[i*4:]))
+		}
+		return out, nil
+	case KindFloat64s:
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(bo.Uint64(payload[i*8:]))
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("format: invalid kind %d", data[0])
+}
+
+// Convert re-encodes a wire image from byte order `from` to byte order `to`,
+// returning a new image (or the input unchanged when from == to or the
+// payload is order-independent). The element count converted is returned so
+// callers can charge per-word conversion cost.
+func Convert(data []byte, from, to ByteOrder) ([]byte, int, error) {
+	if len(data) < headerSize {
+		return nil, 0, fmt.Errorf("format: truncated image (%d bytes)", len(data))
+	}
+	k := Kind(data[0])
+	if k.elemSize() == 0 {
+		return nil, 0, fmt.Errorf("format: invalid kind %d", data[0])
+	}
+	if from == to || k == KindBytes {
+		return data, 0, nil
+	}
+	n := int(binary.LittleEndian.Uint32(data[1:5]))
+	es := k.elemSize()
+	if len(data) != headerSize+n*es {
+		return nil, 0, fmt.Errorf("format: image size %d does not match %v[%d]", len(data), k, n)
+	}
+	out := make([]byte, len(data))
+	copy(out, data[:headerSize])
+	src := data[headerSize:]
+	dst := out[headerSize:]
+	for i := 0; i < n; i++ {
+		for b := 0; b < es; b++ {
+			dst[i*es+b] = src[i*es+es-1-b]
+		}
+	}
+	return out, n, nil
+}

@@ -1,0 +1,60 @@
+package format
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestZeroLikeAllKinds(t *testing.T) {
+	cases := []struct {
+		in   any
+		want any
+	}{
+		{[]byte{1, 2}, []byte{0, 0}},
+		{[]int32{5}, []int32{0}},
+		{[]int64{5, 6, 7}, []int64{0, 0, 0}},
+		{[]float32{1.5}, []float32{0}},
+		{[]float64{2.5, 3.5}, []float64{0, 0}},
+	}
+	for _, tc := range cases {
+		got := ZeroLike(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("ZeroLike(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ZeroLike of unsupported type should panic")
+		}
+	}()
+	ZeroLike("nope")
+}
+
+func TestCloneAllKinds(t *testing.T) {
+	for _, v := range []any{
+		[]byte{1}, []int32{2}, []int64{3}, []float32{4}, []float64{5},
+	} {
+		c := Clone(v)
+		if !reflect.DeepEqual(c, v) {
+			t.Fatalf("Clone(%v) = %v", v, c)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LittleEndian.String() != "little-endian" || BigEndian.String() != "big-endian" {
+		t.Fatal("ByteOrder strings")
+	}
+	for k, want := range map[Kind]string{
+		KindBytes:    "bytes",
+		KindInt32s:   "int32s",
+		KindInt64s:   "int64s",
+		KindFloat32s: "float32s",
+		KindFloat64s: "float64s",
+		Kind(99):     "kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

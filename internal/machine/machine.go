@@ -1,0 +1,205 @@
+// Package machine describes the computational environments Jade programs
+// run on: individual machines (relative speed, data format, capabilities)
+// and whole platforms (a set of machines plus a network model and runtime
+// cost parameters).
+//
+// Predefined platforms model the environments of the paper's §7 evaluation:
+// the Stanford DASH shared-memory multiprocessor, the Intel iPSC/860
+// message-passing hypercube, the Mica array of Sparc ELC boards on shared
+// Ethernet, and the Sun HRV workstation with i860 graphics accelerators.
+// Parameters are order-of-magnitude models of the 1992 hardware; the
+// benchmark harness compares curve shapes, not absolute numbers.
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/format"
+	"repro/internal/netmodel"
+)
+
+// Capability tags describe special-purpose hardware a machine offers.
+const (
+	// CapCamera marks a machine with video capture hardware (HRV SPARC).
+	CapCamera = "camera"
+	// CapAccelerator marks an i860 graphics accelerator (HRV).
+	CapAccelerator = "accelerator"
+	// CapDisplay marks a machine driving the HDTV monitor (HRV).
+	CapDisplay = "display"
+)
+
+// Spec describes one machine.
+type Spec struct {
+	// Name identifies the machine in traces, e.g. "sparc-3".
+	Name string
+	// Speed is the machine's relative execution rate in work units per
+	// second of virtual time. A task charging C work units runs for
+	// C/Speed seconds on this machine.
+	Speed float64
+	// Format is the machine's data representation.
+	Format format.ByteOrder
+	// Caps lists capability tags (CapCamera etc.).
+	Caps []string
+}
+
+// HasCap reports whether the machine offers the capability.
+func (s Spec) HasCap(cap string) bool {
+	for _, c := range s.Caps {
+		if c == cap {
+			return true
+		}
+	}
+	return false
+}
+
+// Platform is a complete simulated environment.
+type Platform struct {
+	// Name identifies the platform, e.g. "dash-16".
+	Name string
+	// Machines lists the processors. Machine 0 runs the main program.
+	Machines []Spec
+	// Net is the network timing model connecting the machines.
+	Net netmodel.Model
+	// TaskOverhead is the runtime cost to create, dispatch and retire one
+	// task (the paper's "run-time overhead associated with detecting and
+	// managing dynamic concurrency", §8).
+	TaskOverhead time.Duration
+	// DispatchBytes is the size of the control message sent when a task is
+	// assigned to a remote machine.
+	DispatchBytes int
+	// ConvertPerWord is the cost of converting one data word between
+	// machine formats during a transfer.
+	ConvertPerWord time.Duration
+}
+
+// Validate checks platform invariants.
+func (p Platform) Validate() error {
+	if len(p.Machines) == 0 {
+		return fmt.Errorf("platform %q has no machines", p.Name)
+	}
+	for i, m := range p.Machines {
+		if m.Speed <= 0 {
+			return fmt.Errorf("platform %q machine %d (%s): speed must be positive", p.Name, i, m.Name)
+		}
+	}
+	if p.Net == nil {
+		return fmt.Errorf("platform %q has no network model", p.Name)
+	}
+	return nil
+}
+
+func uniform(n int, name string, speed float64, f format.ByteOrder, caps ...string) []Spec {
+	ms := make([]Spec, n)
+	for i := range ms {
+		ms[i] = Spec{Name: fmt.Sprintf("%s-%d", name, i), Speed: speed, Format: f, Caps: caps}
+	}
+	return ms
+}
+
+// DASH models the Stanford DASH shared-memory multiprocessor with n
+// processors: MIPS processors on a low-latency high-bandwidth interconnect;
+// object "transfers" are cache-to-cache and effectively free at task grain.
+func DASH(n int) Platform {
+	return Platform{
+		Name:     fmt.Sprintf("dash-%d", n),
+		Machines: uniform(n, "dash", 1.0, format.BigEndian),
+		Net: netmodel.SMPBus{
+			Latency:   2 * time.Microsecond,
+			Bandwidth: 480e6, // bytes/sec aggregate
+		},
+		TaskOverhead: 200 * time.Microsecond,
+	}
+}
+
+// IPSC860 models the Intel iPSC/860 hypercube with n nodes: fast i860
+// processors, point-to-point links with moderate latency.
+func IPSC860(n int) Platform {
+	return Platform{
+		Name:     fmt.Sprintf("ipsc860-%d", n),
+		Machines: uniform(n, "i860", 1.25, format.LittleEndian),
+		Net: netmodel.PointToPoint{
+			Latency:   75 * time.Microsecond,
+			PerHop:    11 * time.Microsecond,
+			Bandwidth: 2.8e6, // bytes/sec per link
+			Hypercube: true,
+		},
+		TaskOverhead:  350 * time.Microsecond,
+		DispatchBytes: 128,
+	}
+}
+
+// Mica models the Sun Microsystems Laboratories Mica array: Sparc ELC
+// boards on a shared 10 Mbit/s Ethernet, reached through PVM. The shared
+// bus is the defining property: all transfers contend for one segment.
+func Mica(n int) Platform {
+	return Platform{
+		Name:     fmt.Sprintf("mica-%d", n),
+		Machines: uniform(n, "elc", 0.8, format.BigEndian),
+		Net: netmodel.SharedBus{
+			Latency:   900 * time.Microsecond, // PVM + UDP software overhead
+			Bandwidth: 1.1e6,                  // ~10 Mbit/s payload rate
+		},
+		TaskOverhead:   900 * time.Microsecond,
+		DispatchBytes:  256,
+		ConvertPerWord: 0, // homogeneous SPARCs
+	}
+}
+
+// HRV models the Sun High Resolution Video workstation (§7.2): one SPARC
+// host with camera hardware plus i860 accelerators driving the HDTV display.
+// The SPARC is big-endian, the i860s little-endian, so frames are format-
+// converted as they move — exercising the heterogeneity machinery.
+func HRV(accelerators int) Platform {
+	ms := []Spec{{
+		Name:   "sparc-host",
+		Speed:  1.0,
+		Format: format.BigEndian,
+		Caps:   []string{CapCamera},
+	}}
+	for i := 0; i < accelerators; i++ {
+		ms = append(ms, Spec{
+			Name:   fmt.Sprintf("i860-%d", i),
+			Speed:  3.0, // accelerators transform frames much faster
+			Format: format.LittleEndian,
+			Caps:   []string{CapAccelerator, CapDisplay},
+		})
+	}
+	return Platform{
+		Name:     fmt.Sprintf("hrv-%d", accelerators),
+		Machines: ms,
+		Net: netmodel.PointToPoint{
+			Latency:   40 * time.Microsecond,
+			Bandwidth: 80e6, // high-speed internal interconnect
+		},
+		TaskOverhead:   300 * time.Microsecond,
+		DispatchBytes:  128,
+		ConvertPerWord: 25 * time.Nanosecond,
+	}
+}
+
+// Workstations models a heterogeneous PVM network of n workstations of
+// alternating kinds (SPARC big-endian at speed 1.0, MIPS DECStation
+// little-endian at speed 0.9) on shared Ethernet — the paper's
+// "network of heterogeneous workstations".
+func Workstations(n int) Platform {
+	ms := make([]Spec, n)
+	for i := range ms {
+		if i%2 == 0 {
+			ms[i] = Spec{Name: fmt.Sprintf("sparc-%d", i), Speed: 1.0, Format: format.BigEndian}
+		} else {
+			ms[i] = Spec{Name: fmt.Sprintf("dec-%d", i), Speed: 0.9, Format: format.LittleEndian}
+		}
+	}
+	return Platform{
+		Name:     fmt.Sprintf("ws-%d", n),
+		Machines: ms,
+		Net: netmodel.SharedBus{
+			Latency:   900 * time.Microsecond,
+			Bandwidth: 1.1e6,
+		},
+		TaskOverhead:   900 * time.Microsecond,
+		DispatchBytes:  256,
+		ConvertPerWord: 30 * time.Nanosecond,
+	}
+}

@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/format"
+)
+
+func TestPredefinedPlatformsValidate(t *testing.T) {
+	for _, p := range []Platform{
+		DASH(1), DASH(32),
+		IPSC860(1), IPSC860(16),
+		Mica(1), Mica(8),
+		HRV(2),
+		Workstations(4),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadPlatforms(t *testing.T) {
+	if err := (Platform{Name: "empty"}).Validate(); err == nil {
+		t.Fatal("no machines should fail")
+	}
+	p := DASH(2)
+	p.Machines[1].Speed = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero speed should fail")
+	}
+	p2 := DASH(2)
+	p2.Net = nil
+	if err := p2.Validate(); err == nil {
+		t.Fatal("missing network should fail")
+	}
+}
+
+func TestHRVHeterogeneity(t *testing.T) {
+	p := HRV(3)
+	if len(p.Machines) != 4 {
+		t.Fatalf("machines = %d", len(p.Machines))
+	}
+	host := p.Machines[0]
+	if !host.HasCap(CapCamera) || host.HasCap(CapAccelerator) {
+		t.Fatal("host caps wrong")
+	}
+	if host.Format != format.BigEndian {
+		t.Fatal("SPARC host should be big-endian")
+	}
+	for _, acc := range p.Machines[1:] {
+		if !acc.HasCap(CapAccelerator) || !acc.HasCap(CapDisplay) {
+			t.Fatal("accelerator caps wrong")
+		}
+		if acc.Format != format.LittleEndian {
+			t.Fatal("i860 should be little-endian")
+		}
+		if acc.Speed <= host.Speed {
+			t.Fatal("accelerators should be faster for transforms")
+		}
+	}
+	if p.ConvertPerWord == 0 {
+		t.Fatal("heterogeneous platform needs conversion cost")
+	}
+}
+
+func TestWorkstationsAlternateFormats(t *testing.T) {
+	p := Workstations(4)
+	if p.Machines[0].Format == p.Machines[1].Format {
+		t.Fatal("workstation network should be heterogeneous")
+	}
+}
+
+func TestMachineNamesUnique(t *testing.T) {
+	p := IPSC860(8)
+	seen := map[string]bool{}
+	for _, m := range p.Machines {
+		if seen[m.Name] {
+			t.Fatalf("duplicate machine name %s", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}

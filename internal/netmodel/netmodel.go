@@ -1,0 +1,202 @@
+// Package netmodel provides network timing models for the distributed Jade
+// executor. A Model describes a network's shape and cost; instantiated on a
+// simulation engine it yields a Network whose Send occupies the calling
+// simulated process for the duration of the transfer, including any queueing
+// for contended resources.
+//
+// Three models cover the paper's platforms: SMPBus (DASH-class shared-memory
+// interconnect), PointToPoint (iPSC/860 hypercube links, HRV internal
+// interconnect) and SharedBus (Mica's shared 10 Mbit Ethernet, whose
+// contention is what flattens the paper's Figure 10 Mica speedup curve).
+package netmodel
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Model describes a network; Instantiate binds it to a simulation engine for
+// a platform of n machines.
+type Model interface {
+	Instantiate(eng *sim.Engine, n int) Network
+	// ApproxTime estimates an uncontended transfer time for size bytes.
+	// The scheduler's locality heuristic uses it to weigh data already
+	// present on a machine against load imbalance.
+	ApproxTime(size int) time.Duration
+}
+
+// Network carries messages between machines in virtual time.
+type Network interface {
+	// Send blocks the calling process for the full transfer of size bytes
+	// from machine src to machine dst, including queueing on contended
+	// resources. Sends between a machine and itself cost nothing.
+	Send(p *sim.Proc, src, dst, size int)
+	// Stats returns cumulative transfer counters.
+	Stats() Stats
+}
+
+// Stats are cumulative network counters.
+type Stats struct {
+	Messages int
+	Bytes    int64
+	// BusyTime is the total virtual time the network's contended resource
+	// was occupied (SharedBus only; zero elsewhere).
+	BusyTime time.Duration
+}
+
+// SharedBus models a single shared segment (Ethernet): every transfer
+// acquires the one bus, so concurrent communication serializes.
+type SharedBus struct {
+	// Latency is the fixed per-message cost (software + medium acquisition).
+	Latency time.Duration
+	// Bandwidth is the payload rate in bytes per second.
+	Bandwidth float64
+}
+
+// Instantiate implements Model.
+func (m SharedBus) Instantiate(eng *sim.Engine, n int) Network {
+	return &sharedBusNet{model: m, bus: eng.NewResource(1)}
+}
+
+// ApproxTime implements Model.
+func (m SharedBus) ApproxTime(size int) time.Duration {
+	return m.Latency + time.Duration(float64(size)/m.Bandwidth*1e9)
+}
+
+type sharedBusNet struct {
+	model SharedBus
+	bus   *sim.Resource
+	stats Stats
+}
+
+func (b *sharedBusNet) Send(p *sim.Proc, src, dst, size int) {
+	if src == dst {
+		return
+	}
+	d := b.model.Latency + time.Duration(float64(size)/b.model.Bandwidth*1e9)
+	b.bus.Acquire(p, 1)
+	p.Sleep(d)
+	b.bus.Release(1)
+	b.stats.Messages++
+	b.stats.Bytes += int64(size)
+	b.stats.BusyTime += d
+}
+
+func (b *sharedBusNet) Stats() Stats { return b.stats }
+
+// PointToPoint models independent links between machine pairs. With
+// Hypercube set, latency grows with the hop count (Hamming distance of the
+// node numbers), modeling store-and-forward routing on an iPSC/860. Each
+// machine has one network interface for sending and one for receiving; a
+// transfer occupies both endpoints' interfaces, so heavy fan-in to one
+// machine serializes there rather than in the (scalable) fabric.
+type PointToPoint struct {
+	// Latency is the fixed per-message cost.
+	Latency time.Duration
+	// PerHop is the additional cost per routing hop (Hypercube only).
+	PerHop time.Duration
+	// Bandwidth is the per-link payload rate in bytes per second.
+	Bandwidth float64
+	// Hypercube selects hop-count latency based on node-number Hamming
+	// distance; otherwise all pairs are one hop.
+	Hypercube bool
+}
+
+// Instantiate implements Model.
+func (m PointToPoint) Instantiate(eng *sim.Engine, n int) Network {
+	// A hypercube node has one channel pair per dimension (the iPSC/860's
+	// eight channels), so a node can drive log2(n) concurrent transfers;
+	// a plain point-to-point node has a single interface pair.
+	chans := 1
+	if m.Hypercube {
+		for 1<<chans < n {
+			chans++
+		}
+	}
+	net := &p2pNet{model: m, tx: make([]*sim.Resource, n), rx: make([]*sim.Resource, n)}
+	for i := 0; i < n; i++ {
+		net.tx[i] = eng.NewResource(chans)
+		net.rx[i] = eng.NewResource(chans)
+	}
+	return net
+}
+
+// ApproxTime implements Model.
+func (m PointToPoint) ApproxTime(size int) time.Duration {
+	return m.Latency + time.Duration(float64(size)/m.Bandwidth*1e9)
+}
+
+type p2pNet struct {
+	model PointToPoint
+	tx    []*sim.Resource
+	rx    []*sim.Resource
+	stats Stats
+}
+
+func (n *p2pNet) Send(p *sim.Proc, src, dst, size int) {
+	if src == dst {
+		return
+	}
+	hops := 1
+	if n.model.Hypercube {
+		hops = bits.OnesCount(uint(src ^ dst))
+		if hops == 0 {
+			hops = 1
+		}
+	}
+	d := n.model.Latency + time.Duration(hops-1)*n.model.PerHop +
+		time.Duration(float64(size)/n.model.Bandwidth*1e9)
+	// Occupy both endpoints; acquire in fixed id order to avoid deadlock
+	// between simultaneous opposite transfers.
+	a, b := n.tx[src], n.rx[dst]
+	if dst < src {
+		a, b = n.rx[dst], n.tx[src]
+	}
+	a.Acquire(p, 1)
+	b.Acquire(p, 1)
+	p.Sleep(d)
+	a.Release(1)
+	b.Release(1)
+	n.stats.Messages++
+	n.stats.Bytes += int64(size)
+}
+
+func (n *p2pNet) Stats() Stats { return n.stats }
+
+// SMPBus models a shared-memory multiprocessor's coherence interconnect:
+// transfers have tiny latency, very high bandwidth and (at coarse task
+// grain) no meaningful contention.
+type SMPBus struct {
+	// Latency is the per-transfer fixed cost (a few cache misses).
+	Latency time.Duration
+	// Bandwidth is the aggregate rate in bytes per second.
+	Bandwidth float64
+}
+
+// Instantiate implements Model.
+func (m SMPBus) Instantiate(eng *sim.Engine, n int) Network {
+	return &smpNet{model: m}
+}
+
+// ApproxTime implements Model.
+func (m SMPBus) ApproxTime(size int) time.Duration {
+	return m.Latency + time.Duration(float64(size)/m.Bandwidth*1e9)
+}
+
+type smpNet struct {
+	model SMPBus
+	stats Stats
+}
+
+func (s *smpNet) Send(p *sim.Proc, src, dst, size int) {
+	if src == dst {
+		return
+	}
+	p.Sleep(s.model.Latency + time.Duration(float64(size)/s.model.Bandwidth*1e9))
+	s.stats.Messages++
+	s.stats.Bytes += int64(size)
+}
+
+func (s *smpNet) Stats() Stats { return s.stats }

@@ -1,0 +1,161 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSharedBusSerializesTransfers(t *testing.T) {
+	eng := sim.New()
+	net := SharedBus{Latency: time.Millisecond, Bandwidth: 1e6}.Instantiate(eng, 4)
+	var finish []sim.Time
+	for i := 0; i < 3; i++ {
+		src := i + 1
+		eng.Spawn("xfer", func(p *sim.Proc) {
+			net.Send(p, src, 0, 1000) // 1ms latency + 1ms payload = 2ms
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Bus contention: 2ms, 4ms, 6ms.
+	want := []sim.Time{sim.Time(2 * time.Millisecond), sim.Time(4 * time.Millisecond), sim.Time(6 * time.Millisecond)}
+	if len(finish) != 3 {
+		t.Fatalf("finish = %v", finish)
+	}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish[%d] = %v, want %v", i, finish[i], want[i])
+		}
+	}
+	st := net.Stats()
+	if st.Messages != 3 || st.Bytes != 3000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BusyTime != 6*time.Millisecond {
+		t.Fatalf("busy = %v", st.BusyTime)
+	}
+}
+
+func TestPointToPointParallelTransfers(t *testing.T) {
+	eng := sim.New()
+	net := PointToPoint{Latency: time.Millisecond, Bandwidth: 1e6}.Instantiate(eng, 4)
+	var finish []sim.Time
+	// Disjoint pairs transfer concurrently.
+	for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+		pair := pair
+		eng.Spawn("xfer", func(p *sim.Proc) {
+			net.Send(p, pair[0], pair[1], 1000)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != sim.Time(2*time.Millisecond) {
+		t.Fatalf("disjoint transfers should overlap: makespan %v", eng.Now())
+	}
+}
+
+func TestPointToPointFanInSerializesAtReceiver(t *testing.T) {
+	eng := sim.New()
+	net := PointToPoint{Latency: time.Millisecond, Bandwidth: 1e6}.Instantiate(eng, 4)
+	for src := 1; src < 4; src++ {
+		src := src
+		eng.Spawn("xfer", func(p *sim.Proc) {
+			net.Send(p, src, 0, 1000)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != sim.Time(6*time.Millisecond) {
+		t.Fatalf("fan-in to one machine should serialize: makespan %v", eng.Now())
+	}
+}
+
+func TestHypercubeHopLatency(t *testing.T) {
+	eng := sim.New()
+	m := PointToPoint{Latency: time.Millisecond, PerHop: time.Millisecond, Bandwidth: 1e9, Hypercube: true}
+	net := m.Instantiate(eng, 8)
+	var oneHop, threeHop sim.Time
+	eng.Spawn("near", func(p *sim.Proc) {
+		net.Send(p, 2, 3, 0) // Hamming distance 1
+		oneHop = p.Now()
+	})
+	eng.Spawn("far", func(p *sim.Proc) {
+		net.Send(p, 0, 7, 0) // Hamming distance 3
+		threeHop = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if oneHop >= threeHop {
+		t.Fatalf("3-hop (%v) should take longer than 1-hop (%v)", threeHop, oneHop)
+	}
+	if threeHop-oneHop != sim.Time(2*time.Millisecond) {
+		t.Fatalf("extra hops should cost 2*PerHop, got %v", threeHop-oneHop)
+	}
+}
+
+func TestOppositeTransfersNoDeadlock(t *testing.T) {
+	eng := sim.New()
+	net := PointToPoint{Latency: time.Millisecond, Bandwidth: 1e6}.Instantiate(eng, 2)
+	done := 0
+	for i := 0; i < 10; i++ {
+		src, dst := i%2, 1-i%2
+		eng.Spawn("xfer", func(p *sim.Proc) {
+			net.Send(p, src, dst, 500)
+			done++
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("opposite transfers deadlocked: %v", err)
+	}
+	if done != 10 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestSelfSendIsFree(t *testing.T) {
+	for _, m := range []Model{
+		SharedBus{Latency: time.Second, Bandwidth: 1},
+		PointToPoint{Latency: time.Second, Bandwidth: 1},
+		SMPBus{Latency: time.Second, Bandwidth: 1},
+	} {
+		eng := sim.New()
+		net := m.Instantiate(eng, 2)
+		eng.Spawn("self", func(p *sim.Proc) {
+			net.Send(p, 1, 1, 1<<20)
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if eng.Now() != 0 {
+			t.Fatalf("%T: self-send should be free, took %v", m, eng.Now())
+		}
+		if net.Stats().Messages != 0 {
+			t.Fatalf("%T: self-send should not count", m)
+		}
+	}
+}
+
+func TestSMPBusNoContention(t *testing.T) {
+	eng := sim.New()
+	net := SMPBus{Latency: time.Millisecond, Bandwidth: 1e6}.Instantiate(eng, 8)
+	for i := 1; i < 8; i++ {
+		src := i
+		eng.Spawn("xfer", func(p *sim.Proc) {
+			net.Send(p, src, 0, 1000)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != sim.Time(2*time.Millisecond) {
+		t.Fatalf("SMP transfers should fully overlap: makespan %v", eng.Now())
+	}
+}

@@ -1,0 +1,96 @@
+// Package rt defines the contract between the public jade package and the
+// execution substrates (internal/exec/smp, internal/exec/dist). A Jade
+// program is written once against the TC interface; the paper's portability
+// claim — the same program runs unmodified on shared-memory machines,
+// message-passing machines and heterogeneous workstation networks — becomes
+// the statement that every Exec implementation executes the same TC calls
+// with the same results.
+package rt
+
+import (
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TaskOpts carries per-task scheduling information (§4.5 low-level control
+// plus the simulator's cost model). The zero value means: unlabeled, no
+// modeled cost, any machine.
+type TaskOpts struct {
+	// Label names the task in traces and the task graph.
+	Label string
+	// Cost is the task body's computational work in abstract work units;
+	// a machine of speed S executes it in Cost/S seconds of virtual time.
+	// Ignored by the real shared-memory executor (real code takes real
+	// time). Additional dynamic work can be charged with TC.Charge.
+	Cost float64
+	// Pin, when positive, pins the task to machine index Pin-1 (§4.5
+	// explicit placement). Zero leaves placement to the scheduler.
+	Pin int
+	// RequireCap restricts scheduling to machines with a capability tag.
+	RequireCap string
+}
+
+// PinnedMachine returns the pinned machine index, if any.
+func (o TaskOpts) PinnedMachine() (int, bool) {
+	if o.Pin > 0 {
+		return o.Pin - 1, true
+	}
+	return 0, false
+}
+
+// TC is the execution context handed to a running task body. All methods
+// must be called from the task's own body (its goroutine or simulated
+// process). Blocking methods suspend only this task; the executor keeps
+// running other tasks.
+type TC interface {
+	// CoreTask returns the engine record for this task.
+	CoreTask() *core.Task
+	// Machine returns the index of the machine (or processor slot)
+	// currently executing the task.
+	Machine() int
+
+	// Access acquires a checked view of obj for immediate mode m and
+	// returns the machine-local value (a slice; mutations through a Write
+	// view update the object). It blocks until the access is legal.
+	Access(obj access.ObjectID, m access.Mode) (any, error)
+	// EndAccess releases a view acquired by Access. Required before
+	// creating a child whose declaration conflicts with the view.
+	EndAccess(obj access.ObjectID, m access.Mode)
+	// ClearAccess releases all views this task holds on obj.
+	ClearAccess(obj access.ObjectID)
+	// Convert promotes deferred rights to immediate (with-cont rd/wr),
+	// blocking until the rights are available. which selects the deferred
+	// bits (DeferredRead, DeferredWrite or both).
+	Convert(obj access.ObjectID, which access.Mode) error
+	// Retract drops rights (with-cont no_rd/no_wr). which selects kinds:
+	// access.AnyRead for no_rd, access.AnyWrite for no_wr.
+	Retract(obj access.ObjectID, which access.Mode) error
+
+	// Create runs a withonly-do construct: declare a child task. The body
+	// executes asynchronously once its declarations are enabled. Create may
+	// block on the executor's task-creation throttle.
+	Create(decls []access.Decl, opts TaskOpts, body func(TC)) error
+	// Alloc allocates a shared object holding initial (a supported slice
+	// kind, see internal/format) and returns its global identifier. The
+	// calling task gets implicit read/write rights on it.
+	Alloc(initial any, label string) (access.ObjectID, error)
+	// Charge adds dynamic computational work to the current task (virtual
+	// time in the simulator; no-op on real hardware).
+	Charge(work float64)
+}
+
+// Exec executes Jade programs.
+type Exec interface {
+	// Run executes the main program and returns once every task has
+	// completed. It returns the first specification violation or internal
+	// error, if any.
+	Run(root func(TC)) error
+	// Engine returns the dependency engine (for statistics).
+	Engine() *core.Engine
+	// Log returns the execution trace.
+	Log() *trace.Log
+	// ObjectValue returns an object's final value after Run (the owner
+	// machine's version). It is intended for result verification.
+	ObjectValue(obj access.ObjectID) any
+}

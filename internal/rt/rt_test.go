@@ -1,0 +1,17 @@
+package rt
+
+import "testing"
+
+func TestPinnedMachine(t *testing.T) {
+	if _, ok := (TaskOpts{}).PinnedMachine(); ok {
+		t.Fatal("zero value must mean unpinned")
+	}
+	m, ok := (TaskOpts{Pin: 1}).PinnedMachine()
+	if !ok || m != 0 {
+		t.Fatalf("Pin 1 should mean machine 0, got %d/%v", m, ok)
+	}
+	m, ok = (TaskOpts{Pin: 5}).PinnedMachine()
+	if !ok || m != 4 {
+		t.Fatalf("Pin 5 should mean machine 4, got %d/%v", m, ok)
+	}
+}

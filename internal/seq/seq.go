@@ -1,0 +1,116 @@
+// Package seq implements the hierarchical serial sequence numbers that
+// define the serial order of Jade tasks.
+//
+// Every Jade task is created at a particular point of the serial execution
+// of the program. The serial order of two tasks is the order in which their
+// bodies would run in a sequential (depth-first) execution: a task's body
+// runs where the withonly-do construct appears, so the k-th child of a task
+// t is ordered after t's code that precedes the construct and before t's
+// code that follows it.
+//
+// We represent a task's position as a Dewey-decimal style path of child
+// indices from the root. Comparisons between unrelated tasks are ordinary
+// lexicographic comparisons. The subtle case is an ancestor against one of
+// its own descendants: the ancestor's *residual* access rights (the code it
+// has not executed yet) logically follow all accesses of the already-created
+// descendant, so in queue order an ancestor sorts AFTER its descendants.
+// See DESIGN.md §4 for why this yields exactly the serial semantics.
+package seq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Seq is a hierarchical serial sequence number. The root task has the empty
+// Seq. Seq values are immutable once created; Child returns a fresh value.
+type Seq struct {
+	path []uint32
+}
+
+// Root returns the sequence number of the root task.
+func Root() Seq { return Seq{} }
+
+// Child returns the sequence number of the k-th child (k starts at 1) of s.
+func (s Seq) Child(k uint32) Seq {
+	p := make([]uint32, len(s.path)+1)
+	copy(p, s.path)
+	p[len(s.path)] = k
+	return Seq{path: p}
+}
+
+// Depth returns the nesting depth; the root has depth 0.
+func (s Seq) Depth() int { return len(s.path) }
+
+// IsRoot reports whether s is the root sequence number.
+func (s Seq) IsRoot() bool { return len(s.path) == 0 }
+
+// Parent returns the sequence number of the parent task. Calling Parent on
+// the root returns the root.
+func (s Seq) Parent() Seq {
+	if len(s.path) == 0 {
+		return s
+	}
+	p := make([]uint32, len(s.path)-1)
+	copy(p, s.path[:len(s.path)-1])
+	return Seq{path: p}
+}
+
+// IsAncestorOf reports whether s is a proper ancestor of t.
+func (s Seq) IsAncestorOf(t Seq) bool {
+	if len(s.path) >= len(t.path) {
+		return false
+	}
+	for i, v := range s.path {
+		if t.path[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare totally orders sequence numbers by queue position:
+//
+//	-1 if s's accesses queue before t's,
+//	 0 if s == t,
+//	+1 if s's accesses queue after t's.
+//
+// For unrelated tasks this is lexicographic order (serial order). For an
+// ancestor/descendant pair, the ancestor compares greater: the residual
+// rights of the ancestor follow all rights of its descendants.
+func (s Seq) Compare(t Seq) int {
+	n := min(len(s.path), len(t.path))
+	for i := 0; i < n; i++ {
+		switch {
+		case s.path[i] < t.path[i]:
+			return -1
+		case s.path[i] > t.path[i]:
+			return +1
+		}
+	}
+	switch {
+	case len(s.path) == len(t.path):
+		return 0
+	case len(s.path) < len(t.path):
+		// s is a proper ancestor of t: ancestor-residual sorts after.
+		return +1
+	default:
+		return -1
+	}
+}
+
+// Less reports whether s orders strictly before t in queue position.
+func (s Seq) Less(t Seq) bool { return s.Compare(t) < 0 }
+
+// String renders the sequence number as a dotted path, e.g. "3.1.2"; the
+// root renders as "root".
+func (s Seq) String() string {
+	if len(s.path) == 0 {
+		return "root"
+	}
+	parts := make([]string, len(s.path))
+	for i, v := range s.path {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ".")
+}

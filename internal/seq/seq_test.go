@@ -1,0 +1,181 @@
+package seq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootProperties(t *testing.T) {
+	r := Root()
+	if !r.IsRoot() {
+		t.Fatal("Root().IsRoot() = false")
+	}
+	if r.Depth() != 0 {
+		t.Fatalf("Root depth = %d, want 0", r.Depth())
+	}
+	if r.String() != "root" {
+		t.Fatalf("Root string = %q", r.String())
+	}
+	if r.Parent().Compare(r) != 0 {
+		t.Fatal("Parent of root should be root")
+	}
+}
+
+func TestChildAndParent(t *testing.T) {
+	r := Root()
+	c3 := r.Child(3)
+	if c3.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", c3.Depth())
+	}
+	if c3.String() != "3" {
+		t.Fatalf("string = %q, want 3", c3.String())
+	}
+	g := c3.Child(1).Child(2)
+	if g.String() != "3.1.2" {
+		t.Fatalf("string = %q, want 3.1.2", g.String())
+	}
+	if g.Parent().String() != "3.1" {
+		t.Fatalf("parent = %q, want 3.1", g.Parent().String())
+	}
+}
+
+func TestChildDoesNotAliasParent(t *testing.T) {
+	r := Root()
+	a := r.Child(1)
+	b := a.Child(1)
+	c := a.Child(2)
+	// b and c share a as a parent; creating c must not corrupt b.
+	if b.String() != "1.1" || c.String() != "1.2" {
+		t.Fatalf("aliasing: b=%q c=%q", b, c)
+	}
+}
+
+func TestSiblingOrder(t *testing.T) {
+	r := Root()
+	a, b := r.Child(1), r.Child(2)
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("sibling order wrong")
+	}
+	if a.Compare(a) != 0 {
+		t.Fatal("self compare != 0")
+	}
+}
+
+func TestAncestorResidualRule(t *testing.T) {
+	// An ancestor's residual rights order AFTER all of its descendants.
+	p := Root().Child(3)
+	c := p.Child(1)
+	g := c.Child(7)
+	for _, tc := range []struct{ lo, hi Seq }{
+		{c, p}, {g, p}, {g, c},
+		{Root().Child(2), p},          // earlier sibling before p
+		{p, Root().Child(4)},          // p before later sibling
+		{g, Root().Child(4)},          // deep descendant before p's later sibling
+		{Root().Child(2).Child(9), p}, // descendant of earlier sibling, before p
+		{c, Root()},                   // everything before root residual
+		{p, Root()},
+	} {
+		if !tc.lo.Less(tc.hi) {
+			t.Errorf("%v should order before %v", tc.lo, tc.hi)
+		}
+		if tc.hi.Less(tc.lo) {
+			t.Errorf("%v should not order before %v", tc.hi, tc.lo)
+		}
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	r := Root()
+	p := r.Child(3)
+	c := p.Child(1)
+	if !r.IsAncestorOf(p) || !r.IsAncestorOf(c) || !p.IsAncestorOf(c) {
+		t.Fatal("ancestor relations missing")
+	}
+	if p.IsAncestorOf(p) {
+		t.Fatal("proper ancestor should exclude self")
+	}
+	if c.IsAncestorOf(p) {
+		t.Fatal("descendant is not ancestor")
+	}
+	if r.Child(2).IsAncestorOf(p.Child(4)) {
+		t.Fatal("sibling subtree is not ancestor")
+	}
+}
+
+// randomSeq builds a random sequence number of depth <= 4.
+func randomSeq(rng *rand.Rand) Seq {
+	s := Root()
+	d := rng.Intn(5)
+	for i := 0; i < d; i++ {
+		s = s.Child(uint32(rng.Intn(5) + 1))
+	}
+	return s
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seqs := make([]Seq, 200)
+	for i := range seqs {
+		seqs[i] = randomSeq(rng)
+	}
+	// Antisymmetry and reflexivity.
+	for _, a := range seqs[:50] {
+		for _, b := range seqs[:50] {
+			ab, ba := a.Compare(b), b.Compare(a)
+			if ab != -ba {
+				t.Fatalf("Compare not antisymmetric: %v vs %v: %d, %d", a, b, ab, ba)
+			}
+			if ab == 0 && a.String() != b.String() {
+				t.Fatalf("Compare==0 for distinct %v, %v", a, b)
+			}
+		}
+	}
+	// Transitivity via sort: sorting must not panic and must be consistent.
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i].Less(seqs[j]) })
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i].Less(seqs[i-1]) {
+			t.Fatalf("sort inconsistency at %d: %v < %v", i, seqs[i], seqs[i-1])
+		}
+	}
+}
+
+func TestQuickDescendantBeforeAncestor(t *testing.T) {
+	// Property: for any sequence s and any chain of children below it, the
+	// descendant orders strictly before s.
+	f := func(branches []uint8) bool {
+		s := Root().Child(2)
+		d := s
+		if len(branches) == 0 {
+			return true
+		}
+		for _, b := range branches {
+			d = d.Child(uint32(b%7) + 1)
+		}
+		return d.Less(s) && !s.Less(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCreationOrderIsSerialOrder(t *testing.T) {
+	// Property: children of the same parent order by creation index, and
+	// anything in child k's subtree orders before child k+1's subtree.
+	f := func(i, j uint8, sub []uint8) bool {
+		k1 := uint32(i%100) + 1
+		k2 := k1 + uint32(j%100) + 1
+		p := Root().Child(1)
+		a := p.Child(k1)
+		b := p.Child(k2)
+		deep := a
+		for _, s := range sub {
+			deep = deep.Child(uint32(s%3) + 1)
+		}
+		return a.Less(b) && deep.Less(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

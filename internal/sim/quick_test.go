@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickRandomProgramsDeterministicAndMonotonic: for any random set of
+// processes with random sleep chains, (1) two runs produce identical
+// completion timestamps, and (2) within each process time never goes
+// backwards and matches the sum of its sleeps.
+func TestQuickRandomProgramsDeterministicAndMonotonic(t *testing.T) {
+	f := func(chains [][]uint16) bool {
+		if len(chains) > 12 {
+			chains = chains[:12]
+		}
+		run := func() []Time {
+			e := New()
+			out := make([]Time, len(chains))
+			for i, chain := range chains {
+				i, chain := i, chain
+				e.Spawn("p", func(p *Proc) {
+					var last Time
+					for _, d := range chain {
+						p.Sleep(time.Duration(d) * time.Microsecond)
+						if p.Now() < last {
+							t.Errorf("time went backwards")
+						}
+						last = p.Now()
+					}
+					out[i] = p.Now()
+				})
+			}
+			if err := e.Run(); err != nil {
+				t.Errorf("run: %v", err)
+			}
+			return out
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+			var want Time
+			for _, d := range chains[i] {
+				want += Time(time.Duration(d) * time.Microsecond)
+			}
+			if a[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickResourceConservation: random acquire/release pairs through a
+// resource never exceed capacity and always drain.
+func TestQuickResourceConservation(t *testing.T) {
+	f := func(users []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%4) + 1
+		if len(users) > 20 {
+			users = users[:20]
+		}
+		e := New()
+		r := e.NewResource(capacity)
+		violated := false
+		for _, u := range users {
+			hold := time.Duration(u%50+1) * time.Microsecond
+			e.Spawn("u", func(p *Proc) {
+				r.Acquire(p, 1)
+				if r.InUse() > capacity {
+					violated = true
+				}
+				p.Sleep(hold)
+				r.Release(1)
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return !violated && r.InUse() == 0 && r.QueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package sim is a deterministic discrete-event simulation engine.
+//
+// The distributed Jade executor (internal/exec/dist) runs real task bodies
+// but charges *virtual* time for computation and communication, which lets
+// the benchmark harness sweep machine counts and network models
+// deterministically — reproducing the paper's Figures 9 and 10 without the
+// 1992 hardware.
+//
+// The engine runs processes written as ordinary Go functions. Each process
+// is a goroutine, but exactly one goroutine (the engine loop or a single
+// process) runs at a time: control is handed off explicitly, so execution
+// is sequential and deterministic. Processes advance virtual time by
+// sleeping, wait on condition variables, and queue on finite resources.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds from the start of the run.
+type Time int64
+
+// Duration is a span of virtual time, in nanoseconds. It converts directly
+// from time.Duration.
+type Duration = time.Duration
+
+// String renders the time as a duration from t=0.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns the time in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// event is a scheduled occurrence: either resume a parked process or call fn
+// in the engine goroutine.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: schedule order
+	proc *Proc
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type yieldMsg struct {
+	p    *Proc
+	done bool
+}
+
+// Engine is a discrete-event simulator. Create with New, add processes with
+// Spawn, then call Run from the owning goroutine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	nseq   uint64
+	yield  chan yieldMsg
+	live   int
+	parked map[*Proc]string
+	cur    *Proc
+	limit  uint64 // safety cap on processed events; 0 = none
+	nev    uint64
+}
+
+// New returns an empty engine at virtual time zero.
+func New() *Engine {
+	return &Engine{
+		yield:  make(chan yieldMsg),
+		parked: map[*Proc]string{},
+	}
+}
+
+// SetEventLimit caps the number of processed events; Run returns an error
+// when exceeded. Useful to bound runaway simulations in tests.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// schedule enqueues an event at absolute time at.
+func (e *Engine) schedule(at Time, p *Proc, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.nseq++
+	heap.Push(&e.events, &event{at: at, seq: e.nseq, proc: p, fn: fn})
+}
+
+// After schedules fn to run in the engine goroutine after d of virtual time.
+// fn must not park (it is not a process); it may Spawn processes, signal
+// conditions and schedule further events.
+func (e *Engine) After(d Duration, fn func()) {
+	e.schedule(e.now+Time(d), nil, fn)
+}
+
+// Proc is a simulated process. All methods must be called from the process's
+// own function (while it holds control).
+type Proc struct {
+	eng  *Engine
+	name string
+	wake chan struct{}
+}
+
+// Name returns the process name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn creates a process that will begin executing fn at the current
+// virtual time (after already-scheduled events at this time). It may be
+// called from the engine owner before Run, from another process, or from an
+// After callback.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, wake: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.wake
+		e.cur = p
+		fn(p)
+		e.yield <- yieldMsg{p: p, done: true}
+	}()
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// park suspends the calling process until the engine resumes it. reason is
+// reported on deadlock.
+func (p *Proc) park(reason string) {
+	p.eng.parked[p] = reason
+	p.eng.yield <- yieldMsg{p: p}
+	<-p.wake
+	p.eng.cur = p
+	delete(p.eng.parked, p)
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p.eng.now+Time(d), p, nil)
+	p.park("sleeping")
+}
+
+// Yield reschedules the process at the current time, letting other events at
+// this timestamp run first.
+func (p *Proc) Yield() {
+	p.eng.schedule(p.eng.now, p, nil)
+	p.park("yield")
+}
+
+// Run processes events until none remain. It returns an error if parked
+// processes remain afterwards (deadlock) or the event limit was exceeded.
+// Run must be called from the goroutine that created the engine, and only
+// once.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		if e.limit > 0 && e.nev >= e.limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+		}
+		e.nev++
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		switch {
+		case ev.fn != nil:
+			e.cur = nil
+			ev.fn()
+		case ev.proc != nil:
+			ev.proc.wake <- struct{}{}
+			msg := <-e.yield
+			if msg.done {
+				e.live--
+				delete(e.parked, msg.p)
+			}
+		}
+	}
+	e.cur = nil
+	if len(e.parked) > 0 {
+		names := make([]string, 0, len(e.parked))
+		for p, why := range e.parked {
+			names = append(names, fmt.Sprintf("%s (%s)", p.name, why))
+		}
+		sort.Strings(names)
+		return fmt.Errorf("sim: deadlock at t=%v: %d parked processes: %v", e.now, len(names), names)
+	}
+	return nil
+}
+
+// Cond is a simulated condition variable. The zero value is not usable; get
+// one from NewCond.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to the engine.
+func (e *Engine) NewCond() *Cond { return &Cond{eng: e} }
+
+// Wait parks the calling process until Signal or Broadcast.
+func (c *Cond) Wait(p *Proc, reason string) {
+	c.waiters = append(c.waiters, p)
+	p.park(reason)
+}
+
+// Signal wakes the longest-waiting process, if any. Callable from a process
+// or an After callback.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.schedule(c.eng.now, w, nil)
+}
+
+// Broadcast wakes all waiting processes in wait order.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		c.eng.schedule(c.eng.now, w, nil)
+	}
+	c.waiters = nil
+}
+
+// Waiting returns the number of parked waiters.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Resource is a finite-capacity server with a FIFO queue, used to model
+// contended hardware such as a shared Ethernet segment or a processor.
+type Resource struct {
+	eng   *Engine
+	cap   int
+	inUse int
+	queue []resWaiter
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource returns a resource with the given capacity.
+func (e *Engine) NewResource(capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{eng: e, cap: capacity}
+}
+
+// Acquire blocks the process until n units are allocated to it. Grants are
+// FIFO: a large request at the head blocks later small ones (no starvation).
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n > r.cap {
+		panic(fmt.Sprintf("sim: acquire %d exceeds capacity %d", n, r.cap))
+	}
+	if len(r.queue) == 0 && r.inUse+n <= r.cap {
+		r.inUse += n
+		return
+	}
+	r.queue = append(r.queue, resWaiter{p: p, n: n})
+	p.park("resource")
+}
+
+// Release returns n units and grants queued requests that now fit, in FIFO
+// order. Callable from a process or an After callback.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: release of unacquired units")
+	}
+	for len(r.queue) > 0 && r.inUse+r.queue[0].n <= r.cap {
+		w := r.queue[0]
+		r.queue = r.queue[1:]
+		r.inUse += w.n
+		r.eng.schedule(r.eng.now, w.p, nil)
+	}
+}
+
+// InUse returns the currently allocated units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of queued requests.
+func (r *Resource) QueueLen() int { return len(r.queue) }

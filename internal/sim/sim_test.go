@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSingleProcSleep(t *testing.T) {
+	e := New()
+	var log []Time
+	e.Spawn("a", func(p *Proc) {
+		log = append(log, p.Now())
+		p.Sleep(10 * time.Millisecond)
+		log = append(log, p.Now())
+		p.Sleep(5 * time.Millisecond)
+		log = append(log, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, Time(10 * time.Millisecond), Time(15 * time.Millisecond)}
+	if len(log) != 3 || log[0] != want[0] || log[1] != want[1] || log[2] != want[2] {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	if e.Now() != want[2] {
+		t.Fatalf("final time = %v", e.Now())
+	}
+}
+
+func TestInterleavingIsByVirtualTime(t *testing.T) {
+	e := New()
+	var order []string
+	e.Spawn("slow", func(p *Proc) {
+		p.Sleep(20 * time.Millisecond)
+		order = append(order, "slow")
+	})
+	e.Spawn("fast", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		order = append(order, "fast")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "fast,slow" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTieBreakIsScheduleOrder(t *testing.T) {
+	e := New()
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			order = append(order, name)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, "") != "abc" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func() string {
+		e := New()
+		var b strings.Builder
+		cond := e.NewCond()
+		for i := 0; i < 3; i++ {
+			i := i
+			e.Spawn("w", func(p *Proc) {
+				cond.Wait(p, "test")
+				b.WriteString(string(rune('a' + i)))
+			})
+		}
+		e.Spawn("sig", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			cond.Broadcast()
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := trace()
+	for i := 0; i < 10; i++ {
+		if got := trace(); got != first {
+			t.Fatalf("run %d differs: %q vs %q", i, got, first)
+		}
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	e := New()
+	cond := e.NewCond()
+	woken := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			cond.Wait(p, "test")
+			woken++
+		})
+	}
+	e.Spawn("sig", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		cond.Signal()
+		p.Sleep(time.Millisecond)
+		if woken != 1 {
+			t.Errorf("after one Signal: woken = %d", woken)
+		}
+		cond.Broadcast()
+	})
+	err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3 {
+		t.Fatalf("woken = %d", woken)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := New()
+	cond := e.NewCond()
+	e.Spawn("stuck", func(p *Proc) {
+		cond.Wait(p, "never signalled")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("deadlock should name the process: %v", err)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := New()
+	bus := e.NewResource(1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("xfer", func(p *Proc) {
+			bus.Acquire(p, 1)
+			p.Sleep(10 * time.Millisecond)
+			bus.Release(1)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{Time(10 * time.Millisecond), Time(20 * time.Millisecond), Time(30 * time.Millisecond)}
+	if len(finish) != 3 || finish[0] != want[0] || finish[1] != want[1] || finish[2] != want[2] {
+		t.Fatalf("finish = %v, want %v", finish, want)
+	}
+}
+
+func TestResourceParallelCapacity(t *testing.T) {
+	e := New()
+	cpus := e.NewResource(2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("job", func(p *Proc) {
+			cpus.Acquire(p, 1)
+			p.Sleep(10 * time.Millisecond)
+			cpus.Release(1)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two at a time: finishes at 10,10,20,20 ms.
+	if e.Now() != Time(20*time.Millisecond) {
+		t.Fatalf("makespan = %v, want 20ms", e.Now())
+	}
+}
+
+func TestResourceFIFONoStarvation(t *testing.T) {
+	e := New()
+	r := e.NewResource(2)
+	var order []string
+	e.Spawn("hold", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(10 * time.Millisecond)
+		r.Release(1)
+	})
+	e.Spawn("big", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		r.Acquire(p, 2) // must wait for hold to finish
+		order = append(order, "big")
+		r.Release(2)
+	})
+	e.Spawn("small", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		r.Acquire(p, 1) // fits now, but big is queued ahead: FIFO blocks it
+		order = append(order, "small")
+		r.Release(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "big,small" {
+		t.Fatalf("order = %v, want big first (FIFO)", order)
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	e := New()
+	var at Time
+	e.After(7*time.Millisecond, func() { at = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(7*time.Millisecond) {
+		t.Fatalf("After fired at %v", at)
+	}
+}
+
+func TestAfterCanSpawn(t *testing.T) {
+	e := New()
+	ran := false
+	e.After(time.Millisecond, func() {
+		e.Spawn("late", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			ran = true
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || e.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := New()
+	var order []string
+	e.Spawn("parent", func(p *Proc) {
+		order = append(order, "parent-start")
+		p.Engine().Spawn("child", func(c *Proc) {
+			order = append(order, "child")
+		})
+		p.Sleep(time.Millisecond)
+		order = append(order, "parent-end")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "parent-start,child,parent-end"
+	if strings.Join(order, ",") != want {
+		t.Fatalf("order = %v, want %s", order, want)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	e := New()
+	e.SetEventLimit(10)
+	e.Spawn("loop", func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "event limit") {
+		t.Fatalf("want event-limit error, got %v", err)
+	}
+}
+
+func TestYield(t *testing.T) {
+	e := New()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "a1,b,a2" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestNegativeSleepClamped(t *testing.T) {
+	e := New()
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(-5 * time.Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("time went backwards: %v", e.Now())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if Time(1500*time.Millisecond).Seconds() != 1.5 {
+		t.Fatal("Seconds conversion")
+	}
+	if Time(time.Second).String() != "1s" {
+		t.Fatalf("String = %q", Time(time.Second).String())
+	}
+}

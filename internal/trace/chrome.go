@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("Trace Event
+// Format", the JSON consumed by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeJSON renders the log as Chrome trace-event JSON: one complete ("X")
+// event per task execution span on its machine's row, plus instant ("i")
+// events for object motion and messages. Load the output in
+// chrome://tracing or https://ui.perfetto.dev to inspect an execution.
+func ChromeJSON(l *Log) ([]byte, error) {
+	var out []chromeEvent
+	starts := map[uint64]Event{}
+	for _, ev := range l.Events() {
+		switch ev.Kind {
+		case TaskStarted:
+			starts[ev.Task] = ev
+		case TaskCompleted:
+			st, ok := starts[ev.Task]
+			if !ok {
+				continue
+			}
+			name := st.Label
+			if name == "" {
+				name = fmt.Sprintf("task %d", ev.Task)
+			}
+			out = append(out, chromeEvent{
+				Name:  name,
+				Phase: "X",
+				TsUs:  us(st.At),
+				DurUs: us(ev.At - st.At),
+				PID:   0,
+				TID:   st.Dst,
+				Args:  map[string]any{"task": ev.Task},
+			})
+		case ObjectMoved, ObjectCopied, MessageSent:
+			out = append(out, chromeEvent{
+				Name:  fmt.Sprintf("%v %s", ev.Kind, ev.Label),
+				Phase: "i",
+				TsUs:  us(ev.At),
+				PID:   0,
+				TID:   ev.Dst,
+				Args: map[string]any{
+					"object": ev.Object,
+					"src":    ev.Src,
+					"dst":    ev.Dst,
+					"bytes":  ev.Bytes,
+				},
+			})
+		}
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestChromeJSON(t *testing.T) {
+	l := New()
+	l.Add(Event{At: time.Millisecond, Kind: TaskStarted, Task: 2, Dst: 1, Label: "work"})
+	l.Add(Event{At: 3 * time.Millisecond, Kind: TaskCompleted, Task: 2, Dst: 1})
+	l.Add(Event{At: 2 * time.Millisecond, Kind: ObjectMoved, Object: 9, Src: 0, Dst: 1, Bytes: 64, Label: "col"})
+	data, err := ChromeJSON(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	var span map[string]any
+	for _, e := range evs {
+		if e["ph"] == "X" {
+			span = e
+		}
+	}
+	if span == nil {
+		t.Fatal("no span event")
+	}
+	if span["name"] != "work" || span["ts"].(float64) != 1000 || span["dur"].(float64) != 2000 {
+		t.Fatalf("span = %v", span)
+	}
+	if span["tid"].(float64) != 1 {
+		t.Fatalf("span tid = %v", span["tid"])
+	}
+}
+
+func TestChromeJSONUnpairedStartIgnored(t *testing.T) {
+	l := New()
+	l.Add(Event{Kind: TaskCompleted, Task: 5})
+	data, err := ChromeJSON(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("unpaired completion should be ignored, got %v", evs)
+	}
+}

@@ -1,0 +1,299 @@
+// Package trace records what the Jade runtime did: task lifecycle events,
+// object motion between machines, messages and format conversions. The
+// benchmark harness renders these into the paper's artifacts — the dynamic
+// task graph of Figure 4, the execution narrative of Figure 7, and the
+// summary statistics behind Figures 9 and 10.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// TaskCreated: a withonly-do construct executed.
+	TaskCreated Kind = iota
+	// TaskReady: the task's immediate declarations all became enabled.
+	TaskReady
+	// TaskAssigned: the scheduler placed the task on a machine.
+	TaskAssigned
+	// TaskStarted: the task body began executing.
+	TaskStarted
+	// TaskCompleted: the task body finished.
+	TaskCompleted
+	// ObjectMoved: an object migrated (write access; old copies invalid).
+	ObjectMoved
+	// ObjectCopied: an object was replicated for reading.
+	ObjectCopied
+	// ObjectInvalidated: a machine's copy was discarded.
+	ObjectInvalidated
+	// MessageSent: a network message (control or data).
+	MessageSent
+	// Converted: an object's data format was converted during a transfer.
+	Converted
+	// Violation: an access-specification violation was detected.
+	Violation
+	// Depend: a dynamic data dependence between two tasks was detected.
+	Depend
+)
+
+var kindNames = map[Kind]string{
+	TaskCreated:       "task-created",
+	TaskReady:         "task-ready",
+	TaskAssigned:      "task-assigned",
+	TaskStarted:       "task-started",
+	TaskCompleted:     "task-completed",
+	ObjectMoved:       "object-moved",
+	ObjectCopied:      "object-copied",
+	ObjectInvalidated: "object-invalidated",
+	MessageSent:       "message-sent",
+	Converted:         "converted",
+	Violation:         "violation",
+	Depend:            "depend",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence. Fields not meaningful for a Kind are
+// zero.
+type Event struct {
+	// At is the time since the start of the run (virtual time for the
+	// simulated executor, wall time for the shared-memory executor).
+	At time.Duration
+	// Kind classifies the event.
+	Kind Kind
+	// Task is the acting task's ID (0 if none).
+	Task uint64
+	// Other is a second task for Depend events (the dependent task).
+	Other uint64
+	// Object is the object involved (0 if none).
+	Object uint64
+	// Src and Dst are machine indices for motion events (-1 if n/a).
+	Src, Dst int
+	// Bytes is the payload size for messages and transfers.
+	Bytes int
+	// Label carries task or object labels for rendering.
+	Label string
+}
+
+// String renders the event compactly for narratives and debugging.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10v %-18v", e.At, e.Kind)
+	if e.Task != 0 {
+		fmt.Fprintf(&b, " task=%d", e.Task)
+	}
+	if e.Other != 0 {
+		fmt.Fprintf(&b, " other=%d", e.Other)
+	}
+	if e.Object != 0 {
+		fmt.Fprintf(&b, " obj=%d", e.Object)
+	}
+	if e.Kind == MessageSent || e.Kind == ObjectMoved || e.Kind == ObjectCopied {
+		fmt.Fprintf(&b, " %d->%d (%dB)", e.Src, e.Dst, e.Bytes)
+	}
+	if e.Label != "" {
+		fmt.Fprintf(&b, " %q", e.Label)
+	}
+	return b.String()
+}
+
+// Log is an append-only event log. It is safe for concurrent use (the
+// shared-memory executor appends from many goroutines). A nil *Log discards
+// everything, so callers never need nil checks.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Add appends an event.
+func (l *Log) Add(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of all events in append order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Filter returns the events of one kind, in order.
+func (l *Log) Filter(k Kind) []Event {
+	var out []Event
+	for _, ev := range l.Events() {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Summary aggregates a log into the counters the benchmark tables report.
+type Summary struct {
+	// Makespan is the time of the last event.
+	Makespan time.Duration
+	// TasksRun counts completed tasks.
+	TasksRun int
+	// Messages and MessageBytes count network messages.
+	Messages     int
+	MessageBytes int64
+	// ObjectsMoved and ObjectsCopied count object transfers.
+	ObjectsMoved  int
+	ObjectsCopied int
+	// ConvertedWords counts data words format-converted in transit.
+	ConvertedWords int
+	// BusyTime is per-machine sum of task execution spans.
+	BusyTime map[int]time.Duration
+	// Violations counts detected specification violations.
+	Violations int
+}
+
+// Summarize computes a Summary from the log.
+func Summarize(l *Log) Summary {
+	s := Summary{BusyTime: map[int]time.Duration{}}
+	started := map[uint64]Event{}
+	for _, ev := range l.Events() {
+		if ev.At > s.Makespan {
+			s.Makespan = ev.At
+		}
+		switch ev.Kind {
+		case TaskStarted:
+			started[ev.Task] = ev
+		case TaskCompleted:
+			s.TasksRun++
+			if st, ok := started[ev.Task]; ok {
+				s.BusyTime[st.Dst] += ev.At - st.At
+			}
+		case MessageSent:
+			s.Messages++
+			s.MessageBytes += int64(ev.Bytes)
+		case ObjectMoved:
+			s.ObjectsMoved++
+		case ObjectCopied:
+			s.ObjectsCopied++
+		case Converted:
+			s.ConvertedWords += ev.Bytes
+		case Violation:
+			s.Violations++
+		}
+	}
+	return s
+}
+
+// TaskGraphDOT renders the dynamic task graph (Depend events plus task
+// labels from TaskCreated events) in Graphviz DOT format — the paper's
+// Figure 4.
+func TaskGraphDOT(l *Log, title string) string {
+	labels := map[uint64]string{}
+	var order []uint64
+	for _, ev := range l.Events() {
+		if ev.Kind == TaskCreated {
+			name := ev.Label
+			if name == "" {
+				name = fmt.Sprintf("task %d", ev.Task)
+			}
+			if _, ok := labels[ev.Task]; !ok {
+				order = append(order, ev.Task)
+			}
+			labels[ev.Task] = name
+		}
+	}
+	type edge struct{ from, to uint64 }
+	seen := map[edge]bool{}
+	var edges []edge
+	for _, ev := range l.Events() {
+		if ev.Kind != Depend {
+			continue
+		}
+		e := edge{ev.Task, ev.Other}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=box];\n")
+	for _, id := range order {
+		fmt.Fprintf(&b, "  t%d [label=%q];\n", id, labels[id])
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  t%d -> t%d;\n", e.from, e.to)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Gantt renders a per-machine text timeline of task executions: one line
+// per machine, showing [start end label] spans in time order.
+func Gantt(l *Log) string {
+	type span struct {
+		start, end time.Duration
+		label      string
+	}
+	starts := map[uint64]Event{}
+	byMachine := map[int][]span{}
+	for _, ev := range l.Events() {
+		switch ev.Kind {
+		case TaskStarted:
+			starts[ev.Task] = ev
+		case TaskCompleted:
+			if st, ok := starts[ev.Task]; ok {
+				lbl := st.Label
+				if lbl == "" {
+					lbl = fmt.Sprintf("task %d", ev.Task)
+				}
+				byMachine[st.Dst] = append(byMachine[st.Dst], span{st.At, ev.At, lbl})
+			}
+		}
+	}
+	machines := make([]int, 0, len(byMachine))
+	for m := range byMachine {
+		machines = append(machines, m)
+	}
+	sort.Ints(machines)
+	var b strings.Builder
+	for _, m := range machines {
+		spans := byMachine[m]
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+		fmt.Fprintf(&b, "machine %d:", m)
+		for _, s := range spans {
+			fmt.Fprintf(&b, " [%v..%v %s]", s.start, s.end, s.label)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+// Package tuplespace is a small Linda kernel — the §6.2 comparison
+// baseline. Linda is an explicitly parallel, nondeterministic coordination
+// language: processes communicate by inserting (Out), reading (Rd) and
+// removing (In) tuples from a global tuple space, and every application
+// carries its own synchronization algorithm built from these primitives.
+// The benchmark harness writes the water kernel in Linda style to count the
+// coordination operations Jade makes unnecessary.
+package tuplespace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tuple is an ordered list of values. Fields are compared with == for
+// matching, so use comparable types for key fields; payload fields that
+// should not participate in matching can be matched with Any.
+type Tuple []any
+
+// Any matches any value in an In/Rd pattern.
+type anyType struct{}
+
+// Any is the wildcard value for patterns.
+var Any = anyType{}
+
+// matches reports whether t matches the pattern (same arity; each pattern
+// field either Any or ==-equal).
+func matches(t, pattern Tuple) bool {
+	if len(t) != len(pattern) {
+		return false
+	}
+	for i, p := range pattern {
+		if _, wild := p.(anyType); wild {
+			continue
+		}
+		if t[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats counts tuple-space operations.
+type Stats struct {
+	Outs, Ins, Rds int
+	// Blocked counts operations that had to wait for a matching tuple.
+	Blocked int
+}
+
+// Space is a tuple space safe for concurrent use.
+type Space struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	tuples []Tuple
+	stats  Stats
+	closed bool
+}
+
+// New returns an empty tuple space.
+func New() *Space {
+	s := &Space{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Out inserts a tuple.
+func (s *Space) Out(t Tuple) {
+	s.mu.Lock()
+	s.tuples = append(s.tuples, t)
+	s.stats.Outs++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// find returns the index of the first matching tuple, or -1.
+func (s *Space) find(pattern Tuple) int {
+	for i, t := range s.tuples {
+		if matches(t, pattern) {
+			return i
+		}
+	}
+	return -1
+}
+
+// In removes and returns a tuple matching the pattern, blocking until one
+// exists. It returns an error if the space is closed while waiting.
+func (s *Space) In(pattern Tuple) (Tuple, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Ins++
+	waited := false
+	for {
+		if i := s.find(pattern); i >= 0 {
+			t := s.tuples[i]
+			s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+			if waited {
+				s.stats.Blocked++
+			}
+			return t, nil
+		}
+		if s.closed {
+			return nil, fmt.Errorf("tuplespace: closed while waiting for %v", pattern)
+		}
+		waited = true
+		s.cond.Wait()
+	}
+}
+
+// Rd returns (without removing) a tuple matching the pattern, blocking
+// until one exists.
+func (s *Space) Rd(pattern Tuple) (Tuple, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Rds++
+	waited := false
+	for {
+		if i := s.find(pattern); i >= 0 {
+			if waited {
+				s.stats.Blocked++
+			}
+			return s.tuples[i], nil
+		}
+		if s.closed {
+			return nil, fmt.Errorf("tuplespace: closed while waiting for %v", pattern)
+		}
+		waited = true
+		s.cond.Wait()
+	}
+}
+
+// InP is the non-blocking In: it returns ok=false instead of waiting.
+func (s *Space) InP(pattern Tuple) (Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Ins++
+	if i := s.find(pattern); i >= 0 {
+		t := s.tuples[i]
+		s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+		return t, true
+	}
+	return nil, false
+}
+
+// Close wakes all blocked operations with an error (for shutdown).
+func (s *Space) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Len returns the number of stored tuples.
+func (s *Space) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tuples)
+}
+
+// Stats returns a snapshot of the op counters.
+func (s *Space) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

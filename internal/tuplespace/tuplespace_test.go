@@ -1,0 +1,148 @@
+package tuplespace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOutInBasic(t *testing.T) {
+	s := New()
+	s.Out(Tuple{"point", 1, 2.5})
+	got, err := s.In(Tuple{"point", Any, Any})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 1 || got[2] != 2.5 {
+		t.Fatalf("got %v", got)
+	}
+	if s.Len() != 0 {
+		t.Fatal("In should remove")
+	}
+}
+
+func TestRdDoesNotRemove(t *testing.T) {
+	s := New()
+	s.Out(Tuple{"k", 7})
+	if _, err := s.Rd(Tuple{"k", Any}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatal("Rd should not remove")
+	}
+}
+
+func TestMatchingIsExactOnNonWildcards(t *testing.T) {
+	s := New()
+	s.Out(Tuple{"task", 1})
+	s.Out(Tuple{"task", 2})
+	got, _ := s.In(Tuple{"task", 2})
+	if got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if _, ok := s.InP(Tuple{"task", 2}); ok {
+		t.Fatal("tuple 2 already removed")
+	}
+	if _, ok := s.InP(Tuple{"task", 1}); !ok {
+		t.Fatal("tuple 1 should remain")
+	}
+}
+
+func TestArityMustMatch(t *testing.T) {
+	s := New()
+	s.Out(Tuple{"a", 1, 2})
+	if _, ok := s.InP(Tuple{"a", Any}); ok {
+		t.Fatal("different arity should not match")
+	}
+}
+
+func TestBlockingInWakesOnOut(t *testing.T) {
+	s := New()
+	done := make(chan Tuple, 1)
+	go func() {
+		got, err := s.In(Tuple{"result", Any})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- got
+	}()
+	time.Sleep(5 * time.Millisecond)
+	s.Out(Tuple{"result", 42})
+	select {
+	case got := <-done:
+		if got[1] != 42 {
+			t.Fatalf("got %v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("In never woke")
+	}
+	if s.Stats().Blocked == 0 {
+		t.Fatal("blocked op should be counted")
+	}
+}
+
+func TestConcurrentWorkers(t *testing.T) {
+	// The classic Linda bag-of-tasks: each task is consumed exactly once.
+	s := New()
+	const n = 100
+	for i := 0; i < n; i++ {
+		s.Out(Tuple{"task", i})
+	}
+	var mu sync.Mutex
+	seen := map[int]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tp, ok := s.InP(Tuple{"task", Any})
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[tp[1].(int)]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("consumed %d tasks", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d consumed %d times", i, c)
+		}
+	}
+}
+
+func TestCloseWakesWaiters(t *testing.T) {
+	s := New()
+	errs := make(chan error, 1)
+	go func() {
+		_, err := s.In(Tuple{"never", Any})
+		errs <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("closed In should error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake waiter")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	s := New()
+	s.Out(Tuple{"x"})
+	_, _ = s.Rd(Tuple{"x"})
+	_, _ = s.In(Tuple{"x"})
+	st := s.Stats()
+	if st.Outs != 1 || st.Rds != 1 || st.Ins != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,141 @@
+package jade_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/jade"
+)
+
+func TestAccumulateOnBothSubstrates(t *testing.T) {
+	for name, mk := range runtimes(t) {
+		t.Run(name, func(t *testing.T) {
+			r := mk()
+			var got int64
+			err := r.Run(func(tk *jade.Task) {
+				hist := jade.NewArray[int64](tk, 8, "hist")
+				for i := 0; i < 20; i++ {
+					i := i
+					tk.WithOnlyOpts(jade.TaskOptions{Label: "count", Cost: 0.001},
+						func(s *jade.Spec) { s.Acc(hist) },
+						func(tk *jade.Task) {
+							hist.Update(tk, func(v []int64) {
+								v[i%8]++
+								v[7] += int64(i)
+							})
+						})
+				}
+				// The main program's read waits for all accumulations.
+				v := hist.Read(tk)
+				got = v[7]
+				hist.Release(tk)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Σ i for i in [0,20) = 190, plus the i%8==7 counts (i=7,15): 2.
+			if got != 190+2 {
+				t.Fatalf("%s: hist[7] = %d, want 192", name, got)
+			}
+		})
+	}
+}
+
+func TestAccumulationTasksOverlapInTime(t *testing.T) {
+	// With Acc, the tasks' compute phases overlap and only the short update
+	// sections serialize; with RdWr the whole tasks serialize. The §4.3
+	// generalization is exactly this extra concurrency.
+	run := func(commuting bool) float64 {
+		r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.DASH(8)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = r.Run(func(tk *jade.Task) {
+			sum := jade.NewArray[int64](tk, 1, "sum")
+			for i := 0; i < 8; i++ {
+				tk.WithOnlyOpts(jade.TaskOptions{Label: "add", Cost: 0.05},
+					func(s *jade.Spec) {
+						if commuting {
+							s.Acc(sum)
+						} else {
+							s.RdWr(sum)
+						}
+					},
+					func(tk *jade.Task) {
+						if commuting {
+							sum.Update(tk, func(v []int64) { v[0]++ })
+						} else {
+							sum.ReadWrite(tk)[0]++
+						}
+					})
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Makespan().Seconds()
+	}
+	cm := run(true)
+	ex := run(false)
+	if cm*2 > ex {
+		t.Fatalf("commuting tasks should overlap: acc=%.4fs exclusive=%.4fs", cm, ex)
+	}
+}
+
+func TestAccRequiresDeclaration(t *testing.T) {
+	r := jade.NewSMP(jade.SMPConfig{Procs: 2})
+	err := r.Run(func(tk *jade.Task) {
+		a := jade.NewArray[int64](tk, 1, "a")
+		tk.WithOnly(func(s *jade.Spec) { s.Rd(a) }, func(tk *jade.Task) {
+			a.Update(tk, func(v []int64) { v[0]++ })
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("undeclared commuting access must be a violation, got %v", err)
+	}
+}
+
+func TestAccDoesNotPermitPlainViews(t *testing.T) {
+	r := jade.NewSMP(jade.SMPConfig{Procs: 2})
+	err := r.Run(func(tk *jade.Task) {
+		a := jade.NewArray[int64](tk, 1, "a")
+		tk.WithOnly(func(s *jade.Spec) { s.Acc(a) }, func(tk *jade.Task) {
+			_ = a.Read(tk) // plain read under a cm declaration
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("cm declaration must not permit plain reads, got %v", err)
+	}
+}
+
+func TestAccWithExclusiveNeighbors(t *testing.T) {
+	// writer -> {acc, acc} -> reader: the accumulators wait for the writer,
+	// the reader waits for the accumulators, on every substrate.
+	for name, mk := range runtimes(t) {
+		t.Run(name, func(t *testing.T) {
+			r := mk()
+			var got int64
+			err := r.Run(func(tk *jade.Task) {
+				a := jade.NewArray[int64](tk, 1, "a")
+				tk.WithOnlyOpts(jade.TaskOptions{Label: "init", Cost: 0.001},
+					func(s *jade.Spec) { s.RdWr(a) },
+					func(tk *jade.Task) { a.ReadWrite(tk)[0] = 100 })
+				for i := 0; i < 4; i++ {
+					tk.WithOnlyOpts(jade.TaskOptions{Label: "acc", Cost: 0.001},
+						func(s *jade.Spec) { s.Acc(a) },
+						func(tk *jade.Task) {
+							a.Update(tk, func(v []int64) { v[0] += 10 })
+						})
+				}
+				got = a.Read(tk)[0]
+				a.Release(tk)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 140 {
+				t.Fatalf("%s: got %d, want 140", name, got)
+			}
+		})
+	}
+}

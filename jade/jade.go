@@ -1,0 +1,431 @@
+// Package jade is a Go implementation of Jade, the implicitly parallel
+// coarse-grain programming language of Rinard, Scales and Lam
+// ("Heterogeneous Parallel Programming in Jade", Supercomputing 1992).
+//
+// A Jade program is a serial, imperative program over shared objects,
+// augmented with declarations of how each part of the program accesses
+// data. The runtime extracts the concurrency automatically while
+// deterministically preserving the serial semantics: every parallel
+// execution produces exactly the result of running the program serially.
+//
+// The paper's constructs map to this API as follows:
+//
+//	double shared *v;                 →  v := jade.NewArray[float64](t, n, "v")
+//	withonly { rd(a); wr(b) } do ...  →  t.WithOnly(func(s *jade.Spec) { s.Rd(a); s.Wr(b) },
+//	                                         func(t *jade.Task) { ... })
+//	with { rd(a) } cont;              →  t.WithCont(func(c *jade.Cont) { c.Rd(a) })
+//	df_rd(a) / no_rd(a)               →  s.DfRd(a) / c.NoRd(a)
+//
+// The same program runs unmodified on two substrates:
+//
+//   - NewSMP: real parallelism with goroutines over the host's processors
+//     (the paper's shared-memory implementations on SGI and Stanford DASH).
+//   - NewSimulated: a deterministic discrete-event simulation of a
+//     message-passing platform — homogeneous (iPSC/860), Ethernet
+//     workstation farm (Mica), or heterogeneous with special-purpose
+//     accelerators (HRV) — with object migration, replication, data format
+//     conversion, dynamic load balancing and latency hiding.
+package jade
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/exec/dist"
+	"repro/internal/exec/smp"
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/rt"
+	"repro/internal/trace"
+)
+
+// Platform describes a simulated machine collection (see DASH, IPSC860,
+// Mica, HRV, Workstations, or build your own).
+type Platform = machine.Platform
+
+// MachineSpec describes one machine of a custom platform.
+type MachineSpec = machine.Spec
+
+// NetworkStats are cumulative network counters of a simulated run.
+type NetworkStats = netmodel.Stats
+
+// Predefined platforms modeling the paper's evaluation environments (§7).
+var (
+	// DASH is the Stanford DASH shared-memory multiprocessor.
+	DASH = machine.DASH
+	// IPSC860 is the Intel iPSC/860 message-passing hypercube.
+	IPSC860 = machine.IPSC860
+	// Mica is the Sun Mica array: Sparc ELC boards on shared Ethernet.
+	Mica = machine.Mica
+	// HRV is the Sun High Resolution Video workstation: SPARC host with
+	// camera hardware plus fast i860 accelerators (heterogeneous formats).
+	HRV = machine.HRV
+	// Workstations is a heterogeneous Ethernet network of SPARC and
+	// DECStation workstations.
+	Workstations = machine.Workstations
+)
+
+// Capability tags for TaskOptions.RequireCap on the HRV platform.
+const (
+	CapCamera      = machine.CapCamera
+	CapAccelerator = machine.CapAccelerator
+	CapDisplay     = machine.CapDisplay
+)
+
+// Runtime executes one Jade program. Create one with NewSMP or NewSimulated,
+// call Run exactly once, then inspect results with Final, Summary, etc.
+type Runtime struct {
+	ex        rt.Exec
+	simulated bool
+	wall      time.Duration
+}
+
+// SMPConfig configures the real shared-memory runtime.
+type SMPConfig struct {
+	// Procs is the number of processors to use (0 = all host CPUs).
+	Procs int
+	// MaxLiveTasks bounds outstanding tasks; creators inline children
+	// above it (0 = 64 × Procs).
+	MaxLiveTasks int
+	// Trace records execution events (small overhead).
+	Trace bool
+}
+
+// NewSMP returns a runtime executing on real goroutine parallelism.
+func NewSMP(cfg SMPConfig) *Runtime {
+	return &Runtime{ex: smp.New(smp.Options{
+		Procs:        cfg.Procs,
+		MaxLiveTasks: cfg.MaxLiveTasks,
+		Trace:        cfg.Trace,
+	})}
+}
+
+// SimConfig configures the simulated message-passing runtime.
+type SimConfig struct {
+	// Platform is the machine collection to simulate (required).
+	Platform Platform
+	// MaxLiveTasks bounds outstanding tasks (0 = 256).
+	MaxLiveTasks int
+	// NoPrefetch disables latency hiding (ablation).
+	NoPrefetch bool
+	// NoLocality disables the locality scheduling heuristic (ablation).
+	NoLocality bool
+	// Trace records execution events.
+	Trace bool
+}
+
+// NewSimulated returns a runtime executing on a simulated platform in
+// deterministic virtual time.
+func NewSimulated(cfg SimConfig) (*Runtime, error) {
+	x, err := dist.New(dist.Options{
+		Platform:     cfg.Platform,
+		MaxLiveTasks: cfg.MaxLiveTasks,
+		NoPrefetch:   cfg.NoPrefetch,
+		NoLocality:   cfg.NoLocality,
+		Trace:        cfg.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{ex: x, simulated: true}, nil
+}
+
+// Run executes the main program. It returns when every task has completed,
+// reporting the first access-specification violation or task panic, if any.
+// Run must be called exactly once per Runtime.
+func (r *Runtime) Run(main func(t *Task)) error {
+	start := time.Now()
+	err := r.ex.Run(func(tc rt.TC) {
+		main(&Task{tc: tc, r: r})
+	})
+	r.wall = time.Since(start)
+	return err
+}
+
+// Makespan returns the program duration: virtual time for a simulated
+// runtime, wall-clock time for the SMP runtime.
+func (r *Runtime) Makespan() time.Duration {
+	if x, ok := r.ex.(*dist.Exec); ok {
+		return x.Makespan()
+	}
+	return r.wall
+}
+
+// NetStats returns network counters (zero value for the SMP runtime, whose
+// shared memory sends no messages).
+func (r *Runtime) NetStats() NetworkStats {
+	if x, ok := r.ex.(*dist.Exec); ok {
+		return x.NetStats()
+	}
+	return NetworkStats{}
+}
+
+// EngineStats returns dependency-engine counters.
+func (r *Runtime) EngineStats() core.Stats { return r.ex.Engine().Stats() }
+
+// TraceLog returns the event log (nil unless tracing was enabled).
+func (r *Runtime) TraceLog() *trace.Log { return r.ex.Log() }
+
+// Summary aggregates the trace into headline counters (requires tracing).
+func (r *Runtime) Summary() trace.Summary { return trace.Summarize(r.ex.Log()) }
+
+// TaskGraphDOT renders the dynamic task graph in Graphviz DOT format
+// (requires tracing) — the paper's Figure 4.
+func (r *Runtime) TaskGraphDOT(title string) string {
+	return trace.TaskGraphDOT(r.ex.Log(), title)
+}
+
+// ChromeTraceJSON renders the execution as Chrome trace-event JSON
+// (requires tracing): task spans per machine plus object-motion instants,
+// viewable in chrome://tracing or Perfetto.
+func (r *Runtime) ChromeTraceJSON() ([]byte, error) {
+	return trace.ChromeJSON(r.ex.Log())
+}
+
+// Task is the handle a running task body uses to declare children, refine
+// its access specification, and access shared objects. The main program's
+// Task is passed to Run's callback.
+type Task struct {
+	tc rt.TC
+	r  *Runtime
+}
+
+// Machine returns the index of the machine (or processor slot) executing
+// this task.
+func (t *Task) Machine() int { return t.tc.Machine() }
+
+// Charge accounts dynamic computational work (in abstract work units) to
+// this task: virtual time in a simulated runtime, a no-op on real hardware.
+func (t *Task) Charge(work float64) { t.tc.Charge(work) }
+
+// TaskOptions carry optional scheduling information for WithOnlyOpts.
+type TaskOptions struct {
+	// Label names the task in traces and the task graph.
+	Label string
+	// Cost is the task's modeled computational work in work units
+	// (simulated runtimes only).
+	Cost float64
+	// Machine pins the task to a machine index (§4.5); nil lets the
+	// scheduler choose. Use jade.On.
+	Machine *int
+	// RequireCap restricts scheduling to machines offering a capability
+	// (e.g. jade.CapCamera on the HRV platform).
+	RequireCap string
+}
+
+// On is a convenience for TaskOptions.Machine: TaskOptions{Machine: jade.On(2)}.
+func On(m int) *int { return &m }
+
+// WithOnly is the paper's withonly-do construct: declare, via the declare
+// callback, exactly how the task body will access shared objects, then run
+// body as a parallel task under those rights. WithOnly returns as soon as
+// the task is created; the body runs when its declared accesses become
+// legal. Declaration code may inspect data and use arbitrary control flow,
+// which is how Jade expresses dynamic, data-dependent concurrency.
+func (t *Task) WithOnly(declare func(*Spec), body func(*Task)) {
+	t.WithOnlyOpts(TaskOptions{}, declare, body)
+}
+
+// WithOnlyOpts is WithOnly with scheduling options.
+func (t *Task) WithOnlyOpts(opts TaskOptions, declare func(*Spec), body func(*Task)) {
+	s := &Spec{}
+	declare(s)
+	ro := rt.TaskOpts{Label: opts.Label, Cost: opts.Cost, RequireCap: opts.RequireCap}
+	if opts.Machine != nil {
+		ro.Pin = *opts.Machine + 1
+	}
+	r := t.r
+	if err := t.tc.Create(s.decls, ro, func(tc rt.TC) {
+		body(&Task{tc: tc, r: r})
+	}); err != nil {
+		panic(fmt.Sprintf("jade: withonly: %v", err))
+	}
+}
+
+// WithCont is the paper's with-cont construct: refine this task's access
+// specification mid-execution — convert deferred declarations to immediate
+// ones (Cont.Rd/Wr, which may block) or retract rights (Cont.NoRd/NoWr,
+// which may unblock later tasks).
+func (t *Task) WithCont(declare func(*Cont)) {
+	declare(&Cont{t: t})
+}
+
+// Spec collects a task's access declarations inside a WithOnly declare
+// callback.
+type Spec struct {
+	decls []access.Decl
+}
+
+func (s *Spec) add(o Object, m access.Mode) {
+	s.decls = append(s.decls, access.Decl{Object: o.objectID(), Mode: m})
+}
+
+// Rd declares that the task may read o.
+func (s *Spec) Rd(o Object) { s.add(o, access.Read) }
+
+// Wr declares that the task may write o.
+func (s *Spec) Wr(o Object) { s.add(o, access.Write) }
+
+// RdWr declares that the task may read and write o.
+func (s *Spec) RdWr(o Object) { s.add(o, access.ReadWrite) }
+
+// DfRd declares a deferred read: the task will not read o until it converts
+// the declaration with a with-cont rd (§4.2). The declaration reserves the
+// task's position in o's queue but does not delay the task's start.
+func (s *Spec) DfRd(o Object) { s.add(o, access.DeferredRead) }
+
+// DfWr declares a deferred write.
+func (s *Spec) DfWr(o Object) { s.add(o, access.DeferredWrite) }
+
+// DfRdWr declares a deferred read and write.
+func (s *Spec) DfRdWr(o Object) { s.add(o, access.DeferredReadWrite) }
+
+// Acc declares a commuting update (§4.3's higher-level access
+// specifications): the task will update o in a way that commutes with other
+// Acc tasks' updates — for example accumulating into a sum. Acc tasks may
+// execute in either order; the runtime makes their actual accesses mutually
+// exclusive. Use Array.Update to perform the access. Results are
+// deterministic only if the updates truly commute (e.g. integer addition).
+func (s *Spec) Acc(o Object) { s.add(o, access.Commute) }
+
+// Cont executes with-cont access specification statements.
+type Cont struct {
+	t *Task
+}
+
+// Rd converts a deferred read on o into an immediate read, blocking until
+// earlier conflicting tasks are done.
+func (c *Cont) Rd(o Object) {
+	if err := c.t.tc.Convert(o.objectID(), access.DeferredRead); err != nil {
+		panic(fmt.Sprintf("jade: with-cont rd: %v", err))
+	}
+}
+
+// Wr converts a deferred write on o into an immediate write.
+func (c *Cont) Wr(o Object) {
+	if err := c.t.tc.Convert(o.objectID(), access.DeferredWrite); err != nil {
+		panic(fmt.Sprintf("jade: with-cont wr: %v", err))
+	}
+}
+
+// RdWr converts deferred read and write rights on o.
+func (c *Cont) RdWr(o Object) {
+	if err := c.t.tc.Convert(o.objectID(), access.DeferredReadWrite); err != nil {
+		panic(fmt.Sprintf("jade: with-cont rd_wr: %v", err))
+	}
+}
+
+// NoRd declares that the task will no longer read o, releasing waiting
+// writers immediately.
+func (c *Cont) NoRd(o Object) {
+	if err := c.t.tc.Retract(o.objectID(), access.AnyRead); err != nil {
+		panic(fmt.Sprintf("jade: with-cont no_rd: %v", err))
+	}
+}
+
+// NoWr declares that the task will no longer write o.
+func (c *Cont) NoWr(o Object) {
+	if err := c.t.tc.Retract(o.objectID(), access.AnyWrite); err != nil {
+		panic(fmt.Sprintf("jade: with-cont no_wr: %v", err))
+	}
+}
+
+// Object is any shared object reference (the paper's globally valid object
+// identifiers behind the `shared` type qualifier).
+type Object interface {
+	objectID() access.ObjectID
+}
+
+// Elem is the element types shared arrays support. The set matches what the
+// typed transport can re-encode between machine formats (internal/format) —
+// Jade objects must be convertible to cross heterogeneous machines.
+type Elem interface {
+	byte | int32 | int64 | float32 | float64
+}
+
+// Array is a shared vector of E — the workhorse shared object (the paper's
+// `double shared *column`). The handle is a value that task closures
+// capture; the data lives in the runtime's (per-machine) stores.
+type Array[E Elem] struct {
+	id access.ObjectID
+}
+
+func (a *Array[E]) objectID() access.ObjectID { return a.id }
+
+// ID returns the object's global identifier (for debugging).
+func (a *Array[E]) ID() uint64 { return uint64(a.id) }
+
+// NewArray allocates a zeroed shared array of length n. The allocating task
+// gets implicit read/write rights.
+func NewArray[E Elem](t *Task, n int, label string) *Array[E] {
+	return NewArrayFrom(t, make([]E, n), label)
+}
+
+// NewArrayFrom allocates a shared array adopting data (no copy; the caller
+// must not retain the slice).
+func NewArrayFrom[E Elem](t *Task, data []E, label string) *Array[E] {
+	id, err := t.tc.Alloc(data, label)
+	if err != nil {
+		panic(fmt.Sprintf("jade: alloc: %v", err))
+	}
+	return &Array[E]{id: id}
+}
+
+func (a *Array[E]) view(t *Task, m access.Mode, what string) []E {
+	v, err := t.tc.Access(a.id, m)
+	if err != nil {
+		panic(fmt.Sprintf("jade: %s: %v", what, err))
+	}
+	s, ok := v.([]E)
+	if !ok {
+		panic(fmt.Sprintf("jade: %s: object #%d holds %T, not []%T", what, a.id, v, *new(E)))
+	}
+	return s
+}
+
+// Read returns a read view of the array. The task must have declared rd
+// (or converted a df_rd). The caller must not modify the returned slice.
+// Blocks while an earlier conflicting task (e.g. a child of this task) is
+// still using the object.
+func (a *Array[E]) Read(t *Task) []E { return a.view(t, access.Read, "read") }
+
+// Write returns a write view. The task must have declared wr. Reading the
+// view's previous contents is undeclared and undefined: on message-passing
+// platforms a write-only declaration transfers ownership without moving the
+// old bytes (the task gets a zeroed buffer), so a task that declares wr
+// must fully overwrite the parts it wants defined — declare rd_wr to
+// read-modify-write.
+func (a *Array[E]) Write(t *Task) []E { return a.view(t, access.Write, "write") }
+
+// ReadWrite returns a read-write view. The task must have declared rd_wr.
+func (a *Array[E]) ReadWrite(t *Task) []E { return a.view(t, access.ReadWrite, "read-write") }
+
+// Update performs a commuting update (declared with Spec.Acc): f receives
+// an exclusive view of the current value and must apply an update that
+// commutes with other Acc tasks' updates. Update blocks while another
+// commuting task holds the object and releases it when f returns. Holding
+// other Update views inside f risks lock-order deadlock — update one
+// object at a time.
+func (a *Array[E]) Update(t *Task, f func(v []E)) {
+	v := a.view(t, access.Commute, "update")
+	defer t.tc.EndAccess(a.id, access.Commute)
+	f(v)
+}
+
+// Release ends all views this task holds of the array. Views end
+// automatically when the task completes; call Release explicitly before
+// creating a child task that conflicts with a view you still hold (the
+// usual case: the main program initializes an array, then spawns tasks).
+func (a *Array[E]) Release(t *Task) { t.tc.ClearAccess(a.id) }
+
+// Final returns an array's value after the runtime has finished Run — the
+// owning machine's version. Use it to verify results.
+func Final[E Elem](r *Runtime, a *Array[E]) []E {
+	v := r.ex.ObjectValue(a.id)
+	if v == nil {
+		return nil
+	}
+	return v.([]E)
+}

@@ -1,0 +1,292 @@
+package jade_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/jade"
+)
+
+// runtimes returns one SMP and one simulated runtime for portability tests:
+// the same program must behave identically on both.
+func runtimes(t *testing.T) map[string]func() *jade.Runtime {
+	t.Helper()
+	return map[string]func() *jade.Runtime{
+		"smp": func() *jade.Runtime {
+			return jade.NewSMP(jade.SMPConfig{Procs: 4})
+		},
+		"simulated": func() *jade.Runtime {
+			r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.IPSC860(4)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		},
+	}
+}
+
+func TestPaperFigure6Style(t *testing.T) {
+	// A miniature of the paper's Figure 6: a chain of updates where each
+	// "column" is internally updated, then used to update later columns.
+	for name, mk := range runtimes(t) {
+		t.Run(name, func(t *testing.T) {
+			r := mk()
+			var cols []*jade.Array[float64]
+			err := r.Run(func(t *jade.Task) {
+				const n = 6
+				for i := 0; i < n; i++ {
+					c := jade.NewArray[float64](t, 4, "col")
+					c.ReadWrite(t)[0] = float64(i + 1)
+					c.Release(t)
+					cols = append(cols, c)
+				}
+				for i := 0; i < n; i++ {
+					i := i
+					// InternalUpdate(i): rd_wr(c[i])
+					t.WithOnlyOpts(jade.TaskOptions{Label: "internal", Cost: 0.01},
+						func(s *jade.Spec) { s.RdWr(cols[i]) },
+						func(t *jade.Task) {
+							v := cols[i].ReadWrite(t)
+							v[0] *= 10
+						})
+					// ExternalUpdate(i, j): rd_wr(c[j]); rd(c[i])
+					for j := i + 1; j < n; j += 2 {
+						j := j
+						t.WithOnlyOpts(jade.TaskOptions{Label: "external", Cost: 0.01},
+							func(s *jade.Spec) { s.RdWr(cols[j]); s.Rd(cols[i]) },
+							func(t *jade.Task) {
+								src := cols[i].Read(t)
+								dst := cols[j].ReadWrite(t)
+								dst[0] += src[0]
+							})
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Serial reference.
+			want := []float64{1, 2, 3, 4, 5, 6}
+			for i := 0; i < 6; i++ {
+				want[i] *= 10
+				for j := i + 1; j < 6; j += 2 {
+					want[j] += want[i]
+				}
+			}
+			for i, c := range cols {
+				if got := jade.Final(r, c)[0]; got != want[i] {
+					t.Fatalf("col %d = %v, want %v", i, got, want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestWithContPipelining(t *testing.T) {
+	// Paper §4.2: the back-substitution pattern with df_rd + with-cont.
+	for name, mk := range runtimes(t) {
+		t.Run(name, func(t *testing.T) {
+			r := mk()
+			var sum float64
+			err := r.Run(func(t *jade.Task) {
+				const n = 5
+				cols := make([]*jade.Array[float64], n)
+				for i := range cols {
+					cols[i] = jade.NewArray[float64](t, 1, "col")
+				}
+				for i := range cols {
+					i := i
+					t.WithOnlyOpts(jade.TaskOptions{Label: "factor", Cost: 0.01},
+						func(s *jade.Spec) { s.RdWr(cols[i]) },
+						func(t *jade.Task) { cols[i].ReadWrite(t)[0] = float64(i + 1) })
+				}
+				acc := jade.NewArray[float64](t, 1, "x")
+				t.WithOnlyOpts(jade.TaskOptions{Label: "backsubst", Cost: 0.01},
+					func(s *jade.Spec) {
+						s.RdWr(acc)
+						for i := 0; i < n; i++ {
+							s.DfRd(cols[i])
+						}
+					},
+					func(t *jade.Task) {
+						for j := 0; j < n; j++ {
+							t.WithCont(func(c *jade.Cont) { c.Rd(cols[j]) })
+							acc.ReadWrite(t)[0] += cols[j].Read(t)[0]
+							cols[j].Release(t)
+							t.WithCont(func(c *jade.Cont) { c.NoRd(cols[j]) })
+						}
+					})
+				sum = acc.Read(t)[0]
+				acc.Release(t)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != 15 {
+				t.Fatalf("%s: sum = %v, want 15", name, sum)
+			}
+		})
+	}
+}
+
+func TestViolationBecomesRunError(t *testing.T) {
+	for name, mk := range runtimes(t) {
+		t.Run(name, func(t *testing.T) {
+			r := mk()
+			err := r.Run(func(t *jade.Task) {
+				a := jade.NewArray[int64](t, 1, "a")
+				t.WithOnly(func(s *jade.Spec) { s.Rd(a) }, func(t *jade.Task) {
+					a.Write(t) // undeclared write → panic → Run error
+				})
+			})
+			if err == nil || !strings.Contains(err.Error(), "violation") {
+				t.Fatalf("want violation error, got %v", err)
+			}
+		})
+	}
+}
+
+func TestCreateWhileHoldingViewIsCaught(t *testing.T) {
+	r := jade.NewSMP(jade.SMPConfig{Procs: 2})
+	err := r.Run(func(t *jade.Task) {
+		a := jade.NewArray[int64](t, 1, "a")
+		_ = a.ReadWrite(t) // live view, never released
+		t.WithOnly(func(s *jade.Spec) { s.Rd(a) }, func(t *jade.Task) {})
+	})
+	if err == nil || !strings.Contains(err.Error(), "view") {
+		t.Fatalf("want live-view error, got %v", err)
+	}
+}
+
+func TestHierarchicalTasks(t *testing.T) {
+	for name, mk := range runtimes(t) {
+		t.Run(name, func(t *testing.T) {
+			r := mk()
+			var got int64
+			err := r.Run(func(t *jade.Task) {
+				a := jade.NewArray[int64](t, 1, "a")
+				t.WithOnlyOpts(jade.TaskOptions{Label: "parent", Cost: 0.01},
+					func(s *jade.Spec) { s.RdWr(a) },
+					func(t *jade.Task) {
+						// Parent writes, then delegates to a child, then
+						// reads the child's result (waits for it).
+						a.ReadWrite(t)[0] = 5
+						a.Release(t)
+						t.WithOnlyOpts(jade.TaskOptions{Label: "child", Cost: 0.01},
+							func(s *jade.Spec) { s.RdWr(a) },
+							func(t *jade.Task) { a.ReadWrite(t)[0] *= 3 })
+						v := a.ReadWrite(t) // blocks until the child is done
+						v[0]++
+					})
+				got = a.Read(t)[0]
+				a.Release(t)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 16 {
+				t.Fatalf("%s: got %d, want 16 (5*3+1)", name, got)
+			}
+		})
+	}
+}
+
+func TestPlacementAndCapabilitiesOnHRV(t *testing.T) {
+	r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.HRV(2), Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := map[string]int{}
+	err = r.Run(func(t *jade.Task) {
+		frame := jade.NewArray[byte](t, 256, "frame")
+		t.WithOnlyOpts(jade.TaskOptions{Label: "capture", Cost: 0.01, RequireCap: jade.CapCamera},
+			func(s *jade.Spec) { s.RdWr(frame) },
+			func(t *jade.Task) { machines["capture"] = t.Machine() })
+		t.WithOnlyOpts(jade.TaskOptions{Label: "transform", Cost: 0.01, RequireCap: jade.CapAccelerator},
+			func(s *jade.Spec) { s.RdWr(frame) },
+			func(t *jade.Task) { machines["transform"] = t.Machine() })
+		t.WithOnlyOpts(jade.TaskOptions{Label: "pinned", Cost: 0.01, Machine: jade.On(2)},
+			func(s *jade.Spec) { s.Rd(frame) },
+			func(t *jade.Task) { machines["pinned"] = t.Machine() })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machines["capture"] != 0 {
+		t.Fatalf("capture on machine %d, want 0 (camera)", machines["capture"])
+	}
+	if machines["transform"] == 0 {
+		t.Fatal("transform should run on an accelerator")
+	}
+	if machines["pinned"] != 2 {
+		t.Fatalf("pinned task on machine %d, want 2", machines["pinned"])
+	}
+}
+
+func TestSummaryAndTaskGraph(t *testing.T) {
+	r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.IPSC860(2), Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.Run(func(t *jade.Task) {
+		a := jade.NewArray[float64](t, 8, "a")
+		t.WithOnlyOpts(jade.TaskOptions{Label: "w1", Cost: 0.01},
+			func(s *jade.Spec) { s.RdWr(a) }, func(t *jade.Task) { a.ReadWrite(t)[0] = 1 })
+		t.WithOnlyOpts(jade.TaskOptions{Label: "w2", Cost: 0.01},
+			func(s *jade.Spec) { s.RdWr(a) }, func(t *jade.Task) { a.ReadWrite(t)[0]++ })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.Summary()
+	if sum.TasksRun != 3 { // two tasks + main
+		t.Fatalf("tasks run = %d", sum.TasksRun)
+	}
+	dot := r.TaskGraphDOT("test")
+	if !strings.Contains(dot, `label="w1"`) || !strings.Contains(dot, "->") {
+		t.Fatalf("task graph missing content:\n%s", dot)
+	}
+	if r.Makespan() <= 0 {
+		t.Fatal("makespan should be positive")
+	}
+	if r.EngineStats().TasksCreated != 2 {
+		t.Fatalf("engine stats: %+v", r.EngineStats())
+	}
+}
+
+func TestTypedArraysOfAllKinds(t *testing.T) {
+	r := jade.NewSMP(jade.SMPConfig{Procs: 2})
+	err := r.Run(func(tk *jade.Task) {
+		b := jade.NewArray[byte](tk, 3, "b")
+		i32 := jade.NewArray[int32](tk, 3, "i32")
+		i64 := jade.NewArray[int64](tk, 3, "i64")
+		f32 := jade.NewArray[float32](tk, 3, "f32")
+		f64 := jade.NewArrayFrom(tk, []float64{1, 2, 3}, "f64")
+		b.ReadWrite(tk)[0] = 7
+		i32.ReadWrite(tk)[1] = -9
+		i64.ReadWrite(tk)[2] = 1 << 40
+		f32.ReadWrite(tk)[0] = 2.5
+		if f64.Read(tk)[2] != 3 {
+			t.Error("NewArrayFrom data lost")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineVisibleInBody(t *testing.T) {
+	r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.Mica(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.Run(func(tk *jade.Task) {
+		if tk.Machine() != 0 {
+			t.Errorf("main on machine %d, want 0", tk.Machine())
+		}
+		tk.Charge(0.001)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

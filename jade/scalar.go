@@ -1,0 +1,50 @@
+package jade
+
+import "repro/internal/access"
+
+// Scalar is a shared single value — a one-element Array with ergonomic
+// accessors. Use it for counters, flags and reduction results.
+type Scalar[E Elem] struct {
+	arr Array[E]
+}
+
+func (s *Scalar[E]) objectID() access.ObjectID { return s.arr.id }
+
+// NewScalar allocates a shared scalar holding initial.
+func NewScalar[E Elem](t *Task, initial E, label string) *Scalar[E] {
+	a := NewArrayFrom(t, []E{initial}, label)
+	return &Scalar[E]{arr: *a}
+}
+
+// Get reads the value (the task must have declared rd).
+func (s *Scalar[E]) Get(t *Task) E {
+	v := s.arr.Read(t)[0]
+	t.tc.EndAccess(s.arr.id, access.Read)
+	return v
+}
+
+// Set writes the value (the task must have declared wr).
+func (s *Scalar[E]) Set(t *Task, v E) {
+	s.arr.Write(t)[0] = v
+	t.tc.EndAccess(s.arr.id, access.Write)
+}
+
+// Modify applies f to the value (the task must have declared rd_wr).
+func (s *Scalar[E]) Modify(t *Task, f func(E) E) {
+	view := s.arr.ReadWrite(t)
+	view[0] = f(view[0])
+	t.tc.EndAccess(s.arr.id, access.ReadWrite)
+}
+
+// Add performs a commuting accumulation (the task must have declared Acc).
+func (s *Scalar[E]) Add(t *Task, delta E) {
+	s.arr.Update(t, func(v []E) { v[0] += delta })
+}
+
+// Release ends all views this task holds of the scalar.
+func (s *Scalar[E]) Release(t *Task) { s.arr.Release(t) }
+
+// FinalScalar returns the scalar's value after the runtime finished Run.
+func FinalScalar[E Elem](r *Runtime, s *Scalar[E]) E {
+	return Final(r, &s.arr)[0]
+}

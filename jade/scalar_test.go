@@ -1,0 +1,70 @@
+package jade_test
+
+import (
+	"testing"
+
+	"repro/jade"
+)
+
+func TestScalarBasics(t *testing.T) {
+	for name, mk := range runtimes(t) {
+		t.Run(name, func(t *testing.T) {
+			r := mk()
+			var got float64
+			err := r.Run(func(tk *jade.Task) {
+				s := jade.NewScalar[float64](tk, 2.5, "s")
+				tk.WithOnlyOpts(jade.TaskOptions{Label: "set", Cost: 0.001},
+					func(sp *jade.Spec) { sp.Wr(s) },
+					func(tk *jade.Task) { s.Set(tk, 7) })
+				tk.WithOnlyOpts(jade.TaskOptions{Label: "mod", Cost: 0.001},
+					func(sp *jade.Spec) { sp.RdWr(s) },
+					func(tk *jade.Task) {
+						s.Modify(tk, func(v float64) float64 { return v * 2 })
+					})
+				got = s.Get(tk)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 14 {
+				t.Fatalf("%s: got %v, want 14", name, got)
+			}
+		})
+	}
+}
+
+func TestScalarAddCommutes(t *testing.T) {
+	r := jade.NewSMP(jade.SMPConfig{Procs: 4})
+	var s *jade.Scalar[int64]
+	err := r.Run(func(tk *jade.Task) {
+		s = jade.NewScalar[int64](tk, 0, "acc")
+		for i := 0; i < 10; i++ {
+			tk.WithOnly(func(sp *jade.Spec) { sp.Acc(s) }, func(tk *jade.Task) {
+				s.Add(tk, 3)
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := jade.FinalScalar(r, s); got != 30 {
+		t.Fatalf("got %d, want 30", got)
+	}
+}
+
+func TestScalarGetReleasesView(t *testing.T) {
+	// Get must not leave a live view that blocks child creation.
+	r := jade.NewSMP(jade.SMPConfig{Procs: 2})
+	err := r.Run(func(tk *jade.Task) {
+		s := jade.NewScalar[int64](tk, 5, "s")
+		_ = s.Get(tk)
+		// Creating a writer child immediately must not trip the live-view
+		// detector.
+		tk.WithOnly(func(sp *jade.Spec) { sp.RdWr(s) }, func(tk *jade.Task) {
+			s.Modify(tk, func(v int64) int64 { return v + 1 })
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
