@@ -1,0 +1,31 @@
+# Verification tiers for the Jade reproduction. `make check` is what CI (and
+# every PR) must pass: static checks, the full test suite, and the
+# race-hardened concurrency tier over the packages that do real parallelism.
+
+GO ?= go
+
+.PHONY: check vet build test race bench clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency tier: the dependency engine, both executors and the public
+# API under the race detector, twice, to shake out schedule-dependent bugs
+# in the sharded (per-object-lock) engine.
+race:
+	$(GO) test -race -count=2 ./internal/core/... ./internal/exec/... ./jade/...
+
+# Engine throughput and application benchmarks (not part of check).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime 1s -count 3 .
+
+clean:
+	$(GO) clean ./...

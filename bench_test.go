@@ -10,6 +10,7 @@ package repro
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/access"
@@ -303,6 +304,68 @@ func BenchmarkEngineTaskLifecycle(b *testing.B) {
 		}
 		if err := e.Complete(t); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineThroughput measures parallel engine throughput: G
+// goroutines, each owning a long-running worker task, hammer the full
+// create/start/complete lifecycle. In the "disjoint" variants every worker
+// uses a private object, so a sharded engine serializes nothing; in the
+// "contended" variants every child declares a (non-conflicting, read-only)
+// right on one hot object, so all goroutines hit the same queue.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, g := range []int{1, 8} {
+		for _, contended := range []bool{false, true} {
+			kind := "disjoint"
+			if contended {
+				kind = "contended"
+			}
+			b.Run(fmt.Sprintf("%s-g%d", kind, g), func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(g))
+				e := core.New(core.Hooks{Ready: func(t *core.Task) {}})
+				root := e.Root()
+				workers := make([]*core.Task, g)
+				for i := range workers {
+					obj := access.ObjectID(i + 1)
+					mode := access.ReadWrite
+					if contended {
+						obj, mode = 1, access.Read
+					}
+					w, err := e.Create(root, []access.Decl{{Object: obj, Mode: mode}}, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := e.Start(w); err != nil {
+						b.Fatal(err)
+					}
+					workers[i] = w
+				}
+				var next int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := atomic.AddInt64(&next, 1) - 1
+					w := workers[i%int64(g)]
+					obj := access.ObjectID(i%int64(g) + 1)
+					mode := access.ReadWrite
+					if contended {
+						obj, mode = 1, access.Read
+					}
+					decls := []access.Decl{{Object: obj, Mode: mode}}
+					for pb.Next() {
+						t, err := e.Create(w, decls, nil)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := e.Start(t); err != nil {
+							b.Fatal(err)
+						}
+						if err := e.Complete(t); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
 		}
 	}
 }

@@ -71,6 +71,19 @@ func (m Mode) Immediate() Mode { return m & (Read | Write | Commute) }
 // Deferred returns the deferred rights contained in m.
 func (m Mode) Deferred() Mode { return m & (DeferredRead | DeferredWrite) }
 
+// PromoteSelected converts the deferred bits of m selected by which into
+// the corresponding immediate bits, leaving other bits alone (the with-cont
+// rd/wr conversion applied to a held mode).
+func (m Mode) PromoteSelected(which Mode) Mode {
+	if which.HasAny(DeferredRead) && m.Has(DeferredRead) {
+		m = (m &^ DeferredRead) | Read
+	}
+	if which.HasAny(DeferredWrite) && m.Has(DeferredWrite) {
+		m = (m &^ DeferredWrite) | Write
+	}
+	return m
+}
+
 // Promote converts the deferred bits of m into the corresponding immediate
 // bits (used when a with-cont converts df_rd/df_wr to rd/wr).
 func (m Mode) Promote() Mode {

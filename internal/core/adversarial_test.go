@@ -1,0 +1,222 @@
+package core
+
+// Adversarial invariant tests for the sharded engine: many goroutines hammer
+// one hot object with concurrent Access/Convert/Retract/Complete while a
+// checker thread continuously verifies the queue invariants (strict order,
+// at most one enabled writer, commute-lock consistency) under the queue's
+// own lock — there is no global engine lock serializing any of this anymore.
+// Run under -race.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+)
+
+// TestAdversarialHotObject drives every kind of specification-refinement
+// operation against a single object from many goroutines at once and checks
+// both the engine's internal invariants and the semantic guarantees they
+// exist for: writers are exclusive, commuting accesses are mutually
+// exclusive, readers never overlap a writer.
+func TestAdversarialHotObject(t *testing.T) {
+	const hot access.ObjectID = 1
+	const nTasks = 120
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		readyCh := make(chan *Task, nTasks)
+		e := New(Hooks{Ready: func(tk *Task) { readyCh <- tk }})
+		root := e.Root()
+
+		var (
+			rdHolders atomic.Int32
+			wrHolders atomic.Int32
+			inCm      atomic.Int32
+			failed    atomic.Value // first semantic failure (string)
+		)
+		fail := func(format string, args ...any) {
+			failed.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+		}
+
+		// Each task's behavior is fixed at creation.
+		type plan struct {
+			decl access.Mode
+			kind int // 0=read 1=convert-write 2=retract-then-read 3=commute 4=deferred-rd_wr
+		}
+		plans := make([]plan, nTasks)
+		for i := range plans {
+			switch rng.Intn(5) {
+			case 0:
+				plans[i] = plan{access.Read, 0}
+			case 1:
+				plans[i] = plan{access.Read | access.DeferredWrite, 1}
+			case 2:
+				plans[i] = plan{access.Read | access.DeferredWrite, 2}
+			case 3:
+				plans[i] = plan{access.Commute, 3}
+			case 4:
+				plans[i] = plan{access.DeferredReadWrite, 4}
+			}
+		}
+
+		// Create every task up front (task creation is a root-thread
+		// operation); Ready hooks stream into readyCh as the queue drains.
+		tasks := make(map[*Task]plan, nTasks)
+		for i := 0; i < nTasks; i++ {
+			tk, err := e.Create(root, []access.Decl{{Object: hot, Mode: plans[i].decl}}, nil)
+			if err != nil {
+				t.Fatalf("seed %d: create %d: %v", seed, i, err)
+			}
+			tasks[tk] = plans[i]
+		}
+
+		// Checker thread: invariants must hold at every concurrent instant.
+		checkDone := make(chan struct{})
+		checkErr := make(chan error, 1)
+		go func() {
+			for {
+				select {
+				case <-checkDone:
+					checkErr <- nil
+					return
+				default:
+				}
+				if err := checkInvariants(e); err != nil {
+					checkErr <- err
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+
+		// blockingAccess acquires a view, waiting if the engine says to.
+		blockingAccess := func(tk *Task, m access.Mode) {
+			ch := make(chan struct{})
+			ok, err := e.Access(tk, hot, m, func() { close(ch) })
+			if err != nil {
+				fail("access %v: %v", m, err)
+				return
+			}
+			if !ok {
+				<-ch
+			}
+		}
+		blockingConvert := func(tk *Task, which access.Mode) {
+			ch := make(chan struct{})
+			ok, err := e.Convert(tk, hot, which, func() { close(ch) })
+			if err != nil {
+				fail("convert %v: %v", which, err)
+				return
+			}
+			if !ok {
+				<-ch
+			}
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(nTasks)
+		started := 0
+		timeout := time.After(60 * time.Second)
+		for started < nTasks {
+			var tk *Task
+			select {
+			case tk = <-readyCh:
+			case <-timeout:
+				t.Fatalf("seed %d: deadlock: only %d/%d tasks became ready", seed, started, nTasks)
+			}
+			started++
+			if err := e.Start(tk); err != nil {
+				t.Fatalf("seed %d: start: %v", seed, err)
+			}
+			p := tasks[tk]
+			go func() {
+				defer wg.Done()
+				switch p.kind {
+				case 0: // plain reader
+					blockingAccess(tk, access.Read)
+					r := rdHolders.Add(1)
+					if wrHolders.Load() != 0 {
+						fail("reader overlaps writer")
+					}
+					_ = r
+					runtime.Gosched()
+					rdHolders.Add(-1)
+					e.EndAccess(tk, hot, access.Read)
+				case 1: // convert deferred write, then write exclusively
+					blockingAccess(tk, access.Read)
+					e.EndAccess(tk, hot, access.Read)
+					blockingConvert(tk, access.DeferredWrite)
+					blockingAccess(tk, access.Write)
+					if w := wrHolders.Add(1); w != 1 {
+						fail("%d concurrent writers", w)
+					}
+					if rdHolders.Load() != 0 {
+						fail("writer overlaps reader")
+					}
+					runtime.Gosched()
+					wrHolders.Add(-1)
+				case 2: // retract the deferred write instead, keep reading
+					if err := e.Retract(tk, hot, access.AnyWrite); err != nil {
+						fail("retract: %v", err)
+					}
+					blockingAccess(tk, access.Read)
+					rdHolders.Add(1)
+					if wrHolders.Load() != 0 {
+						fail("reader overlaps writer")
+					}
+					runtime.Gosched()
+					rdHolders.Add(-1)
+				case 3: // commuting update: mutually exclusive views
+					blockingAccess(tk, access.Commute)
+					if n := inCm.Add(1); n != 1 {
+						fail("%d tasks inside commute section", n)
+					}
+					runtime.Gosched()
+					inCm.Add(-1)
+					e.EndAccess(tk, hot, access.Commute)
+				case 4: // fully deferred task converts to rd_wr
+					blockingConvert(tk, access.DeferredReadWrite)
+					blockingAccess(tk, access.ReadWrite)
+					if w := wrHolders.Add(1); w != 1 {
+						fail("%d concurrent writers", w)
+					}
+					runtime.Gosched()
+					wrHolders.Add(-1)
+				}
+				if err := e.Complete(tk); err != nil {
+					fail("complete: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+		close(checkDone)
+		if err := <-checkErr; err != nil {
+			t.Fatalf("seed %d: invariant violated during concurrent ops: %v", seed, err)
+		}
+		if msg := failed.Load(); msg != nil {
+			t.Fatalf("seed %d: %s", seed, msg)
+		}
+		if err := checkInvariants(e); err != nil {
+			t.Fatalf("seed %d: final invariants: %v", seed, err)
+		}
+		// Only the root's implicit residual entry may remain.
+		if err := e.Complete(root); err != nil {
+			t.Fatalf("seed %d: complete root: %v", seed, err)
+		}
+		if got := e.QueueSnapshot(hot); len(got) != 0 {
+			t.Fatalf("seed %d: queue not drained: %v", seed, got)
+		}
+		if e.Live() != 0 {
+			t.Fatalf("seed %d: %d tasks still live", seed, e.Live())
+		}
+		st := e.Stats()
+		if st.LockAcquisitions == 0 || st.TasksCompleted != nTasks+1 { // +1: root
+			t.Fatalf("seed %d: implausible stats %+v", seed, st)
+		}
+	}
+}

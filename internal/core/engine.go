@@ -3,9 +3,10 @@
 //
 // The engine is a pure, event-driven data structure. It knows nothing about
 // goroutines, machines, messages or time; executors (internal/exec/...)
-// supply blocking and scheduling on top of it. Every mutating operation is
-// serialized under one mutex and notifies interested parties through
-// callbacks fired after the mutex is released.
+// supply blocking and scheduling on top of it. Mutating operations are
+// synchronized per shared object — each object queue carries its own lock —
+// and notify interested parties through callbacks fired after every lock is
+// released.
 //
 // # Semantics
 //
@@ -25,12 +26,38 @@
 // concurrently, and a task never waits on a task later in serial order —
 // which is also why suspending task creators or inlining children can never
 // deadlock.
+//
+// # Locking
+//
+// The engine has no global lock (see DESIGN.md §4.6). Synchronization is
+// layered so that operations on disjoint objects never serialize:
+//
+//  1. A striped shard table maps ObjectID → queue; shard locks are held
+//     only for the map lookup, never while any other lock is taken.
+//  2. Each object queue has its own mutex guarding the queue order, the
+//     entry modes and checkouts of its entries, its waiter lists, and the
+//     commute lock. Multi-object operations — Create's covering checks and
+//     Complete's release fan-out — acquire all involved queue locks in
+//     ascending ObjectID order (the canonical order; deadlock-free because
+//     every multi-lock follows it).
+//  3. Each task carries a leaf mutex guarding its entry table. It nests
+//     strictly inside queue locks; no code path takes a queue lock while
+//     holding a task mutex.
+//
+// A task's access specification lives in its entries' mode fields (guarded
+// by the owning queues' locks); there is no separate spec structure to keep
+// in sync. Task lifecycle state (state, start-gate count, live children)
+// and all engine counters are atomics, so wakeups running under one
+// queue's lock can update tasks gated on several queues without ordering
+// constraints. Wakeup callbacks and hooks fire strictly after all locks
+// are released.
 package core
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/access"
 	"repro/internal/seq"
@@ -41,7 +68,7 @@ import (
 type TaskID uint64
 
 // State is a task's lifecycle state.
-type State int
+type State int32
 
 const (
 	// Waiting means the task exists but some immediate declaration is not
@@ -72,6 +99,9 @@ func (s State) String() string {
 
 // Task is the engine's record of one Jade task. Executors attach their own
 // state through Payload and must treat all other fields as read-only.
+// Engine methods on a task may only be called from the task's own executor
+// thread; the concurrent-safety guarantees are about operations of
+// *different* tasks running in parallel.
 type Task struct {
 	// ID is the engine-unique task identifier.
 	ID TaskID
@@ -82,31 +112,73 @@ type Task struct {
 	// Payload is executor-owned attachment (never touched by the engine).
 	Payload any
 
-	parent    *Task
-	engine    *Engine
-	spec      *access.Spec
-	entries   map[access.ObjectID]*entry
-	state     State
-	gates     int // unsatisfied start gates
-	nextChild uint32
-	children  int // live (not Done) children
+	parent *Task
+	engine *Engine
+
+	// state, gates and children are atomic: wakeups running under
+	// arbitrary queue locks update them cross-thread.
+	state    atomic.Int32
+	gates    atomic.Int32 // unsatisfied start gates
+	children atomic.Int32 // live (not Done) children
+
+	// mu is a leaf lock guarding the entries slice (the slice itself;
+	// entry contents are guarded by the owning object queue's lock). It
+	// nests inside queue locks, never the other way around.
+	mu         sync.Mutex
+	entries    []*entry
+	entriesBuf [4]*entry // inline backing for entries (typical task: ≤4 objects)
+
+	nextChild uint32 // touched only by the task's own thread
 }
 
 // Parent returns the task's parent (nil for the root task).
 func (t *Task) Parent() *Task { return t.parent }
 
 // State returns the task's current lifecycle state.
-func (t *Task) State() State {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
-	return t.state
+func (t *Task) State() State { return State(t.state.Load()) }
+
+// Mode returns the rights t currently holds on obj. The value is exact
+// when the engine is quiescent or the caller holds obj's queue lock;
+// otherwise it is a best-effort snapshot.
+func (t *Task) Mode(obj access.ObjectID) access.Mode {
+	if en := t.findEntry(obj); en != nil {
+		return en.mode
+	}
+	return 0
 }
 
-// Mode returns the rights t currently holds on obj (engine-locked snapshot).
-func (t *Task) Mode(obj access.ObjectID) access.Mode {
-	t.engine.mu.Lock()
-	defer t.engine.mu.Unlock()
-	return t.spec.Mode(obj)
+// findEntry returns t's entry on obj (nil if none).
+func (t *Task) findEntry(obj access.ObjectID) *entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, en := range t.entries {
+		if en.obj == obj {
+			return en
+		}
+	}
+	return nil
+}
+
+// addEntry appends a new entry to t's table.
+func (t *Task) addEntry(en *entry) {
+	t.mu.Lock()
+	if t.entries == nil {
+		t.entries = t.entriesBuf[:0]
+	}
+	t.entries = append(t.entries, en)
+	t.mu.Unlock()
+}
+
+// dropEntry removes en from t's table.
+func (t *Task) dropEntry(en *entry) {
+	t.mu.Lock()
+	for i, x := range t.entries {
+		if x == en {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			break
+		}
+	}
+	t.mu.Unlock()
 }
 
 // ImmediateDecls returns the objects and modes the task must hold to start:
@@ -131,14 +203,30 @@ func (t *Task) ImmediateDecls() []access.Decl {
 	return out
 }
 
+// numCheckoutSlots is the number of distinct immediate checkout modes
+// (combinations of Read, Write and Commute), densely indexed by cidx.
+const numCheckoutSlots = 8
+
+// cidx maps an immediate access mode to its dense checkout-counter index.
+func cidx(m access.Mode) int {
+	return int(m&(access.Read|access.Write)) | int((m&access.Commute)>>2)
+}
+
+// checkoutMode is the inverse of cidx.
+func checkoutMode(i int) access.Mode {
+	return access.Mode(i&3) | access.Mode(i&4)<<2
+}
+
 // entry is one task's rights on one object, positioned in the object queue.
+// mode and checkouts are guarded by the owning queue's lock.
 type entry struct {
 	task *Task
 	obj  access.ObjectID
 	mode access.Mode
-	// checkouts counts live data views per immediate mode, used to detect
-	// a parent that creates a conflicting child while still holding a view.
-	checkouts map[access.Mode]int
+	// checkouts counts live data views per immediate mode (indexed by
+	// cidx), used to detect a parent that creates a conflicting child
+	// while still holding a view.
+	checkouts [numCheckoutSlots]int32
 }
 
 // waitKind distinguishes why a waiter is registered.
@@ -150,24 +238,26 @@ const (
 	waitConvert                 // blocked with-cont conversion
 )
 
-// waiter is a pending wakeup for when e becomes enabled for mode. gate runs
-// under the engine mutex (start-gate bookkeeping); wake runs after the
-// mutex is released (unblocking an executor). Checkout and lock updates for
-// granted accesses happen inside the engine, never in callbacks.
+// waiter is a pending wakeup for when e becomes enabled for mode. Start
+// gates update the task's atomic gate count directly; wake (the other two
+// kinds) runs after every lock is released. Checkout and commute-lock
+// updates for granted accesses happen under the queue lock, never in
+// callbacks.
 type waiter struct {
 	e    *entry
 	mode access.Mode
 	kind waitKind
-	gate func() // waitStart only; called with e.mu held
-	wake func() // called after unlock
+	wake func() // waitAccess/waitConvert: called after unlock
 }
 
 // objQueue is the per-object ordered queue of entries plus its waiters.
-// cmLock serializes the actual data accesses of commuting tasks (§4.3):
-// tasks whose declarations commute may start in any order, but only one at
-// a time may hold a view of the object.
+// Every field below mu is guarded by mu. cmLock serializes the actual data
+// accesses of commuting tasks (§4.3): tasks whose declarations commute may
+// start in any order, but only one at a time may hold a view of the object.
 type objQueue struct {
-	id        access.ObjectID
+	id access.ObjectID
+
+	mu        sync.Mutex
 	entries   []*entry // sorted by task.Seq queue order
 	waiters   []*waiter
 	cmLock    *entry
@@ -183,7 +273,7 @@ func (q *objQueue) indexOf(e *entry) int {
 	return -1
 }
 
-// insert places e at its serial position.
+// insert places e at its serial position. Caller holds q.mu.
 func (q *objQueue) insert(e *entry) {
 	i := sort.Search(len(q.entries), func(i int) bool {
 		return e.task.Seq.Less(q.entries[i].task.Seq)
@@ -193,6 +283,7 @@ func (q *objQueue) insert(e *entry) {
 	q.entries[i] = e
 }
 
+// remove deletes e from the queue. Caller holds q.mu.
 func (q *objQueue) remove(e *entry) {
 	if i := q.indexOf(e); i >= 0 {
 		q.entries = append(q.entries[:i], q.entries[i+1:]...)
@@ -200,7 +291,7 @@ func (q *objQueue) remove(e *entry) {
 }
 
 // enabled reports whether e is enabled for immediate mode m: no earlier
-// entry conflicts with m.
+// entry conflicts with m. Caller holds q.mu.
 func (q *objQueue) enabled(e *entry, m access.Mode) bool {
 	for _, x := range q.entries {
 		if x == e {
@@ -215,9 +306,9 @@ func (q *objQueue) enabled(e *entry, m access.Mode) bool {
 	return true
 }
 
-// Hooks are the engine's outbound notifications. They are fired after the
-// engine mutex is released, in the order the events occurred. Hook
-// implementations may call back into the engine.
+// Hooks are the engine's outbound notifications. They are fired after all
+// engine locks are released, in the order the events occurred within each
+// object queue. Hook implementations may call back into the engine.
 type Hooks struct {
 	// Ready fires when a task's start gates are all enabled. It fires
 	// exactly once per task, possibly during the Create call that made it.
@@ -240,17 +331,44 @@ type Stats struct {
 	MaxQueueLen    int
 	Waits          uint64 // times anything had to wait (start gates + accesses)
 	Violations     uint64
+	// LockAcquisitions counts object-queue lock acquisitions — the
+	// engine's synchronization traffic. With the sharded engine this
+	// scales with useful work, not with a single contended mutex.
+	LockAcquisitions uint64
+	// BlockedWakes counts blocked waiters woken (start gates opened,
+	// blocked accesses granted, conversions unblocked, commute-lock
+	// handoffs) — the engine's cross-task signalling traffic.
+	BlockedWakes uint64
+}
+
+// queueShards is the stripe count of the ObjectID → queue table. Power of
+// two so the modulo compiles to a mask.
+const queueShards = 64
+
+// shard is one stripe of the queue table. The lock guards only the map;
+// it is never held while a queue or task lock is taken.
+type shard struct {
+	mu     sync.RWMutex
+	queues map[access.ObjectID]*objQueue
 }
 
 // Engine is the Jade dependency engine. Create one per program run.
 type Engine struct {
-	mu     sync.Mutex
 	hooks  Hooks
-	queues map[access.ObjectID]*objQueue
 	root   *Task
-	nextID TaskID
-	stats  Stats
-	live   int
+	nextID atomic.Uint64
+	live   atomic.Int64
+
+	shards [queueShards]shard
+
+	// Counters (see Stats).
+	tasksCreated     atomic.Uint64
+	tasksCompleted   atomic.Uint64
+	maxQueueLen      atomic.Int64
+	waits            atomic.Uint64
+	violations       atomic.Uint64
+	lockAcquisitions atomic.Uint64
+	blockedWakes     atomic.Uint64
 }
 
 // New returns an engine with a root task in Running state. The root task
@@ -259,84 +377,156 @@ type Engine struct {
 // program waits for conflicting tasks exactly as the serial semantics
 // requires).
 func New(hooks Hooks) *Engine {
-	e := &Engine{
-		hooks:  hooks,
-		queues: make(map[access.ObjectID]*objQueue),
-		nextID: 1,
+	e := &Engine{hooks: hooks}
+	for i := range e.shards {
+		e.shards[i].queues = make(map[access.ObjectID]*objQueue)
 	}
 	e.root = &Task{
-		ID:      1,
-		Seq:     seq.Root(),
-		engine:  e,
-		spec:    access.NewSpec(),
-		entries: make(map[access.ObjectID]*entry),
-		state:   Running,
+		ID:     1,
+		Seq:    seq.Root(),
+		engine: e,
 	}
-	e.nextID = 2
-	e.live = 1
+	e.root.state.Store(int32(Running))
+	e.nextID.Store(2)
+	e.live.Store(1)
 	return e
 }
 
 // Root returns the root (main program) task.
 func (e *Engine) Root() *Task { return e.root }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. Individual counters are
+// exact; the snapshot as a whole is not an atomic cut across them.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		TasksCreated:     e.tasksCreated.Load(),
+		TasksCompleted:   e.tasksCompleted.Load(),
+		MaxQueueLen:      int(e.maxQueueLen.Load()),
+		Waits:            e.waits.Load(),
+		Violations:       e.violations.Load(),
+		LockAcquisitions: e.lockAcquisitions.Load(),
+		BlockedWakes:     e.blockedWakes.Load(),
+	}
 }
 
 // Live returns the number of tasks that are not Done (including the root).
-func (e *Engine) Live() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.live
+func (e *Engine) Live() int { return int(e.live.Load()) }
+
+// shardOf returns the stripe holding obj's queue.
+func (e *Engine) shardOf(obj access.ObjectID) *shard {
+	return &e.shards[uint64(obj)%queueShards]
 }
 
-// queue returns (creating if needed) the queue for obj.
+// queue returns (creating if needed) the queue for obj. Only the shard lock
+// is held inside; the caller takes the queue lock itself.
 func (e *Engine) queue(obj access.ObjectID) *objQueue {
-	q := e.queues[obj]
+	s := e.shardOf(obj)
+	s.mu.RLock()
+	q := s.queues[obj]
+	s.mu.RUnlock()
+	if q != nil {
+		return q
+	}
+	s.mu.Lock()
+	q = s.queues[obj]
 	if q == nil {
 		q = &objQueue{id: obj}
-		e.queues[obj] = q
+		s.queues[obj] = q
 	}
+	s.mu.Unlock()
 	return q
+}
+
+// lockQueue acquires q's lock, counting the acquisition.
+func (e *Engine) lockQueue(q *objQueue) {
+	q.mu.Lock()
+	e.lockAcquisitions.Add(1)
+}
+
+// insertQueueSorted adds obj's queue to qs keeping ascending unique
+// ObjectID order — the canonical lock-acquisition order for multi-object
+// operations. qs is typically backed by a caller stack buffer.
+func (e *Engine) insertQueueSorted(qs []*objQueue, obj access.ObjectID) []*objQueue {
+	i := 0
+	for ; i < len(qs); i++ {
+		if qs[i].id == obj {
+			return qs
+		}
+		if qs[i].id > obj {
+			break
+		}
+	}
+	qs = append(qs, nil)
+	copy(qs[i+1:], qs[i:])
+	qs[i] = e.queue(obj)
+	return qs
+}
+
+// queueIn returns the queue for obj from qs (which must contain it).
+func queueIn(qs []*objQueue, obj access.ObjectID) *objQueue {
+	for _, q := range qs {
+		if q.id == obj {
+			return q
+		}
+	}
+	return nil
+}
+
+// lockAll acquires the given queue locks; qs must be in canonical order
+// (ascending ObjectID), as produced by insertQueueSorted.
+func (e *Engine) lockAll(qs []*objQueue) {
+	for _, q := range qs {
+		e.lockQueue(q)
+	}
+}
+
+// unlockAll releases locks taken by lockAll.
+func (e *Engine) unlockAll(qs []*objQueue) {
+	for i := len(qs) - 1; i >= 0; i-- {
+		qs[i].mu.Unlock()
+	}
+}
+
+// noteQueueLen folds a new queue length into the MaxQueueLen counter.
+func (e *Engine) noteQueueLen(n int) {
+	for {
+		old := e.maxQueueLen.Load()
+		if int64(n) <= old || e.maxQueueLen.CompareAndSwap(old, int64(n)) {
+			return
+		}
+	}
 }
 
 // RegisterObject records that task t allocated obj and grants t implicit
 // immediate read/write rights on it: a freshly allocated object is private
 // to its creator until the creator passes it to child tasks.
 func (e *Engine) RegisterObject(t *Task, obj access.ObjectID) {
-	e.mu.Lock()
-	e.declareLocked(t, obj, access.ReadWrite)
-	e.mu.Unlock()
+	q := e.queue(obj)
+	e.lockQueue(q)
+	e.declare(t, q, access.ReadWrite)
+	q.mu.Unlock()
 }
 
-// declareLocked unions mode bits into t's entry on obj, inserting the entry
-// if absent. Caller holds e.mu.
-func (e *Engine) declareLocked(t *Task, obj access.ObjectID, m access.Mode) *entry {
-	t.spec.Declare(obj, m)
-	en := t.entries[obj]
-	if en == nil {
-		en = &entry{task: t, obj: obj, mode: m, checkouts: map[access.Mode]int{}}
-		t.entries[obj] = en
-		q := e.queue(obj)
-		q.insert(en)
-		if len(q.entries) > e.stats.MaxQueueLen {
-			e.stats.MaxQueueLen = len(q.entries)
-		}
-	} else {
+// declare unions mode bits into t's entry on q's object, inserting the
+// entry if absent. Caller holds q's lock; t.mu is taken internally for the
+// entry-table update.
+func (e *Engine) declare(t *Task, q *objQueue, m access.Mode) *entry {
+	if en := t.findEntry(q.id); en != nil {
 		en.mode |= m
+		return en
 	}
+	en := &entry{task: t, obj: q.id, mode: m}
+	t.addEntry(en)
+	q.insert(en)
+	e.noteQueueLen(len(q.entries))
 	return en
 }
 
-// violationLocked records a violation and returns the error; the hook fires
-// after unlock via the returned fire list.
-func (e *Engine) violationLocked(t *Task, format string, args ...any) (error, []func()) {
+// violation records a violation and returns the error; the hook fires via
+// the returned fire list, which callers run after releasing all locks.
+func (e *Engine) violation(t *Task, format string, args ...any) (error, []func()) {
 	err := fmt.Errorf(format, args...)
-	e.stats.Violations++
+	e.violations.Add(1)
 	var fires []func()
 	if e.hooks.Violation != nil {
 		h := e.hooks.Violation
@@ -354,45 +544,80 @@ func (e *Engine) violationLocked(t *Task, format string, args ...any) (error, []
 // child's declarations, since the parent's subsequent uses of that view
 // would race with the child.
 //
+// Create locks every declared object's queue in canonical order for the
+// duration of the checks and insertions, so the new task's entries appear
+// atomically across all its objects.
+//
 // If the new task has no blocked immediate declarations the Ready hook fires
 // before Create returns.
 func (e *Engine) Create(parent *Task, decls []access.Decl, payload any) (*Task, error) {
-	e.mu.Lock()
 	if parent.engine != e {
-		e.mu.Unlock()
 		return nil, fmt.Errorf("task %d belongs to a different engine", parent.ID)
 	}
-	if parent.state != Running {
-		err, fires := e.violationLocked(parent, "task %d (%v) created a child while %v; only running tasks may create tasks",
-			parent.ID, parent.Seq, parent.state)
-		e.mu.Unlock()
+	if s := parent.State(); s != Running {
+		err, fires := e.violation(parent, "task %d (%v) created a child while %v; only running tasks may create tasks",
+			parent.ID, parent.Seq, s)
 		runAll(fires)
 		return nil, err
 	}
+	var qbuf [8]*objQueue
+	qs := qbuf[:0]
+	for _, d := range decls {
+		qs = e.insertQueueSorted(qs, d.Object)
+	}
+	e.lockAll(qs)
+
 	// Root implicitly owns what it touches.
 	if parent == e.root {
-		for _, d := range decls {
-			e.declareLocked(parent, d.Object, access.ReadWrite|access.DeferredReadWrite)
+		for _, q := range qs {
+			e.declare(parent, q, access.ReadWrite|access.DeferredReadWrite)
 		}
 	}
-	if err := parent.spec.Covers(decls); err != nil {
-		verr, fires := e.violationLocked(parent, "task %d (%v): %w", parent.ID, parent.Seq, err)
-		e.mu.Unlock()
-		runAll(fires)
-		return nil, verr
-	}
-	// Live conflicting views?
-	for _, d := range decls {
-		pe := parent.entries[d.Object]
+	// Hierarchy covering rule: the parent's current rights (its entry
+	// modes, which we can read because every relevant queue is locked)
+	// must cover the child's declarations.
+	for i, d := range decls {
+		dup := false
+		for j := 0; j < i; j++ {
+			if decls[j].Object == d.Object {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		need := d.Mode
+		for j := i + 1; j < len(decls); j++ {
+			if decls[j].Object == d.Object {
+				need |= decls[j].Mode
+			}
+		}
+		var have access.Mode
+		pe := parent.findEntry(d.Object)
+		if pe != nil {
+			have = pe.mode
+		}
+		if !have.Covers(need) {
+			verr, fires := e.violation(parent,
+				"task %d (%v): access violation: child declares %v on object #%d but parent holds only %v",
+				parent.ID, parent.Seq, need, d.Object, have)
+			e.unlockAll(qs)
+			runAll(fires)
+			return nil, verr
+		}
+		// Live conflicting views? (checkouts are guarded by the queue
+		// locks, all of which are held.)
 		if pe == nil {
 			continue
 		}
-		for m, n := range pe.checkouts {
-			if n > 0 && (m.ConflictsWith(d.Mode) || d.Mode.ConflictsWith(m)) {
-				verr, fires := e.violationLocked(parent,
+		for ci, n := range pe.checkouts {
+			m := checkoutMode(ci)
+			if n > 0 && (m.ConflictsWith(need) || need.ConflictsWith(m)) {
+				verr, fires := e.violation(parent,
 					"task %d (%v) creates a child declaring %v on object #%d while holding a live %v view of it; release the view (EndAccess) first",
-					parent.ID, parent.Seq, d.Mode, d.Object, m)
-				e.mu.Unlock()
+					parent.ID, parent.Seq, need, d.Object, m)
+				e.unlockAll(qs)
 				runAll(fires)
 				return nil, verr
 			}
@@ -401,38 +626,36 @@ func (e *Engine) Create(parent *Task, decls []access.Decl, payload any) (*Task, 
 
 	parent.nextChild++
 	t := &Task{
-		ID:      e.nextID,
+		ID:      TaskID(e.nextID.Add(1) - 1),
 		Seq:     parent.Seq.Child(parent.nextChild),
 		Decls:   append([]access.Decl(nil), decls...),
 		Payload: payload,
 		parent:  parent,
 		engine:  e,
-		spec:    access.NewSpec(),
-		entries: make(map[access.ObjectID]*entry),
-		state:   Waiting,
 	}
-	e.nextID++
-	e.stats.TasksCreated++
-	e.live++
-	parent.children++
+	e.tasksCreated.Add(1)
+	e.live.Add(1)
+	parent.children.Add(1)
 
 	for _, d := range decls {
-		e.declareLocked(t, d.Object, d.Mode)
+		e.declare(t, queueIn(qs, d.Object), d.Mode)
 	}
 
 	var fires []func()
 	// Report dynamic data dependences for the task graph: earlier entries
-	// whose rights conflict with the new task's eventual accesses.
+	// whose rights conflict with the new task's eventual accesses. (t is
+	// not yet visible to any other thread — its entries sit in queues we
+	// hold the locks of — so iterating t.entries bare is safe.)
 	if e.hooks.Depend != nil {
-		for obj, en := range t.entries {
-			q := e.queue(obj)
+		for _, en := range t.entries {
+			q := queueIn(qs, en.obj)
 			eventual := en.mode.Promote()
 			for _, prior := range q.entries {
 				if prior == en {
 					break
 				}
 				if prior.mode.ConflictsWith(eventual) {
-					h, earlier, obj := e.hooks.Depend, prior.task, obj
+					h, earlier, obj := e.hooks.Depend, prior.task, en.obj
 					fires = append(fires, func() { h(earlier, t, obj) })
 				}
 			}
@@ -440,36 +663,31 @@ func (e *Engine) Create(parent *Task, decls []access.Decl, payload any) (*Task, 
 	}
 
 	// Count start gates: each (object, immediate mode) not yet enabled.
-	for obj, en := range t.entries {
+	// Registered waiters cannot fire before unlockAll, so the gate count
+	// is complete before any decrement can happen.
+	gates := int32(0)
+	for _, en := range t.entries {
 		im := en.mode.Immediate()
 		if im == 0 {
 			continue
 		}
-		q := e.queue(obj)
+		q := queueIn(qs, en.obj)
 		if !q.enabled(en, im) {
-			t.gates++
-			e.stats.Waits++
-			en := en
-			q.waiters = append(q.waiters, &waiter{
-				e: en, mode: im, kind: waitStart,
-				gate: func() {
-					// Runs with e.mu held (from wakeLocked).
-					t.gates--
-					if t.gates == 0 && t.state == Waiting {
-						t.state = Ready
-					}
-				},
-			})
+			gates++
+			e.waits.Add(1)
+			q.waiters = append(q.waiters, &waiter{e: en, mode: im, kind: waitStart})
 		}
 	}
-	if t.gates == 0 {
-		t.state = Ready
-		if e.hooks.Ready != nil {
-			h := e.hooks.Ready
-			fires = append(fires, func() { h(t) })
-		}
+	t.gates.Store(gates)
+	fireReady := false
+	if gates == 0 {
+		t.state.Store(int32(Ready))
+		fireReady = e.hooks.Ready != nil
 	}
-	e.mu.Unlock()
+	e.unlockAll(qs)
+	if fireReady {
+		e.hooks.Ready(t)
+	}
 	runAll(fires)
 	return t, nil
 }
@@ -477,39 +695,55 @@ func (e *Engine) Create(parent *Task, decls []access.Decl, payload any) (*Task, 
 // Start transitions a Ready task to Running. Executors must call it exactly
 // once before running the task body.
 func (e *Engine) Start(t *Task) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if t.state != Ready {
-		return fmt.Errorf("task %d (%v): Start in state %v", t.ID, t.Seq, t.state)
+	if !t.state.CompareAndSwap(int32(Ready), int32(Running)) {
+		return fmt.Errorf("task %d (%v): Start in state %v", t.ID, t.Seq, t.State())
 	}
-	t.state = Running
 	return nil
 }
 
 // Complete marks t done, removes all its entries and wakes newly enabled
 // waiters. Children of t may still be live; their entries are their own.
+// The task's queues are locked in canonical order for the whole release
+// fan-out, so no queue ever shows an entry of a Done task.
 func (e *Engine) Complete(t *Task) error {
-	e.mu.Lock()
-	if t.state != Running {
-		e.mu.Unlock()
-		return fmt.Errorf("task %d (%v): Complete in state %v", t.ID, t.Seq, t.state)
+	// Snapshot the entry set. Only t's own thread mutates it, and that
+	// thread is the one calling Complete; t.mu guards the slice against
+	// concurrent cross-thread readers.
+	var ebuf [8]*entry
+	t.mu.Lock()
+	ents := append(ebuf[:0], t.entries...)
+	t.mu.Unlock()
+	var qbuf [8]*objQueue
+	qs := qbuf[:0]
+	for _, en := range ents {
+		qs = e.insertQueueSorted(qs, en.obj)
 	}
-	t.state = Done
-	e.stats.TasksCompleted++
-	e.live--
+	e.lockAll(qs)
+	if !t.state.CompareAndSwap(int32(Running), int32(Done)) {
+		st := t.State()
+		e.unlockAll(qs)
+		return fmt.Errorf("task %d (%v): Complete in state %v", t.ID, t.Seq, st)
+	}
+	e.tasksCompleted.Add(1)
+	e.live.Add(-1)
 	if t.parent != nil {
-		t.parent.children--
+		t.parent.children.Add(-1)
 	}
+	t.mu.Lock()
+	t.entries = nil
+	t.mu.Unlock()
 	var fires []func()
-	for obj, en := range t.entries {
-		q := e.queue(obj)
-		fires = append(fires, e.releaseCmLocked(q, en)...)
-		q.remove(en)
+	for _, q := range qs {
+		for _, en := range ents {
+			if en.obj != q.id {
+				continue
+			}
+			fires = append(fires, e.releaseCmLocked(q, en)...)
+			q.remove(en)
+		}
 		fires = append(fires, e.wakeLocked(q)...)
 	}
-	t.entries = make(map[access.ObjectID]*entry)
-	t.spec = access.NewSpec()
-	e.mu.Unlock()
+	e.unlockAll(qs)
 	runAll(fires)
 	return nil
 }
@@ -526,49 +760,54 @@ func (e *Engine) Access(t *Task, obj access.ObjectID, m access.Mode, wake func()
 	if m.Immediate() == 0 || m.Deferred() != 0 {
 		return false, fmt.Errorf("Access wants an immediate mode, got %v", m)
 	}
-	e.mu.Lock()
-	if t.state != Running {
-		err, fires := e.violationLocked(t, "task %d (%v) accessed object #%d while %v", t.ID, t.Seq, obj, t.state)
-		e.mu.Unlock()
+	if s := t.State(); s != Running {
+		err, fires := e.violation(t, "task %d (%v) accessed object #%d while %v", t.ID, t.Seq, obj, s)
 		runAll(fires)
 		return false, err
 	}
-	if t == e.root {
-		e.declareLocked(t, obj, access.ReadWrite|access.Commute)
-	}
-	if !t.spec.Mode(obj).Has(m) {
-		err, fires := e.violationLocked(t,
-			"access violation: task %d (%v) performs an undeclared %v access to object #%d (declared: %v)",
-			t.ID, t.Seq, m, obj, t.spec.Mode(obj))
-		e.mu.Unlock()
-		runAll(fires)
-		return false, err
-	}
-	en := t.entries[obj]
 	q := e.queue(obj)
+	e.lockQueue(q)
+	var en *entry
+	if t == e.root {
+		en = e.declare(t, q, access.ReadWrite|access.Commute)
+	} else {
+		en = t.findEntry(obj)
+	}
+	var mode access.Mode
+	if en != nil {
+		mode = en.mode
+	}
+	if !mode.Has(m) {
+		q.mu.Unlock()
+		err, fires := e.violation(t,
+			"access violation: task %d (%v) performs an undeclared %v access to object #%d (declared: %v)",
+			t.ID, t.Seq, m, obj, mode)
+		runAll(fires)
+		return false, err
+	}
 	if q.enabled(en, m) {
 		if m.Has(access.Commute) {
 			// Order is satisfied; now take the mutual-exclusion lock.
 			if q.cmLock != nil && q.cmLock != en {
-				e.stats.Waits++
+				e.waits.Add(1)
 				q.cmWaiters = append(q.cmWaiters, &waiter{e: en, mode: m, kind: waitAccess, wake: wake})
-				e.mu.Unlock()
+				q.mu.Unlock()
 				return false, nil
 			}
 			q.cmLock = en
 		}
-		en.checkouts[m]++
-		e.mu.Unlock()
+		en.checkouts[cidx(m)]++
+		q.mu.Unlock()
 		return true, nil
 	}
-	e.stats.Waits++
+	e.waits.Add(1)
 	q.waiters = append(q.waiters, &waiter{e: en, mode: m, kind: waitAccess, wake: wake})
-	e.mu.Unlock()
+	q.mu.Unlock()
 	return false, nil
 }
 
 // releaseCmLocked frees q's commute lock if en holds it and hands it to the
-// first queued commuting access. Caller holds e.mu; returned fires run
+// first queued commuting access. Caller holds q's lock; returned fires run
 // after unlock.
 func (e *Engine) releaseCmLocked(q *objQueue, en *entry) []func() {
 	if q.cmLock != en {
@@ -581,7 +820,8 @@ func (e *Engine) releaseCmLocked(q *objQueue, en *entry) []func() {
 	w := q.cmWaiters[0]
 	q.cmWaiters = q.cmWaiters[1:]
 	q.cmLock = w.e
-	w.e.checkouts[w.mode]++
+	w.e.checkouts[cidx(w.mode)]++
+	e.blockedWakes.Add(1)
 	return []func(){w.wake}
 }
 
@@ -590,15 +830,16 @@ func (e *Engine) releaseCmLocked(q *objQueue, en *entry) []func() {
 // the corresponding rights. Releasing the last commuting view hands the
 // object's mutual-exclusion lock to the next queued commuting task.
 func (e *Engine) EndAccess(t *Task, obj access.ObjectID, m access.Mode) {
-	e.mu.Lock()
+	q := e.queue(obj)
+	e.lockQueue(q)
 	var fires []func()
-	if en := t.entries[obj]; en != nil && en.checkouts[m] > 0 {
-		en.checkouts[m]--
-		if m.Has(access.Commute) && en.checkouts[m] == 0 {
-			fires = e.releaseCmLocked(e.queue(obj), en)
+	if en := t.findEntry(obj); en != nil && en.checkouts[cidx(m)] > 0 {
+		en.checkouts[cidx(m)]--
+		if m.Has(access.Commute) && en.checkouts[cidx(m)] == 0 {
+			fires = e.releaseCmLocked(q, en)
 		}
 	}
-	e.mu.Unlock()
+	q.mu.Unlock()
 	runAll(fires)
 }
 
@@ -606,13 +847,14 @@ func (e *Engine) EndAccess(t *Task, obj access.ObjectID, m access.Mode) {
 // before creating a child whose declaration conflicts with views they still
 // hold (typically the main program after initializing an object).
 func (e *Engine) ClearAccess(t *Task, obj access.ObjectID) {
-	e.mu.Lock()
+	q := e.queue(obj)
+	e.lockQueue(q)
 	var fires []func()
-	if en := t.entries[obj]; en != nil {
-		en.checkouts = map[access.Mode]int{}
-		fires = e.releaseCmLocked(e.queue(obj), en)
+	if en := t.findEntry(obj); en != nil {
+		en.checkouts = [numCheckoutSlots]int32{}
+		fires = e.releaseCmLocked(q, en)
 	}
-	e.mu.Unlock()
+	q.mu.Unlock()
 	runAll(fires)
 }
 
@@ -625,24 +867,30 @@ func (e *Engine) ClearAccess(t *Task, obj access.ObjectID) {
 // with-cont may refine a specification but never extend it, because the
 // task's serial queue position was fixed at creation.
 func (e *Engine) Convert(t *Task, obj access.ObjectID, which access.Mode, wake func()) (ok bool, err error) {
-	e.mu.Lock()
-	if t.state != Running {
-		err, fires := e.violationLocked(t, "task %d (%v) executed with-cont on object #%d while %v", t.ID, t.Seq, obj, t.state)
-		e.mu.Unlock()
+	if s := t.State(); s != Running {
+		err, fires := e.violation(t, "task %d (%v) executed with-cont on object #%d while %v", t.ID, t.Seq, obj, s)
 		runAll(fires)
 		return false, err
 	}
+	q := e.queue(obj)
+	e.lockQueue(q)
+	var en *entry
 	if t == e.root {
-		e.declareLocked(t, obj, access.ReadWrite|access.DeferredReadWrite)
+		en = e.declare(t, q, access.ReadWrite|access.DeferredReadWrite)
+	} else {
+		en = t.findEntry(obj)
 	}
-	cur := t.spec.Mode(obj)
+	var cur access.Mode
+	if en != nil {
+		cur = en.mode
+	}
 	var want access.Mode // immediate bits we need enabled afterwards
 	if which.HasAny(access.DeferredRead) {
 		if !cur.HasAny(access.AnyRead) {
-			err, fires := e.violationLocked(t,
+			q.mu.Unlock()
+			err, fires := e.violation(t,
 				"task %d (%v): with-cont declares rd on object #%d which was never declared (a with-cont cannot extend the specification)",
 				t.ID, t.Seq, obj)
-			e.mu.Unlock()
 			runAll(fires)
 			return false, err
 		}
@@ -650,29 +898,28 @@ func (e *Engine) Convert(t *Task, obj access.ObjectID, which access.Mode, wake f
 	}
 	if which.HasAny(access.DeferredWrite) {
 		if !cur.HasAny(access.AnyWrite) {
-			err, fires := e.violationLocked(t,
+			q.mu.Unlock()
+			err, fires := e.violation(t,
 				"task %d (%v): with-cont declares wr on object #%d which was never declared (a with-cont cannot extend the specification)",
 				t.ID, t.Seq, obj)
-			e.mu.Unlock()
 			runAll(fires)
 			return false, err
 		}
 		want |= access.Write
 	}
-	t.spec.Promote(obj, which)
-	en := t.entries[obj]
 	if en != nil {
-		en.mode = t.spec.Mode(obj)
+		en.mode = en.mode.PromoteSelected(which)
+		if q.enabled(en, want) {
+			q.mu.Unlock()
+			return true, nil
+		}
+		e.waits.Add(1)
+		q.waiters = append(q.waiters, &waiter{e: en, mode: want, kind: waitConvert, wake: wake})
+		q.mu.Unlock()
+		return false, nil
 	}
-	q := e.queue(obj)
-	if en == nil || q.enabled(en, want) {
-		e.mu.Unlock()
-		return true, nil
-	}
-	e.stats.Waits++
-	q.waiters = append(q.waiters, &waiter{e: en, mode: want, kind: waitConvert, wake: wake})
-	e.mu.Unlock()
-	return false, nil
+	q.mu.Unlock()
+	return true, nil
 }
 
 // Retract removes rights on obj (the with-cont no_rd/no_wr statements).
@@ -681,45 +928,45 @@ func (e *Engine) Convert(t *Task, obj access.ObjectID, which access.Mode, wake f
 // woken. Retracting rights the task does not hold is a no-op (the paper's
 // statements are declarations of non-use, not assertions of prior use).
 func (e *Engine) Retract(t *Task, obj access.ObjectID, which access.Mode) error {
-	e.mu.Lock()
-	if t.state != Running {
-		err, fires := e.violationLocked(t, "task %d (%v) executed with-cont while %v", t.ID, t.Seq, t.state)
-		e.mu.Unlock()
+	if s := t.State(); s != Running {
+		err, fires := e.violation(t, "task %d (%v) executed with-cont while %v", t.ID, t.Seq, s)
 		runAll(fires)
 		return err
 	}
-	en := t.entries[obj]
+	q := e.queue(obj)
+	e.lockQueue(q)
+	en := t.findEntry(obj)
 	if en == nil {
-		e.mu.Unlock()
+		q.mu.Unlock()
 		return nil
 	}
-	rest := t.spec.Retract(obj, which)
+	rest := en.mode &^ which
 	en.mode = rest
 	// Release views of the retracted kinds.
-	for m := range en.checkouts {
-		if m.HasAny(which.Promote()) {
-			delete(en.checkouts, m)
+	for ci := range en.checkouts {
+		if en.checkouts[ci] > 0 && checkoutMode(ci).HasAny(which.Promote()) {
+			en.checkouts[ci] = 0
 		}
 	}
-	q := e.queue(obj)
 	var fires []func()
 	if !en.mode.Has(access.Commute) {
 		fires = append(fires, e.releaseCmLocked(q, en)...)
 	}
 	if rest == 0 {
 		q.remove(en)
-		delete(t.entries, obj)
+		t.dropEntry(en)
 	}
 	fires = append(fires, e.wakeLocked(q)...)
-	e.mu.Unlock()
+	q.mu.Unlock()
 	runAll(fires)
 	return nil
 }
 
 // wakeLocked rescans q's waiters after the queue shrank, firing those whose
-// entries became enabled. Start-gate waiters may complete a task's gate
-// count, in which case the Ready hook is appended to the returned fire list.
-// Caller holds e.mu; returned funcs run after unlock.
+// entries became enabled. Start-gate waiters decrement their task's atomic
+// gate count; the decrement that reaches zero transitions the task to Ready
+// exactly once (CAS) and appends the Ready hook to the returned fire list.
+// Caller holds q's lock; returned funcs run after unlock.
 func (e *Engine) wakeLocked(q *objQueue) []func() {
 	var fires []func()
 	var remaining []*waiter
@@ -727,14 +974,12 @@ func (e *Engine) wakeLocked(q *objQueue) []func() {
 		if q.enabled(w.e, w.mode) {
 			switch w.kind {
 			case waitStart:
-				w.gate() // updates gate count under lock
+				e.blockedWakes.Add(1)
 				t := w.e.task
-				if t.state == Ready && t.gates == 0 {
-					// Fire Ready exactly once: mark via gates = -1 sentinel.
-					t.gates = -1
+				if t.gates.Add(-1) == 0 && t.state.CompareAndSwap(int32(Waiting), int32(Ready)) {
 					if e.hooks.Ready != nil {
-						h, tt := e.hooks.Ready, t
-						fires = append(fires, func() { h(tt) })
+						h := e.hooks.Ready
+						fires = append(fires, func() { h(t) })
 					}
 				}
 			case waitAccess:
@@ -746,9 +991,11 @@ func (e *Engine) wakeLocked(q *objQueue) []func() {
 				if w.mode.Has(access.Commute) {
 					q.cmLock = w.e
 				}
-				w.e.checkouts[w.mode]++
+				e.blockedWakes.Add(1)
+				w.e.checkouts[cidx(w.mode)]++
 				fires = append(fires, w.wake)
 			case waitConvert:
+				e.blockedWakes.Add(1)
 				fires = append(fires, w.wake)
 			}
 		} else {
@@ -762,12 +1009,15 @@ func (e *Engine) wakeLocked(q *objQueue) []func() {
 // QueueSnapshot returns, for tests and tracing, the IDs of tasks currently
 // holding entries on obj in queue order.
 func (e *Engine) QueueSnapshot(obj access.ObjectID) []TaskID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	q := e.queues[obj]
+	s := e.shardOf(obj)
+	s.mu.RLock()
+	q := s.queues[obj]
+	s.mu.RUnlock()
 	if q == nil {
 		return nil
 	}
+	e.lockQueue(q)
+	defer q.mu.Unlock()
 	out := make([]TaskID, len(q.entries))
 	for i, en := range q.entries {
 		out[i] = en.task.ID

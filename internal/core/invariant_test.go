@@ -8,54 +8,93 @@ import (
 	"repro/internal/access"
 )
 
-// checkInvariants verifies the engine's internal consistency. Callers hold
-// no lock; the engine is quiescent between operations in these tests.
-func checkInvariants(e *Engine) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for obj, q := range e.queues {
-		for i := 1; i < len(q.entries); i++ {
-			if !q.entries[i-1].task.Seq.Less(q.entries[i].task.Seq) {
-				return fmt.Errorf("object #%d: queue not strictly ordered at %d (%v vs %v)",
-					obj, i, q.entries[i-1].task.Seq, q.entries[i].task.Seq)
-			}
+// forEachQueue visits every live queue, holding its lock around f. This is
+// safe to call concurrently with engine operations: each queue is checked
+// under its own lock, the granularity at which the sharded engine
+// guarantees its invariants.
+func forEachQueue(e *Engine, f func(q *objQueue) error) error {
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		qs := make([]*objQueue, 0, len(s.queues))
+		for _, q := range s.queues {
+			qs = append(qs, q)
 		}
-		for _, en := range q.entries {
-			if en.task.state == Done {
-				return fmt.Errorf("object #%d: completed task %d still queued", obj, en.task.ID)
+		s.mu.RUnlock()
+		for _, q := range qs {
+			q.mu.Lock()
+			err := f(q)
+			q.mu.Unlock()
+			if err != nil {
+				return err
 			}
-			if got := en.task.spec.Mode(obj); got != en.mode {
-				return fmt.Errorf("object #%d: entry mode %v != spec mode %v for task %d",
-					obj, en.mode, got, en.task.ID)
-			}
-		}
-		if q.cmLock != nil {
-			found := false
-			for _, en := range q.entries {
-				if en == q.cmLock {
-					found = true
-				}
-			}
-			if !found {
-				return fmt.Errorf("object #%d: commute lock held by dequeued entry", obj)
-			}
-		}
-		// No waiter left parked whose entry is already enabled (wakeLocked
-		// must have fired it).
-		for _, w := range q.waiters {
-			if q.enabled(w.e, w.mode) {
-				return fmt.Errorf("object #%d: enabled waiter left parked (task %d mode %v)",
-					obj, w.e.task.ID, w.mode)
-			}
-		}
-		// Commute-lock waiters must be ordered-enabled (they queued on the
-		// lock only after passing the order check) and the lock must be
-		// busy while they wait.
-		if len(q.cmWaiters) > 0 && q.cmLock == nil {
-			return fmt.Errorf("object #%d: commute waiters with free lock", obj)
 		}
 	}
 	return nil
+}
+
+// checkQueueLocked verifies one queue's consistency. Caller holds q.mu.
+func checkQueueLocked(q *objQueue) error {
+	obj := q.id
+	for i := 1; i < len(q.entries); i++ {
+		if !q.entries[i-1].task.Seq.Less(q.entries[i].task.Seq) {
+			return fmt.Errorf("object #%d: queue not strictly ordered at %d (%v vs %v)",
+				obj, i, q.entries[i-1].task.Seq, q.entries[i].task.Seq)
+		}
+	}
+	for _, en := range q.entries {
+		if en.task.State() == Done {
+			return fmt.Errorf("object #%d: completed task %d still queued", obj, en.task.ID)
+		}
+		if got := en.task.Mode(obj); got != en.mode {
+			return fmt.Errorf("object #%d: entry mode %v != spec mode %v for task %d",
+				obj, en.mode, got, en.task.ID)
+		}
+	}
+	if q.cmLock != nil {
+		found := false
+		for _, en := range q.entries {
+			if en == q.cmLock {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("object #%d: commute lock held by dequeued entry", obj)
+		}
+	}
+	// No waiter left parked whose entry is already enabled (wakeLocked
+	// must have fired it).
+	for _, w := range q.waiters {
+		if q.enabled(w.e, w.mode) {
+			return fmt.Errorf("object #%d: enabled waiter left parked (task %d mode %v)",
+				obj, w.e.task.ID, w.mode)
+		}
+	}
+	// Commute-lock waiters must be ordered-enabled (they queued on the
+	// lock only after passing the order check) and the lock must be
+	// busy while they wait.
+	if len(q.cmWaiters) > 0 && q.cmLock == nil {
+		return fmt.Errorf("object #%d: commute waiters with free lock", obj)
+	}
+	// At most one entry may be write-enabled: a second writer always has
+	// an earlier conflicting entry. This is the queue-order theorem the
+	// deterministic semantics rests on.
+	writers := 0
+	for _, en := range q.entries {
+		if en.mode.HasAny(access.Write) && q.enabled(en, access.Write) {
+			writers++
+		}
+	}
+	if writers > 1 {
+		return fmt.Errorf("object #%d: %d enabled writers", obj, writers)
+	}
+	return nil
+}
+
+// checkInvariants verifies the engine's internal consistency, queue by
+// queue under each queue's own lock.
+func checkInvariants(e *Engine) error {
+	return forEachQueue(e, checkQueueLocked)
 }
 
 // TestEngineInvariantsUnderRandomOps drives the engine with random valid
@@ -154,14 +193,14 @@ func TestEngineInvariantsUnderRandomOps(t *testing.T) {
 			t.Fatalf("seed %d: %d tasks leaked", seed, e.Live())
 		}
 		// All queues empty at the end.
-		e.mu.Lock()
-		for obj, q := range e.queues {
+		if err := forEachQueue(e, func(q *objQueue) error {
 			if len(q.entries) != 0 || len(q.waiters) != 0 || q.cmLock != nil {
-				e.mu.Unlock()
-				t.Fatalf("seed %d: object #%d not drained", seed, obj)
+				return fmt.Errorf("object #%d not drained", q.id)
 			}
+			return nil
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
 		}
-		e.mu.Unlock()
 	}
 }
 

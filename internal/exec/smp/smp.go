@@ -45,8 +45,12 @@ type Exec struct {
 
 	slots chan int // processor slot tokens (slot index as value)
 
+	// mu guards the executor's own state below. The throttle needs no
+	// condition variable: a creator over the live-task bound never blocks
+	// waiting for completions — it inlines the child on its own processor
+	// (§3.3). Blocking the creator could deadlock, because tasks later in
+	// serial order may be waiting on the creator's residual access rights.
 	mu       sync.Mutex
-	cond     *sync.Cond // throttle: signalled on task completion
 	store    map[access.ObjectID]any
 	labels   map[access.ObjectID]string
 	nextObj  access.ObjectID
@@ -82,7 +86,6 @@ func New(opts Options) *Exec {
 		nextObj: 1,
 		slots:   make(chan int, opts.Procs),
 	}
-	x.cond = sync.NewCond(&x.mu)
 	if opts.Trace {
 		x.log = trace.New()
 	}
@@ -188,7 +191,6 @@ func (x *Exec) runTask(t *core.Task) {
 
 	x.mu.Lock()
 	x.liveUser--
-	x.cond.Broadcast()
 	x.mu.Unlock()
 }
 

@@ -1,0 +1,202 @@
+package smp
+
+// Throttle regression tests (DESIGN.md §3.3): when the live-task bound is
+// reached, creators inline children on their own processor instead of
+// blocking. Blocking the creator could deadlock — tasks later in serial
+// order may be waiting on the creator's residual access rights — so these
+// tests drive adversarial fan-outs under tiny bounds with a watchdog, and
+// exercise the suspend-creator (inline-wait) path directly.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/rt"
+)
+
+// runWithWatchdog fails the test if the program does not finish in time —
+// a bounded-time stand-in for "never deadlocks".
+func runWithWatchdog(t *testing.T, x *Exec, d time.Duration, main func(rt.TC)) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- x.Run(main) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(d):
+		t.Fatalf("deadlock: program did not finish within %v", d)
+	}
+}
+
+// TestThrottleAdversarialFanoutNeverDeadlocks saturates a MaxLiveTasks=1
+// throttle with a nested, fully conflicting fan-out: every task read-writes
+// the same object and creates conflicting children of its own. Any
+// blocking-creator throttle would deadlock here; inlining must not.
+func TestThrottleAdversarialFanoutNeverDeadlocks(t *testing.T) {
+	for _, bound := range []int{1, 2} {
+		x := New(Options{Procs: 2, MaxLiveTasks: bound})
+		var id access.ObjectID
+		const tops = 12
+		const kids = 3
+		runWithWatchdog(t, x, 60*time.Second, func(tc rt.TC) {
+			var err error
+			id, err = tc.Alloc([]int64{0}, "counter")
+			if err != nil {
+				panic(err)
+			}
+			decl := []access.Decl{{Object: id, Mode: access.ReadWrite}}
+			inc := func(tc rt.TC) {
+				v, err := tc.Access(id, access.ReadWrite)
+				if err != nil {
+					panic(err)
+				}
+				v.([]int64)[0]++
+			}
+			for i := 0; i < tops; i++ {
+				if err := tc.Create(decl, rt.TaskOpts{}, func(tc rt.TC) {
+					inc(tc)
+					tc.ClearAccess(id)
+					for j := 0; j < kids; j++ {
+						if err := tc.Create(decl, rt.TaskOpts{}, inc); err != nil {
+							panic(err)
+						}
+					}
+				}); err != nil {
+					panic(err)
+				}
+			}
+		})
+		want := int64(tops * (1 + kids))
+		if got := x.ObjectValue(id).([]int64)[0]; got != want {
+			t.Fatalf("bound %d: counter = %d, want %d", bound, got, want)
+		}
+	}
+}
+
+// TestThrottleWithDeferredConversionsNeverDeadlocks mixes deferred
+// declarations into a saturated throttle: converting tasks wait on earlier
+// tasks while creators are inlining — the conversion wait and the throttle
+// must compose without a cycle.
+func TestThrottleWithDeferredConversionsNeverDeadlocks(t *testing.T) {
+	x := New(Options{Procs: 2, MaxLiveTasks: 1})
+	var id access.ObjectID
+	const n = 20
+	runWithWatchdog(t, x, 60*time.Second, func(tc rt.TC) {
+		var err error
+		id, err = tc.Alloc([]int64{0}, "acc")
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < n; i++ {
+			mode := access.ReadWrite
+			if i%2 == 1 {
+				mode = access.DeferredReadWrite
+			}
+			if err := tc.Create([]access.Decl{{Object: id, Mode: mode}}, rt.TaskOpts{},
+				func(tc rt.TC) {
+					if mode == access.DeferredReadWrite {
+						if err := tc.Convert(id, access.DeferredReadWrite); err != nil {
+							panic(err)
+						}
+					}
+					v, err := tc.Access(id, access.ReadWrite)
+					if err != nil {
+						panic(err)
+					}
+					v.([]int64)[0]++
+				}); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if got := x.ObjectValue(id).([]int64)[0]; got != n {
+		t.Fatalf("acc = %d, want %d", got, n)
+	}
+}
+
+// TestInlineChildRunsInCreator pins down the inline mechanism itself: once
+// the live-task bound is hit, a non-conflicting child executes inside the
+// creator's Create call, before it returns.
+func TestInlineChildRunsInCreator(t *testing.T) {
+	x := New(Options{Procs: 2, MaxLiveTasks: 1})
+	gate := make(chan struct{})
+	var inlineRan atomic.Bool
+	runWithWatchdog(t, x, 60*time.Second, func(tc rt.TC) {
+		a, err := tc.Alloc([]int64{0}, "a")
+		if err != nil {
+			panic(err)
+		}
+		b, err := tc.Alloc([]int64{0}, "b")
+		if err != nil {
+			panic(err)
+		}
+		// First child occupies the single live-task slot until the gate
+		// opens.
+		if err := tc.Create([]access.Decl{{Object: a, Mode: access.ReadWrite}}, rt.TaskOpts{},
+			func(tc rt.TC) { <-gate }); err != nil {
+			panic(err)
+		}
+		// Second child is over the bound and touches a different object:
+		// it must run inline, synchronously, inside this Create.
+		if err := tc.Create([]access.Decl{{Object: b, Mode: access.ReadWrite}}, rt.TaskOpts{},
+			func(tc rt.TC) { inlineRan.Store(true) }); err != nil {
+			panic(err)
+		}
+		if !inlineRan.Load() {
+			t.Error("inlined child had not run when Create returned")
+		}
+		close(gate)
+	})
+}
+
+// TestInlineChildWaitsForEarlierSibling exercises the suspend-creator path:
+// an inlined child that conflicts with an earlier, still-running sibling
+// must make its creator yield the processor and wait until the sibling
+// completes — and only then run, observing the sibling's writes.
+func TestInlineChildWaitsForEarlierSibling(t *testing.T) {
+	x := New(Options{Procs: 2, MaxLiveTasks: 1})
+	var sawSibling atomic.Bool
+	var vid access.ObjectID
+	runWithWatchdog(t, x, 60*time.Second, func(tc rt.TC) {
+		id, err := tc.Alloc([]int64{0}, "v")
+		if err != nil {
+			panic(err)
+		}
+		vid = id
+		decl := []access.Decl{{Object: id, Mode: access.ReadWrite}}
+		// Sibling writes 7 after a delay, keeping the live slot busy so the
+		// next Create is forced inline.
+		if err := tc.Create(decl, rt.TaskOpts{}, func(tc rt.TC) {
+			time.Sleep(20 * time.Millisecond)
+			v, err := tc.Access(id, access.ReadWrite)
+			if err != nil {
+				panic(err)
+			}
+			v.([]int64)[0] = 7
+		}); err != nil {
+			panic(err)
+		}
+		// Conflicting inlined child: Create must block (suspending this
+		// creator) until the sibling is done, then run the child here.
+		if err := tc.Create(decl, rt.TaskOpts{}, func(tc rt.TC) {
+			v, err := tc.Access(id, access.ReadWrite)
+			if err != nil {
+				panic(err)
+			}
+			sawSibling.Store(v.([]int64)[0] == 7)
+			v.([]int64)[0]++
+		}); err != nil {
+			panic(err)
+		}
+		if !sawSibling.Load() {
+			t.Error("inlined child ran before its conflicting earlier sibling completed")
+		}
+	})
+	if got := x.ObjectValue(vid).([]int64)[0]; got != 8 {
+		t.Fatalf("v = %d, want 8", got)
+	}
+}

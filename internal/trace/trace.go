@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Kind classifies an event.
@@ -179,6 +181,10 @@ type Summary struct {
 	BusyTime map[int]time.Duration
 	// Violations counts detected specification violations.
 	Violations int
+	// Engine holds the dependency engine's own counters (task counts,
+	// waits, queue-lock acquisitions, blocked wakeups). Zero unless the
+	// summary was built with SummarizeWithEngine.
+	Engine core.Stats
 }
 
 // Summarize computes a Summary from the log.
@@ -210,6 +216,16 @@ func Summarize(l *Log) Summary {
 			s.Violations++
 		}
 	}
+	return s
+}
+
+// SummarizeWithEngine computes a Summary from the log and attaches a
+// snapshot of the dependency engine's counters, so runtime synchronization
+// traffic (lock acquisitions, blocked wakeups) is reported alongside the
+// trace-derived statistics.
+func SummarizeWithEngine(l *Log, es core.Stats) Summary {
+	s := Summarize(l)
+	s.Engine = es
 	return s
 }
 

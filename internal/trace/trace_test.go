@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"repro/internal/core"
+
 	"strings"
 	"sync"
 	"testing"
@@ -121,5 +123,28 @@ func TestEventString(t *testing.T) {
 	}
 	if Kind(99).String() != "kind(99)" {
 		t.Fatal("unknown kind string")
+	}
+}
+
+func TestSummarizeWithEngine(t *testing.T) {
+	l := New()
+	l.Add(Event{At: time.Millisecond, Kind: TaskStarted, Task: 1, Dst: 0})
+	l.Add(Event{At: 2 * time.Millisecond, Kind: TaskCompleted, Task: 1})
+	es := core.Stats{
+		TasksCreated:     3,
+		TasksCompleted:   3,
+		LockAcquisitions: 42,
+		BlockedWakes:     5,
+	}
+	s := SummarizeWithEngine(l, es)
+	if s.TasksRun != 1 {
+		t.Fatalf("TasksRun = %d, want 1", s.TasksRun)
+	}
+	if s.Engine != es {
+		t.Fatalf("Engine = %+v, want %+v", s.Engine, es)
+	}
+	// Plain Summarize leaves the engine counters zero.
+	if z := Summarize(l); z.Engine != (core.Stats{}) {
+		t.Fatalf("Summarize should not populate Engine, got %+v", z.Engine)
 	}
 }

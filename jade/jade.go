@@ -168,8 +168,11 @@ func (r *Runtime) EngineStats() core.Stats { return r.ex.Engine().Stats() }
 // TraceLog returns the event log (nil unless tracing was enabled).
 func (r *Runtime) TraceLog() *trace.Log { return r.ex.Log() }
 
-// Summary aggregates the trace into headline counters (requires tracing).
-func (r *Runtime) Summary() trace.Summary { return trace.Summarize(r.ex.Log()) }
+// Summary aggregates the trace into headline counters (requires tracing for
+// the trace-derived fields; the Engine counters are always populated).
+func (r *Runtime) Summary() trace.Summary {
+	return trace.SummarizeWithEngine(r.ex.Log(), r.EngineStats())
+}
 
 // TaskGraphDOT renders the dynamic task graph in Graphviz DOT format
 // (requires tracing) — the paper's Figure 4.

@@ -61,3 +61,37 @@ func TestWithOnlyPanicsOnBadPin(t *testing.T) {
 		t.Fatalf("pin to nonexistent machine should fail the run, got %v", err)
 	}
 }
+
+// TestSummaryIncludesEngineStats verifies the dependency-engine counters —
+// including the sharded engine's contention counters — surface through
+// Runtime.Summary and Runtime.EngineStats on both substrates.
+func TestSummaryIncludesEngineStats(t *testing.T) {
+	for name, mk := range runtimes(t) {
+		t.Run(name, func(t *testing.T) {
+			r := mk()
+			var a *jade.Array[int64]
+			if err := r.Run(func(tk *jade.Task) {
+				a = jade.NewArray[int64](tk, 4, "a")
+				for i := 0; i < 5; i++ {
+					tk.WithOnly(func(s *jade.Spec) { s.RdWr(a) }, func(tk *jade.Task) {
+						v := a.ReadWrite(tk)
+						v[0]++
+					})
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			es := r.EngineStats()
+			if es.TasksCreated != 5 || es.TasksCompleted != 6 { // +1: main program
+				t.Fatalf("engine stats %+v: want 5 created, 6 completed", es)
+			}
+			if es.LockAcquisitions == 0 {
+				t.Fatalf("engine stats %+v: queue-lock acquisitions not counted", es)
+			}
+			s := r.Summary()
+			if s.Engine != es {
+				t.Fatalf("Summary().Engine = %+v, want EngineStats() %+v", s.Engine, es)
+			}
+		})
+	}
+}
