@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench clean
+.PHONY: check vet build test race determinism bench clean
 
-check: vet build test race
+check: vet build test race determinism
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,12 @@ test:
 # in the sharded (per-object-lock) engine.
 race:
 	$(GO) test -race -count=2 ./internal/core/... ./internal/exec/... ./jade/...
+
+# The determinism tier: simulated runs must produce bit-identical makespans,
+# byte counts and traces across repeated runs — the property every golden
+# count in the test suite rests on.
+determinism:
+	$(GO) test -run Determin -count=2 ./internal/sim/... ./internal/exec/dist/...
 
 # Engine throughput and application benchmarks (not part of check).
 bench:

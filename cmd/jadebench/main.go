@@ -7,7 +7,7 @@
 //	jadebench -csv             # also print tables as CSV
 //
 // Experiments (see DESIGN.md §3): f4, f7, f9, f10, t1, c1, c2, a1, a2, a3,
-// a4, h1, m1.
+// a4, d1, h1, m1.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (f4,f7,f9,f10,t1,c1,c2,a1,a2,a3,a4,h1,m1,g1,g2,g3,k1) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (f4,f7,f9,f10,t1,c1,c2,a1,a2,a3,a4,d1,h1,m1,g1,g2,g3,k1) or 'all'")
 		quick    = flag.Bool("quick", false, "reduced problem sizes")
 		dot      = flag.Bool("dot", false, "print the Figure 4 task graph in DOT format")
 		csv      = flag.Bool("csv", false, "also print tables as CSV")
@@ -166,6 +166,17 @@ func main() {
 		tb, err := experiments.A4Pipeline(grid)
 		if err != nil {
 			fail("a4", err)
+		}
+		show(tb)
+	}
+	if selected("d1") {
+		grid := 16
+		if *quick {
+			grid = 12
+		}
+		tb, err := experiments.D1Delta(grid)
+		if err != nil {
+			fail("d1", err)
 		}
 		show(tb)
 	}

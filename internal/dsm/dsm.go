@@ -27,6 +27,10 @@ type Stats struct {
 	Bytes int64
 	// Invalidations counts copies destroyed by write faults.
 	Invalidations int
+	// OwnershipMsgs counts ownership request/grant message pairs for write
+	// upgrades by a machine that already holds a read copy: no page data
+	// moves, but the owner must still be asked to hand over ownership.
+	OwnershipMsgs int
 }
 
 // Access is one step of an access stream.
@@ -112,6 +116,12 @@ func (s *System) writeFault(p *pageState, m int) {
 	if !p.copies[m] {
 		s.stats.Messages += 2 // request + page reply
 		s.stats.Bytes += int64(s.cfg.PageSize)
+	} else if p.owner != m {
+		// Write upgrade from a read copy: the page data is already here,
+		// but ownership must still be requested from and granted by the
+		// current owner before the writer may proceed.
+		s.stats.Messages += 2 // ownership request + grant
+		s.stats.OwnershipMsgs += 2
 	}
 	for c := range p.copies {
 		if c != m {

@@ -65,6 +65,85 @@ func TestMultiPageAccess(t *testing.T) {
 	}
 }
 
+func TestWriteUpgradeFromReadCopy(t *testing.T) {
+	// §6.1 accounting: a writer that already holds a read copy moves no
+	// page data, but must still exchange an ownership request/grant pair
+	// with the current owner.
+	s, _ := New(Config{PageSize: 1024, Machines: 3})
+	// Machine 1 reads the page: request + reply, one page of data.
+	_ = s.Apply(Access{Machine: 1, Addr: 0, Size: 8})
+	// Machine 1 upgrades to write: no data, 2 ownership messages, and the
+	// owner's copy (machine 0) is invalidated.
+	_ = s.Apply(Access{Machine: 1, Addr: 8, Size: 8, Write: true})
+	st := s.Stats()
+	want := Stats{
+		ReadFaults:    1,
+		WriteFaults:   1,
+		Messages:      2 + 2 + 1, // read fetch pair + ownership pair + invalidation
+		Bytes:         1024,      // only the read fetch carried the page
+		Invalidations: 1,
+		OwnershipMsgs: 2,
+	}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+	// The new owner re-writes for free.
+	_ = s.Apply(Access{Machine: 1, Addr: 16, Size: 8, Write: true})
+	if s.Stats() != want {
+		t.Fatalf("exclusive re-write should be free: %+v", s.Stats())
+	}
+}
+
+func TestOwnerWriteWithReadersKeepsOwnership(t *testing.T) {
+	// The owner writing while others hold read copies invalidates them but
+	// exchanges no ownership messages — it already owns the page.
+	s, _ := New(Config{PageSize: 512, Machines: 3})
+	_ = s.Apply(Access{Machine: 1, Addr: 0, Size: 4})
+	_ = s.Apply(Access{Machine: 2, Addr: 0, Size: 4})
+	_ = s.Apply(Access{Machine: 0, Addr: 0, Size: 4, Write: true})
+	st := s.Stats()
+	want := Stats{
+		ReadFaults:    2,
+		WriteFaults:   1,
+		Messages:      4 + 2, // two read fetch pairs + two invalidations
+		Bytes:         2 * 512,
+		Invalidations: 2,
+		OwnershipMsgs: 0,
+	}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+}
+
+func TestMultiPageWriteGoldenCounts(t *testing.T) {
+	// A 600-byte write starting at 100 on 256-byte pages touches pages
+	// 0,1,2; machine 1 holds none of them, so each faults, fetches and
+	// invalidates machine 0's initial copy.
+	s, _ := New(Config{PageSize: 256, Machines: 2})
+	_ = s.Apply(Access{Machine: 1, Addr: 100, Size: 600, Write: true})
+	st := s.Stats()
+	want := Stats{
+		WriteFaults:   3,
+		Messages:      3 * (2 + 1), // per page: fetch pair + invalidation
+		Bytes:         3 * 256,
+		Invalidations: 3,
+	}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+	// Re-reading the middle of the now-exclusive range is free; reading
+	// one byte past it faults exactly one more page.
+	_ = s.Apply(Access{Machine: 1, Addr: 300, Size: 8})
+	if s.Stats() != want {
+		t.Fatalf("cached multi-page range should not fault: %+v", s.Stats())
+	}
+	_ = s.Apply(Access{Machine: 1, Addr: 760, Size: 16})
+	st = s.Stats()
+	if st.ReadFaults != 1 || st.Bytes != 3*256+256 {
+		t.Fatalf("boundary read should fault one page: %+v", st)
+	}
+}
+
 func TestFalseSharingPingPong(t *testing.T) {
 	// Two machines alternately write DISJOINT 8-byte objects that share a
 	// page: every write faults (the §6.1 pathology). With page-sized

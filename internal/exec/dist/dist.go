@@ -48,6 +48,10 @@ type Options struct {
 	// NoLocality disables the locality heuristic in machine selection
 	// (ablation A1).
 	NoLocality bool
+	// NoDelta disables delta transfers and dispatch coalescing: every
+	// re-fetch ships the full object image and every task dispatch is its
+	// own control message (ablation D1).
+	NoDelta bool
 	// Trace enables event recording.
 	Trace bool
 	// EventLimit bounds simulator events (0 = 50M) to catch runaways.
@@ -72,6 +76,17 @@ type Exec struct {
 	// fetches tracks in-flight read replications per object, enabling the
 	// wave (binomial-tree) distribution of hot read-shared objects.
 	fetches map[access.ObjectID]*objFetch
+	// shadows[m] holds machine m's invalidated copies: the value and the
+	// directory version it corresponded to. When m re-fetches the object,
+	// the sender diffs its current contents against the shadow and ships
+	// only the changed words. A landing transfer (delta or full) clears the
+	// shadow. Unused when Options.NoDelta.
+	shadows []map[access.ObjectID]shadow
+	dstats  DeltaStats
+
+	// testHookPreStart, when set, runs just before the engine Start of a
+	// scheduled (non-inline) task. Tests use it to force Start failures.
+	testHookPreStart func(*core.Task)
 
 	pendingWork  []float64 // per-machine assigned-unfinished work units
 	pendingTasks []int
@@ -88,11 +103,62 @@ type Exec struct {
 }
 
 // objDir is the object directory entry: who owns the latest version and who
-// holds read copies of it. The owner is always in copies.
+// holds read copies of it. The owner is always in copies. version counts
+// content generations: it increments every time a writer takes the object,
+// so an invalidated copy knows exactly which generation it froze at and a
+// re-fetch can be satisfied with a patch against that generation.
 type objDir struct {
-	owner  int
-	copies map[int]bool
-	label  string
+	owner   int
+	copies  map[int]bool
+	label   string
+	version uint64
+}
+
+// shadow is a machine's retained stale copy of an object: the last value it
+// held before invalidation and the directory version that value belonged to.
+type shadow struct {
+	val     any
+	version uint64
+}
+
+// DeltaStats summarizes the delta-transfer and message-coalescing layer.
+type DeltaStats struct {
+	// FullTransfers and FullBytes count object transfers shipped as
+	// complete wire images (no usable shadow at the destination, or the
+	// patch would not have been smaller).
+	FullTransfers int
+	FullBytes     int64
+	// DeltaTransfers and DeltaBytes count transfers satisfied as patches
+	// against the destination's shadow; SavedBytes is the full-image bytes
+	// those patches avoided.
+	DeltaTransfers int
+	DeltaBytes     int64
+	SavedBytes     int64
+	// CoalescedDispatches counts task-dispatch control messages folded into
+	// an object transfer on the same link instead of sent standalone.
+	CoalescedDispatches int
+}
+
+// dispatchMsg is a pending task-dispatch control message that would like to
+// ride along with the task's first object transfer on the same link. Sent
+// standalone it costs bytes (payload plus message envelope); piggybacked it
+// shares the carrier's envelope and adds only piggy bytes.
+type dispatchMsg struct {
+	task     uint64
+	src, dst int
+	bytes    int
+	piggy    int
+	sent     bool
+}
+
+// match consumes the pending dispatch if it travels the same link, returning
+// the piggyback bytes to fold into the data message.
+func (d *dispatchMsg) match(src, dst int) (int, bool) {
+	if d == nil || d.sent || src != d.src || dst != d.dst {
+		return 0, false
+	}
+	d.sent = true
+	return d.piggy, true
 }
 
 // objFetch coordinates concurrent read fetches of one object: each current
@@ -116,6 +182,11 @@ type payload struct {
 	inline  bool
 	ready   *sim.Cond
 	isReady bool
+	// skipBody marks a task whose placement failed (no machine offers a
+	// required capability): the task's lifecycle still runs so the program
+	// terminates, but the body — which must not execute on a machine
+	// lacking the capability — is skipped.
+	skipBody bool
 }
 
 // New returns an executor for the platform.
@@ -146,9 +217,11 @@ func New(opts Options) (*Exec, error) {
 	x.net = opts.Platform.Net.Instantiate(x.seng, n)
 	x.cpus = make([]*sim.Resource, n)
 	x.stores = make([]map[access.ObjectID]any, n)
+	x.shadows = make([]map[access.ObjectID]shadow, n)
 	for i := 0; i < n; i++ {
 		x.cpus[i] = x.seng.NewResource(1)
 		x.stores[i] = map[access.ObjectID]any{}
+		x.shadows[i] = map[access.ObjectID]shadow{}
 	}
 	if opts.Trace {
 		x.log = trace.New()
@@ -174,6 +247,9 @@ func (x *Exec) Makespan() time.Duration { return time.Duration(x.seng.Now()) }
 
 // NetStats returns cumulative network transfer counters.
 func (x *Exec) NetStats() netmodel.Stats { return x.net.Stats() }
+
+// DeltaStats returns cumulative delta-transfer and coalescing counters.
+func (x *Exec) DeltaStats() DeltaStats { return x.dstats }
 
 func (x *Exec) record(ev trace.Event) {
 	if x.log == nil {
@@ -209,7 +285,14 @@ func (x *Exec) onReady(t *core.Task) {
 	m, err := x.place(t, pl)
 	if err != nil {
 		x.fail(err)
-		// Run the task anyway on machine 0 so the program terminates.
+		// No machine may legally run this task (e.g. its required
+		// capability exists nowhere on the platform). Record the violation
+		// and run only the task's lifecycle on machine 0 with the body
+		// skipped: dependents unblock and the program terminates
+		// deterministically, but the capability-constrained body never
+		// executes on a machine that lacks the capability.
+		x.record(trace.Event{Kind: trace.Violation, Task: uint64(t.ID), Label: err.Error()})
+		pl.skipBody = true
 		m = 0
 	}
 	pl.machine = m
@@ -258,7 +341,16 @@ func (x *Exec) place(t *core.Task, pl *payload) (int, error) {
 					continue
 				}
 				if dir := x.dir[d.Object]; dir != nil && !dir.copies[m] {
-					missing += format.SizeOf(x.stores[dir.owner][d.Object])
+					size := format.SizeOf(x.stores[dir.owner][d.Object])
+					if _, stale := x.shadows[m][d.Object]; stale && !x.opts.NoDelta {
+						// The machine holds a stale shadow: a re-fetch
+						// travels as a patch of the changed words, typically
+						// a small fraction of the image. Weigh it as such so
+						// tasks gravitate back to machines that already paid
+						// for the bulk of the object.
+						size /= 8
+					}
+					missing += size
 				}
 			}
 			score += x.plat.Net.ApproxTime(missing).Seconds()
@@ -288,22 +380,45 @@ func (x *Exec) place(t *core.Task, pl *payload) (int, error) {
 // runTask is the simulated process for one assigned task.
 func (x *Exec) runTask(p *sim.Proc, t *core.Task, pl *payload) {
 	m := pl.machine
+	// The scheduler accounting charged at assignment must unwind on every
+	// exit path — including the early return when engine Start fails —
+	// or the machine looks permanently loaded and the live-task throttle
+	// never opens again.
+	defer func() {
+		x.pendingWork[m] -= pl.opts.Cost
+		x.pendingTasks[m]--
+		x.liveUser--
+	}()
 	// Model the task-dispatch control message (Fig. 7(b-c): the task moves
-	// to the machine that will execute it).
-	if pl.creator != m && x.plat.DispatchBytes > 0 {
-		x.net.Send(p, pl.creator, m, x.plat.DispatchBytes)
-		x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Src: pl.creator, Dst: m, Bytes: x.plat.DispatchBytes, Label: "dispatch"})
+	// to the machine that will execute it). Unless coalescing is disabled,
+	// it waits to piggyback on the task's first object transfer over the
+	// same link; fetchAll flushes it standalone if none matches.
+	var pig *dispatchMsg
+	if !pl.skipBody && pl.creator != m && x.plat.DispatchBytes > 0 {
+		if x.opts.NoDelta {
+			x.net.Send(p, pl.creator, m, x.plat.DispatchBytes)
+			x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Src: pl.creator, Dst: m, Bytes: x.plat.DispatchBytes, Label: "dispatch"})
+		} else {
+			piggy := x.plat.DispatchBytes - x.plat.MsgEnvelopeBytes
+			if piggy < 0 {
+				piggy = 0
+			}
+			pig = &dispatchMsg{task: uint64(t.ID), src: pl.creator, dst: m, bytes: x.plat.DispatchBytes, piggy: piggy}
+		}
 	}
-	if !x.opts.NoPrefetch {
+	if !pl.skipBody && !x.opts.NoPrefetch {
 		// Latency hiding: fetch while other tasks compute on this cpu.
-		x.fetchAll(p, t, m)
+		x.fetchAll(p, t, m, pig)
 	}
 	x.cpus[m].Acquire(p, 1)
-	if x.opts.NoPrefetch {
+	if !pl.skipBody && x.opts.NoPrefetch {
 		// Machine sits idle during its own fetches.
-		x.fetchAll(p, t, m)
+		x.fetchAll(p, t, m, pig)
 	}
 	p.Sleep(x.plat.TaskOverhead)
+	if x.testHookPreStart != nil {
+		x.testHookPreStart(t)
+	}
 	if err := x.eng.Start(t); err != nil {
 		x.fail(err)
 		x.cpus[m].Release(1)
@@ -311,18 +426,17 @@ func (x *Exec) runTask(p *sim.Proc, t *core.Task, pl *payload) {
 	}
 	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: m, Label: pl.opts.Label})
 	tc := &taskCtx{x: x, t: t, p: p, machine: m, wake: x.seng.NewCond()}
-	if pl.opts.Cost > 0 {
-		p.Sleep(time.Duration(pl.opts.Cost / x.plat.Machines[m].Speed * 1e9))
+	if !pl.skipBody {
+		if pl.opts.Cost > 0 {
+			p.Sleep(time.Duration(pl.opts.Cost / x.plat.Machines[m].Speed * 1e9))
+		}
+		x.runBody(tc, pl.body)
 	}
-	x.runBody(tc, pl.body)
 	if err := x.eng.Complete(t); err != nil {
 		x.fail(err)
 	}
 	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: m})
 	x.cpus[m].Release(1)
-	x.pendingWork[m] -= pl.opts.Cost
-	x.pendingTasks[m]--
-	x.liveUser--
 }
 
 // runBody executes a task body, converting panics into program failure.
@@ -338,13 +452,33 @@ func (x *Exec) runBody(tc *taskCtx, body func(rt.TC)) {
 // fetchAll moves or copies every immediately-declared object to machine m.
 // Commuting declarations are skipped: the object is fetched when the task
 // actually takes the mutual-exclusion lock, since another commuting task
-// may legitimately hold (and be mutating) it right now.
-func (x *Exec) fetchAll(p *sim.Proc, t *core.Task, m int) {
+// may legitimately hold (and be mutating) it right now. A pending dispatch
+// control message rides along with the first transfer on its link; if none
+// matched, it is flushed standalone afterwards.
+func (x *Exec) fetchAll(p *sim.Proc, t *core.Task, m int, pig *dispatchMsg) {
 	for _, d := range t.ImmediateDecls() {
 		if d.Mode.Has(access.Commute) {
 			continue
 		}
-		x.fetchObject(p, t, d.Object, m, d.Mode.Has(access.Read), d.Mode.Has(access.Write))
+		x.fetchObject(p, t, d.Object, m, d.Mode.Has(access.Read), d.Mode.Has(access.Write), pig)
+	}
+	if pig != nil && !pig.sent {
+		pig.sent = true
+		x.net.Send(p, pig.src, pig.dst, pig.bytes)
+		x.record(trace.Event{Kind: trace.MessageSent, Task: pig.task, Src: pig.src, Dst: pig.dst, Bytes: pig.bytes, Label: "dispatch"})
+	}
+}
+
+// unplan clears the note that machine m will fetch obj, once the copy has
+// actually landed (or was already present): from then on the directory, not
+// the plan, is the truth, and leaving the entry behind would make the
+// scheduler count a phantom copy forever.
+func (x *Exec) unplan(obj access.ObjectID, m int) {
+	if pm := x.planned[obj]; pm != nil {
+		delete(pm, m)
+		if len(pm) == 0 {
+			delete(x.planned, obj)
+		}
 	}
 }
 
@@ -355,7 +489,7 @@ func (x *Exec) fetchAll(p *sim.Proc, t *core.Task, m int) {
 // ownership with a control message but no data: the task may not read the
 // old contents, so they never cross the network — the writer gets a fresh
 // zeroed buffer.
-func (x *Exec) fetchObject(p *sim.Proc, t *core.Task, obj access.ObjectID, m int, read, write bool) {
+func (x *Exec) fetchObject(p *sim.Proc, t *core.Task, obj access.ObjectID, m int, read, write bool, pig *dispatchMsg) {
 	d := x.dir[obj]
 	if d == nil {
 		// Access checking rejects undeclared objects before we get here,
@@ -366,32 +500,51 @@ func (x *Exec) fetchObject(p *sim.Proc, t *core.Task, obj access.ObjectID, m int
 	if write {
 		if d.owner != m {
 			if read {
-				x.transfer(p, t, d.owner, m, obj)
+				x.transfer(p, t, d.owner, m, obj, pig)
 				x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
 					Bytes: format.SizeOf(x.stores[m][obj]), Label: d.label})
 			} else {
-				// Ownership transfer only: small control message.
+				// Ownership transfer only: small control message (the task
+				// may not read the old contents, so no data moves). A
+				// pending dispatch for this link rides along.
 				ctl := 32
+				if extra, ok := pig.match(d.owner, m); ok {
+					ctl += extra
+					x.dstats.CoalescedDispatches++
+					x.record(trace.Event{Kind: trace.DispatchCoalesced, Task: pig.task, Src: pig.src, Dst: pig.dst, Bytes: extra})
+				}
 				x.net.Send(p, d.owner, m, ctl)
 				x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m, Bytes: ctl, Label: "ownership"})
 				x.stores[m][obj] = format.ZeroLike(x.stores[d.owner][obj])
+				delete(x.shadows[m], obj)
 				x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
 					Bytes: 0, Label: d.label + " (write-only)"})
 			}
 		}
 		for c := range d.copies {
 			if c != m {
+				// Keep the invalidated value as a shadow: a later re-fetch
+				// by this machine can then be satisfied with a patch of
+				// just the words the writers changed.
+				if !x.opts.NoDelta {
+					if old := x.stores[c][obj]; old != nil {
+						x.shadows[c][obj] = shadow{val: old, version: d.version}
+					}
+				}
 				delete(x.stores[c], obj)
 				x.record(trace.Event{Kind: trace.ObjectInvalidated, Object: uint64(obj), Src: c, Dst: c, Label: d.label})
 			}
 		}
 		d.owner = m
 		d.copies = map[int]bool{m: true}
+		// The writer starts a new content generation.
+		d.version++
 		// Planned read copies of the old version are moot.
 		delete(x.planned, obj)
 		return
 	}
 	if d.copies[m] {
+		x.unplan(obj, m)
 		return
 	}
 	// Read replication. Concurrent fetches of a hot object coordinate so
@@ -420,8 +573,9 @@ func (x *Exec) fetchObject(p *sim.Proc, t *core.Task, obj access.ObjectID, m int
 		}
 		f.srcBusy[src] = true
 		f.dstBusy[m] = true
-		x.transfer(p, t, src, m, obj)
+		x.transfer(p, t, src, m, obj, pig)
 		d.copies[m] = true
+		x.unplan(obj, m)
 		x.record(trace.Event{Kind: trace.ObjectCopied, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: m,
 			Bytes: format.SizeOf(x.stores[m][obj]), Label: d.label})
 		delete(f.srcBusy, src)
@@ -432,8 +586,12 @@ func (x *Exec) fetchObject(p *sim.Proc, t *core.Task, obj access.ObjectID, m int
 
 // transfer moves the bytes of obj from machine src to machine dst: encode in
 // src's format, send over the network, convert format if needed, decode into
-// dst's local store. The encode/convert/decode all really happen.
-func (x *Exec) transfer(p *sim.Proc, t *core.Task, src, dst int, obj access.ObjectID) {
+// dst's local store. The encode/convert/decode all really happen. When dst
+// still holds a shadow of the object (a stale copy retained at
+// invalidation), the transfer is attempted as a patch of just the changed
+// words; and a pending task-dispatch control message for this link is folded
+// into the data message instead of traveling alone.
+func (x *Exec) transfer(p *sim.Proc, t *core.Task, src, dst int, obj access.ObjectID, pig *dispatchMsg) {
 	if src == dst {
 		return
 	}
@@ -444,12 +602,22 @@ func (x *Exec) transfer(p *sim.Proc, t *core.Task, src, dst int, obj access.Obje
 	}
 	srcFmt := x.plat.Machines[src].Format
 	dstFmt := x.plat.Machines[dst].Format
+	extra, coalesced := pig.match(src, dst)
+	if coalesced {
+		x.dstats.CoalescedDispatches++
+		x.record(trace.Event{Kind: trace.DispatchCoalesced, Task: pig.task, Src: src, Dst: dst, Bytes: extra})
+	}
+	if !x.opts.NoDelta {
+		if sh, ok := x.shadows[dst][obj]; ok && x.deltaTransfer(p, t, src, dst, obj, val, sh, extra) {
+			return
+		}
+	}
 	img, err := format.Encode(val, srcFmt)
 	if err != nil {
 		x.fail(fmt.Errorf("encode object #%d: %w", obj, err))
 		return
 	}
-	x.net.Send(p, src, dst, len(img))
+	x.net.Send(p, src, dst, len(img)+extra)
 	x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: dst, Bytes: len(img), Label: "object"})
 	if srcFmt != dstFmt {
 		conv, words, err := format.Convert(img, srcFmt, dstFmt)
@@ -469,6 +637,51 @@ func (x *Exec) transfer(p *sim.Proc, t *core.Task, src, dst int, obj access.Obje
 		return
 	}
 	x.stores[dst][obj] = decoded
+	delete(x.shadows[dst], obj)
+	x.dstats.FullTransfers++
+	x.dstats.FullBytes += int64(len(img))
+}
+
+// deltaTransfer ships obj from src to dst as a patch against dst's shadow
+// copy. It reports whether the transfer was satisfied (false means the diff
+// was not worthwhile — same-size or larger than the full image, or the
+// object was reallocated — and the caller must do a full transfer). The
+// patch's run payloads travel in src's byte order and are converted like a
+// full image, but the swap cost is charged only for the words that moved.
+func (x *Exec) deltaTransfer(p *sim.Proc, t *core.Task, src, dst int, obj access.ObjectID, val any, sh shadow, extra int) bool {
+	srcFmt := x.plat.Machines[src].Format
+	dstFmt := x.plat.Machines[dst].Format
+	patch, _, ok := format.Diff(sh.val, val, srcFmt)
+	if !ok {
+		return false
+	}
+	saved := format.WireSize(val) - len(patch)
+	x.net.Send(p, src, dst, len(patch)+extra)
+	x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: dst, Bytes: len(patch), Label: "object-delta"})
+	x.record(trace.Event{Kind: trace.ObjectPatched, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: dst, Bytes: len(patch), Saved: saved})
+	if srcFmt != dstFmt {
+		conv, words, err := format.ConvertPatch(patch, srcFmt, dstFmt)
+		if err != nil {
+			x.fail(fmt.Errorf("convert patch for object #%d: %w", obj, err))
+			return true
+		}
+		patch = conv
+		if words > 0 {
+			p.Sleep(time.Duration(words) * x.plat.ConvertPerWord)
+			x.record(trace.Event{Kind: trace.Converted, Object: uint64(obj), Src: src, Dst: dst, Bytes: words})
+		}
+	}
+	newVal, err := format.ApplyPatch(sh.val, patch, dstFmt)
+	if err != nil {
+		x.fail(fmt.Errorf("apply patch for object #%d: %w", obj, err))
+		return true
+	}
+	x.stores[dst][obj] = newVal
+	delete(x.shadows[dst], obj)
+	x.dstats.DeltaTransfers++
+	x.dstats.DeltaBytes += int64(len(patch))
+	x.dstats.SavedBytes += int64(saved)
+	return true
 }
 
 // Run implements rt.Exec: execute the main program on machine 0 and drive
@@ -559,7 +772,7 @@ func (tc *taskCtx) Access(obj access.ObjectID, m access.Mode) (any, error) {
 	// fetch. A commuting access reads and updates the current value.
 	read := m.Has(access.Read) || m.Has(access.Commute)
 	write := m.Has(access.Write) || m.Has(access.Commute)
-	tc.x.fetchObject(tc.p, tc.t, obj, tc.machine, read, write)
+	tc.x.fetchObject(tc.p, tc.t, obj, tc.machine, read, write, nil)
 	v, exists := tc.x.stores[tc.machine][obj]
 	if !exists {
 		return nil, fmt.Errorf("task %d: object #%d not present on machine %d after fetch", tc.t.ID, obj, tc.machine)
@@ -620,7 +833,7 @@ func (tc *taskCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC
 		}
 		tc.x.cpus[tc.machine].Acquire(tc.p, 1)
 	}
-	tc.x.fetchAll(tc.p, t, tc.machine)
+	tc.x.fetchAll(tc.p, t, tc.machine, nil)
 	if err := tc.x.eng.Start(t); err != nil {
 		tc.x.fail(err)
 		return err

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestD1DeltaCutsBytes(t *testing.T) {
+	tb, err := D1Delta(0) // D1Delta itself fails if results differ
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("want 2 platforms x 2 policies, got %d rows", len(tb.Rows))
+	}
+	// Rows alternate delta/NoDelta per platform; bytes are column 4,
+	// messages column 3.
+	for i := 0; i < len(tb.Rows); i += 2 {
+		name := tb.Rows[i][0]
+		deltaBytes, _ := strconv.ParseInt(tb.Rows[i][4], 10, 64)
+		fullBytes, _ := strconv.ParseInt(tb.Rows[i+1][4], 10, 64)
+		if deltaBytes >= fullBytes {
+			t.Fatalf("%s: delta should cut bytes: %d vs %d", name, deltaBytes, fullBytes)
+		}
+		dm, _ := strconv.Atoi(tb.Rows[i][3])
+		fm, _ := strconv.Atoi(tb.Rows[i+1][3])
+		if dm > fm {
+			t.Fatalf("%s: coalescing should not add messages: %d vs %d", name, dm, fm)
+		}
+		xfers, _ := strconv.Atoi(tb.Rows[i][5])
+		if xfers == 0 {
+			t.Fatalf("%s: no delta transfers recorded", name)
+		}
+	}
+	// Acceptance bar: >=25%% byte reduction on the Mica shared bus.
+	deltaBytes, _ := strconv.ParseInt(tb.Rows[0][4], 10, 64)
+	fullBytes, _ := strconv.ParseInt(tb.Rows[1][4], 10, 64)
+	if deltaBytes > fullBytes*3/4 {
+		t.Fatalf("Mica: want >=25%% reduction, got %d vs %d", deltaBytes, fullBytes)
+	}
+}

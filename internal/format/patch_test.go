@@ -1,0 +1,213 @@
+package format
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	old := make([]float64, 200)
+	new_ := make([]float64, 200)
+	for i := range old {
+		old[i] = float64(i)
+		new_[i] = float64(i)
+	}
+	// Two dirty regions, far apart.
+	for i := 10; i < 14; i++ {
+		new_[i] = -1
+	}
+	new_[150] = 42
+	for _, ord := range []ByteOrder{LittleEndian, BigEndian} {
+		patch, changed, ok := Diff(old, new_, ord)
+		if !ok {
+			t.Fatalf("%v: diff should succeed", ord)
+		}
+		if changed != 5 {
+			t.Fatalf("%v: changed = %d, want 5", ord, changed)
+		}
+		if patch == nil || len(patch) >= SizeOf(new_) {
+			t.Fatalf("%v: patch (%d bytes) should beat full image (%d)", ord, len(patch), SizeOf(new_))
+		}
+		got, err := ApplyPatch(old, patch, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, new_) {
+			t.Fatalf("%v: patched value differs from new", ord)
+		}
+		// The base must not have been modified.
+		if old[10] != 10 {
+			t.Fatal("ApplyPatch modified its base")
+		}
+	}
+}
+
+func TestDiffAllKinds(t *testing.T) {
+	cases := []struct{ old, new any }{
+		{[]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20},
+			[]byte{1, 9, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}},
+		{[]int32{1, 2, 3, 4, 5, 6, 7, 8}, []int32{1, 2, 3, 9, 5, 6, 7, 8}},
+		{[]int64{1, 2, 3, 4, 5, 6}, []int64{1, 2, 3, 4, 5, -6}},
+		{[]float32{1, 2, 3, 4, 5, 6, 7, 8}, []float32{1, 2, 3, 4, 5, 6, 7, 9}},
+		{[]float64{1, 2, 3, 4, 5, 6}, []float64{0.5, 2, 3, 4, 5, 6}},
+	}
+	for _, c := range cases {
+		patch, changed, ok := Diff(c.old, c.new, BigEndian)
+		if !ok || changed != 1 {
+			t.Fatalf("%T: ok=%v changed=%d", c.new, ok, changed)
+		}
+		got, err := ApplyPatch(c.old, patch, BigEndian)
+		if err != nil {
+			t.Fatalf("%T: %v", c.new, err)
+		}
+		if !reflect.DeepEqual(got, c.new) {
+			t.Fatalf("%T: round trip mismatch: %v vs %v", c.new, got, c.new)
+		}
+	}
+}
+
+func TestDiffFallsBackWhenNotWorthIt(t *testing.T) {
+	// Everything changed: a patch cannot beat the full image.
+	old := []int64{1, 2, 3, 4}
+	new_ := []int64{5, 6, 7, 8}
+	if _, _, ok := Diff(old, new_, LittleEndian); ok {
+		t.Fatal("all-changed diff should fall back to full transfer")
+	}
+	// Kind mismatch.
+	if _, _, ok := Diff([]int32{1}, []int64{1}, LittleEndian); ok {
+		t.Fatal("kind mismatch should fall back")
+	}
+	// Length mismatch (object was reallocated).
+	if _, _, ok := Diff([]int64{1, 2}, []int64{1, 2, 3}, LittleEndian); ok {
+		t.Fatal("length mismatch should fall back")
+	}
+	// Unsupported value.
+	if _, _, ok := Diff("x", "y", LittleEndian); ok {
+		t.Fatal("unsupported kind should fall back")
+	}
+}
+
+func TestDiffIdenticalValuesIsEmptyPatch(t *testing.T) {
+	v := make([]float64, 100)
+	patch, changed, ok := Diff(v, append([]float64(nil), v...), LittleEndian)
+	if !ok || changed != 0 {
+		t.Fatalf("identical values: ok=%v changed=%d", ok, changed)
+	}
+	if len(patch) != patchHeaderSize {
+		t.Fatalf("empty patch should be header only, got %d bytes", len(patch))
+	}
+	got, err := ApplyPatch(v, patch, LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatal("empty patch should reproduce the base")
+	}
+}
+
+func TestDiffNaNIsNotResent(t *testing.T) {
+	nan := math.NaN()
+	old := []float64{nan, 1, 2, 3, 4, 5, 6, 7}
+	new_ := append([]float64(nil), old...)
+	new_[4] = 9
+	patch, changed, ok := Diff(old, new_, LittleEndian)
+	if !ok || changed != 1 {
+		t.Fatalf("NaN should compare equal to itself bitwise: ok=%v changed=%d", ok, changed)
+	}
+	got, err := ApplyPatch(old, patch, LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.([]float64)[0]) || got.([]float64)[4] != 9 {
+		t.Fatalf("patched = %v", got)
+	}
+}
+
+func TestDiffMergesNearbyRuns(t *testing.T) {
+	old := make([]byte, 64)
+	new_ := make([]byte, 64)
+	// Dirty bytes at 0 and 5: the 4-byte gap is cheaper than a new 8-byte
+	// run header, so one run should cover 0..5.
+	new_[0], new_[5] = 1, 1
+	patch, changed, ok := Diff(old, new_, LittleEndian)
+	if !ok {
+		t.Fatal("diff should succeed")
+	}
+	if changed != 6 {
+		t.Fatalf("merged run should carry 6 bytes, got %d", changed)
+	}
+	if want := patchHeaderSize + runHeaderSize + 6; len(patch) != want {
+		t.Fatalf("patch size = %d, want %d (one merged run)", len(patch), want)
+	}
+	// Dirty bytes far apart stay separate runs.
+	new2 := make([]byte, 64)
+	new2[0], new2[40] = 1, 1
+	patch2, changed2, _ := Diff(old, new2, LittleEndian)
+	if changed2 != 2 {
+		t.Fatalf("distant runs should carry 2 bytes, got %d", changed2)
+	}
+	if want := patchHeaderSize + 2*(runHeaderSize+1); len(patch2) != want {
+		t.Fatalf("patch size = %d, want %d (two runs)", len(patch2), want)
+	}
+}
+
+func TestConvertPatchAcrossFormats(t *testing.T) {
+	old := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	new_ := append([]float64(nil), old...)
+	new_[2] = 2.5
+	new_[7] = -7
+	// Encode the patch big-endian (SPARC sender), convert to little-endian
+	// (i860 receiver), apply against the receiver's shadow.
+	patch, changed, ok := Diff(old, new_, BigEndian)
+	if !ok {
+		t.Fatal("diff should succeed")
+	}
+	conv, words, err := ConvertPatch(patch, BigEndian, LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words != changed {
+		t.Fatalf("converted %d words, want %d", words, changed)
+	}
+	got, err := ApplyPatch(old, conv, LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, new_) {
+		t.Fatalf("cross-format patch mismatch: %v", got)
+	}
+	// Same order: no work, same image.
+	same, words2, err := ConvertPatch(patch, BigEndian, BigEndian)
+	if err != nil || words2 != 0 {
+		t.Fatalf("same-order convert: words=%d err=%v", words2, err)
+	}
+	if &same[0] != &patch[0] {
+		t.Fatal("same-order convert should return the input")
+	}
+}
+
+func TestApplyPatchRejectsCorruptPatches(t *testing.T) {
+	base := []int64{1, 2, 3, 4}
+	if _, err := ApplyPatch(base, []byte{1, 2}, LittleEndian); err == nil {
+		t.Fatal("truncated patch should error")
+	}
+	good, _, ok := Diff(base, []int64{1, 9, 3, 4}, LittleEndian)
+	if !ok {
+		t.Fatal("diff should succeed")
+	}
+	// Wrong base kind.
+	if _, err := ApplyPatch([]int32{1, 2, 3, 4}, good, LittleEndian); err == nil {
+		t.Fatal("kind mismatch should error")
+	}
+	// Wrong base length.
+	if _, err := ApplyPatch([]int64{1, 2, 3}, good, LittleEndian); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	// Out-of-range run.
+	bad := append([]byte(nil), good...)
+	bad[patchHeaderSize] = 200 // run offset beyond n
+	if _, err := ApplyPatch(base, bad, LittleEndian); err == nil {
+		t.Fatal("out-of-range run should error")
+	}
+}

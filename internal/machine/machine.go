@@ -66,8 +66,14 @@ type Platform struct {
 	// managing dynamic concurrency", §8).
 	TaskOverhead time.Duration
 	// DispatchBytes is the size of the control message sent when a task is
-	// assigned to a remote machine.
+	// assigned to a remote machine, including the per-message envelope.
 	DispatchBytes int
+	// MsgEnvelopeBytes is the framing overhead every standalone message
+	// carries (transport headers plus the messaging library's own header).
+	// A control message piggybacked onto a data transfer shares the
+	// carrier's envelope, so it adds only its payload:
+	// DispatchBytes - MsgEnvelopeBytes.
+	MsgEnvelopeBytes int
 	// ConvertPerWord is the cost of converting one data word between
 	// machine formats during a transfer.
 	ConvertPerWord time.Duration
@@ -124,8 +130,9 @@ func IPSC860(n int) Platform {
 			Bandwidth: 2.8e6, // bytes/sec per link
 			Hypercube: true,
 		},
-		TaskOverhead:  350 * time.Microsecond,
-		DispatchBytes: 128,
+		TaskOverhead:     350 * time.Microsecond,
+		DispatchBytes:    128,
+		MsgEnvelopeBytes: 32, // NX message header
 	}
 }
 
@@ -140,9 +147,10 @@ func Mica(n int) Platform {
 			Latency:   900 * time.Microsecond, // PVM + UDP software overhead
 			Bandwidth: 1.1e6,                  // ~10 Mbit/s payload rate
 		},
-		TaskOverhead:   900 * time.Microsecond,
-		DispatchBytes:  256,
-		ConvertPerWord: 0, // homogeneous SPARCs
+		TaskOverhead:     900 * time.Microsecond,
+		DispatchBytes:    256,
+		MsgEnvelopeBytes: 64, // Ethernet + IP + UDP + PVM framing
+		ConvertPerWord:   0,  // homogeneous SPARCs
 	}
 }
 
@@ -172,9 +180,10 @@ func HRV(accelerators int) Platform {
 			Latency:   40 * time.Microsecond,
 			Bandwidth: 80e6, // high-speed internal interconnect
 		},
-		TaskOverhead:   300 * time.Microsecond,
-		DispatchBytes:  128,
-		ConvertPerWord: 25 * time.Nanosecond,
+		TaskOverhead:     300 * time.Microsecond,
+		DispatchBytes:    128,
+		MsgEnvelopeBytes: 32,
+		ConvertPerWord:   25 * time.Nanosecond,
 	}
 }
 
@@ -198,8 +207,9 @@ func Workstations(n int) Platform {
 			Latency:   900 * time.Microsecond,
 			Bandwidth: 1.1e6,
 		},
-		TaskOverhead:   900 * time.Microsecond,
-		DispatchBytes:  256,
-		ConvertPerWord: 30 * time.Nanosecond,
+		TaskOverhead:     900 * time.Microsecond,
+		DispatchBytes:    256,
+		MsgEnvelopeBytes: 64,
+		ConvertPerWord:   30 * time.Nanosecond,
 	}
 }

@@ -37,6 +37,17 @@ type Network interface {
 	Stats() Stats
 }
 
+// Link identifies a directed machine pair.
+type Link struct {
+	Src, Dst int
+}
+
+// LinkStats are cumulative counters for one directed link.
+type LinkStats struct {
+	Messages int
+	Bytes    int64
+}
+
 // Stats are cumulative network counters.
 type Stats struct {
 	Messages int
@@ -44,6 +55,42 @@ type Stats struct {
 	// BusyTime is the total virtual time the network's contended resource
 	// was occupied (SharedBus only; zero elsewhere).
 	BusyTime time.Duration
+	// ByLink breaks the totals down per directed machine pair, so the
+	// benchmark harness can show where the bytes flowed (and what the
+	// delta-transfer layer saved on each link). Nil until the first Send.
+	ByLink map[Link]LinkStats
+}
+
+// counters is the shared recording state embedded in every Network
+// implementation.
+type counters struct {
+	stats Stats
+}
+
+func (c *counters) addSend(src, dst, size int) {
+	c.stats.Messages++
+	c.stats.Bytes += int64(size)
+	if c.stats.ByLink == nil {
+		c.stats.ByLink = map[Link]LinkStats{}
+	}
+	l := Link{Src: src, Dst: dst}
+	ls := c.stats.ByLink[l]
+	ls.Messages++
+	ls.Bytes += int64(size)
+	c.stats.ByLink[l] = ls
+}
+
+// snapshot returns a copy of the counters safe for the caller to retain
+// (the per-link map is cloned).
+func (c *counters) snapshot() Stats {
+	s := c.stats
+	if c.stats.ByLink != nil {
+		s.ByLink = make(map[Link]LinkStats, len(c.stats.ByLink))
+		for k, v := range c.stats.ByLink {
+			s.ByLink[k] = v
+		}
+	}
+	return s
 }
 
 // SharedBus models a single shared segment (Ethernet): every transfer
@@ -68,7 +115,7 @@ func (m SharedBus) ApproxTime(size int) time.Duration {
 type sharedBusNet struct {
 	model SharedBus
 	bus   *sim.Resource
-	stats Stats
+	counters
 }
 
 func (b *sharedBusNet) Send(p *sim.Proc, src, dst, size int) {
@@ -79,12 +126,11 @@ func (b *sharedBusNet) Send(p *sim.Proc, src, dst, size int) {
 	b.bus.Acquire(p, 1)
 	p.Sleep(d)
 	b.bus.Release(1)
-	b.stats.Messages++
-	b.stats.Bytes += int64(size)
+	b.addSend(src, dst, size)
 	b.stats.BusyTime += d
 }
 
-func (b *sharedBusNet) Stats() Stats { return b.stats }
+func (b *sharedBusNet) Stats() Stats { return b.snapshot() }
 
 // PointToPoint models independent links between machine pairs. With
 // Hypercube set, latency grows with the hop count (Hamming distance of the
@@ -132,7 +178,7 @@ type p2pNet struct {
 	model PointToPoint
 	tx    []*sim.Resource
 	rx    []*sim.Resource
-	stats Stats
+	counters
 }
 
 func (n *p2pNet) Send(p *sim.Proc, src, dst, size int) {
@@ -159,11 +205,10 @@ func (n *p2pNet) Send(p *sim.Proc, src, dst, size int) {
 	p.Sleep(d)
 	a.Release(1)
 	b.Release(1)
-	n.stats.Messages++
-	n.stats.Bytes += int64(size)
+	n.addSend(src, dst, size)
 }
 
-func (n *p2pNet) Stats() Stats { return n.stats }
+func (n *p2pNet) Stats() Stats { return n.snapshot() }
 
 // SMPBus models a shared-memory multiprocessor's coherence interconnect:
 // transfers have tiny latency, very high bandwidth and (at coarse task
@@ -187,7 +232,7 @@ func (m SMPBus) ApproxTime(size int) time.Duration {
 
 type smpNet struct {
 	model SMPBus
-	stats Stats
+	counters
 }
 
 func (s *smpNet) Send(p *sim.Proc, src, dst, size int) {
@@ -195,8 +240,7 @@ func (s *smpNet) Send(p *sim.Proc, src, dst, size int) {
 		return
 	}
 	p.Sleep(s.model.Latency + time.Duration(float64(size)/s.model.Bandwidth*1e9))
-	s.stats.Messages++
-	s.stats.Bytes += int64(size)
+	s.addSend(src, dst, size)
 }
 
-func (s *smpNet) Stats() Stats { return s.stats }
+func (s *smpNet) Stats() Stats { return s.snapshot() }

@@ -143,6 +143,43 @@ func TestSelfSendIsFree(t *testing.T) {
 	}
 }
 
+func TestPerLinkBreakdown(t *testing.T) {
+	for _, m := range []Model{
+		SharedBus{Latency: time.Millisecond, Bandwidth: 1e6},
+		PointToPoint{Latency: time.Millisecond, Bandwidth: 1e6},
+		SMPBus{Latency: time.Millisecond, Bandwidth: 1e6},
+	} {
+		eng := sim.New()
+		net := m.Instantiate(eng, 4)
+		eng.Spawn("xfers", func(p *sim.Proc) {
+			net.Send(p, 0, 1, 100)
+			net.Send(p, 0, 1, 200)
+			net.Send(p, 2, 3, 50)
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		st := net.Stats()
+		if st.Messages != 3 || st.Bytes != 350 {
+			t.Fatalf("%T: totals %+v", m, st)
+		}
+		if got := st.ByLink[Link{0, 1}]; got.Messages != 2 || got.Bytes != 300 {
+			t.Fatalf("%T: link 0->1 = %+v", m, got)
+		}
+		if got := st.ByLink[Link{2, 3}]; got.Messages != 1 || got.Bytes != 50 {
+			t.Fatalf("%T: link 2->3 = %+v", m, got)
+		}
+		if _, ok := st.ByLink[Link{1, 0}]; ok {
+			t.Fatalf("%T: links are directed; 1->0 should be absent", m)
+		}
+		// The snapshot must be detached from the live counters.
+		st.ByLink[Link{0, 1}] = LinkStats{}
+		if got := net.Stats().ByLink[Link{0, 1}]; got.Messages != 2 {
+			t.Fatalf("%T: Stats() must return a copy of the link map", m)
+		}
+	}
+}
+
 func TestSMPBusNoContention(t *testing.T) {
 	eng := sim.New()
 	net := SMPBus{Latency: time.Millisecond, Bandwidth: 1e6}.Instantiate(eng, 8)

@@ -43,6 +43,15 @@ const (
 	Violation
 	// Depend: a dynamic data dependence between two tasks was detected.
 	Depend
+	// ObjectPatched: an object re-fetch was satisfied by a delta transfer —
+	// only the words changed since the receiver's stale shadow copy crossed
+	// the network. Bytes is the patch size; Saved is the full wire image
+	// size minus the patch size.
+	ObjectPatched
+	// DispatchCoalesced: a task-dispatch control message was piggybacked
+	// onto the task's first object transfer from the same source instead of
+	// being sent as its own message.
+	DispatchCoalesced
 )
 
 var kindNames = map[Kind]string{
@@ -58,6 +67,8 @@ var kindNames = map[Kind]string{
 	Converted:         "converted",
 	Violation:         "violation",
 	Depend:            "depend",
+	ObjectPatched:     "object-patched",
+	DispatchCoalesced: "dispatch-coalesced",
 }
 
 func (k Kind) String() string {
@@ -85,6 +96,9 @@ type Event struct {
 	Src, Dst int
 	// Bytes is the payload size for messages and transfers.
 	Bytes int
+	// Saved is the wire bytes a delta transfer avoided (ObjectPatched only:
+	// full image size minus patch size).
+	Saved int
 	// Label carries task or object labels for rendering.
 	Label string
 }
@@ -102,8 +116,11 @@ func (e Event) String() string {
 	if e.Object != 0 {
 		fmt.Fprintf(&b, " obj=%d", e.Object)
 	}
-	if e.Kind == MessageSent || e.Kind == ObjectMoved || e.Kind == ObjectCopied {
+	if e.Kind == MessageSent || e.Kind == ObjectMoved || e.Kind == ObjectCopied || e.Kind == ObjectPatched {
 		fmt.Fprintf(&b, " %d->%d (%dB)", e.Src, e.Dst, e.Bytes)
+	}
+	if e.Kind == ObjectPatched {
+		fmt.Fprintf(&b, " saved=%dB", e.Saved)
 	}
 	if e.Label != "" {
 		fmt.Fprintf(&b, " %q", e.Label)
@@ -175,6 +192,17 @@ type Summary struct {
 	// ObjectsMoved and ObjectsCopied count object transfers.
 	ObjectsMoved  int
 	ObjectsCopied int
+	// ObjectsPatched counts transfers satisfied as deltas (only the words
+	// changed since the receiver's shadow copy were sent), and
+	// DeltaBytesSaved the wire bytes those deltas avoided.
+	ObjectsPatched  int
+	DeltaBytesSaved int64
+	// CoalescedDispatches counts task-dispatch control messages piggybacked
+	// onto object transfers instead of sent standalone.
+	CoalescedDispatches int
+	// BytesByObject breaks message bytes down per object (object-tagged
+	// messages only; dispatch and other control traffic has no object).
+	BytesByObject map[uint64]int64
 	// ConvertedWords counts data words format-converted in transit.
 	ConvertedWords int
 	// BusyTime is per-machine sum of task execution spans.
@@ -189,7 +217,7 @@ type Summary struct {
 
 // Summarize computes a Summary from the log.
 func Summarize(l *Log) Summary {
-	s := Summary{BusyTime: map[int]time.Duration{}}
+	s := Summary{BusyTime: map[int]time.Duration{}, BytesByObject: map[uint64]int64{}}
 	started := map[uint64]Event{}
 	for _, ev := range l.Events() {
 		if ev.At > s.Makespan {
@@ -206,10 +234,22 @@ func Summarize(l *Log) Summary {
 		case MessageSent:
 			s.Messages++
 			s.MessageBytes += int64(ev.Bytes)
+			if ev.Object != 0 {
+				s.BytesByObject[ev.Object] += int64(ev.Bytes)
+			}
 		case ObjectMoved:
 			s.ObjectsMoved++
 		case ObjectCopied:
 			s.ObjectsCopied++
+		case ObjectPatched:
+			s.ObjectsPatched++
+			s.DeltaBytesSaved += int64(ev.Saved)
+		case DispatchCoalesced:
+			// The dispatch bytes crossed the wire inside an object message,
+			// so they count toward byte totals but not the message count —
+			// saving the message is the point of coalescing.
+			s.CoalescedDispatches++
+			s.MessageBytes += int64(ev.Bytes)
 		case Converted:
 			s.ConvertedWords += ev.Bytes
 		case Violation:

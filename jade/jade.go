@@ -51,6 +51,10 @@ type MachineSpec = machine.Spec
 // NetworkStats are cumulative network counters of a simulated run.
 type NetworkStats = netmodel.Stats
 
+// DeltaStats summarizes the simulated runtime's delta-transfer and
+// message-coalescing layer.
+type DeltaStats = dist.DeltaStats
+
 // Predefined platforms modeling the paper's evaluation environments (§7).
 var (
 	// DASH is the Stanford DASH shared-memory multiprocessor.
@@ -112,6 +116,10 @@ type SimConfig struct {
 	NoPrefetch bool
 	// NoLocality disables the locality scheduling heuristic (ablation).
 	NoLocality bool
+	// NoDelta disables delta transfers and dispatch coalescing: re-fetches
+	// ship full object images and every dispatch is its own message
+	// (ablation).
+	NoDelta bool
 	// Trace records execution events.
 	Trace bool
 }
@@ -124,6 +132,7 @@ func NewSimulated(cfg SimConfig) (*Runtime, error) {
 		MaxLiveTasks: cfg.MaxLiveTasks,
 		NoPrefetch:   cfg.NoPrefetch,
 		NoLocality:   cfg.NoLocality,
+		NoDelta:      cfg.NoDelta,
 		Trace:        cfg.Trace,
 	})
 	if err != nil {
@@ -160,6 +169,15 @@ func (r *Runtime) NetStats() NetworkStats {
 		return x.NetStats()
 	}
 	return NetworkStats{}
+}
+
+// DeltaStats returns delta-transfer and coalescing counters (zero value for
+// the SMP runtime and for runs with SimConfig.NoDelta).
+func (r *Runtime) DeltaStats() DeltaStats {
+	if x, ok := r.ex.(*dist.Exec); ok {
+		return x.DeltaStats()
+	}
+	return DeltaStats{}
 }
 
 // EngineStats returns dependency-engine counters.
