@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race determinism bench clean
+.PHONY: check vet build test race determinism fault bench clean
 
-check: vet build test race determinism
+check: vet build test race determinism fault
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,12 @@ race:
 # count in the test suite rests on.
 determinism:
 	$(GO) test -run Determin -count=2 ./internal/sim/... ./internal/exec/dist/...
+
+# The fault tier: failure injection, detection and deterministic recovery,
+# under the race detector — crashes, loss, duplication and partitions must
+# leave every application bit-identical to its failure-free run.
+fault:
+	$(GO) test -race -count=2 -run Fault ./internal/fault/... ./internal/exec/dist/... ./jade/... ./internal/experiments/...
 
 # Engine throughput and application benchmarks (not part of check).
 bench:

@@ -1,13 +1,14 @@
 // Command jadebench regenerates every evaluation artifact of the paper:
 //
 //	jadebench                  # run everything (full problem sizes)
+//	jadebench -list            # enumerate the experiments
 //	jadebench -exp f9,f10      # just the LWS running-time/speedup curves
 //	jadebench -exp f4 -dot     # Figure 4 task graph, with DOT output
+//	jadebench -exp f1          # fault injection + deterministic recovery
 //	jadebench -quick           # reduced problem sizes (seconds, not minutes)
 //	jadebench -csv             # also print tables as CSV
 //
-// Experiments (see DESIGN.md §3): f4, f7, f9, f10, t1, c1, c2, a1, a2, a3,
-// a4, d1, h1, m1.
+// Experiments (see DESIGN.md §3 and §4.10): run jadebench -list.
 package main
 
 import (
@@ -20,9 +21,34 @@ import (
 	"repro/internal/experiments"
 )
 
+// catalog lists every experiment id with a one-line description, in the
+// order jadebench runs them. -list prints it; -exp accepts the ids.
+var catalog = []struct{ id, desc string }{
+	{"f4", "Figure 4: sparse Cholesky dynamic task graph"},
+	{"f7", "Figure 7: message-passing execution narrative (iPSC/860)"},
+	{"f9", "Figure 9: Water running time vs machines"},
+	{"f10", "Figure 10: Water speedup vs machines"},
+	{"t1", "Table: Jade construct counts in the Water source (§7.3)"},
+	{"c1", "comparison: Jade vs DSM-style execution (§6)"},
+	{"c2", "comparison: Jade vs tuple-space (Linda-style) Water (§6)"},
+	{"a1", "ablation: locality scheduling heuristic on/off"},
+	{"a2", "ablation: prefetch / latency hiding on/off"},
+	{"a3", "ablation: live-task throttle bounds"},
+	{"a4", "ablation: pipelined HRV video with heterogeneity machinery"},
+	{"d1", "delta transfers + dispatch coalescing vs full images (§5)"},
+	{"f1", "fault injection: crashes, loss, duplication + deterministic recovery (§4.10)"},
+	{"h1", "HRV video pipeline across heterogeneous machines (§7.2)"},
+	{"m1", "parallel make (pmake) task graph"},
+	{"g1", "granularity: Cholesky column vs supernode tasks"},
+	{"g2", "commuting accumulation (Acc) semantics"},
+	{"g3", "granularity: Water task-count sweep"},
+	{"k1", "Barnes-Hut N-body on the simulated platforms"},
+}
+
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (f4,f7,f9,f10,t1,c1,c2,a1,a2,a3,a4,d1,h1,m1,g1,g2,g3,k1) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids with descriptions and exit")
 		quick    = flag.Bool("quick", false, "reduced problem sizes")
 		dot      = flag.Bool("dot", false, "print the Figure 4 task graph in DOT format")
 		csv      = flag.Bool("csv", false, "also print tables as CSV")
@@ -32,6 +58,13 @@ func main() {
 		waterSrc = flag.String("watersrc", "internal/apps/water/water.go", "path to the water source for the T1 construct count")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, e := range catalog {
+			fmt.Printf("  %-4s %s\n", e.id, e.desc)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*expFlag, ",") {
@@ -177,6 +210,17 @@ func main() {
 		tb, err := experiments.D1Delta(grid)
 		if err != nil {
 			fail("d1", err)
+		}
+		show(tb)
+	}
+	if selected("f1") {
+		grid := 12
+		if *quick {
+			grid = 8
+		}
+		tb, err := experiments.F1Fault(grid)
+		if err != nil {
+			fail("f1", err)
 		}
 		show(tb)
 	}

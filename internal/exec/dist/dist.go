@@ -23,10 +23,13 @@ package dist
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/access"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/format"
 	"repro/internal/machine"
 	"repro/internal/netmodel"
@@ -54,8 +57,27 @@ type Options struct {
 	NoDelta bool
 	// Trace enables event recording.
 	Trace bool
-	// EventLimit bounds simulator events (0 = 50M) to catch runaways.
+	// EventLimit bounds simulator events (0 = 50M) to catch runaways —
+	// in particular failure-recovery or retransmission loops that would
+	// otherwise spin forever in virtual time.
 	EventLimit uint64
+	// Fault injects machine crashes, message loss/duplication and link
+	// partitions (nil = fault-free run). With a plan set, the executor
+	// runs a virtual-time heartbeat failure detector, retries lost
+	// messages, and recovers crashed machines' work by re-execution.
+	Fault *fault.Plan
+	// HeartbeatInterval is the failure detector's probe period
+	// (0 = 10ms of virtual time).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the initial wait after a missed probe; it doubles
+	// on each consecutive miss (0 = 3ms).
+	HeartbeatTimeout time.Duration
+	// HeartbeatRetries is how many consecutive probe misses declare a
+	// machine dead (0 = 3).
+	HeartbeatRetries int
+	// RetryBackoff is the initial retransmission delay of the reliable
+	// data-plane send; it doubles per retry, capped at 16x (0 = 2ms).
+	RetryBackoff time.Duration
 }
 
 // Exec is the distributed executor. Create with New; each Exec runs one
@@ -98,8 +120,49 @@ type Exec struct {
 	// object.
 	planned map[access.ObjectID]map[int]bool
 
+	// failMu guards firstErr: fail is called from simulated processes but
+	// also (via runBody's panic recovery) from user task bodies that may
+	// legally spawn their own goroutines, so latching must be single-writer.
+	failMu   sync.Mutex
 	firstErr error
 	ran      bool
+
+	// Fault tolerance state (nil/zero unless Options.Fault is set).
+	fplan     *fault.Plan
+	fnet      *fault.Network
+	dead      []bool     // dead[m]: machine m has crashed (fail-stop)
+	noticed   []bool     // noticed[m]: the failure detector observed m's death
+	buried    []bool     // buried[m]: m's recovery has completed
+	crashedAt []sim.Time // valid while dead[m]
+	// recovered is broadcast after each completed recovery pass; fetchers
+	// blocked on a dead owner re-read the directory then.
+	recovered *sim.Cond
+	// liveTasks registers every scheduled (non-inline) task from placement
+	// to completion, so recovery can find the in-flight tasks of a dead
+	// machine and re-dispatch them.
+	liveTasks map[*core.Task]*payload
+	// inputLogs[task] snapshots the value of each object as the task first
+	// fetched it (sender-based logging, homed at the creator's machine);
+	// a committed task can then be deterministically replayed to re-derive
+	// an object version that existed only on a crashed machine.
+	inputLogs map[core.TaskID]map[access.ObjectID]any
+	logHome   map[core.TaskID]int
+	// history[obj] records every content generation and the writer that
+	// produced it, so recovery can roll back uncommitted generations and
+	// identify the committed writer to replay.
+	history map[access.ObjectID][]verRec
+	fstats  fault.Stats
+
+	hbInterval, hbTimeout time.Duration
+	hbRetries             int
+	retryBackoff          time.Duration
+}
+
+// verRec is one content generation of an object: the directory version the
+// write produced and the task whose write produced it.
+type verRec struct {
+	version uint64
+	task    *core.Task
 }
 
 // objDir is the object directory entry: who owns the latest version and who
@@ -187,6 +250,13 @@ type payload struct {
 	// terminates, but the body — which must not execute on a machine
 	// lacking the capability — is skipped.
 	skipBody bool
+	// attempt counts dispatches of this task; recovery bumps it before
+	// re-dispatching so the crashed attempt's unwind does not double-release
+	// accounting the new attempt now owns.
+	attempt int
+	// released marks that the task's live-task throttle slot has been
+	// returned (exactly once per task, not per attempt).
+	released bool
 }
 
 // New returns an executor for the platform.
@@ -215,6 +285,39 @@ func New(opts Options) (*Exec, error) {
 	}
 	x.seng.SetEventLimit(opts.EventLimit)
 	x.net = opts.Platform.Net.Instantiate(x.seng, n)
+	if opts.Fault.Active() {
+		if err := opts.Fault.Validate(n); err != nil {
+			return nil, err
+		}
+		x.fplan = opts.Fault
+		x.fnet = fault.Wrap(x.net, x.seng, *opts.Fault, n)
+		x.net = x.fnet
+		x.dead = make([]bool, n)
+		x.noticed = make([]bool, n)
+		x.buried = make([]bool, n)
+		x.crashedAt = make([]sim.Time, n)
+		x.recovered = x.seng.NewCond()
+		x.liveTasks = map[*core.Task]*payload{}
+		x.inputLogs = map[core.TaskID]map[access.ObjectID]any{}
+		x.logHome = map[core.TaskID]int{}
+		x.history = map[access.ObjectID][]verRec{}
+		x.hbInterval = opts.HeartbeatInterval
+		if x.hbInterval <= 0 {
+			x.hbInterval = 10 * time.Millisecond
+		}
+		x.hbTimeout = opts.HeartbeatTimeout
+		if x.hbTimeout <= 0 {
+			x.hbTimeout = 3 * time.Millisecond
+		}
+		x.hbRetries = opts.HeartbeatRetries
+		if x.hbRetries <= 0 {
+			x.hbRetries = 3
+		}
+		x.retryBackoff = opts.RetryBackoff
+		if x.retryBackoff <= 0 {
+			x.retryBackoff = 2 * time.Millisecond
+		}
+	}
 	x.cpus = make([]*sim.Resource, n)
 	x.stores = make([]map[access.ObjectID]any, n)
 	x.shadows = make([]map[access.ObjectID]shadow, n)
@@ -259,10 +362,23 @@ func (x *Exec) record(ev trace.Event) {
 	x.log.Add(ev)
 }
 
+// fail latches the first error. It is safe to call from any goroutine:
+// although the simulator hands control to one process at a time, user task
+// bodies may spawn goroutines of their own, and the shared-memory idiom of
+// "first error wins" must hold under the race detector too.
 func (x *Exec) fail(err error) {
+	x.failMu.Lock()
 	if x.firstErr == nil {
 		x.firstErr = err
 	}
+	x.failMu.Unlock()
+}
+
+// firstError returns the latched error.
+func (x *Exec) firstError() error {
+	x.failMu.Lock()
+	defer x.failMu.Unlock()
+	return x.firstErr
 }
 
 func (x *Exec) onViolation(t *core.Task, err error) {
@@ -298,9 +414,12 @@ func (x *Exec) onReady(t *core.Task) {
 	pl.machine = m
 	x.pendingWork[m] += pl.opts.Cost
 	x.pendingTasks[m]++
+	if x.liveTasks != nil {
+		x.liveTasks[t] = pl
+	}
 	x.record(trace.Event{Kind: trace.TaskAssigned, Task: uint64(t.ID), Dst: m, Label: pl.opts.Label})
 	x.seng.Spawn(fmt.Sprintf("task-%d", t.ID), func(p *sim.Proc) {
-		x.runTask(p, t, pl)
+		x.runTask(p, t, pl, pl.attempt)
 	})
 }
 
@@ -315,10 +434,16 @@ func (x *Exec) place(t *core.Task, pl *payload) (int, error) {
 		if pl.opts.RequireCap != "" && !x.plat.Machines[m].HasCap(pl.opts.RequireCap) {
 			return 0, fmt.Errorf("task %q pinned to machine %d which lacks capability %q", pl.opts.Label, m, pl.opts.RequireCap)
 		}
+		if x.dead != nil && x.dead[m] {
+			return 0, fmt.Errorf("task %q pinned to machine %d, which has crashed", pl.opts.Label, m)
+		}
 		return m, nil
 	}
 	best, bestScore := -1, 0.0
 	for m := range x.plat.Machines {
+		if x.dead != nil && x.dead[m] {
+			continue
+		}
 		if pl.opts.RequireCap != "" && !x.plat.Machines[m].HasCap(pl.opts.RequireCap) {
 			continue
 		}
@@ -377,17 +502,36 @@ func (x *Exec) place(t *core.Task, pl *payload) (int, error) {
 	return best, nil
 }
 
-// runTask is the simulated process for one assigned task.
-func (x *Exec) runTask(p *sim.Proc, t *core.Task, pl *payload) {
+// runTask is the simulated process for one assigned task. attempt is the
+// dispatch generation: when the machine crashes mid-flight, recovery bumps
+// pl.attempt and re-dispatches, and this (now superseded) process unwinds
+// quietly at its next checkpoint via the machineDied panic.
+func (x *Exec) runTask(p *sim.Proc, t *core.Task, pl *payload, attempt int) {
 	m := pl.machine
+	cpuHeld := false
 	// The scheduler accounting charged at assignment must unwind on every
-	// exit path — including the early return when engine Start fails —
-	// or the machine looks permanently loaded and the live-task throttle
-	// never opens again.
+	// exit path — including the early return when engine Start fails and
+	// the abort of an attempt on a crashed machine — or the machine looks
+	// permanently loaded and the live-task throttle never opens again.
 	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(machineDied); !ok {
+				panic(r)
+			}
+			// This attempt died with its machine. Release the processor if
+			// held (queued doomed processes must still drain through it) and
+			// unwind the per-attempt accounting; recovery re-dispatches the
+			// task on a surviving machine.
+			if cpuHeld {
+				x.cpus[m].Release(1)
+			}
+		}
 		x.pendingWork[m] -= pl.opts.Cost
 		x.pendingTasks[m]--
-		x.liveUser--
+		if !pl.released && attempt == pl.attempt {
+			pl.released = true
+			x.liveUser--
+		}
 	}()
 	// Model the task-dispatch control message (Fig. 7(b-c): the task moves
 	// to the machine that will execute it). Unless coalescing is disabled,
@@ -396,8 +540,9 @@ func (x *Exec) runTask(p *sim.Proc, t *core.Task, pl *payload) {
 	var pig *dispatchMsg
 	if !pl.skipBody && pl.creator != m && x.plat.DispatchBytes > 0 {
 		if x.opts.NoDelta {
-			x.net.Send(p, pl.creator, m, x.plat.DispatchBytes)
-			x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Src: pl.creator, Dst: m, Bytes: x.plat.DispatchBytes, Label: "dispatch"})
+			if err := x.send(p, pl.creator, m, x.plat.DispatchBytes); err == nil {
+				x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Src: pl.creator, Dst: m, Bytes: x.plat.DispatchBytes, Label: "dispatch"})
+			}
 		} else {
 			piggy := x.plat.DispatchBytes - x.plat.MsgEnvelopeBytes
 			if piggy < 0 {
@@ -411,38 +556,57 @@ func (x *Exec) runTask(p *sim.Proc, t *core.Task, pl *payload) {
 		x.fetchAll(p, t, m, pig)
 	}
 	x.cpus[m].Acquire(p, 1)
+	cpuHeld = true
+	x.checkAlive(m)
 	if !pl.skipBody && x.opts.NoPrefetch {
 		// Machine sits idle during its own fetches.
 		x.fetchAll(p, t, m, pig)
 	}
 	p.Sleep(x.plat.TaskOverhead)
+	x.checkAlive(m)
 	if x.testHookPreStart != nil {
 		x.testHookPreStart(t)
 	}
-	if err := x.eng.Start(t); err != nil {
+	if attempt > 0 && t.State() == core.Running {
+		// A prior attempt on a crashed machine already moved the task to
+		// Running; this re-execution resumes the same lifecycle entry (the
+		// engine's grants survive — conflicting later tasks stay blocked
+		// until this task completes, which is what makes re-running from the
+		// declared read set safe).
+	} else if err := x.eng.Start(t); err != nil {
 		x.fail(err)
 		x.cpus[m].Release(1)
 		return
 	}
 	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: m, Label: pl.opts.Label})
-	tc := &taskCtx{x: x, t: t, p: p, machine: m, wake: x.seng.NewCond()}
+	tc := &taskCtx{x: x, t: t, p: p, machine: m, wake: x.seng.NewCond(), cpuHeld: &cpuHeld}
 	if !pl.skipBody {
 		if pl.opts.Cost > 0 {
 			p.Sleep(time.Duration(pl.opts.Cost / x.plat.Machines[m].Speed * 1e9))
+			x.checkAlive(m)
 		}
 		x.runBody(tc, pl.body)
 	}
 	if err := x.eng.Complete(t); err != nil {
 		x.fail(err)
 	}
+	if x.liveTasks != nil {
+		delete(x.liveTasks, t)
+	}
 	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: m})
 	x.cpus[m].Release(1)
+	cpuHeld = false
 }
 
-// runBody executes a task body, converting panics into program failure.
+// runBody executes a task body, converting panics into program failure. The
+// machineDied abort is not a failure: it propagates so the task process
+// unwinds and recovery re-executes the body elsewhere.
 func (x *Exec) runBody(tc *taskCtx, body func(rt.TC)) {
 	defer func() {
 		if r := recover(); r != nil {
+			if md, ok := r.(machineDied); ok {
+				panic(md)
+			}
 			x.fail(fmt.Errorf("task %d (%v) panicked: %v", tc.t.ID, tc.t.Seq, r))
 		}
 	}()
@@ -464,8 +628,11 @@ func (x *Exec) fetchAll(p *sim.Proc, t *core.Task, m int, pig *dispatchMsg) {
 	}
 	if pig != nil && !pig.sent {
 		pig.sent = true
-		x.net.Send(p, pig.src, pig.dst, pig.bytes)
-		x.record(trace.Event{Kind: trace.MessageSent, Task: pig.task, Src: pig.src, Dst: pig.dst, Bytes: pig.bytes, Label: "dispatch"})
+		// A dead creator cannot flush the dispatch; the task is already here,
+		// so the control message is moot.
+		if err := x.send(p, pig.src, pig.dst, pig.bytes); err == nil {
+			x.record(trace.Event{Kind: trace.MessageSent, Task: pig.task, Src: pig.src, Dst: pig.dst, Bytes: pig.bytes, Label: "dispatch"})
+		}
 	}
 }
 
@@ -498,35 +665,56 @@ func (x *Exec) fetchObject(p *sim.Proc, t *core.Task, obj access.ObjectID, m int
 		return
 	}
 	if write {
-		if d.owner != m {
+		for d.owner != m {
+			// A crashed owner cannot source the transfer: wait for recovery
+			// to rebuild the directory entry, then retry against the new
+			// owner. An errSourceDied from mid-transfer means the owner
+			// crashed while sending — same treatment.
+			x.waitOwnerAlive(p, obj, m)
+			if d.owner == m {
+				break
+			}
+			src := d.owner
 			if read {
-				x.transfer(p, t, d.owner, m, obj, pig)
-				x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
+				if err := x.transfer(p, t, src, m, obj, pig); err != nil {
+					continue
+				}
+				x.checkAlive(m)
+				x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: m,
 					Bytes: format.SizeOf(x.stores[m][obj]), Label: d.label})
 			} else {
 				// Ownership transfer only: small control message (the task
 				// may not read the old contents, so no data moves). A
 				// pending dispatch for this link rides along.
 				ctl := 32
-				if extra, ok := pig.match(d.owner, m); ok {
+				extra, coalesced := pig.match(src, m)
+				if coalesced {
 					ctl += extra
+				}
+				if err := x.send(p, src, m, ctl); err != nil {
+					continue
+				}
+				x.checkAlive(m)
+				if coalesced {
 					x.dstats.CoalescedDispatches++
 					x.record(trace.Event{Kind: trace.DispatchCoalesced, Task: pig.task, Src: pig.src, Dst: pig.dst, Bytes: extra})
 				}
-				x.net.Send(p, d.owner, m, ctl)
-				x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m, Bytes: ctl, Label: "ownership"})
-				x.stores[m][obj] = format.ZeroLike(x.stores[d.owner][obj])
+				x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: m, Bytes: ctl, Label: "ownership"})
+				x.stores[m][obj] = format.ZeroLike(x.stores[src][obj])
 				delete(x.shadows[m], obj)
-				x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
+				x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: m,
 					Bytes: 0, Label: d.label + " (write-only)"})
 			}
+			break
 		}
+		x.checkAlive(m)
 		for c := range d.copies {
 			if c != m {
 				// Keep the invalidated value as a shadow: a later re-fetch
 				// by this machine can then be satisfied with a patch of
-				// just the words the writers changed.
-				if !x.opts.NoDelta {
+				// just the words the writers changed — and recovery can
+				// restore the committed version from it if the owner dies.
+				if !x.opts.NoDelta || x.fplan != nil {
 					if old := x.stores[c][obj]; old != nil {
 						x.shadows[c][obj] = shadow{val: old, version: d.version}
 					}
@@ -539,12 +727,17 @@ func (x *Exec) fetchObject(p *sim.Proc, t *core.Task, obj access.ObjectID, m int
 		d.copies = map[int]bool{m: true}
 		// The writer starts a new content generation.
 		d.version++
+		if x.history != nil {
+			x.history[obj] = append(x.history[obj], verRec{version: d.version, task: t})
+		}
 		// Planned read copies of the old version are moot.
 		delete(x.planned, obj)
+		x.logInput(t, obj, m)
 		return
 	}
 	if d.copies[m] {
 		x.unplan(obj, m)
+		x.logInput(t, obj, m)
 		return
 	}
 	// Read replication. Concurrent fetches of a hot object coordinate so
@@ -557,31 +750,51 @@ func (x *Exec) fetchObject(p *sim.Proc, t *core.Task, obj access.ObjectID, m int
 		x.fetches[obj] = f
 	}
 	for !d.copies[m] {
+		x.checkAlive(m)
 		if f.dstBusy[m] {
 			f.cond.Wait(p, "fetch-dup")
 			continue
 		}
 		src := -1
 		for c := range d.copies {
+			if x.dead != nil && x.dead[c] {
+				continue
+			}
 			if !f.srcBusy[c] && (src == -1 || c < src) {
 				src = c
 			}
 		}
 		if src == -1 {
+			// Every copy holder is busy — or dead, in which case recovery
+			// will rebuild the copy set and broadcast this condition.
 			f.cond.Wait(p, "fetch-source")
 			continue
 		}
 		f.srcBusy[src] = true
 		f.dstBusy[m] = true
-		x.transfer(p, t, src, m, obj, pig)
+		err := func() error {
+			// The busy flags must clear even when the transfer aborts with a
+			// machineDied panic, or surviving fetchers would wait on them
+			// forever.
+			defer func() {
+				delete(f.srcBusy, src)
+				delete(f.dstBusy, m)
+				f.cond.Broadcast()
+			}()
+			return x.transfer(p, t, src, m, obj, pig)
+		}()
+		if err != nil {
+			// The source died mid-transfer; retry from another copy once
+			// recovery has repaired the directory.
+			continue
+		}
+		x.checkAlive(m)
 		d.copies[m] = true
 		x.unplan(obj, m)
 		x.record(trace.Event{Kind: trace.ObjectCopied, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: m,
 			Bytes: format.SizeOf(x.stores[m][obj]), Label: d.label})
-		delete(f.srcBusy, src)
-		delete(f.dstBusy, m)
-		f.cond.Broadcast()
 	}
+	x.logInput(t, obj, m)
 }
 
 // transfer moves the bytes of obj from machine src to machine dst: encode in
@@ -590,15 +803,17 @@ func (x *Exec) fetchObject(p *sim.Proc, t *core.Task, obj access.ObjectID, m int
 // still holds a shadow of the object (a stale copy retained at
 // invalidation), the transfer is attempted as a patch of just the changed
 // words; and a pending task-dispatch control message for this link is folded
-// into the data message instead of traveling alone.
-func (x *Exec) transfer(p *sim.Proc, t *core.Task, src, dst int, obj access.ObjectID, pig *dispatchMsg) {
+// into the data message instead of traveling alone. It returns errSourceDied
+// when src crashed before the data got out — the caller retries against the
+// recovered directory.
+func (x *Exec) transfer(p *sim.Proc, t *core.Task, src, dst int, obj access.ObjectID, pig *dispatchMsg) error {
 	if src == dst {
-		return
+		return nil
 	}
 	val := x.stores[src][obj]
 	if val == nil {
 		x.fail(fmt.Errorf("object #%d missing from owner machine %d's store", obj, src))
-		return
+		return nil
 	}
 	srcFmt := x.plat.Machines[src].Format
 	dstFmt := x.plat.Machines[dst].Format
@@ -608,22 +823,26 @@ func (x *Exec) transfer(p *sim.Proc, t *core.Task, src, dst int, obj access.Obje
 		x.record(trace.Event{Kind: trace.DispatchCoalesced, Task: pig.task, Src: src, Dst: dst, Bytes: extra})
 	}
 	if !x.opts.NoDelta {
-		if sh, ok := x.shadows[dst][obj]; ok && x.deltaTransfer(p, t, src, dst, obj, val, sh, extra) {
-			return
+		if sh, ok := x.shadows[dst][obj]; ok {
+			if done, err := x.deltaTransfer(p, t, src, dst, obj, val, sh, extra); done {
+				return err
+			}
 		}
 	}
 	img, err := format.Encode(val, srcFmt)
 	if err != nil {
 		x.fail(fmt.Errorf("encode object #%d: %w", obj, err))
-		return
+		return nil
 	}
-	x.net.Send(p, src, dst, len(img)+extra)
+	if err := x.send(p, src, dst, len(img)+extra); err != nil {
+		return err
+	}
 	x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: dst, Bytes: len(img), Label: "object"})
 	if srcFmt != dstFmt {
 		conv, words, err := format.Convert(img, srcFmt, dstFmt)
 		if err != nil {
 			x.fail(fmt.Errorf("convert object #%d: %w", obj, err))
-			return
+			return nil
 		}
 		img = conv
 		if words > 0 {
@@ -634,36 +853,39 @@ func (x *Exec) transfer(p *sim.Proc, t *core.Task, src, dst int, obj access.Obje
 	decoded, err := format.Decode(img, dstFmt)
 	if err != nil {
 		x.fail(fmt.Errorf("decode object #%d: %w", obj, err))
-		return
+		return nil
 	}
 	x.stores[dst][obj] = decoded
 	delete(x.shadows[dst], obj)
 	x.dstats.FullTransfers++
 	x.dstats.FullBytes += int64(len(img))
+	return nil
 }
 
 // deltaTransfer ships obj from src to dst as a patch against dst's shadow
-// copy. It reports whether the transfer was satisfied (false means the diff
-// was not worthwhile — same-size or larger than the full image, or the
-// object was reallocated — and the caller must do a full transfer). The
-// patch's run payloads travel in src's byte order and are converted like a
-// full image, but the swap cost is charged only for the words that moved.
-func (x *Exec) deltaTransfer(p *sim.Proc, t *core.Task, src, dst int, obj access.ObjectID, val any, sh shadow, extra int) bool {
+// copy. done=false means the diff was not worthwhile — same-size or larger
+// than the full image, or the object was reallocated — and the caller must
+// do a full transfer. The patch's run payloads travel in src's byte order
+// and are converted like a full image, but the swap cost is charged only for
+// the words that moved.
+func (x *Exec) deltaTransfer(p *sim.Proc, t *core.Task, src, dst int, obj access.ObjectID, val any, sh shadow, extra int) (done bool, err error) {
 	srcFmt := x.plat.Machines[src].Format
 	dstFmt := x.plat.Machines[dst].Format
 	patch, _, ok := format.Diff(sh.val, val, srcFmt)
 	if !ok {
-		return false
+		return false, nil
 	}
 	saved := format.WireSize(val) - len(patch)
-	x.net.Send(p, src, dst, len(patch)+extra)
+	if err := x.send(p, src, dst, len(patch)+extra); err != nil {
+		return true, err
+	}
 	x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: dst, Bytes: len(patch), Label: "object-delta"})
 	x.record(trace.Event{Kind: trace.ObjectPatched, Task: uint64(t.ID), Object: uint64(obj), Src: src, Dst: dst, Bytes: len(patch), Saved: saved})
 	if srcFmt != dstFmt {
 		conv, words, err := format.ConvertPatch(patch, srcFmt, dstFmt)
 		if err != nil {
 			x.fail(fmt.Errorf("convert patch for object #%d: %w", obj, err))
-			return true
+			return true, nil
 		}
 		patch = conv
 		if words > 0 {
@@ -674,14 +896,14 @@ func (x *Exec) deltaTransfer(p *sim.Proc, t *core.Task, src, dst int, obj access
 	newVal, err := format.ApplyPatch(sh.val, patch, dstFmt)
 	if err != nil {
 		x.fail(fmt.Errorf("apply patch for object #%d: %w", obj, err))
-		return true
+		return true, nil
 	}
 	x.stores[dst][obj] = newVal
 	delete(x.shadows[dst], obj)
 	x.dstats.DeltaTransfers++
 	x.dstats.DeltaBytes += int64(len(patch))
 	x.dstats.SavedBytes += int64(saved)
-	return true
+	return true, nil
 }
 
 // Run implements rt.Exec: execute the main program on machine 0 and drive
@@ -691,11 +913,19 @@ func (x *Exec) Run(root func(rt.TC)) error {
 		return fmt.Errorf("dist: Run called twice on the same executor")
 	}
 	x.ran = true
+	if x.fplan != nil {
+		for _, c := range x.fplan.Crashes {
+			c := c
+			x.seng.After(c.At, func() { x.crashMachine(c.Machine, "injected") })
+		}
+		x.seng.Spawn("fault-monitor", func(p *sim.Proc) { x.monitor(p) })
+	}
 	x.seng.Spawn("main", func(p *sim.Proc) {
 		x.cpus[0].Acquire(p, 1)
 		t := x.eng.Root()
 		x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: 0, Label: "main"})
-		tc := &taskCtx{x: x, t: t, p: p, machine: 0, wake: x.seng.NewCond()}
+		held := true
+		tc := &taskCtx{x: x, t: t, p: p, machine: 0, wake: x.seng.NewCond(), cpuHeld: &held}
 		x.runBody(tc, root)
 		if err := x.eng.Complete(t); err != nil {
 			x.fail(err)
@@ -704,12 +934,15 @@ func (x *Exec) Run(root func(rt.TC)) error {
 		x.cpus[0].Release(1)
 	})
 	if err := x.seng.Run(); err != nil {
+		if x.fplan != nil && strings.Contains(err.Error(), "event limit") {
+			err = fmt.Errorf("%w (possible runaway failure-recovery loop: check the fault plan before raising Options.EventLimit)", err)
+		}
 		x.fail(err)
 	}
-	if x.firstErr == nil && x.eng.Live() != 0 {
+	if x.firstError() == nil && x.eng.Live() != 0 {
 		x.fail(fmt.Errorf("program ended with %d live tasks", x.eng.Live()))
 	}
-	return x.firstErr
+	return x.firstError()
 }
 
 // ObjectValue implements rt.Exec: the owner machine's version after Run.
@@ -728,6 +961,11 @@ type taskCtx struct {
 	p       *sim.Proc
 	machine int
 	wake    *sim.Cond
+	// cpuHeld mirrors whether this task's process currently holds its
+	// machine's processor, so the machineDied unwind knows whether to
+	// release it. Shared with runTask's local (inline children reuse the
+	// creator's flag — they run on the creator's process).
+	cpuHeld *bool
 }
 
 // CoreTask implements rt.TC.
@@ -751,10 +989,14 @@ func (tc *taskCtx) engineWait(register func(wake func()) (bool, error)) error {
 		return nil
 	}
 	tc.x.cpus[tc.machine].Release(1)
+	*tc.cpuHeld = false
 	for !done {
 		tc.wake.Wait(tc.p, "engine-wait")
+		tc.x.checkAlive(tc.machine)
 	}
 	tc.x.cpus[tc.machine].Acquire(tc.p, 1)
+	*tc.cpuHeld = true
+	tc.x.checkAlive(tc.machine)
 	return nil
 }
 
@@ -805,6 +1047,7 @@ func (tc *taskCtx) Retract(obj access.ObjectID, which access.Mode) error {
 
 // Create implements rt.TC: the withonly-do construct.
 func (tc *taskCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC)) error {
+	tc.x.checkAlive(tc.machine)
 	pl := &payload{body: body, opts: opts, creator: tc.machine, machine: -1}
 	if tc.x.liveUser >= tc.x.opts.MaxLiveTasks {
 		pl.inline = true
@@ -828,10 +1071,14 @@ func (tc *taskCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC
 	// declarations to enable, then run it here as part of this task.
 	if !pl.isReady {
 		tc.x.cpus[tc.machine].Release(1)
+		*tc.cpuHeld = false
 		for !pl.isReady {
 			pl.ready.Wait(tc.p, "inline-ready")
+			tc.x.checkAlive(tc.machine)
 		}
 		tc.x.cpus[tc.machine].Acquire(tc.p, 1)
+		*tc.cpuHeld = true
+		tc.x.checkAlive(tc.machine)
 	}
 	tc.x.fetchAll(tc.p, t, tc.machine, nil)
 	if err := tc.x.eng.Start(t); err != nil {
@@ -839,7 +1086,7 @@ func (tc *taskCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC
 		return err
 	}
 	tc.x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: tc.machine, Label: opts.Label})
-	child := &taskCtx{x: tc.x, t: t, p: tc.p, machine: tc.machine, wake: tc.x.seng.NewCond()}
+	child := &taskCtx{x: tc.x, t: t, p: tc.p, machine: tc.machine, wake: tc.x.seng.NewCond(), cpuHeld: tc.cpuHeld}
 	if opts.Cost > 0 {
 		tc.p.Sleep(time.Duration(opts.Cost / tc.x.plat.Machines[tc.machine].Speed * 1e9))
 	}
@@ -871,6 +1118,7 @@ func (tc *taskCtx) Alloc(initial any, label string) (access.ObjectID, error) {
 func (tc *taskCtx) Charge(work float64) {
 	if work > 0 {
 		tc.p.Sleep(time.Duration(work / tc.x.plat.Machines[tc.machine].Speed * 1e9))
+		tc.x.checkAlive(tc.machine)
 	}
 }
 

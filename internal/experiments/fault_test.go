@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestF1FaultDeterministic runs the fault experiment twice: the tables —
+// makespans, recovery counters, everything — must be identical, and every
+// scenario inside F1Fault is itself verified bit-identical to the
+// failure-free factorization.
+func TestF1FaultDeterministic(t *testing.T) {
+	t1, err := F1Fault(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := F1Fault(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1.Rows, t2.Rows) {
+		t.Fatalf("two runs of F1 differ:\n%v\nvs\n%v", t1, t2)
+	}
+	if len(t1.Rows) != 4 {
+		t.Fatalf("F1 produced %d rows, want 4 (failure-free + 3 scenarios)", len(t1.Rows))
+	}
+	for _, row := range t1.Rows[1:] {
+		if row[3] == "0" {
+			t.Fatalf("scenario %q survived no crashes — the plan never fired", row[0])
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+func testNet(n int, plan Plan) (*sim.Engine, *Network) {
+	eng := sim.New()
+	inner := netmodel.SharedBus{Latency: 100 * time.Microsecond, Bandwidth: 1e6}.Instantiate(eng, n)
+	return eng, Wrap(inner, eng, plan, n)
+}
+
+// drive runs fn as a simulated process and completes the simulation.
+func drive(t *testing.T, eng *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	eng.Spawn("driver", fn)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"empty", Plan{}, true},
+		{"normal crash", Plan{Crashes: []Crash{{Machine: 2, At: time.Second}}}, true},
+		{"machine zero", Plan{Crashes: []Crash{{Machine: 0}}}, false},
+		{"out of range", Plan{Crashes: []Crash{{Machine: 8}}}, false},
+		{"double crash", Plan{Crashes: []Crash{{Machine: 1}, {Machine: 1, At: time.Second}}}, false},
+		{"negative time", Plan{Crashes: []Crash{{Machine: 1, At: -time.Second}}}, false},
+		{"loss too high", Plan{LossRate: 0.95}, false},
+		{"dup negative", Plan{DupRate: -0.1}, false},
+		{"partition ok", Plan{Partitions: []Partition{{A: 0, B: 3, From: 0, To: time.Second}}}, true},
+		{"partition self", Plan{Partitions: []Partition{{A: 2, B: 2, To: time.Second}}}, false},
+		{"partition empty window", Plan{Partitions: []Partition{{A: 0, B: 1, From: 2 * time.Second, To: time.Second}}}, false},
+	} {
+		err := tc.plan.Validate(8)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.Active() {
+		t.Error("nil plan reports active")
+	}
+	if err := nilPlan.Validate(4); err != nil {
+		t.Errorf("nil plan Validate = %v", err)
+	}
+}
+
+func TestFaultLossDeterministic(t *testing.T) {
+	outcomes := func(seed int64) ([]bool, Stats, netmodel.Stats, netmodel.Stats) {
+		eng, fn := testNet(4, Plan{LossRate: 0.3, Seed: seed})
+		var got []bool
+		drive(t, eng, func(p *sim.Proc) {
+			for i := 0; i < 200; i++ {
+				got = append(got, fn.TrySend(p, 0, 1+i%3, 100))
+			}
+		})
+		return got, fn.FaultStats(), fn.Stats(), fn.WireStats()
+	}
+	a1, fs1, log1, wire1 := outcomes(5)
+	a2, fs2, _, _ := outcomes(5)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed, different outcome at send %d", i)
+		}
+	}
+	if fs1 != fs2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", fs1, fs2)
+	}
+	if fs1.MessagesLost == 0 {
+		t.Fatal("loss rate 0.3 over 200 sends lost nothing")
+	}
+	delivered := 0
+	for _, ok := range a1 {
+		if ok {
+			delivered++
+		}
+	}
+	if log1.Messages != delivered {
+		t.Fatalf("logical Messages = %d, want %d delivered", log1.Messages, delivered)
+	}
+	// Every attempt crossed the wire, delivered or not.
+	if wire1.Messages != 200 {
+		t.Fatalf("wire Messages = %d, want 200 attempts", wire1.Messages)
+	}
+}
+
+func TestFaultDuplicatesDropped(t *testing.T) {
+	eng, fn := testNet(2, Plan{DupRate: 0.5, Seed: 11})
+	const n = 100
+	drive(t, eng, func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			if !fn.TrySend(p, 0, 1, 64) {
+				t.Errorf("send %d lost with zero loss rate", i)
+			}
+		}
+	})
+	fs := fn.FaultStats()
+	if fs.MessagesDuplicated == 0 {
+		t.Fatal("dup rate 0.5 over 100 sends duplicated nothing")
+	}
+	if fs.DuplicatesDropped != fs.MessagesDuplicated {
+		t.Fatalf("DuplicatesDropped = %d, want every duplicate (%d) idempotently dropped",
+			fs.DuplicatesDropped, fs.MessagesDuplicated)
+	}
+	// Logical stats count each delivered message once; the duplicates appear
+	// only at the wire level.
+	link := netmodel.Link{Src: 0, Dst: 1}
+	if got := fn.Stats().ByLink[link].Messages; got != n {
+		t.Fatalf("logical ByLink Messages = %d, want %d", got, n)
+	}
+	if wire := fn.WireStats().Messages; wire != n+fs.MessagesDuplicated {
+		t.Fatalf("wire Messages = %d, want %d + %d duplicates", wire, n, fs.MessagesDuplicated)
+	}
+}
+
+// TestFaultRetriedSendsCountedOnce pins the Stats.ByLink contract the
+// executor's ack/retry layer relies on: a message that takes several
+// transmission attempts still counts once per link in the wrapper's logical
+// stats, while every attempt is charged on the wire.
+func TestFaultRetriedSendsCountedOnce(t *testing.T) {
+	eng, fn := testNet(2, Plan{LossRate: 0.4, Seed: 3})
+	const n = 50
+	attempts := 0
+	drive(t, eng, func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			for {
+				attempts++
+				if fn.TrySend(p, 0, 1, 128) {
+					break
+				}
+			}
+		}
+	})
+	link := netmodel.Link{Src: 0, Dst: 1}
+	if got := fn.Stats().ByLink[link].Messages; got != n {
+		t.Fatalf("logical ByLink Messages = %d, want %d (retries must not double-count)", got, n)
+	}
+	if got := fn.Stats().Bytes; got != int64(n*128) {
+		t.Fatalf("logical Bytes = %d, want %d", got, n*128)
+	}
+	if attempts <= n {
+		t.Fatalf("expected retries with loss rate 0.4, got %d attempts for %d messages", attempts, n)
+	}
+	if wire := fn.WireStats().Messages; wire != attempts {
+		t.Fatalf("wire Messages = %d, want %d attempts", wire, attempts)
+	}
+}
+
+func TestFaultPartitionWindow(t *testing.T) {
+	eng, fn := testNet(3, Plan{Partitions: []Partition{
+		{A: 0, B: 1, From: 10 * time.Millisecond, To: 20 * time.Millisecond},
+	}})
+	drive(t, eng, func(p *sim.Proc) {
+		if !fn.TrySend(p, 0, 1, 10) {
+			t.Error("send before the window blocked")
+		}
+		p.Sleep(12 * time.Millisecond)
+		if fn.TrySend(p, 0, 1, 10) {
+			t.Error("send inside the window delivered")
+		}
+		if fn.TrySend(p, 1, 0, 10) {
+			t.Error("partition is bidirectional; reverse send delivered")
+		}
+		if !fn.TrySend(p, 0, 2, 10) {
+			t.Error("partition of (0,1) blocked the (0,2) link")
+		}
+		p.Sleep(10 * time.Millisecond)
+		if !fn.TrySend(p, 0, 1, 10) {
+			t.Error("send after the window blocked")
+		}
+	})
+	if fs := fn.FaultStats(); fs.MessagesBlocked != 2 {
+		t.Fatalf("MessagesBlocked = %d, want 2", fs.MessagesBlocked)
+	}
+}
+
+func TestFaultKillSemantics(t *testing.T) {
+	eng, fn := testNet(3, Plan{})
+	drive(t, eng, func(p *sim.Proc) {
+		if !fn.TrySend(p, 0, 1, 50) {
+			t.Error("healthy send failed")
+		}
+		fn.Kill(1)
+		if !fn.Dead(1) {
+			t.Error("Kill(1) not reflected by Dead")
+		}
+		wireBefore := fn.WireStats().Messages
+		// A dead source transmits nothing: no wire charge.
+		if fn.TrySend(p, 1, 2, 50) {
+			t.Error("dead source delivered")
+		}
+		if fn.WireStats().Messages != wireBefore {
+			t.Error("dead source still charged the wire")
+		}
+		// A dead destination swallows the bytes after they crossed the wire.
+		if fn.TrySend(p, 0, 1, 50) {
+			t.Error("send to dead machine delivered")
+		}
+		if fn.WireStats().Messages != wireBefore+1 {
+			t.Error("send to dead machine did not occupy the wire")
+		}
+		// The reliable Send is a no-op on dead endpoints (no infinite retry).
+		fn.Send(p, 0, 1, 50)
+		fn.Send(p, 1, 2, 50)
+	})
+	// Only the send to the dead destination counts as blocked: a dead source
+	// transmits nothing at all.
+	if fs := fn.FaultStats(); fs.MessagesBlocked != 1 {
+		t.Fatalf("MessagesBlocked = %d, want 1", fs.MessagesBlocked)
+	}
+}

@@ -77,6 +77,10 @@ type Platform struct {
 	// ConvertPerWord is the cost of converting one data word between
 	// machine formats during a transfer.
 	ConvertPerWord time.Duration
+	// HeartbeatBytes is the size of one failure-detector probe message
+	// (ping or ack), including framing. Used only by runs with a fault
+	// plan; 0 means the executor's default (32 bytes).
+	HeartbeatBytes int
 }
 
 // Validate checks platform invariants.
@@ -133,6 +137,7 @@ func IPSC860(n int) Platform {
 		TaskOverhead:     350 * time.Microsecond,
 		DispatchBytes:    128,
 		MsgEnvelopeBytes: 32, // NX message header
+		HeartbeatBytes:   32,
 	}
 }
 
@@ -151,6 +156,7 @@ func Mica(n int) Platform {
 		DispatchBytes:    256,
 		MsgEnvelopeBytes: 64, // Ethernet + IP + UDP + PVM framing
 		ConvertPerWord:   0,  // homogeneous SPARCs
+		HeartbeatBytes:   64, // a minimal UDP datagram with PVM framing
 	}
 }
 
@@ -184,6 +190,7 @@ func HRV(accelerators int) Platform {
 		DispatchBytes:    128,
 		MsgEnvelopeBytes: 32,
 		ConvertPerWord:   25 * time.Nanosecond,
+		HeartbeatBytes:   32,
 	}
 }
 
@@ -211,5 +218,6 @@ func Workstations(n int) Platform {
 		DispatchBytes:    256,
 		MsgEnvelopeBytes: 64,
 		ConvertPerWord:   30 * time.Nanosecond,
+		HeartbeatBytes:   64,
 	}
 }

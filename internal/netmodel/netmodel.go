@@ -49,6 +49,14 @@ type LinkStats struct {
 }
 
 // Stats are cumulative network counters.
+//
+// A bare Network counts every Send. When the network is wrapped by
+// fault.Network, that wrapper keeps two ledgers: its Stats() is *logical* —
+// each delivered message counts once per link, so retried sends and
+// duplicated deliveries never double-count — while its WireStats() exposes
+// the inner Network's counters, which charge every transmission attempt
+// (lost, duplicated or blocked included). Byte-accounting comparisons such
+// as the D1 delta experiment read the logical side.
 type Stats struct {
 	Messages int
 	Bytes    int64
@@ -57,7 +65,10 @@ type Stats struct {
 	BusyTime time.Duration
 	// ByLink breaks the totals down per directed machine pair, so the
 	// benchmark harness can show where the bytes flowed (and what the
-	// delta-transfer layer saved on each link). Nil until the first Send.
+	// delta-transfer layer saved on each link). Under fault.Network's
+	// logical Stats(), a message that took several transmission attempts
+	// still appears exactly once on its link here. Nil until the first
+	// Send.
 	ByLink map[Link]LinkStats
 }
 

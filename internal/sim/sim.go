@@ -179,7 +179,8 @@ func (p *Proc) Yield() {
 func (e *Engine) Run() error {
 	for len(e.events) > 0 {
 		if e.limit > 0 && e.nev >= e.limit {
-			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v (%d live processes, %d parked, %d events pending — likely a runaway loop)",
+				e.limit, e.now, e.live, len(e.parked), len(e.events))
 		}
 		e.nev++
 		ev := heap.Pop(&e.events).(*event)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // Kind classifies an event.
@@ -52,6 +53,26 @@ const (
 	// onto the task's first object transfer from the same source instead of
 	// being sent as its own message.
 	DispatchCoalesced
+	// MachineCrashed: machine Dst suffered a fail-stop crash (scripted by
+	// the fault plan, or fenced by the failure detector — see Label).
+	MachineCrashed
+	// CrashDetected: the failure detector declared machine Dst dead after
+	// its heartbeat probes went unanswered.
+	CrashDetected
+	// TaskReexecuted: a task in flight on a crashed machine (Src) was
+	// re-placed on a surviving machine (Dst) and re-executed from its
+	// declared read set — or deterministically replayed from logged inputs
+	// (Label "replay ...") to re-derive a lost object version.
+	TaskReexecuted
+	// MessageRetried: a message attempt from Src to Dst was not delivered
+	// (loss, partition, or unreachable peer) and will be retransmitted
+	// after a backoff.
+	MessageRetried
+	// ObjectRebuilt: a directory entry pointing at a dead machine was
+	// reconstructed — ownership promoted to a surviving copy, restored from
+	// a shadow of the committed version, or re-derived by replaying the
+	// owning task (see Label).
+	ObjectRebuilt
 )
 
 var kindNames = map[Kind]string{
@@ -69,6 +90,11 @@ var kindNames = map[Kind]string{
 	Depend:            "depend",
 	ObjectPatched:     "object-patched",
 	DispatchCoalesced: "dispatch-coalesced",
+	MachineCrashed:    "machine-crashed",
+	CrashDetected:     "crash-detected",
+	TaskReexecuted:    "task-reexecuted",
+	MessageRetried:    "message-retried",
+	ObjectRebuilt:     "object-rebuilt",
 }
 
 func (k Kind) String() string {
@@ -209,6 +235,18 @@ type Summary struct {
 	BusyTime map[int]time.Duration
 	// Violations counts detected specification violations.
 	Violations int
+	// MachinesCrashed, CrashesDetected, TasksReexecuted, MessagesRetried
+	// and ObjectsRebuilt count the fault-injection and recovery events of a
+	// faulty simulated run (zero on fault-free runs).
+	MachinesCrashed int
+	CrashesDetected int
+	TasksReexecuted int
+	MessagesRetried int
+	ObjectsRebuilt  int
+	// Fault holds the fault layer's own counters (message loss/duplication
+	// injected, retransmissions, replays, recovery time). Zero unless the
+	// run had a fault plan and the summary was built by the jade runtime.
+	Fault fault.Stats
 	// Engine holds the dependency engine's own counters (task counts,
 	// waits, queue-lock acquisitions, blocked wakeups). Zero unless the
 	// summary was built with SummarizeWithEngine.
@@ -254,6 +292,16 @@ func Summarize(l *Log) Summary {
 			s.ConvertedWords += ev.Bytes
 		case Violation:
 			s.Violations++
+		case MachineCrashed:
+			s.MachinesCrashed++
+		case CrashDetected:
+			s.CrashesDetected++
+		case TaskReexecuted:
+			s.TasksReexecuted++
+		case MessageRetried:
+			s.MessagesRetried++
+		case ObjectRebuilt:
+			s.ObjectsRebuilt++
 		}
 	}
 	return s

@@ -1,0 +1,129 @@
+package jade_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/apps/cholesky"
+	"repro/internal/apps/water"
+	"repro/jade"
+)
+
+// runCholesky factors a sparse grid Laplacian on Mica-8 under the given
+// fault plan and returns the factorization.
+func runCholesky(t *testing.T, grid int, plan *jade.FaultPlan) (*cholesky.Matrix, *jade.Runtime) {
+	t.Helper()
+	m := cholesky.Symbolic(cholesky.GridLaplacian(grid))
+	r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.Mica(8), MaxLiveTasks: 4096, Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jm *cholesky.JadeMatrix
+	if err := r.Run(func(tk *jade.Task) {
+		jm = cholesky.ToJade(tk, m, 2e-5)
+		jm.Factor(tk)
+	}); err != nil {
+		t.Fatalf("cholesky with plan %+v: %v", plan, err)
+	}
+	return cholesky.FromJade(r, jm), r
+}
+
+// runWater runs the molecular-dynamics benchmark on Mica-8 under the given
+// fault plan and returns the final state.
+func runWater(t *testing.T, plan *jade.FaultPlan) (*water.State, *jade.Runtime) {
+	t.Helper()
+	r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.Mica(8), Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := water.RunJade(r, water.Config{N: 64, Steps: 2, Tasks: 4, Seed: 3})
+	if err != nil {
+		t.Fatalf("water with plan %+v: %v", plan, err)
+	}
+	return s, r
+}
+
+// TestFaultCholeskyBitIdentical is the property-based stress test: any fault
+// plan with up to two crashes (plus background message loss and duplication)
+// must yield a factorization bit-identical to the failure-free run — the
+// recovery re-executes tasks from their declared read sets, which Jade's
+// semantics make pure functions.
+func TestFaultCholeskyBitIdentical(t *testing.T) {
+	const grid = 8
+	want, base := runCholesky(t, grid, nil)
+	span := base.Makespan()
+	// Derive crash plans from seeds: machines 1..7 at varying fractions of
+	// the failure-free makespan, with and without message anomalies.
+	for seed := int64(0); seed < 6; seed++ {
+		frac := 0.15 + 0.1*float64(seed)
+		first := 1 + int(seed)%7
+		plan := &jade.FaultPlan{
+			Crashes: []jade.Crash{{Machine: first, At: time.Duration(frac * float64(span))}},
+			Seed:    seed,
+		}
+		if seed%2 == 1 {
+			second := 1 + int(seed+3)%7
+			if second != first {
+				plan.Crashes = append(plan.Crashes,
+					jade.Crash{Machine: second, At: time.Duration((frac + 0.3) * float64(span))})
+			}
+			plan.LossRate = 0.02
+			plan.DupRate = 0.02
+		}
+		got, r := runCholesky(t, grid, plan)
+		if !reflect.DeepEqual(got.Cols, want.Cols) {
+			t.Fatalf("seed %d (plan %+v): factorization differs from failure-free run", seed, plan)
+		}
+		fs := r.FaultStats()
+		if fs.CrashesInjected != len(plan.Crashes) {
+			t.Fatalf("seed %d: CrashesInjected = %d, want %d", seed, fs.CrashesInjected, len(plan.Crashes))
+		}
+		if r.Makespan() <= span {
+			t.Fatalf("seed %d: faulty makespan %v not above failure-free %v", seed, r.Makespan(), span)
+		}
+	}
+}
+
+// TestFaultWaterBitIdentical runs the same property on Water: positions,
+// velocities, forces and energy after two timesteps must be bit-identical
+// to the failure-free run despite two crashes and message anomalies.
+func TestFaultWaterBitIdentical(t *testing.T) {
+	want, _ := runWater(t, nil)
+	for seed := int64(0); seed < 3; seed++ {
+		plan := &jade.FaultPlan{
+			Crashes: []jade.Crash{
+				{Machine: 1 + int(seed)%7, At: time.Duration(5+4*seed) * time.Millisecond},
+				{Machine: 1 + int(seed+2)%7, At: time.Duration(15+5*seed) * time.Millisecond},
+			},
+			LossRate: 0.01,
+			DupRate:  0.01,
+			Seed:     seed,
+		}
+		got, r := runWater(t, plan)
+		if fs := r.FaultStats(); fs.CrashesInjected != len(plan.Crashes) {
+			t.Fatalf("seed %d: only %d of %d crashes fired before the run ended — the plan is not stressing recovery",
+				seed, fs.CrashesInjected, len(plan.Crashes))
+		}
+		if !reflect.DeepEqual(got.Pos, want.Pos) || !reflect.DeepEqual(got.Vel, want.Vel) {
+			t.Fatalf("seed %d: trajectories differ from failure-free run", seed)
+		}
+		if !reflect.DeepEqual(got.Force, want.Force) || got.Energy != want.Energy {
+			t.Fatalf("seed %d: forces/energy differ from failure-free run", seed)
+		}
+	}
+}
+
+// TestFaultSummarySurfacesStats checks the fault counters flow through the
+// public Runtime.Summary.
+func TestFaultSummarySurfacesStats(t *testing.T) {
+	plan := &jade.FaultPlan{Crashes: []jade.Crash{{Machine: 2, At: 50 * time.Millisecond}}}
+	_, r := runCholesky(t, 6, plan)
+	s := r.Summary()
+	if s.Fault.CrashesInjected != 1 || s.Fault.CrashesDetected < 1 {
+		t.Fatalf("Summary().Fault = %+v, want the injected crash reflected", s.Fault)
+	}
+	if s.Fault.HeartbeatsSent == 0 {
+		t.Fatal("Summary().Fault.HeartbeatsSent = 0")
+	}
+}

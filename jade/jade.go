@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec/dist"
 	"repro/internal/exec/smp"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/netmodel"
 	"repro/internal/rt"
@@ -54,6 +55,21 @@ type NetworkStats = netmodel.Stats
 // DeltaStats summarizes the simulated runtime's delta-transfer and
 // message-coalescing layer.
 type DeltaStats = dist.DeltaStats
+
+// FaultPlan scripts failures for a simulated run: machine crashes at virtual
+// times, message loss/duplication rates, and timed link partitions. The
+// runtime detects the failures with virtual-time heartbeats and recovers by
+// deterministic re-execution — results are bit-identical to a fault-free run.
+type FaultPlan = fault.Plan
+
+// Crash schedules the fail-stop death of one machine (FaultPlan.Crashes).
+type Crash = fault.Crash
+
+// Partition is a timed link outage (FaultPlan.Partitions).
+type Partition = fault.Partition
+
+// FaultStats counts injected failures and the recovery work they caused.
+type FaultStats = fault.Stats
 
 // Predefined platforms modeling the paper's evaluation environments (§7).
 var (
@@ -122,6 +138,10 @@ type SimConfig struct {
 	NoDelta bool
 	// Trace records execution events.
 	Trace bool
+	// Fault injects machine crashes, message loss/duplication and link
+	// partitions (nil = fault-free). The runtime detects and recovers them;
+	// the program's results are unchanged.
+	Fault *FaultPlan
 }
 
 // NewSimulated returns a runtime executing on a simulated platform in
@@ -134,6 +154,7 @@ func NewSimulated(cfg SimConfig) (*Runtime, error) {
 		NoLocality:   cfg.NoLocality,
 		NoDelta:      cfg.NoDelta,
 		Trace:        cfg.Trace,
+		Fault:        cfg.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -180,6 +201,15 @@ func (r *Runtime) DeltaStats() DeltaStats {
 	return DeltaStats{}
 }
 
+// FaultStats returns failure-injection and recovery counters (zero value for
+// the SMP runtime and for simulated runs without a fault plan).
+func (r *Runtime) FaultStats() FaultStats {
+	if x, ok := r.ex.(*dist.Exec); ok {
+		return x.FaultStats()
+	}
+	return FaultStats{}
+}
+
 // EngineStats returns dependency-engine counters.
 func (r *Runtime) EngineStats() core.Stats { return r.ex.Engine().Stats() }
 
@@ -187,9 +217,12 @@ func (r *Runtime) EngineStats() core.Stats { return r.ex.Engine().Stats() }
 func (r *Runtime) TraceLog() *trace.Log { return r.ex.Log() }
 
 // Summary aggregates the trace into headline counters (requires tracing for
-// the trace-derived fields; the Engine counters are always populated).
+// the trace-derived fields; the Engine and Fault counters are always
+// populated).
 func (r *Runtime) Summary() trace.Summary {
-	return trace.SummarizeWithEngine(r.ex.Log(), r.EngineStats())
+	s := trace.SummarizeWithEngine(r.ex.Log(), r.EngineStats())
+	s.Fault = r.FaultStats()
+	return s
 }
 
 // TaskGraphDOT renders the dynamic task graph in Graphviz DOT format
