@@ -6,7 +6,7 @@ GO ?= go
 
 .PHONY: check vet build test race determinism fault bench clean
 
-check: vet build test race determinism fault
+check: vet build test race determinism fault bench
 
 vet:
 	$(GO) vet ./...
@@ -35,9 +35,10 @@ determinism:
 fault:
 	$(GO) test -race -count=2 -run Fault ./internal/fault/... ./internal/exec/dist/... ./jade/... ./internal/experiments/...
 
-# Engine throughput and application benchmarks (not part of check).
+# The benchmark-snapshot tier: engine throughput plus the S1 profiler sweep,
+# recorded to BENCH_profile.json as a reviewable performance artifact.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime 1s -count 3 .
+	scripts/bench_snapshot.sh
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/apps/water"
 	"repro/internal/experiments"
+	"repro/jade"
 )
 
 // catalog lists every experiment id with a one-line description, in the
@@ -28,6 +30,7 @@ var catalog = []struct{ id, desc string }{
 	{"f7", "Figure 7: message-passing execution narrative (iPSC/860)"},
 	{"f9", "Figure 9: Water running time vs machines"},
 	{"f10", "Figure 10: Water speedup vs machines"},
+	{"s1", "speedup vs critical-path ceiling on modeled DASH (profiler validation)"},
 	{"t1", "Table: Jade construct counts in the Water source (§7.3)"},
 	{"c1", "comparison: Jade vs DSM-style execution (§6)"},
 	{"c2", "comparison: Jade vs tuple-space (Linda-style) Water (§6)"},
@@ -56,8 +59,23 @@ func main() {
 		gantt    = flag.Bool("gantt", false, "print a per-machine Gantt timeline for Figure 7")
 		chrome   = flag.String("chrome", "", "write the Figure 7 execution as Chrome trace-event JSON to this file")
 		waterSrc = flag.String("watersrc", "internal/apps/water/water.go", "path to the water source for the T1 construct count")
+		profText = flag.Bool("profile", false, "print each S1 point's full profile (phases, utilization, critical path, hotspots)")
+		profJSON = flag.String("profilejson", "", "write the S1 points with their profiles as JSON to this file")
+		disable  = flag.String("disable", "", "comma-separated runtime features to turn off in S1 (prefetch,locality,delta)")
 	)
 	flag.Parse()
+
+	var disabled []jade.Feature
+	if *disable != "" {
+		for _, s := range strings.Split(*disable, ",") {
+			f, err := jade.ParseFeature(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "jadebench: -disable: %v\n", err)
+				os.Exit(2)
+			}
+			disabled = append(disabled, f)
+		}
+	}
 
 	if *list {
 		for _, e := range catalog {
@@ -130,6 +148,32 @@ func main() {
 		}
 		if selected("f10") {
 			show(f10)
+		}
+	}
+	if selected("s1") {
+		cfg := experiments.S1Config{Disable: disabled}
+		if *quick {
+			cfg.Grid, cfg.Molecules, cfg.Steps = 8, 64, 1
+		}
+		res, err := experiments.S1Speedup(cfg)
+		if err != nil {
+			fail("s1", err)
+		}
+		show(res.Table)
+		if *profText {
+			for _, pt := range res.Points {
+				fmt.Printf("-- %s on DASH-%d --\n%s\n", pt.App, pt.Procs, pt.Profile.Text())
+			}
+		}
+		if *profJSON != "" {
+			data, err := json.MarshalIndent(res.Points, "", "  ")
+			if err != nil {
+				fail("s1", err)
+			}
+			if err := os.WriteFile(*profJSON, data, 0o644); err != nil {
+				fail("s1", err)
+			}
+			fmt.Printf("wrote S1 profiles to %s\n\n", *profJSON)
 		}
 	}
 	if selected("t1") {

@@ -35,8 +35,9 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
+		rep := rt.Report()
 		fmt.Printf("%-22s tasks=%-5d makespan=%v\n",
-			name, rt.EngineStats().TasksCreated, rt.Makespan())
+			name, rep.Tasks.Created, rep.Makespan)
 		return jade.Final(rt, x)
 	}
 

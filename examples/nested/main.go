@@ -97,7 +97,7 @@ func main() {
 		panic(err)
 	}
 	fmt.Printf("recursive parallel sum = %d (want %d) over %d tasks\n",
-		total, want, rt.EngineStats().TasksCreated)
+		total, want, rt.Report().Tasks.Created)
 	if total != want {
 		panic("wrong sum")
 	}

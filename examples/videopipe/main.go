@@ -32,10 +32,10 @@ func main() {
 				panic(fmt.Sprintf("frame %d corrupted", f))
 			}
 		}
-		sum := rt.Summary()
-		fps := float64(cfg.Frames) / rt.Makespan().Seconds()
+		rep := rt.Report()
+		fps := float64(cfg.Frames) / rep.Makespan.Seconds()
 		fmt.Printf("%d accelerator(s): %6.1f frames/s  makespan %8v  msgs %3d  format-converted words %d\n",
-			accels, fps, rt.Makespan(), sum.Messages, sum.ConvertedWords)
+			accels, fps, rep.Makespan, rep.Net.Messages, rep.ConvertedWords)
 	}
 	fmt.Println("\nall frames verified against the serial pipeline ✓")
 }

@@ -121,6 +121,13 @@ type Task struct {
 	gates    atomic.Int32 // unsatisfied start gates
 	children atomic.Int32 // live (not Done) children
 
+	// createdAt and readyAt are engine-clock stamps (see Engine.SetClock)
+	// of the Create call and the Waiting→Ready transition. readyAt is
+	// atomic: the enabling wake may run under another task's queue lock on
+	// another thread.
+	createdAt int64
+	readyAt   atomic.Int64
+
 	// mu is a leaf lock guarding the entries slice (the slice itself;
 	// entry contents are guarded by the owning object queue's lock). It
 	// nests inside queue locks, never the other way around.
@@ -133,6 +140,15 @@ type Task struct {
 
 // Parent returns the task's parent (nil for the root task).
 func (t *Task) Parent() *Task { return t.parent }
+
+// CreatedAt returns the engine-clock stamp of the task's creation (its
+// enqueue time). Zero unless the executor installed a clock (SetClock).
+func (t *Task) CreatedAt() int64 { return t.createdAt }
+
+// ReadyAt returns the engine-clock stamp of the task's Waiting→Ready
+// transition (its enable time: the moment every start gate opened). Zero
+// until the task becomes Ready, and always zero without a clock.
+func (t *Task) ReadyAt() int64 { return t.readyAt.Load() }
 
 // State returns the task's current lifecycle state.
 func (t *Task) State() State { return State(t.state.Load()) }
@@ -359,6 +375,12 @@ type Engine struct {
 	nextID atomic.Uint64
 	live   atomic.Int64
 
+	// clock, when set, stamps task creation and enablement times (the
+	// profiler's enqueue/enable instants). It must be cheap, monotonic and
+	// callable from any thread: it runs inside Create and under object
+	// queue locks during wakeups.
+	clock func() int64
+
 	shards [queueShards]shard
 
 	// Counters (see Stats).
@@ -394,6 +416,20 @@ func New(hooks Hooks) *Engine {
 
 // Root returns the root (main program) task.
 func (e *Engine) Root() *Task { return e.root }
+
+// SetClock installs the time source stamping Task.CreatedAt and
+// Task.ReadyAt. Executors call it once before Run; nil (the default) leaves
+// all stamps zero. fn is called with no engine locks the caller controls,
+// so it must not call back into the engine.
+func (e *Engine) SetClock(fn func() int64) { e.clock = fn }
+
+// now returns the current clock stamp (0 without a clock).
+func (e *Engine) now() int64 {
+	if e.clock == nil {
+		return 0
+	}
+	return e.clock()
+}
 
 // Stats returns a snapshot of the engine counters. Individual counters are
 // exact; the snapshot as a whole is not an atomic cut across them.
@@ -626,12 +662,13 @@ func (e *Engine) Create(parent *Task, decls []access.Decl, payload any) (*Task, 
 
 	parent.nextChild++
 	t := &Task{
-		ID:      TaskID(e.nextID.Add(1) - 1),
-		Seq:     parent.Seq.Child(parent.nextChild),
-		Decls:   append([]access.Decl(nil), decls...),
-		Payload: payload,
-		parent:  parent,
-		engine:  e,
+		ID:        TaskID(e.nextID.Add(1) - 1),
+		Seq:       parent.Seq.Child(parent.nextChild),
+		Decls:     append([]access.Decl(nil), decls...),
+		Payload:   payload,
+		parent:    parent,
+		engine:    e,
+		createdAt: e.now(),
 	}
 	e.tasksCreated.Add(1)
 	e.live.Add(1)
@@ -681,6 +718,7 @@ func (e *Engine) Create(parent *Task, decls []access.Decl, payload any) (*Task, 
 	t.gates.Store(gates)
 	fireReady := false
 	if gates == 0 {
+		t.readyAt.Store(t.createdAt)
 		t.state.Store(int32(Ready))
 		fireReady = e.hooks.Ready != nil
 	}
@@ -977,6 +1015,7 @@ func (e *Engine) wakeLocked(q *objQueue) []func() {
 				e.blockedWakes.Add(1)
 				t := w.e.task
 				if t.gates.Add(-1) == 0 && t.state.CompareAndSwap(int32(Waiting), int32(Ready)) {
+					t.readyAt.Store(e.now())
 					if e.hooks.Ready != nil {
 						h := e.hooks.Ready
 						fires = append(fires, func() { h(t) })

@@ -90,8 +90,17 @@ type Exec struct {
 	eng  *core.Engine
 	log  *trace.Log
 
-	cpus    []*sim.Resource
-	stores  []map[access.ObjectID]any
+	cpus []*sim.Resource
+	// cpuAt[m] is when machine m's (single) processor was last claimed and
+	// cpuBusy[m] its accumulated held time — the always-on utilization
+	// counters. Single-threaded: the simulator runs one process at a time.
+	cpuAt    []sim.Time
+	cpuBusy  []time.Duration
+	tasksRun int
+	// convWords counts data words format-converted in transit between
+	// heterogeneous machines (always-on, like tasksRun).
+	convWords int
+	stores   []map[access.ObjectID]any
 	dir     map[access.ObjectID]*objDir
 	labels  map[access.ObjectID]string
 	nextObj access.ObjectID
@@ -319,6 +328,8 @@ func New(opts Options) (*Exec, error) {
 		}
 	}
 	x.cpus = make([]*sim.Resource, n)
+	x.cpuAt = make([]sim.Time, n)
+	x.cpuBusy = make([]time.Duration, n)
 	x.stores = make([]map[access.ObjectID]any, n)
 	x.shadows = make([]map[access.ObjectID]shadow, n)
 	for i := 0; i < n; i++ {
@@ -328,6 +339,8 @@ func New(opts Options) (*Exec, error) {
 	}
 	if opts.Trace {
 		x.log = trace.New()
+	} else {
+		x.log = trace.NewRing(ringCap)
 	}
 	x.eng = core.New(core.Hooks{
 		Ready:     x.onReady,
@@ -336,7 +349,32 @@ func New(opts Options) (*Exec, error) {
 			x.record(trace.Event{Kind: trace.Depend, Task: uint64(earlier.ID), Other: uint64(later.ID), Object: uint64(obj)})
 		},
 	})
+	x.eng.SetClock(func() int64 { return int64(x.seng.Now()) })
 	return x, nil
+}
+
+// ringCap bounds the always-on event stream when full tracing is off.
+const ringCap = 1 << 16
+
+// acquireCPU claims machine m's processor and starts its busy stopwatch.
+func (x *Exec) acquireCPU(p *sim.Proc, m int) {
+	x.cpus[m].Acquire(p, 1)
+	x.cpuAt[m] = x.seng.Now()
+}
+
+// releaseCPU banks the held span and frees the processor.
+func (x *Exec) releaseCPU(m int) {
+	x.cpuBusy[m] += time.Duration(x.seng.Now() - x.cpuAt[m])
+	x.cpus[m].Release(1)
+}
+
+// Counters implements rt.Exec: always-on per-machine processor-held time
+// and the executed-task count. Valid after Run.
+func (x *Exec) Counters() rt.Counters {
+	return rt.Counters{
+		TasksRun: x.tasksRun,
+		Busy:     append([]time.Duration(nil), x.cpuBusy...),
+	}
 }
 
 // Engine returns the dependency engine.
@@ -353,6 +391,10 @@ func (x *Exec) NetStats() netmodel.Stats { return x.net.Stats() }
 
 // DeltaStats returns cumulative delta-transfer and coalescing counters.
 func (x *Exec) DeltaStats() DeltaStats { return x.dstats }
+
+// ConvertedWords returns the total data words format-converted in transit
+// (heterogeneous platforms only; always-on).
+func (x *Exec) ConvertedWords() int { return x.convWords }
 
 func (x *Exec) record(ev trace.Event) {
 	if x.log == nil {
@@ -523,7 +565,7 @@ func (x *Exec) runTask(p *sim.Proc, t *core.Task, pl *payload, attempt int) {
 			// unwind the per-attempt accounting; recovery re-dispatches the
 			// task on a surviving machine.
 			if cpuHeld {
-				x.cpus[m].Release(1)
+				x.releaseCPU(m)
 			}
 		}
 		x.pendingWork[m] -= pl.opts.Cost
@@ -554,13 +596,16 @@ func (x *Exec) runTask(p *sim.Proc, t *core.Task, pl *payload, attempt int) {
 	if !pl.skipBody && !x.opts.NoPrefetch {
 		// Latency hiding: fetch while other tasks compute on this cpu.
 		x.fetchAll(p, t, m, pig)
+		x.record(trace.Event{Kind: trace.TaskFetched, Task: uint64(t.ID), Dst: m, Label: pl.opts.Label})
 	}
-	x.cpus[m].Acquire(p, 1)
+	x.acquireCPU(p, m)
 	cpuHeld = true
 	x.checkAlive(m)
+	x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(t.ID), Dst: m, Label: pl.opts.Label})
 	if !pl.skipBody && x.opts.NoPrefetch {
 		// Machine sits idle during its own fetches.
 		x.fetchAll(p, t, m, pig)
+		x.record(trace.Event{Kind: trace.TaskFetched, Task: uint64(t.ID), Dst: m, Label: pl.opts.Label})
 	}
 	p.Sleep(x.plat.TaskOverhead)
 	x.checkAlive(m)
@@ -575,7 +620,7 @@ func (x *Exec) runTask(p *sim.Proc, t *core.Task, pl *payload, attempt int) {
 		// declared read set safe).
 	} else if err := x.eng.Start(t); err != nil {
 		x.fail(err)
-		x.cpus[m].Release(1)
+		x.releaseCPU(m)
 		return
 	}
 	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: m, Label: pl.opts.Label})
@@ -587,14 +632,16 @@ func (x *Exec) runTask(p *sim.Proc, t *core.Task, pl *payload, attempt int) {
 		}
 		x.runBody(tc, pl.body)
 	}
+	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: m})
 	if err := x.eng.Complete(t); err != nil {
 		x.fail(err)
 	}
 	if x.liveTasks != nil {
 		delete(x.liveTasks, t)
 	}
-	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: m})
-	x.cpus[m].Release(1)
+	x.record(trace.Event{Kind: trace.TaskCommitted, Task: uint64(t.ID), Dst: m})
+	x.tasksRun++
+	x.releaseCPU(m)
 	cpuHeld = false
 }
 
@@ -846,6 +893,7 @@ func (x *Exec) transfer(p *sim.Proc, t *core.Task, src, dst int, obj access.Obje
 		}
 		img = conv
 		if words > 0 {
+			x.convWords += words
 			p.Sleep(time.Duration(words) * x.plat.ConvertPerWord)
 			x.record(trace.Event{Kind: trace.Converted, Object: uint64(obj), Src: src, Dst: dst, Bytes: words})
 		}
@@ -889,6 +937,7 @@ func (x *Exec) deltaTransfer(p *sim.Proc, t *core.Task, src, dst int, obj access
 		}
 		patch = conv
 		if words > 0 {
+			x.convWords += words
 			p.Sleep(time.Duration(words) * x.plat.ConvertPerWord)
 			x.record(trace.Event{Kind: trace.Converted, Object: uint64(obj), Src: src, Dst: dst, Bytes: words})
 		}
@@ -921,17 +970,20 @@ func (x *Exec) Run(root func(rt.TC)) error {
 		x.seng.Spawn("fault-monitor", func(p *sim.Proc) { x.monitor(p) })
 	}
 	x.seng.Spawn("main", func(p *sim.Proc) {
-		x.cpus[0].Acquire(p, 1)
+		x.acquireCPU(p, 0)
 		t := x.eng.Root()
+		x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(t.ID), Dst: 0, Label: "main"})
 		x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: 0, Label: "main"})
 		held := true
 		tc := &taskCtx{x: x, t: t, p: p, machine: 0, wake: x.seng.NewCond(), cpuHeld: &held}
 		x.runBody(tc, root)
+		x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: 0})
 		if err := x.eng.Complete(t); err != nil {
 			x.fail(err)
 		}
-		x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: 0})
-		x.cpus[0].Release(1)
+		x.record(trace.Event{Kind: trace.TaskCommitted, Task: uint64(t.ID), Dst: 0})
+		x.tasksRun++
+		x.releaseCPU(0)
 	})
 	if err := x.seng.Run(); err != nil {
 		if x.fplan != nil && strings.Contains(err.Error(), "event limit") {
@@ -988,13 +1040,13 @@ func (tc *taskCtx) engineWait(register func(wake func()) (bool, error)) error {
 	if ok {
 		return nil
 	}
-	tc.x.cpus[tc.machine].Release(1)
+	tc.x.releaseCPU(tc.machine)
 	*tc.cpuHeld = false
 	for !done {
 		tc.wake.Wait(tc.p, "engine-wait")
 		tc.x.checkAlive(tc.machine)
 	}
-	tc.x.cpus[tc.machine].Acquire(tc.p, 1)
+	tc.x.acquireCPU(tc.p, tc.machine)
 	*tc.cpuHeld = true
 	tc.x.checkAlive(tc.machine)
 	return nil
@@ -1070,17 +1122,19 @@ func (tc *taskCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC
 	// Inline execution: wait (without the processor) for the child's
 	// declarations to enable, then run it here as part of this task.
 	if !pl.isReady {
-		tc.x.cpus[tc.machine].Release(1)
+		tc.x.releaseCPU(tc.machine)
 		*tc.cpuHeld = false
 		for !pl.isReady {
 			pl.ready.Wait(tc.p, "inline-ready")
 			tc.x.checkAlive(tc.machine)
 		}
-		tc.x.cpus[tc.machine].Acquire(tc.p, 1)
+		tc.x.acquireCPU(tc.p, tc.machine)
 		*tc.cpuHeld = true
 		tc.x.checkAlive(tc.machine)
 	}
+	tc.x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(t.ID), Dst: tc.machine, Label: opts.Label})
 	tc.x.fetchAll(tc.p, t, tc.machine, nil)
+	tc.x.record(trace.Event{Kind: trace.TaskFetched, Task: uint64(t.ID), Dst: tc.machine, Label: opts.Label})
 	if err := tc.x.eng.Start(t); err != nil {
 		tc.x.fail(err)
 		return err
@@ -1091,11 +1145,13 @@ func (tc *taskCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC
 		tc.p.Sleep(time.Duration(opts.Cost / tc.x.plat.Machines[tc.machine].Speed * 1e9))
 	}
 	tc.x.runBody(child, body)
+	tc.x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: tc.machine})
 	if err := tc.x.eng.Complete(t); err != nil {
 		tc.x.fail(err)
 		return err
 	}
-	tc.x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: tc.machine})
+	tc.x.record(trace.Event{Kind: trace.TaskCommitted, Task: uint64(t.ID), Dst: tc.machine})
+	tc.x.tasksRun++
 	return nil
 }
 

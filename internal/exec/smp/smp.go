@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/access"
@@ -35,6 +36,10 @@ type Options struct {
 	Trace bool
 }
 
+// ringCap bounds the always-on event stream when full tracing is off: the
+// newest events are kept for profiling, memory stays constant.
+const ringCap = 1 << 16
+
 // Exec is the shared-memory executor. Create with New; each Exec runs one
 // program.
 type Exec struct {
@@ -44,6 +49,13 @@ type Exec struct {
 	start time.Time
 
 	slots chan int // processor slot tokens (slot index as value)
+
+	// Always-on counters. slotAt/slotBusy are indexed by slot and written
+	// only by the slot's current holder; the slot-token channel orders
+	// successive holders, and Run's WaitGroup orders the final reads.
+	slotAt   []time.Time
+	slotBusy []time.Duration
+	tasksRun atomic.Int64
 
 	// mu guards the executor's own state below. The throttle needs no
 	// condition variable: a creator over the live-task bound never blocks
@@ -80,14 +92,18 @@ func New(opts Options) *Exec {
 		opts.MaxLiveTasks = 64 * opts.Procs
 	}
 	x := &Exec{
-		opts:    opts,
-		store:   map[access.ObjectID]any{},
-		labels:  map[access.ObjectID]string{},
-		nextObj: 1,
-		slots:   make(chan int, opts.Procs),
+		opts:     opts,
+		store:    map[access.ObjectID]any{},
+		labels:   map[access.ObjectID]string{},
+		nextObj:  1,
+		slots:    make(chan int, opts.Procs),
+		slotAt:   make([]time.Time, opts.Procs),
+		slotBusy: make([]time.Duration, opts.Procs),
 	}
 	if opts.Trace {
 		x.log = trace.New()
+	} else {
+		x.log = trace.NewRing(ringCap)
 	}
 	for i := 0; i < opts.Procs; i++ {
 		x.slots <- i
@@ -116,8 +132,31 @@ func New(opts Options) *Exec {
 // Engine returns the dependency engine.
 func (x *Exec) Engine() *core.Engine { return x.eng }
 
-// Log returns the trace log (nil unless Options.Trace).
+// Log returns the trace log: the full log with Options.Trace, otherwise
+// the bounded always-on stream.
 func (x *Exec) Log() *trace.Log { return x.log }
+
+// Counters implements rt.Exec: always-on per-slot busy time and task count.
+// Valid after Run.
+func (x *Exec) Counters() rt.Counters {
+	return rt.Counters{
+		TasksRun: int(x.tasksRun.Load()),
+		Busy:     append([]time.Duration(nil), x.slotBusy...),
+	}
+}
+
+// takeSlot claims a processor slot and starts its busy stopwatch.
+func (x *Exec) takeSlot() int {
+	slot := <-x.slots
+	x.slotAt[slot] = time.Now()
+	return slot
+}
+
+// putSlot banks the held span and returns the slot.
+func (x *Exec) putSlot(slot int) {
+	x.slotBusy[slot] += time.Since(x.slotAt[slot])
+	x.slots <- slot
+}
 
 func (x *Exec) record(ev trace.Event) {
 	if x.log == nil {
@@ -144,15 +183,19 @@ func (x *Exec) Run(root func(rt.TC)) error {
 	}
 	x.start = time.Now()
 	x.mu.Unlock()
-	slot := <-x.slots
+	x.eng.SetClock(func() int64 { return int64(time.Since(x.start)) })
+	slot := x.takeSlot()
 	tc := &taskCtx{x: x, t: x.eng.Root(), slot: slot}
+	x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(tc.t.ID), Dst: slot, Label: "main"})
 	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(tc.t.ID), Dst: slot, Label: "main"})
 	x.runBody(tc, root)
+	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(tc.t.ID)})
 	if err := x.eng.Complete(tc.t); err != nil {
 		x.fail(err)
 	}
-	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(tc.t.ID)})
-	x.slots <- tc.slot
+	x.record(trace.Event{Kind: trace.TaskCommitted, Task: uint64(tc.t.ID)})
+	x.tasksRun.Add(1)
+	x.putSlot(tc.slot)
 	x.wg.Wait()
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -174,20 +217,23 @@ func (x *Exec) runBody(tc *taskCtx, body func(rt.TC)) {
 func (x *Exec) runTask(t *core.Task) {
 	defer x.wg.Done()
 	pl := t.Payload.(*payload)
-	slot := <-x.slots
+	slot := x.takeSlot()
 	tc := &taskCtx{x: x, t: t, slot: slot}
+	x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(t.ID), Dst: slot, Label: pl.label})
 	if err := x.eng.Start(t); err != nil {
 		x.fail(err)
-		x.slots <- slot
+		x.putSlot(slot)
 		return
 	}
 	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: slot, Label: pl.label})
 	x.runBody(tc, pl.body)
+	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID)})
 	if err := x.eng.Complete(t); err != nil {
 		x.fail(err)
 	}
-	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID)})
-	x.slots <- tc.slot
+	x.record(trace.Event{Kind: trace.TaskCommitted, Task: uint64(t.ID)})
+	x.tasksRun.Add(1)
+	x.putSlot(tc.slot)
 
 	x.mu.Lock()
 	x.liveUser--
@@ -216,9 +262,9 @@ func (tc *taskCtx) Machine() int { return tc.slot }
 
 // yieldSlot releases the processor while blocked and reacquires one after.
 func (tc *taskCtx) yieldSlot(wait func()) {
-	tc.x.slots <- tc.slot
+	tc.x.putSlot(tc.slot)
 	wait()
-	tc.slot = <-tc.x.slots
+	tc.slot = tc.x.takeSlot()
 }
 
 // Access implements rt.TC.
@@ -312,13 +358,21 @@ func (tc *taskCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC
 		return err
 	}
 	child := &taskCtx{x: tc.x, t: t, slot: tc.slot}
+	tc.x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(t.ID), Dst: tc.slot, Label: opts.Label})
 	tc.x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: tc.slot, Label: opts.Label})
 	tc.x.runBody(child, body)
+	// The child borrows the creator's slot, but if its body blocked it
+	// yielded that slot and reacquired a (possibly different) one. The
+	// creator must continue on the slot the child actually ends holding —
+	// otherwise it would later release a token it no longer owns.
+	tc.slot = child.slot
+	tc.x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID)})
 	if err := tc.x.eng.Complete(t); err != nil {
 		tc.x.fail(err)
 		return err
 	}
-	tc.x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID)})
+	tc.x.record(trace.Event{Kind: trace.TaskCommitted, Task: uint64(t.ID)})
+	tc.x.tasksRun.Add(1)
 	return nil
 }
 

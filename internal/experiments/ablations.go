@@ -19,22 +19,25 @@ func A1Locality(grid int) (*Table, error) {
 		grid = 10
 	}
 	m := cholesky.Symbolic(cholesky.GridLaplacian(grid))
-	run := func(noLocality bool) (*jade.Runtime, error) {
-		r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.Mica(8), NoLocality: noLocality})
+	run := func(disable []jade.Feature) (jade.Report, error) {
+		r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.Mica(8), Disable: disable})
 		if err != nil {
-			return nil, err
+			return jade.Report{}, err
 		}
 		err = r.Run(func(t *jade.Task) {
 			jm := cholesky.ToJade(t, m, 2e-5)
 			jm.Factor(t)
 		})
-		return r, err
+		if err != nil {
+			return jade.Report{}, err
+		}
+		return r.Report(), nil
 	}
-	withLoc, err := run(false)
+	withLoc, err := run(nil)
 	if err != nil {
 		return nil, err
 	}
-	without, err := run(true)
+	without, err := run([]jade.Feature{jade.FeatLocality})
 	if err != nil {
 		return nil, err
 	}
@@ -43,8 +46,8 @@ func A1Locality(grid int) (*Table, error) {
 		Title:   fmt.Sprintf("locality heuristic ablation, Cholesky %dx%d grid on Mica-8 (§5)", grid, grid),
 		Columns: []string{"scheduler", "makespan", "messages", "bytes moved"},
 	}
-	tb.AddRow("locality heuristic ON", withLoc.Makespan(), withLoc.NetStats().Messages, withLoc.NetStats().Bytes)
-	tb.AddRow("locality heuristic OFF", without.Makespan(), without.NetStats().Messages, without.NetStats().Bytes)
+	tb.AddRow("locality heuristic ON", withLoc.Makespan, withLoc.Net.Messages, withLoc.Net.Bytes)
+	tb.AddRow("locality heuristic OFF", without.Makespan, without.Net.Messages, without.Net.Bytes)
 	tb.Notes = append(tb.Notes,
 		"the heuristic prefers machines already holding a task's objects; on the shared Ethernet the saved transfers "+
 			"directly shorten the run")
@@ -64,10 +67,10 @@ func A2Prefetch() (*Table, error) {
 		elems    = 20000 // ~160 KB objects: fetch time matters
 		taskCost = 0.02
 	)
-	run := func(noPrefetch bool) (*jade.Runtime, error) {
-		r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.IPSC860(4), NoPrefetch: noPrefetch})
+	run := func(disable []jade.Feature) (jade.Report, error) {
+		r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.IPSC860(4), Disable: disable})
 		if err != nil {
-			return nil, err
+			return jade.Report{}, err
 		}
 		err = r.Run(func(t *jade.Task) {
 			objs := make([]*jade.Array[float64], chains)
@@ -85,13 +88,16 @@ func A2Prefetch() (*Table, error) {
 				}
 			}
 		})
-		return r, err
+		if err != nil {
+			return jade.Report{}, err
+		}
+		return r.Report(), nil
 	}
-	with, err := run(false)
+	with, err := run(nil)
 	if err != nil {
 		return nil, err
 	}
-	without, err := run(true)
+	without, err := run([]jade.Feature{jade.FeatPrefetch})
 	if err != nil {
 		return nil, err
 	}
@@ -100,8 +106,8 @@ func A2Prefetch() (*Table, error) {
 		Title:   "latency-hiding (prefetch) ablation, remote-update chains on iPSC/860-4 (§5)",
 		Columns: []string{"fetch policy", "makespan", "messages"},
 	}
-	tb.AddRow("prefetch before claiming CPU (latency hidden)", with.Makespan(), with.NetStats().Messages)
-	tb.AddRow("fetch while holding CPU (machine idles)", without.Makespan(), without.NetStats().Messages)
+	tb.AddRow("prefetch before claiming CPU (latency hidden)", with.Makespan, with.Net.Messages)
+	tb.AddRow("fetch while holding CPU (machine idles)", without.Makespan, without.Net.Messages)
 	tb.Notes = append(tb.Notes,
 		"with excess concurrency the implementation hides remote-object latency by fetching one task's data while another runs")
 	return tb, nil
@@ -142,7 +148,7 @@ func A3Throttle(grid int) (*Table, error) {
 		if bound == 1<<20 {
 			label = "unbounded"
 		}
-		tb.AddRow(label, peak, r.Makespan(), r.Summary().TasksRun)
+		tb.AddRow(label, peak, r.Makespan(), r.Report().Tasks.Run)
 	}
 	tb.Notes = append(tb.Notes,
 		"bounding live tasks caps runtime state; creators inline children above the bound, which can never deadlock "+
@@ -224,7 +230,7 @@ func H1Video(frames int) (*Table, error) {
 			}
 		}
 		fps := float64(frames) / r.Makespan().Seconds()
-		tb.AddRow(accels, r.Makespan(), fmt.Sprintf("%.1f", fps), r.Summary().ConvertedWords)
+		tb.AddRow(accels, r.Makespan(), fmt.Sprintf("%.1f", fps), r.Report().ConvertedWords)
 	}
 	tb.Notes = append(tb.Notes,
 		"the SPARC host captures (camera capability), i860 accelerators transform and display; Jade moves and "+

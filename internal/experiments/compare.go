@@ -36,8 +36,9 @@ func C1DSM(grid int) (*Table, error) {
 	}); err != nil {
 		return nil, err
 	}
-	jadeBytes := r.NetStats().Bytes
-	jadeMsgs := r.NetStats().Messages
+	rep := r.Report()
+	jadeBytes := rep.Net.Bytes
+	jadeMsgs := rep.Net.Messages
 
 	// Rebuild the access stream: every task, in start order, on its
 	// assigned machine, touching the structure (reads) and its columns.
@@ -208,7 +209,7 @@ func C2Linda(cfg water.Config) (*Table, error) {
 			return nil, fmt.Errorf("jade water diverged at %d", i)
 		}
 	}
-	jadeTasks := int(r.EngineStats().TasksCreated)
+	jadeTasks := int(r.Report().Tasks.Created)
 
 	tb := &Table{
 		ID:      "C2",

@@ -20,10 +20,10 @@ func D1Delta(grid int) (*Table, error) {
 		grid = 16
 	}
 	m := cholesky.Symbolic(cholesky.GridLaplacian(grid))
-	run := func(plat jade.Platform, noDelta bool) (*jade.Runtime, *cholesky.Matrix, error) {
+	run := func(plat jade.Platform, disable []jade.Feature) (*jade.Runtime, *cholesky.Matrix, error) {
 		// Raise the live-task bound so the throttle never inlines the whole
 		// factorization: both runs then expose the same communication.
-		r, err := jade.NewSimulated(jade.SimConfig{Platform: plat, NoDelta: noDelta, MaxLiveTasks: 4096})
+		r, err := jade.NewSimulated(jade.SimConfig{Platform: plat, Disable: disable, MaxLiveTasks: 4096})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -49,11 +49,11 @@ func D1Delta(grid int) (*Table, error) {
 		{"Mica-8 (shared Ethernet)", jade.Mica(8)},
 		{"iPSC/860-8 (hypercube)", jade.IPSC860(8)},
 	} {
-		with, gotWith, err := run(p.plat, false)
+		with, gotWith, err := run(p.plat, nil)
 		if err != nil {
 			return nil, err
 		}
-		without, gotWithout, err := run(p.plat, true)
+		without, gotWithout, err := run(p.plat, []jade.Feature{jade.FeatDelta})
 		if err != nil {
 			return nil, err
 		}
@@ -62,10 +62,10 @@ func D1Delta(grid int) (*Table, error) {
 		if !reflect.DeepEqual(gotWith.Cols, gotWithout.Cols) {
 			return nil, fmt.Errorf("D1: delta transfer changed the factorization on %s", p.name)
 		}
-		ds := with.DeltaStats()
-		tb.AddRow(p.name, "delta", with.Makespan(), with.NetStats().Messages, with.NetStats().Bytes,
-			ds.DeltaTransfers, ds.SavedBytes, ds.CoalescedDispatches)
-		tb.AddRow(p.name, "full images (NoDelta)", without.Makespan(), without.NetStats().Messages, without.NetStats().Bytes,
+		wr, wor := with.Report(), without.Report()
+		tb.AddRow(p.name, "delta", wr.Makespan, wr.Net.Messages, wr.Net.Bytes,
+			wr.Delta.DeltaTransfers, wr.Delta.SavedBytes, wr.Delta.CoalescedDispatches)
+		tb.AddRow(p.name, "full images (delta disabled)", wor.Makespan, wor.Net.Messages, wor.Net.Bytes,
 			"-", "-", "-")
 	}
 	tb.Notes = append(tb.Notes,

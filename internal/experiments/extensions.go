@@ -41,10 +41,11 @@ func G1Grain(grid int) (*Table, error) {
 		if err != nil {
 			return result{}, err
 		}
+		rep := r.Report()
 		return result{
-			tasks:    r.EngineStats().TasksCreated,
-			makespan: r.Makespan().Seconds(),
-			msgs:     r.NetStats().Messages,
+			tasks:    rep.Tasks.Created,
+			makespan: rep.Makespan.Seconds(),
+			msgs:     rep.Net.Messages,
 		}, nil
 	}
 	col, err := run(false)

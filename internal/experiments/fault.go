@@ -83,7 +83,7 @@ func F1Fault(grid int) (*Table, error) {
 		if !reflect.DeepEqual(got.Cols, want.Cols) {
 			return nil, fmt.Errorf("F1 %s: factorization differs from the failure-free run — recovery broke determinism", sc.name)
 		}
-		fs := r.FaultStats()
+		fs := r.Report().Fault
 		if fs.CrashesInjected != len(sc.plan.Crashes) {
 			return nil, fmt.Errorf("F1 %s: only %d of %d crashes fired", sc.name, fs.CrashesInjected, len(sc.plan.Crashes))
 		}

@@ -85,18 +85,18 @@ func Fig7() (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sum := r.Summary()
+	rep := r.Report()
 	tb := &Table{
 		ID:      "F7",
 		Title:   "execution on two message-passing machines (paper Fig. 7)",
 		Columns: []string{"metric", "value"},
 	}
-	tb.AddRow("tasks run", sum.TasksRun)
-	tb.AddRow("messages", sum.Messages)
-	tb.AddRow("objects moved (write migration)", sum.ObjectsMoved)
-	tb.AddRow("objects copied (read replication)", sum.ObjectsCopied)
+	tb.AddRow("tasks run", rep.Tasks.Run)
+	tb.AddRow("messages", rep.Net.Messages)
+	tb.AddRow("objects moved (write migration)", len(r.TraceLog().Filter(trace.ObjectMoved)))
+	tb.AddRow("objects copied (read replication)", len(r.TraceLog().Filter(trace.ObjectCopied)))
 	tb.AddRow("copies invalidated", len(r.TraceLog().Filter(trace.ObjectInvalidated)))
-	tb.AddRow("makespan", r.Makespan())
+	tb.AddRow("makespan", rep.Makespan)
 	tb.Notes = append(tb.Notes,
 		"the narrative below corresponds to the paper's panels (a)-(f): the main task runs on machine 0, "+
 			"tasks are dispatched to the idle machine, written columns migrate, read-only structure replicates, "+

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestS1Speedup runs a reduced sweep and checks the built-in invariants
+// (makespan ≥ T∞ everywhere, 1-proc Cholesky makespan ≈ T1) plus the table
+// and profile shape jadebench renders.
+func TestS1Speedup(t *testing.T) {
+	res, err := S1Speedup(S1Config{Grid: 8, Molecules: 64, Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Table.Rows); got != 2*len(s1Procs) {
+		t.Fatalf("rows = %d, want %d", got, 2*len(s1Procs))
+	}
+	if got := len(res.Points); got != 2*len(s1Procs) {
+		t.Fatalf("points = %d, want %d", got, 2*len(s1Procs))
+	}
+	for _, pt := range res.Points {
+		if pt.Profile == nil || pt.Profile.TInf <= 0 || pt.Profile.T1 < pt.Profile.TInf {
+			t.Errorf("%s p=%d: implausible profile T1=%v TInf=%v",
+				pt.App, pt.Procs, pt.Profile.T1, pt.Profile.TInf)
+		}
+		txt := pt.Profile.Text()
+		for _, want := range []string{"machine utilization", "critical path", "speedup ceiling"} {
+			if !strings.Contains(txt, want) {
+				t.Errorf("%s p=%d: profile text missing %q:\n%s", pt.App, pt.Procs, want, txt)
+			}
+		}
+		if len(pt.Profile.Machines) != pt.Procs {
+			t.Errorf("%s p=%d: %d machine rows", pt.App, pt.Procs, len(pt.Profile.Machines))
+		}
+	}
+	// Speedup must improve from 1 to 4 processors for both apps.
+	for _, app := range []string{"cholesky", "water"} {
+		var m1, m4 float64
+		for _, pt := range res.Points {
+			if pt.App == app && pt.Procs == 1 {
+				m1 = pt.Makespan.Seconds()
+			}
+			if pt.App == app && pt.Procs == 4 {
+				m4 = pt.Makespan.Seconds()
+			}
+		}
+		if m4 >= m1 {
+			t.Errorf("%s: no speedup from 1→4 procs (%.3fs → %.3fs)", app, m1, m4)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package profile_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/apps/cholesky"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/jade"
+)
+
+const ms = time.Millisecond
+
+// diamondEvents hand-builds the event stream of a diamond task graph
+//
+//	A → B → D
+//	A → C → D
+//
+// with known spans: A=[0,10] m0, B=[10,30] m0, C=[12,22] m1, D=[30,45] m0.
+// T1 = 55ms, critical path A→B→D, TInf = 45ms.
+func diamondEvents() []trace.Event {
+	const (
+		taskA, taskB, taskC, taskD = 2, 3, 4, 5
+		objAB, objAC               = 100, 101
+	)
+	return []trace.Event{
+		{At: 0 * ms, Kind: trace.TaskCreated, Task: taskA, Label: "A"},
+		{At: 0 * ms, Kind: trace.TaskScheduled, Task: taskA, Dst: 0},
+		{At: 0 * ms, Kind: trace.TaskStarted, Task: taskA, Dst: 0},
+		{At: 1 * ms, Kind: trace.TaskCreated, Task: taskB, Label: "B"},
+		{At: 1 * ms, Kind: trace.Depend, Task: taskA, Other: taskB, Object: objAB},
+		{At: 1 * ms, Kind: trace.TaskCreated, Task: taskC, Label: "C"},
+		{At: 1 * ms, Kind: trace.Depend, Task: taskA, Other: taskC, Object: objAC},
+		{At: 2 * ms, Kind: trace.TaskCreated, Task: taskD, Label: "D"},
+		{At: 2 * ms, Kind: trace.Depend, Task: taskB, Other: taskD, Object: objAB},
+		{At: 2 * ms, Kind: trace.Depend, Task: taskC, Other: taskD, Object: objAC},
+		{At: 10 * ms, Kind: trace.TaskCompleted, Task: taskA},
+		{At: 11 * ms, Kind: trace.TaskCommitted, Task: taskA},
+
+		{At: 10 * ms, Kind: trace.TaskScheduled, Task: taskB, Dst: 0},
+		{At: 10 * ms, Kind: trace.TaskStarted, Task: taskB, Dst: 0},
+		{At: 30 * ms, Kind: trace.TaskCompleted, Task: taskB},
+		{At: 31 * ms, Kind: trace.TaskCommitted, Task: taskB},
+
+		// C prefetches objAC onto m1 before claiming the processor.
+		{At: 11 * ms, Kind: trace.TaskAssigned, Task: taskC, Dst: 1},
+		{At: 11 * ms, Kind: trace.MessageSent, Task: taskC, Object: objAC, Src: 0, Dst: 1, Bytes: 800, Label: "object"},
+		{At: 12 * ms, Kind: trace.ObjectCopied, Task: taskC, Object: objAC, Src: 0, Dst: 1, Bytes: 800, Label: "ac"},
+		{At: 12 * ms, Kind: trace.TaskFetched, Task: taskC, Dst: 1},
+		{At: 12 * ms, Kind: trace.TaskScheduled, Task: taskC, Dst: 1},
+		{At: 12 * ms, Kind: trace.TaskStarted, Task: taskC, Dst: 1},
+		{At: 22 * ms, Kind: trace.TaskCompleted, Task: taskC},
+		{At: 22 * ms, Kind: trace.TaskCommitted, Task: taskC},
+
+		{At: 30 * ms, Kind: trace.TaskScheduled, Task: taskD, Dst: 0},
+		{At: 30 * ms, Kind: trace.TaskStarted, Task: taskD, Dst: 0},
+		{At: 45 * ms, Kind: trace.TaskCompleted, Task: taskD},
+		{At: 45 * ms, Kind: trace.TaskCommitted, Task: taskD},
+	}
+}
+
+func TestDiamondCriticalPath(t *testing.T) {
+	p := profile.Compute(profile.Input{Events: diamondEvents(), Makespan: 45 * ms})
+
+	if p.Tasks != 4 {
+		t.Fatalf("tasks = %d, want 4", p.Tasks)
+	}
+	if p.T1 != 55*ms {
+		t.Errorf("T1 = %v, want 55ms", p.T1)
+	}
+	if p.TInf != 45*ms {
+		t.Errorf("TInf = %v, want 45ms", p.TInf)
+	}
+	if p.TInf > p.Makespan {
+		t.Errorf("TInf %v exceeds makespan %v", p.TInf, p.Makespan)
+	}
+	wantCeiling := float64(55) / 45
+	if diff := p.Ceiling - wantCeiling; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("ceiling = %v, want %v", p.Ceiling, wantCeiling)
+	}
+
+	// Path composition: A → B → D, with the A→B and B→D dependences both
+	// carried by object 100.
+	wantPath := []uint64{2, 3, 5}
+	if len(p.Path) != len(wantPath) {
+		t.Fatalf("path = %+v, want tasks %v", p.Path, wantPath)
+	}
+	for i, id := range wantPath {
+		if p.Path[i].Task != id {
+			t.Fatalf("path[%d].Task = %d, want %d (path %+v)", i, p.Path[i].Task, id, p.Path)
+		}
+	}
+	if p.Path[0].ViaObject != 0 {
+		t.Errorf("path head ViaObject = %d, want 0", p.Path[0].ViaObject)
+	}
+	if p.Path[1].ViaObject != 100 || p.Path[2].ViaObject != 100 {
+		t.Errorf("path ViaObjects = %d,%d, want 100,100", p.Path[1].ViaObject, p.Path[2].ViaObject)
+	}
+	if p.Path[1].Label != "B" || p.Path[1].Weight != 20*ms {
+		t.Errorf("path[1] = %+v, want label B weight 20ms", p.Path[1])
+	}
+
+	// Phase totals. C: fetch 1ms (assigned 11 → fetched 12), exec 10ms,
+	// queue 10ms (created 1 → exec start 12, minus the 1ms fetch).
+	// A: exec 10ms, commit 1ms. B: exec 20ms, queue 9ms, commit 1ms.
+	// D: exec 15ms, queue 28ms. C and D commit instantly.
+	if p.Phases.Exec != 55*ms {
+		t.Errorf("exec total = %v, want 55ms", p.Phases.Exec)
+	}
+	if p.Phases.Fetch != 1*ms {
+		t.Errorf("fetch total = %v, want 1ms", p.Phases.Fetch)
+	}
+	if want := (9 + 10 + 28) * ms; p.Phases.Queue != want {
+		t.Errorf("queue total = %v, want %v", p.Phases.Queue, want)
+	}
+	if p.Phases.Commit != 2*ms {
+		t.Errorf("commit total = %v, want 2ms", p.Phases.Commit)
+	}
+
+	// Machine utilization (event fallback, no always-on counters given):
+	// m0 held 10+20+15 = 45ms of 45ms, m1 held 10ms.
+	if len(p.Machines) != 2 {
+		t.Fatalf("machines = %+v, want 2", p.Machines)
+	}
+	if p.Machines[0].Busy != 45*ms || p.Machines[0].Tasks != 3 {
+		t.Errorf("m0 = %+v, want busy 45ms tasks 3", p.Machines[0])
+	}
+	if u := p.Machines[0].Utilization; u < 0.999 || u > 1.001 {
+		t.Errorf("m0 utilization = %v, want 1.0", u)
+	}
+
+	// Hotspots: object 101 moved 800 bytes in one transfer and caused C's
+	// 1ms fetch stall; object 100 never moved.
+	if len(p.Objects) == 0 || p.Objects[0].Object != 101 {
+		t.Fatalf("objects = %+v, want #101 first", p.Objects)
+	}
+	if o := p.Objects[0]; o.Bytes != 800 || o.Transfers != 1 || o.Stall != 1*ms || o.Label != "ac" {
+		t.Errorf("hotspot = %+v, want 800B 1 transfer 1ms stall label ac", o)
+	}
+
+	// Labels: B has the largest exec time.
+	if len(p.Labels) != 4 || p.Labels[0].Label != "B" || p.Labels[0].Exec != 20*ms {
+		t.Fatalf("labels = %+v, want B first with 20ms", p.Labels)
+	}
+
+	if p.DroppedEvents != 0 {
+		t.Errorf("dropped = %d, want 0", p.DroppedEvents)
+	}
+}
+
+// TestRootExcluded checks the main-program task (engine ID 1) contributes
+// nothing to work or the path even though it spans the whole run.
+func TestRootExcluded(t *testing.T) {
+	evs := append([]trace.Event{
+		{At: 0, Kind: trace.TaskStarted, Task: 1, Label: "main"},
+	}, diamondEvents()...)
+	evs = append(evs, trace.Event{At: 45 * ms, Kind: trace.TaskCompleted, Task: 1})
+	p := profile.Compute(profile.Input{Events: evs, Makespan: 45 * ms})
+	if p.T1 != 55*ms || p.TInf != 45*ms || p.Tasks != 4 {
+		t.Fatalf("root not excluded: T1=%v TInf=%v tasks=%d", p.T1, p.TInf, p.Tasks)
+	}
+}
+
+// TestPartialRing checks a profile computed from a truncated suffix of the
+// events still satisfies TInf ≤ makespan and flags itself as partial.
+func TestPartialRing(t *testing.T) {
+	evs := diamondEvents()
+	cut := evs[len(evs)/2:]
+	p := profile.Compute(profile.Input{Events: cut, Dropped: uint64(len(evs) - len(cut)), Makespan: 45 * ms})
+	if p.TInf > p.Makespan {
+		t.Errorf("partial profile TInf %v exceeds makespan %v", p.TInf, p.Makespan)
+	}
+	if p.DroppedEvents == 0 {
+		t.Error("partial profile should report dropped events")
+	}
+	if !bytes.Contains([]byte(p.Text()), []byte("PARTIAL")) {
+		t.Error("Text() should flag a partial profile")
+	}
+}
+
+// choleskyProfile runs a traced simulated Cholesky factorization and
+// returns its profile.
+func choleskyProfile(t *testing.T, procs int) *profile.Profile {
+	t.Helper()
+	m := cholesky.Symbolic(cholesky.GridLaplacian(8))
+	r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.DASH(procs), Trace: true, MaxLiveTasks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(func(tk *jade.Task) {
+		cholesky.ToJade(tk, m, 2e-5).Factor(tk)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return r.Report().Profile
+}
+
+// TestDeterminism: two identical traced runs produce byte-identical
+// profiles.
+func TestDeterminism(t *testing.T) {
+	a, b := choleskyProfile(t, 4), choleskyProfile(t, 4)
+	ja, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("profiles differ between identical runs:\n--- run 1\n%s\n--- run 2\n%s", ja, jb)
+	}
+}
+
+// TestRealRunInvariants checks the proof obligations on a real traced run:
+// TInf ≤ makespan on every processor count, and the 1-processor makespan is
+// within 1% of T1.
+func TestRealRunInvariants(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		p := choleskyProfile(t, procs)
+		if p.Tasks == 0 || p.T1 == 0 || p.TInf == 0 {
+			t.Fatalf("procs=%d: empty profile %+v", procs, p)
+		}
+		if p.TInf > p.Makespan {
+			t.Errorf("procs=%d: TInf %v exceeds makespan %v", procs, p.TInf, p.Makespan)
+		}
+		if procs == 1 {
+			diff := p.Makespan - p.T1
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > p.Makespan/100 {
+				t.Errorf("1-proc makespan %v not within 1%% of T1 %v", p.Makespan, p.T1)
+			}
+		}
+	}
+}

@@ -8,10 +8,25 @@
 package rt
 
 import (
+	"time"
+
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/trace"
 )
+
+// Counters are the always-on execution counters every executor maintains
+// regardless of trace mode: they are cheap plain accumulators, so the
+// public metrics report can state makespan, task counts and per-machine
+// busy time even for untraced runs.
+type Counters struct {
+	// TasksRun counts executed task bodies, including inlined children and
+	// the main program.
+	TasksRun int
+	// Busy is per-machine (per processor slot on the shared-memory
+	// executor) time spent holding the processor.
+	Busy []time.Duration
+}
 
 // TaskOpts carries per-task scheduling information (§4.5 low-level control
 // plus the simulator's cost model). The zero value means: unlabeled, no
@@ -88,8 +103,11 @@ type Exec interface {
 	Run(root func(TC)) error
 	// Engine returns the dependency engine (for statistics).
 	Engine() *core.Engine
-	// Log returns the execution trace.
+	// Log returns the execution trace (the bounded always-on stream, or
+	// the full log when tracing was requested).
 	Log() *trace.Log
+	// Counters returns the always-on execution counters. Valid after Run.
+	Counters() Counters
 	// ObjectValue returns an object's final value after Run (the owner
 	// machine's version). It is intended for result verification.
 	ObjectValue(obj access.ObjectID) any

@@ -73,6 +73,18 @@ const (
 	// a shadow of the committed version, or re-derived by replaying the
 	// owning task (see Label).
 	ObjectRebuilt
+	// TaskFetched: all of the task's immediately-declared objects are local
+	// to its machine (the fetch/transfer-wait phase ended). Dst is the
+	// machine.
+	TaskFetched
+	// TaskScheduled: the task claimed a processor on its machine. The span
+	// from TaskScheduled to TaskCompleted is the processor time the task
+	// occupies (dispatch overhead + body); the profiler uses it as the
+	// task's critical-path weight.
+	TaskScheduled
+	// TaskCommitted: the task's completion was committed in the dependency
+	// engine — its rights released and successor gates opened.
+	TaskCommitted
 )
 
 var kindNames = map[Kind]string{
@@ -95,6 +107,9 @@ var kindNames = map[Kind]string{
 	TaskReexecuted:    "task-reexecuted",
 	MessageRetried:    "message-retried",
 	ObjectRebuilt:     "object-rebuilt",
+	TaskFetched:       "task-fetched",
+	TaskScheduled:     "task-scheduled",
+	TaskCommitted:     "task-committed",
 }
 
 func (k Kind) String() string {
@@ -157,13 +172,30 @@ func (e Event) String() string {
 // Log is an append-only event log. It is safe for concurrent use (the
 // shared-memory executor appends from many goroutines). A nil *Log discards
 // everything, so callers never need nil checks.
+//
+// A log built with NewRing keeps only the newest cap events: the executors
+// run one at all times (the always-on profiling stream), so its memory must
+// stay bounded no matter how long the program runs. Overwritten events are
+// counted in Dropped.
 type Log struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	cap     int    // 0 = unbounded
+	head    int    // ring start index (oldest event) once len(events) == cap
+	dropped uint64 // events overwritten in ring mode
 }
 
-// New returns an empty log.
+// New returns an empty unbounded log.
 func New() *Log { return &Log{} }
+
+// NewRing returns a log bounded to the newest cap events (cap <= 0 falls
+// back to unbounded). The buffer grows on demand up to cap, then wraps.
+func NewRing(cap int) *Log {
+	if cap <= 0 {
+		return New()
+	}
+	return &Log{cap: cap}
+}
 
 // Add appends an event.
 func (l *Log) Add(ev Event) {
@@ -171,18 +203,44 @@ func (l *Log) Add(ev Event) {
 		return
 	}
 	l.mu.Lock()
-	l.events = append(l.events, ev)
+	if l.cap > 0 && len(l.events) == l.cap {
+		l.events[l.head] = ev
+		l.head++
+		if l.head == l.cap {
+			l.head = 0
+		}
+		l.dropped++
+	} else {
+		l.events = append(l.events, ev)
+	}
 	l.mu.Unlock()
 }
 
-// Events returns a copy of all events in append order.
+// Dropped returns how many events a ring log has overwritten (0 for
+// unbounded logs). A nonzero count means derived profiles are partial.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Events returns a copy of all retained events in append order.
 func (l *Log) Events() []Event {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]Event(nil), l.events...)
+	if l.head == 0 {
+		return append([]Event(nil), l.events...)
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.head:]...)
+	out = append(out, l.events[:l.head]...)
+	return out
 }
 
 // Filter returns the events of one kind, in order.

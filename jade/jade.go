@@ -38,6 +38,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/netmodel"
+	"repro/internal/profile"
 	"repro/internal/rt"
 	"repro/internal/trace"
 )
@@ -94,12 +95,49 @@ const (
 	CapDisplay     = machine.CapDisplay
 )
 
+// EngineStats are the dependency engine's counters.
+type EngineStats = core.Stats
+
+// Profile is the execution profile computed from the always-on event
+// stream: per-task phase breakdowns, per-machine utilization, the critical
+// path (T₁, T∞, speedup ceiling and the path's task/object composition)
+// and hotspot attribution by object and task label.
+type Profile = profile.Profile
+
 // Runtime executes one Jade program. Create one with NewSMP or NewSimulated,
-// call Run exactly once, then inspect results with Final, Summary, etc.
+// call Run exactly once, then inspect results with Report and Final.
 type Runtime struct {
 	ex        rt.Exec
 	simulated bool
+	traced    bool
 	wall      time.Duration
+}
+
+// Feature names a runtime optimization that SimConfig.Disable can turn off
+// for ablation experiments.
+type Feature string
+
+const (
+	// FeatPrefetch is latency hiding: fetching a task's objects before the
+	// task claims its processor.
+	FeatPrefetch Feature = "prefetch"
+	// FeatLocality is the locality scheduling heuristic (prefer machines
+	// already holding a task's objects).
+	FeatLocality Feature = "locality"
+	// FeatDelta is delta transfers and dispatch coalescing: re-fetches
+	// ship only changed words, and dispatch messages piggyback on object
+	// transfers.
+	FeatDelta Feature = "delta"
+)
+
+// ParseFeature converts a feature name (as accepted on jadebench's
+// -disable flag) to a Feature.
+func ParseFeature(s string) (Feature, error) {
+	switch f := Feature(s); f {
+	case FeatPrefetch, FeatLocality, FeatDelta:
+		return f, nil
+	}
+	return "", fmt.Errorf("unknown feature %q (known: %s, %s, %s)", s, FeatPrefetch, FeatLocality, FeatDelta)
 }
 
 // SMPConfig configures the real shared-memory runtime.
@@ -119,7 +157,7 @@ func NewSMP(cfg SMPConfig) *Runtime {
 		Procs:        cfg.Procs,
 		MaxLiveTasks: cfg.MaxLiveTasks,
 		Trace:        cfg.Trace,
-	})}
+	}), traced: cfg.Trace}
 }
 
 // SimConfig configures the simulated message-passing runtime.
@@ -128,14 +166,9 @@ type SimConfig struct {
 	Platform Platform
 	// MaxLiveTasks bounds outstanding tasks (0 = 256).
 	MaxLiveTasks int
-	// NoPrefetch disables latency hiding (ablation).
-	NoPrefetch bool
-	// NoLocality disables the locality scheduling heuristic (ablation).
-	NoLocality bool
-	// NoDelta disables delta transfers and dispatch coalescing: re-fetches
-	// ship full object images and every dispatch is its own message
-	// (ablation).
-	NoDelta bool
+	// Disable lists runtime features to turn off for ablations (e.g.
+	// jade.FeatPrefetch, jade.FeatLocality, jade.FeatDelta).
+	Disable []Feature
 	// Trace records execution events.
 	Trace bool
 	// Fault injects machine crashes, message loss/duplication and link
@@ -147,19 +180,29 @@ type SimConfig struct {
 // NewSimulated returns a runtime executing on a simulated platform in
 // deterministic virtual time.
 func NewSimulated(cfg SimConfig) (*Runtime, error) {
-	x, err := dist.New(dist.Options{
+	opts := dist.Options{
 		Platform:     cfg.Platform,
 		MaxLiveTasks: cfg.MaxLiveTasks,
-		NoPrefetch:   cfg.NoPrefetch,
-		NoLocality:   cfg.NoLocality,
-		NoDelta:      cfg.NoDelta,
 		Trace:        cfg.Trace,
 		Fault:        cfg.Fault,
-	})
+	}
+	for _, f := range cfg.Disable {
+		switch f {
+		case FeatPrefetch:
+			opts.NoPrefetch = true
+		case FeatLocality:
+			opts.NoLocality = true
+		case FeatDelta:
+			opts.NoDelta = true
+		default:
+			return nil, fmt.Errorf("jade: SimConfig.Disable: unknown feature %q", f)
+		}
+	}
+	x, err := dist.New(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{ex: x, simulated: true}, nil
+	return &Runtime{ex: x, simulated: true, traced: cfg.Trace}, nil
 }
 
 // Run executes the main program. It returns when every task has completed,
@@ -183,8 +226,84 @@ func (r *Runtime) Makespan() time.Duration {
 	return r.wall
 }
 
+// TaskStats are headline task counters, populated from executor state
+// regardless of trace mode.
+type TaskStats struct {
+	// Created and Completed are the dependency engine's task counts
+	// (excluding the main program).
+	Created, Completed uint64
+	// Run counts executed task bodies, including inlined children and the
+	// main program.
+	Run int
+	// Busy is per-machine (per processor slot on the SMP runtime) time
+	// spent holding a processor.
+	Busy []time.Duration
+}
+
+// Report is the unified metrics view of one finished run. Every section is
+// populated from always-on counters — no field silently reads zero because
+// tracing was off. Sections not applicable to the runtime (Net, Delta and
+// Fault on the SMP runtime; Fault without a fault plan) are zero values.
+type Report struct {
+	// Makespan is the program duration (virtual time when simulated).
+	Makespan time.Duration
+	// Tasks are headline task counts and per-machine busy time.
+	Tasks TaskStats
+	// Engine holds the dependency engine's counters.
+	Engine EngineStats
+	// Net holds network transfer counters.
+	Net NetworkStats
+	// Delta holds delta-transfer and dispatch-coalescing counters.
+	Delta DeltaStats
+	// Fault holds failure-injection and recovery counters.
+	Fault FaultStats
+	// ConvertedWords counts data words format-converted in transit between
+	// heterogeneous machines (zero on homogeneous platforms and on SMP).
+	ConvertedWords int
+	// Profile is the execution profile: phase breakdowns, machine
+	// utilization, critical path (T₁, T∞, speedup ceiling) and hotspot
+	// attribution, computed from the always-on event stream. With full
+	// tracing the profile is exact; untraced runs profile the bounded
+	// event ring and Profile.DroppedEvents reports any truncation.
+	Profile *Profile
+}
+
+// Report computes the unified metrics report for the finished run. This is
+// the one metrics entry point; the per-section accessors (NetStats,
+// DeltaStats, FaultStats, EngineStats, Summary) are deprecated wrappers.
+func (r *Runtime) Report() Report {
+	es := r.ex.Engine().Stats()
+	c := r.ex.Counters()
+	rep := Report{
+		Makespan: r.Makespan(),
+		Tasks: TaskStats{
+			Created:   es.TasksCreated,
+			Completed: es.TasksCompleted,
+			Run:       c.TasksRun,
+			Busy:      c.Busy,
+		},
+		Engine: es,
+	}
+	if x, ok := r.ex.(*dist.Exec); ok {
+		rep.Net = x.NetStats()
+		rep.Delta = x.DeltaStats()
+		rep.Fault = x.FaultStats()
+		rep.ConvertedWords = x.ConvertedWords()
+	}
+	log := r.ex.Log()
+	rep.Profile = profile.Compute(profile.Input{
+		Events:      log.Events(),
+		Dropped:     log.Dropped(),
+		Makespan:    r.Makespan(),
+		MachineBusy: c.Busy,
+	})
+	return rep
+}
+
 // NetStats returns network counters (zero value for the SMP runtime, whose
 // shared memory sends no messages).
+//
+// Deprecated: use Report().Net.
 func (r *Runtime) NetStats() NetworkStats {
 	if x, ok := r.ex.(*dist.Exec); ok {
 		return x.NetStats()
@@ -193,7 +312,9 @@ func (r *Runtime) NetStats() NetworkStats {
 }
 
 // DeltaStats returns delta-transfer and coalescing counters (zero value for
-// the SMP runtime and for runs with SimConfig.NoDelta).
+// the SMP runtime and for runs disabling FeatDelta).
+//
+// Deprecated: use Report().Delta.
 func (r *Runtime) DeltaStats() DeltaStats {
 	if x, ok := r.ex.(*dist.Exec); ok {
 		return x.DeltaStats()
@@ -203,6 +324,8 @@ func (r *Runtime) DeltaStats() DeltaStats {
 
 // FaultStats returns failure-injection and recovery counters (zero value for
 // the SMP runtime and for simulated runs without a fault plan).
+//
+// Deprecated: use Report().Fault.
 func (r *Runtime) FaultStats() FaultStats {
 	if x, ok := r.ex.(*dist.Exec); ok {
 		return x.FaultStats()
@@ -211,16 +334,25 @@ func (r *Runtime) FaultStats() FaultStats {
 }
 
 // EngineStats returns dependency-engine counters.
+//
+// Deprecated: use Report().Engine.
 func (r *Runtime) EngineStats() core.Stats { return r.ex.Engine().Stats() }
 
-// TraceLog returns the event log (nil unless tracing was enabled).
-func (r *Runtime) TraceLog() *trace.Log { return r.ex.Log() }
+// TraceLog returns the full event log (nil unless tracing was enabled).
+func (r *Runtime) TraceLog() *trace.Log {
+	if !r.traced {
+		return nil
+	}
+	return r.ex.Log()
+}
 
 // Summary aggregates the trace into headline counters (requires tracing for
 // the trace-derived fields; the Engine and Fault counters are always
 // populated).
+//
+// Deprecated: use Report, which is populated regardless of trace mode.
 func (r *Runtime) Summary() trace.Summary {
-	s := trace.SummarizeWithEngine(r.ex.Log(), r.EngineStats())
+	s := trace.SummarizeWithEngine(r.ex.Log(), r.ex.Engine().Stats())
 	s.Fault = r.FaultStats()
 	return s
 }

@@ -1,0 +1,142 @@
+package jade_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/jade"
+)
+
+// runSum executes a small fan-out/fan-in program on r: four tasks each add
+// into their cell, then main reads the total.
+func runSum(t *testing.T, r *jade.Runtime) {
+	t.Helper()
+	var total int64
+	err := r.Run(func(tk *jade.Task) {
+		cells := jade.NewArray[int64](tk, 4, "cells")
+		cells.Release(tk)
+		for i := 0; i < 4; i++ {
+			i := i
+			tk.WithOnlyOpts(jade.TaskOptions{Label: "add", Cost: 0.001},
+				func(s *jade.Spec) { s.RdWr(cells) },
+				func(tk *jade.Task) { cells.ReadWrite(tk)[i] = int64(i) + 1 })
+		}
+		tk.WithCont(func(c *jade.Cont) {})
+		v := cells.Read(tk)
+		for _, x := range v {
+			total += x
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 1+2+3+4 {
+		t.Fatalf("sum = %d", total)
+	}
+}
+
+// TestReportPopulatedWithoutTracing is the regression test for the
+// Summary-returns-zero bug: with tracing off, Report must still populate
+// makespan, task counts and busy time from executor state.
+func TestReportPopulatedWithoutTracing(t *testing.T) {
+	sim, err := jade.NewSimulated(jade.SimConfig{Platform: jade.IPSC860(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := jade.NewSMP(jade.SMPConfig{Procs: 2})
+	for name, r := range map[string]*jade.Runtime{"simulated": sim, "smp": smp} {
+		runSum(t, r)
+		rep := r.Report()
+		if rep.Makespan <= 0 {
+			t.Errorf("%s: Report().Makespan = %v, want > 0 with tracing off", name, rep.Makespan)
+		}
+		if rep.Tasks.Created != 4 || rep.Tasks.Completed != 5 { // completions include main
+			t.Errorf("%s: Tasks = %+v, want 4 created, 5 completed", name, rep.Tasks)
+		}
+		if rep.Tasks.Run != 5 { // 4 tasks + main
+			t.Errorf("%s: Tasks.Run = %d, want 5", name, rep.Tasks.Run)
+		}
+		var busy time.Duration
+		for _, b := range rep.Tasks.Busy {
+			busy += b
+		}
+		if busy <= 0 {
+			t.Errorf("%s: total busy = %v, want > 0 with tracing off", name, busy)
+		}
+		if rep.Engine.TasksCreated != 4 {
+			t.Errorf("%s: Engine.TasksCreated = %d", name, rep.Engine.TasksCreated)
+		}
+		// The always-on ring makes the profile available untraced too.
+		if rep.Profile == nil || rep.Profile.Tasks == 0 {
+			t.Errorf("%s: Profile missing on untraced run: %+v", name, rep.Profile)
+		}
+		if rep.Profile != nil && rep.Profile.TInf > rep.Makespan {
+			t.Errorf("%s: TInf %v exceeds makespan %v", name, rep.Profile.TInf, rep.Makespan)
+		}
+	}
+	if sim.Report().Net.Messages == 0 {
+		t.Error("simulated: Net.Messages = 0, want > 0")
+	}
+}
+
+// TestDeprecatedWrappersMatchReport keeps the one-release compatibility
+// wrappers truthful: each must agree with the corresponding Report section.
+func TestDeprecatedWrappersMatchReport(t *testing.T) {
+	r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.Mica(4), Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSum(t, r)
+	rep := r.Report()
+	if got := r.NetStats(); got.Messages != rep.Net.Messages || got.Bytes != rep.Net.Bytes {
+		t.Errorf("NetStats() = %+v, Report().Net = %+v", got, rep.Net)
+	}
+	if got := r.DeltaStats(); got != rep.Delta {
+		t.Errorf("DeltaStats() = %+v, Report().Delta = %+v", got, rep.Delta)
+	}
+	if got := r.FaultStats(); got != rep.Fault {
+		t.Errorf("FaultStats() = %+v, Report().Fault = %+v", got, rep.Fault)
+	}
+	if got := r.EngineStats(); got != rep.Engine {
+		t.Errorf("EngineStats() = %+v, Report().Engine = %+v", got, rep.Engine)
+	}
+	if sum := r.Summary(); sum.TasksRun != rep.Tasks.Run {
+		t.Errorf("Summary().TasksRun = %d, Report().Tasks.Run = %d", sum.TasksRun, rep.Tasks.Run)
+	}
+}
+
+func TestParseFeature(t *testing.T) {
+	for _, s := range []string{"prefetch", "locality", "delta"} {
+		f, err := jade.ParseFeature(s)
+		if err != nil || string(f) != s {
+			t.Errorf("ParseFeature(%q) = %v, %v", s, f, err)
+		}
+	}
+	if _, err := jade.ParseFeature("turbo"); err == nil {
+		t.Error("ParseFeature(turbo) should fail")
+	}
+}
+
+// TestDisableUnknownFeature: SimConfig.Disable rejects unknown names.
+func TestDisableUnknownFeature(t *testing.T) {
+	_, err := jade.NewSimulated(jade.SimConfig{
+		Platform: jade.IPSC860(2),
+		Disable:  []jade.Feature{"turbo"},
+	})
+	if err == nil {
+		t.Fatal("expected error for unknown feature")
+	}
+}
+
+// TestDisableFeatures: each known feature is accepted and the run still
+// produces correct results.
+func TestDisableFeatures(t *testing.T) {
+	r, err := jade.NewSimulated(jade.SimConfig{
+		Platform: jade.IPSC860(2),
+		Disable:  []jade.Feature{jade.FeatPrefetch, jade.FeatLocality, jade.FeatDelta},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSum(t, r)
+}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Benchmark snapshot — the `bench` tier of make check. Records engine
+# throughput (BenchmarkEngineThroughput ns/op) and the S1 profiler sweep
+# (per-point makespans with their profiles: T1, Tinf, utilization) to
+# BENCH_profile.json, so performance changes ride along with each PR as a
+# reviewable artifact.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -eu
+
+out=${1:-BENCH_profile.json}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go test -run '^$' -bench BenchmarkEngineThroughput -benchtime 200ms -count 1 . >"$tmp/bench.txt"
+cat "$tmp/bench.txt"
+go run ./cmd/jadebench -exp s1 -quick -profilejson "$tmp/s1.json" >"$tmp/s1_table.txt"
+cat "$tmp/s1_table.txt"
+
+{
+	echo '{'
+	echo '  "engine_throughput_ns_per_op": {'
+	awk '/^BenchmarkEngineThroughput\// {
+		name = $1; sub(/^BenchmarkEngineThroughput\//, "", name); sub(/-[0-9]+$/, "", name)
+		if (n++) printf ",\n"
+		printf "    \"%s\": %s", name, $3
+	} END { print "" }' "$tmp/bench.txt"
+	echo '  },'
+	echo '  "s1_points":'
+	sed 's/^/  /' "$tmp/s1.json"
+	echo '}'
+} >"$out"
+
+# The snapshot must be valid JSON: a malformed artifact fails the tier.
+go run ./scripts/jsoncheck "$out"
+echo "wrote $out"

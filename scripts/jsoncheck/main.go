@@ -1,0 +1,24 @@
+// Command jsoncheck validates that each argument is a well-formed JSON
+// file (used by scripts/bench_snapshot.sh to gate the snapshot artifact).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %v\n", err)
+			os.Exit(1)
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
