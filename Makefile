@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race determinism fault bench clean
+.PHONY: check vet build test race determinism fault live bench clean
 
-check: vet build test race determinism fault bench
+check: vet build test race determinism fault live bench
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,12 @@ determinism:
 # leave every application bit-identical to its failure-free run.
 fault:
 	$(GO) test -race -count=2 -run Fault ./internal/fault/... ./internal/exec/dist/... ./jade/... ./internal/experiments/...
+
+# The live tier: the message-passing transports (inproc pipes, TCP framing
+# with reconnect and heartbeats), the wire codec, and the live executor —
+# real concurrency over real sockets, under the race detector, twice.
+live:
+	$(GO) test -race -count=2 ./internal/transport/... ./internal/exec/live/...
 
 # The benchmark-snapshot tier: engine throughput plus the S1 profiler sweep,
 # recorded to BENCH_profile.json as a reviewable performance artifact.

@@ -46,6 +46,7 @@ var catalog = []struct{ id, desc string }{
 	{"g2", "commuting accumulation (Acc) semantics"},
 	{"g3", "granularity: Water task-count sweep"},
 	{"k1", "Barnes-Hut N-body on the simulated platforms"},
+	{"l1", "live execution: Cholesky over in-process and TCP worker endpoints"},
 }
 
 func main() {
@@ -319,6 +320,17 @@ func main() {
 		tb, err := experiments.K1BarnesHut()
 		if err != nil {
 			fail("k1", err)
+		}
+		show(tb)
+	}
+	if selected("l1") {
+		grid := 16
+		if *quick {
+			grid = 8
+		}
+		tb, err := experiments.L1Live(grid, 4)
+		if err != nil {
+			fail("l1", err)
 		}
 		show(tb)
 	}

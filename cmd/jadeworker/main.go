@@ -1,0 +1,69 @@
+// Command jadeworker is a standalone worker daemon for the live runtime: it
+// dials a coordinator started with jade.NewLive (Transport "tcp",
+// AwaitExternal > 0), advertises its capabilities and data format, and
+// executes dispatched tasks until the run ends.
+//
+//	jadeworker -addr host:7070 -name gpu1 -caps gpu,camera -slots 2
+//
+// Go closures cannot cross a process boundary, so a coordinator dispatches
+// work to external workers by task kind (jade.TaskOptions.Kind): both the
+// coordinator binary and the worker binary register the same kinds with
+// jade.RegisterKind — the paper's model of installing the program text on
+// every machine ahead of time. Link application kind registrations into
+// this binary (or a copy of it) for real work; a stock jadeworker can still
+// serve as a remote memory/relay endpoint for closure-free protocols.
+//
+// With -loop the daemon reconnects and serves again after each run,
+// so one long-lived worker can participate in many coordinator runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/jade"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7070", "coordinator address to join")
+		name  = flag.String("name", "", "worker name in coordinator diagnostics (default host:pid)")
+		caps  = flag.String("caps", "", "comma-separated capability tags to advertise (e.g. gpu,camera)")
+		slots = flag.Int("slots", 1, "concurrent task slots")
+		loop  = flag.Bool("loop", false, "serve runs forever: reconnect after each run ends")
+		retry = flag.Duration("retry", time.Second, "redial interval with -loop")
+	)
+	flag.Parse()
+
+	wn := *name
+	if wn == "" {
+		host, _ := os.Hostname()
+		wn = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	var tags []string
+	for _, c := range strings.Split(*caps, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			tags = append(tags, c)
+		}
+	}
+	cfg := jade.WorkerConfig{Addr: *addr, Name: wn, Caps: tags, Slots: *slots}
+
+	for {
+		err := jade.ServeWorker(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jadeworker: %v\n", err)
+			if !*loop {
+				os.Exit(1)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "jadeworker: run complete\n")
+			if !*loop {
+				return
+			}
+		}
+		time.Sleep(*retry)
+	}
+}

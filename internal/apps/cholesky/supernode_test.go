@@ -140,8 +140,8 @@ func TestSupernodalUsesFewerTasks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	colTasks := colRT.EngineStats().TasksCreated
-	snTasks := snRT.EngineStats().TasksCreated
+	colTasks := colRT.Report().Engine.TasksCreated
+	snTasks := snRT.Report().Engine.TasksCreated
 	if snTasks >= colTasks {
 		t.Fatalf("supernodes should cut the task count: %d vs %d", snTasks, colTasks)
 	}
@@ -159,7 +159,7 @@ func TestSupernodalUsesFewerTasks(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	c2, s2 := colRT2.EngineStats().TasksCreated, snRT2.EngineStats().TasksCreated
+	c2, s2 := colRT2.Report().Engine.TasksCreated, snRT2.Report().Engine.TasksCreated
 	if s2*4 > c2 {
 		t.Fatalf("heavy-fill matrix should aggregate strongly: %d vs %d tasks", s2, c2)
 	}

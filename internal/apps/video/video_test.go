@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/trace"
 	"repro/jade"
 )
 
@@ -131,14 +132,15 @@ func TestFormatConversionHappens(t *testing.T) {
 	if _, err := RunJade(r, cfg); err != nil {
 		t.Fatal(err)
 	}
-	if r.NetStats().Messages == 0 {
+	rep := r.Report()
+	if rep.Net.Messages == 0 {
 		t.Fatal("pipeline should move frames between machines")
 	}
-	sum := r.Summary()
+	sum := trace.Summarize(r.TraceLog())
 	if sum.ObjectsMoved+sum.ObjectsCopied == 0 {
 		t.Fatal("object motion events missing")
 	}
-	if sum.ConvertedWords == 0 {
+	if rep.ConvertedWords == 0 {
 		t.Fatal("int64 device objects crossing SPARC→i860 must be format-converted")
 	}
 }

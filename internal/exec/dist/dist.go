@@ -312,19 +312,19 @@ func New(opts Options) (*Exec, error) {
 		x.history = map[access.ObjectID][]verRec{}
 		x.hbInterval = opts.HeartbeatInterval
 		if x.hbInterval <= 0 {
-			x.hbInterval = 10 * time.Millisecond
+			x.hbInterval = fault.DefaultHeartbeatInterval
 		}
 		x.hbTimeout = opts.HeartbeatTimeout
 		if x.hbTimeout <= 0 {
-			x.hbTimeout = 3 * time.Millisecond
+			x.hbTimeout = fault.DefaultHeartbeatTimeout
 		}
 		x.hbRetries = opts.HeartbeatRetries
 		if x.hbRetries <= 0 {
-			x.hbRetries = 3
+			x.hbRetries = fault.DefaultHeartbeatRetries
 		}
 		x.retryBackoff = opts.RetryBackoff
 		if x.retryBackoff <= 0 {
-			x.retryBackoff = 2 * time.Millisecond
+			x.retryBackoff = fault.DefaultRetryBackoff
 		}
 	}
 	x.cpus = make([]*sim.Resource, n)

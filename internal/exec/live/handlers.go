@@ -1,0 +1,329 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/format"
+	"repro/internal/rt"
+	"repro/internal/trace"
+	"repro/internal/transport/wire"
+)
+
+// task looks up a live task by wire identifier.
+func (x *Exec) task(id uint64) *core.Task {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.tasks[core.TaskID(id)]
+}
+
+// recvLoop drains one worker's connection for the whole run. Handlers
+// that can block (waiting for an access grant, task readiness, or the
+// coherence lock) run in goroutines; everything handled inline must
+// never take x.coh — a coherence-lock holder may be waiting for a pull
+// reply that only this loop can route, so blocking here on coh would
+// deadlock the protocol.
+func (x *Exec) recvLoop(w *workerLink) {
+	for {
+		msg, err := w.conn.Recv()
+		if err != nil {
+			x.mu.Lock()
+			closing := x.closing
+			x.mu.Unlock()
+			if !closing {
+				x.failFatal(fmt.Errorf("live: worker %d (%s): connection lost: %w", w.m, w.name, err))
+			}
+			return
+		}
+		x.countFrame(w.m, 0, len(msg))
+		f, err := wire.Decode(msg)
+		if err != nil {
+			x.failFatal(fmt.Errorf("live: worker %d (%s): %w", w.m, w.name, err))
+			return
+		}
+		switch f.Type {
+		case wire.TObjData:
+			x.mu.Lock()
+			ch := x.pending[f.Req]
+			delete(x.pending, f.Req)
+			x.mu.Unlock()
+			if ch != nil {
+				ch <- f
+			}
+		case wire.TTaskDone:
+			x.handleTaskDone(w, f, "")
+		case wire.TTaskFail:
+			x.handleTaskDone(w, f, f.Label)
+		case wire.TEndAccess:
+			if t := x.task(f.Task); t != nil {
+				x.eng.EndAccess(t, access.ObjectID(f.Obj), access.Mode(f.A))
+			}
+		case wire.TClearAccess:
+			if t := x.task(f.Task); t != nil {
+				x.eng.ClearAccess(t, access.ObjectID(f.Obj))
+			}
+		case wire.TRetractReq:
+			x.handleRetract(w, f)
+		case wire.TCreateReq:
+			// Inline: a task's successive creations must enter the engine
+			// in program order (creation order IS the serial order), and
+			// the connection's FIFO plus inline handling preserves it.
+			x.handleCreate(w, f)
+		case wire.TAccessReq:
+			go x.handleAccess(w, f)
+		case wire.TConvertReq:
+			go x.handleConvert(w, f)
+		case wire.TAllocReq:
+			go x.handleAlloc(w, f)
+		case wire.TStartReq:
+			go x.handleStart(w, f)
+		default:
+			x.failFatal(fmt.Errorf("live: worker %d (%s): unexpected %s frame", w.m, w.name, wire.TypeName(f.Type)))
+			return
+		}
+	}
+}
+
+// handleTaskDone retires a task the worker finished (or failed).
+func (x *Exec) handleTaskDone(w *workerLink, f *wire.Frame, errText string) {
+	t := x.task(f.Task)
+	if t == nil {
+		x.failFatal(fmt.Errorf("live: worker %d reported completion of unknown task %d", w.m, f.Task))
+		return
+	}
+	pl := t.Payload.(*payload)
+	if errText != "" {
+		x.fail(fmt.Errorf("task %d (%s) on worker %d: %s", t.ID, pl.opts.Label, w.m, errText))
+	}
+	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+	if err := x.eng.Complete(t); err != nil {
+		x.fail(err)
+	}
+	x.record(trace.Event{Kind: trace.TaskCommitted, Task: uint64(t.ID), Dst: w.m})
+	if pl.inline {
+		// Inline children are not throttle-counted or wg-tracked; only
+		// the bookkeeping map and the run counter need updating.
+		x.mu.Lock()
+		delete(x.tasks, t.ID)
+		x.mu.Unlock()
+		x.statMu.Lock()
+		if errText == "" {
+			x.tasksRun++
+		}
+		x.statMu.Unlock()
+		return
+	}
+	x.taskFinished(t, pl, time.Duration(f.A), errText == "")
+}
+
+// handleAccess grants a task's immediate access and stages the object
+// on the requesting worker before replying.
+func (x *Exec) handleAccess(w *workerLink, f *wire.Frame) {
+	t := x.task(f.Task)
+	if t == nil {
+		w.reply(f.Req, fmt.Sprintf("access request for unknown task %d", f.Task), 0, 0)
+		return
+	}
+	obj := access.ObjectID(f.Obj)
+	mode := access.Mode(f.A)
+	ch := make(chan struct{})
+	ok, err := x.eng.Access(t, obj, mode, func() { close(ch) })
+	if err != nil {
+		w.reply(f.Req, err.Error(), 0, 0)
+		return
+	}
+	if !ok {
+		select {
+		case <-ch:
+		case <-x.fatal:
+			return
+		}
+	}
+	read := mode.HasAny(access.Read | access.Commute)
+	write := mode.HasAny(access.Write | access.Commute)
+	x.coh.Lock()
+	ferr := x.fetchToLocked(t, obj, w.m, read, write)
+	x.coh.Unlock()
+	if ferr != nil {
+		w.reply(f.Req, ferr.Error(), 0, 0)
+		return
+	}
+	w.reply(f.Req, "", 0, 0)
+}
+
+// handleConvert promotes deferred rights to immediate.
+func (x *Exec) handleConvert(w *workerLink, f *wire.Frame) {
+	t := x.task(f.Task)
+	if t == nil {
+		w.reply(f.Req, fmt.Sprintf("convert request for unknown task %d", f.Task), 0, 0)
+		return
+	}
+	ch := make(chan struct{})
+	ok, err := x.eng.Convert(t, access.ObjectID(f.Obj), access.Mode(f.A), func() { close(ch) })
+	if err != nil {
+		w.reply(f.Req, err.Error(), 0, 0)
+		return
+	}
+	if !ok {
+		select {
+		case <-ch:
+		case <-x.fatal:
+			return
+		}
+	}
+	w.reply(f.Req, "", 0, 0)
+}
+
+// handleRetract drops rights; never blocks.
+func (x *Exec) handleRetract(w *workerLink, f *wire.Frame) {
+	t := x.task(f.Task)
+	if t == nil {
+		w.reply(f.Req, fmt.Sprintf("retract request for unknown task %d", f.Task), 0, 0)
+		return
+	}
+	if err := x.eng.Retract(t, access.ObjectID(f.Obj), access.Mode(f.A)); err != nil {
+		w.reply(f.Req, err.Error(), 0, 0)
+		return
+	}
+	w.reply(f.Req, "", 0, 0)
+}
+
+// handleCreate enters a worker-created child task into the engine and
+// decides inline-vs-dispatch under the creation throttle.
+func (x *Exec) handleCreate(w *workerLink, f *wire.Frame) {
+	parent := x.task(f.Task)
+	if parent == nil {
+		w.reply(f.Req, fmt.Sprintf("create request from unknown task %d", f.Task), 0, 0)
+		return
+	}
+	c, err := unmarshalCreate(f.Payload)
+	if err != nil {
+		w.reply(f.Req, err.Error(), 0, 0)
+		return
+	}
+	if f.A == 0 && f.Aux == "" {
+		w.reply(f.Req, fmt.Sprintf("create %q: nil body and no kind", f.Label), 0, 0)
+		return
+	}
+	pl := &payload{
+		bodyKey:  f.A,
+		group:    w.group,
+		kind:     f.Aux,
+		kindArgs: c.kindArgs,
+		opts: rt.TaskOpts{
+			Label: f.Label, Cost: costFromBits(f.B), Pin: int(f.C),
+			RequireCap: c.requireCap, Kind: f.Aux, KindArgs: c.kindArgs,
+		},
+		creator: w.m,
+		machine: -1,
+	}
+	x.mu.Lock()
+	if x.liveUser >= x.opts.MaxLiveTasks {
+		pl.inline = true
+		pl.readyCh = make(chan struct{})
+	} else {
+		x.liveUser++
+	}
+	x.mu.Unlock()
+	t, err := x.eng.Create(parent, c.decls, pl)
+	if err != nil {
+		if !pl.inline {
+			x.mu.Lock()
+			x.liveUser--
+			x.mu.Unlock()
+		}
+		w.reply(f.Req, err.Error(), 0, 0)
+		return
+	}
+	x.mu.Lock()
+	x.tasks[t.ID] = t
+	x.mu.Unlock()
+	x.record(trace.Event{Kind: trace.TaskCreated, Task: uint64(t.ID), Label: f.Label})
+	var inlineFlag uint64
+	if pl.inline {
+		inlineFlag = 1
+	}
+	w.reply(f.Req, "", uint64(t.ID), inlineFlag)
+}
+
+// handleStart serves an inline child's start request: wait until the
+// child's declarations enable, stage its objects on the creator's
+// machine, and start it in the engine.
+func (x *Exec) handleStart(w *workerLink, f *wire.Frame) {
+	t := x.task(f.Task)
+	if t == nil {
+		w.reply(f.Req, fmt.Sprintf("start request for unknown task %d", f.Task), 0, 0)
+		return
+	}
+	pl := t.Payload.(*payload)
+	if !pl.inline {
+		w.reply(f.Req, fmt.Sprintf("start request for non-inline task %d", f.Task), 0, 0)
+		return
+	}
+	select {
+	case <-pl.readyCh:
+	case <-x.fatal:
+		return
+	}
+	x.coh.Lock()
+	ferr := x.fetchAllLocked(t, w.m)
+	x.coh.Unlock()
+	if ferr != nil {
+		w.reply(f.Req, ferr.Error(), 0, 0)
+		return
+	}
+	if err := x.eng.Start(t); err != nil {
+		x.fail(err)
+		if cerr := x.eng.Complete(t); cerr != nil {
+			x.fail(cerr)
+		}
+		x.mu.Lock()
+		delete(x.tasks, t.ID)
+		x.mu.Unlock()
+		w.reply(f.Req, err.Error(), 0, 0)
+		return
+	}
+	x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+	w.reply(f.Req, "", 0, 0)
+}
+
+// handleAlloc registers a worker-allocated object: the worker keeps the
+// live value (it is the owner); the coordinator caches a decoded copy
+// as the generation-0 patch base.
+func (x *Exec) handleAlloc(w *workerLink, f *wire.Frame) {
+	t := x.task(f.Task)
+	if t == nil {
+		w.reply(f.Req, fmt.Sprintf("alloc request from unknown task %d", f.Task), 0, 0)
+		return
+	}
+	img := f.Payload
+	var words int
+	if ord := format.ByteOrder(f.A); ord != x.opts.Format {
+		conv, n, err := format.Convert(img, ord, x.opts.Format)
+		if err != nil {
+			w.reply(f.Req, err.Error(), 0, 0)
+			return
+		}
+		img, words = conv, n
+	}
+	v, err := format.Decode(img, x.opts.Format)
+	if err != nil {
+		w.reply(f.Req, err.Error(), 0, 0)
+		return
+	}
+	x.mu.Lock()
+	id := x.nextObj
+	x.nextObj++
+	x.mu.Unlock()
+	x.coh.Lock()
+	x.vals[id] = v
+	x.cacheVer[id] = 0
+	x.dir[id] = &objDir{owner: w.m, copies: map[int]bool{w.m: true}, label: f.Label}
+	x.coh.Unlock()
+	x.noteConverted(id, w.m, 0, words)
+	x.eng.RegisterObject(t, id)
+	w.reply(f.Req, "", uint64(id), 0)
+}

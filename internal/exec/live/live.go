@@ -1,0 +1,1023 @@
+// Package live is the message-passing Jade executor that runs over real
+// transports (goroutine pipes or TCP sockets) instead of the discrete-
+// event simulator: the repo's analogue of the paper's network-of-
+// workstations implementation on the Mica Ethernet array.
+//
+// Topology is hub-and-spoke: the coordinator (machine 0) runs the main
+// program, the dependency engine, and the object directory; N workers
+// (machines 1..N) run task bodies. All coherence traffic relays through
+// the coordinator, the way every message on the paper's shared Ethernet
+// passed through one wire. The coordinator and the simulated distributed
+// executor share the same protocol — migrate an object to a writer and
+// invalidate the other copies, replicate to readers, retain invalidated
+// copies as shadows so re-fetches travel as format.Diff patches — so a
+// program debugged on the simulator runs unchanged on sockets.
+//
+// The division of labor over the wire:
+//
+//   - Coordinator → worker: task dispatches, object images/patches/zero
+//     grants, invalidations, pulls of current object contents, and RPC
+//     replies.
+//   - Worker → coordinator: every rt.TC operation a body performs
+//     (Access, Create, Alloc, Convert, Retract, EndAccess, ...) travels
+//     as a small RPC; task completion and pull replies come back the
+//     same way.
+//
+// A task blocked in an RPC sends nothing else, so the per-connection
+// FIFO order of transport.Conn gives the same happens-before edges the
+// simulator got from virtual time.
+package live
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/exec/dist"
+	"repro/internal/format"
+	"repro/internal/fault"
+	"repro/internal/netmodel"
+	"repro/internal/rt"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// ringCap bounds the always-on event stream when tracing is off.
+const ringCap = 1 << 16
+
+// Peer is one worker connection the coordinator will drive.
+type Peer struct {
+	// Conn is the established transport connection to a worker that is
+	// already running Serve.
+	Conn transport.Conn
+}
+
+// Options configure the coordinator.
+type Options struct {
+	// Peers are the connected workers, machines 1..len(Peers).
+	Peers []Peer
+	// Bodies is the body table shared with same-process workers. nil
+	// allocates a fresh table (fine when all workers are remote).
+	Bodies *BodyTable
+	// MaxLiveTasks bounds concurrently existing tasks; creators above
+	// the bound inline the child (§3.3). 0 means 64 × workers.
+	MaxLiveTasks int
+	// Format is the coordinator's native byte order.
+	Format format.ByteOrder
+	// Trace enables full event recording.
+	Trace bool
+}
+
+// objDir is the coordinator's directory entry for one object, same
+// protocol as the simulated distributed executor.
+type objDir struct {
+	owner   int
+	copies  map[int]bool
+	label   string
+	version uint64
+}
+
+// snapshot is an immutable copy of an object at one content generation,
+// retained while any worker's shadow froze at that generation: it is the
+// diff base for delta pushes to those workers.
+type snapshot struct {
+	val  any
+	refs int
+}
+
+// payload is the executor attachment on core tasks.
+type payload struct {
+	bodyKey  uint64
+	group    uint64 // process group owning bodyKey (0 = coordinator's)
+	kind     string
+	kindArgs []byte
+	opts     rt.TaskOpts
+	creator  int // machine that executed the withonly-do
+	machine  int
+	inline   bool
+	readyCh  chan struct{}
+	skipBody bool
+}
+
+// workerLink is the coordinator's view of one connected worker.
+type workerLink struct {
+	x     *Exec
+	m     int // machine index (1-based)
+	conn  transport.Conn
+	name  string
+	caps  map[string]bool
+	fmt   format.ByteOrder
+	group uint64
+
+	// Scheduler load estimate; guarded by x.mu.
+	pendingTasks int
+}
+
+// Exec is the live coordinator. Create with New; each Exec runs one
+// program.
+type Exec struct {
+	opts    Options
+	eng     *core.Engine
+	log     *trace.Log
+	start   time.Time
+	bodies  *BodyTable
+	workers []*workerLink
+
+	// fatal closes when a transport-level failure makes progress
+	// impossible (worker connection died, protocol error). Parked waits
+	// select on it so the run unwinds instead of hanging.
+	fatal     chan struct{}
+	fatalOnce sync.Once
+
+	// mu guards executor bookkeeping: task maps, throttle, RPC routing,
+	// scheduler load, first error.
+	mu       sync.Mutex
+	started  bool
+	closing  bool
+	tasks    map[core.TaskID]*core.Task
+	liveUser int
+	nextObj  access.ObjectID
+	nextReq  uint64
+	pending  map[uint64]chan *wire.Frame // outstanding coordinator→worker RPCs
+	firstErr error
+
+	// coh serializes the coherence protocol: directory state, the
+	// coordinator's value cache, generation snapshots, and the pushes/
+	// pulls that move object bytes. Coarse by design — the protocol's
+	// invariants are stated against a serialized transition order, the
+	// same order the simulator got for free from virtual time.
+	coh       sync.Mutex
+	dir       map[access.ObjectID]*objDir
+	vals      map[access.ObjectID]any // machine-0 store and relay cache
+	cacheVer  map[access.ObjectID]uint64
+	verVals   map[access.ObjectID]map[uint64]*snapshot
+	shadowVer []map[access.ObjectID]uint64 // per machine: generation its shadow froze at
+
+	// statMu guards the metrics ledgers.
+	statMu    sync.Mutex
+	net       netmodel.Stats
+	dstats    dist.DeltaStats
+	fstats    fault.Stats
+	convWords int
+	busy      []time.Duration // per machine (0 = coordinator)
+	tasksRun  int
+
+	wg sync.WaitGroup // dispatched (non-inline) tasks in flight
+}
+
+// New returns a coordinator for the connected workers.
+func New(opts Options) (*Exec, error) {
+	if len(opts.Peers) == 0 {
+		return nil, fmt.Errorf("live: no workers")
+	}
+	if opts.MaxLiveTasks <= 0 {
+		opts.MaxLiveTasks = 64 * len(opts.Peers)
+	}
+	if opts.Bodies == nil {
+		opts.Bodies = NewBodyTable()
+	}
+	n := len(opts.Peers) + 1
+	x := &Exec{
+		opts:      opts,
+		bodies:    opts.Bodies,
+		fatal:     make(chan struct{}),
+		tasks:     map[core.TaskID]*core.Task{},
+		nextObj:   1,
+		nextReq:   1,
+		pending:   map[uint64]chan *wire.Frame{},
+		dir:       map[access.ObjectID]*objDir{},
+		vals:      map[access.ObjectID]any{},
+		cacheVer:  map[access.ObjectID]uint64{},
+		verVals:   map[access.ObjectID]map[uint64]*snapshot{},
+		shadowVer: make([]map[access.ObjectID]uint64, n),
+		busy:      make([]time.Duration, n),
+	}
+	for i := range x.shadowVer {
+		x.shadowVer[i] = map[access.ObjectID]uint64{}
+	}
+	if opts.Trace {
+		x.log = trace.New()
+	} else {
+		x.log = trace.NewRing(ringCap)
+	}
+	x.eng = core.New(core.Hooks{
+		Ready: x.onReady,
+		Violation: func(t *core.Task, err error) {
+			x.record(trace.Event{Kind: trace.Violation, Task: uint64(t.ID), Label: err.Error()})
+			x.fail(err)
+		},
+		Depend: func(earlier, later *core.Task, obj access.ObjectID) {
+			x.record(trace.Event{Kind: trace.Depend, Task: uint64(earlier.ID), Other: uint64(later.ID), Object: uint64(obj)})
+		},
+	})
+	return x, nil
+}
+
+// Engine implements rt.Exec.
+func (x *Exec) Engine() *core.Engine { return x.eng }
+
+// Log implements rt.Exec.
+func (x *Exec) Log() *trace.Log { return x.log }
+
+// Counters implements rt.Exec.
+func (x *Exec) Counters() rt.Counters {
+	x.statMu.Lock()
+	defer x.statMu.Unlock()
+	return rt.Counters{
+		TasksRun: x.tasksRun,
+		Busy:     append([]time.Duration(nil), x.busy...),
+	}
+}
+
+// NetStats returns the real frame traffic: every protocol frame counted
+// once per direction, with the coordinator as machine 0 in ByLink.
+func (x *Exec) NetStats() netmodel.Stats {
+	x.statMu.Lock()
+	defer x.statMu.Unlock()
+	s := x.net
+	if x.net.ByLink != nil {
+		s.ByLink = make(map[netmodel.Link]netmodel.LinkStats, len(x.net.ByLink))
+		for k, v := range x.net.ByLink {
+			s.ByLink[k] = v
+		}
+	}
+	return s
+}
+
+// DeltaStats returns the delta-transfer ledger (dispatch coalescing does
+// not apply to the live wire: dispatches are already single frames).
+func (x *Exec) DeltaStats() dist.DeltaStats {
+	x.statMu.Lock()
+	defer x.statMu.Unlock()
+	return x.dstats
+}
+
+// FaultStats reports transport-level resilience work: heartbeats,
+// retransmits and duplicate drops from each worker session.
+func (x *Exec) FaultStats() fault.Stats {
+	x.statMu.Lock()
+	s := x.fstats
+	x.statMu.Unlock()
+	for _, w := range x.workers {
+		if ts, ok := w.conn.(transport.Statser); ok {
+			st := ts.Stats()
+			s.HeartbeatsSent += int(st.Heartbeats)
+			s.MessagesRetried += int(st.Retransmits)
+			s.DuplicatesDropped += int(st.DupsDropped)
+		}
+	}
+	return s
+}
+
+// ConvertedWords returns how many words crossed byte-order conversion.
+func (x *Exec) ConvertedWords() int {
+	x.statMu.Lock()
+	defer x.statMu.Unlock()
+	return x.convWords
+}
+
+func (x *Exec) record(ev trace.Event) {
+	ev.At = time.Since(x.start)
+	x.log.Add(ev)
+}
+
+func (x *Exec) fail(err error) {
+	x.mu.Lock()
+	if x.firstErr == nil {
+		x.firstErr = err
+	}
+	x.mu.Unlock()
+}
+
+// failFatal records err and aborts the run: parked handlers and RPC
+// waiters unwind via the fatal channel.
+func (x *Exec) failFatal(err error) {
+	x.fail(err)
+	x.fatalOnce.Do(func() { close(x.fatal) })
+}
+
+func (x *Exec) firstError() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.firstErr
+}
+
+// countFrame charges one protocol frame to the network ledger.
+func (x *Exec) countFrame(src, dst, bytes int) {
+	x.statMu.Lock()
+	defer x.statMu.Unlock()
+	x.net.Messages++
+	x.net.Bytes += int64(bytes)
+	if x.net.ByLink == nil {
+		x.net.ByLink = map[netmodel.Link]netmodel.LinkStats{}
+	}
+	l := netmodel.Link{Src: src, Dst: dst}
+	ls := x.net.ByLink[l]
+	ls.Messages++
+	ls.Bytes += int64(bytes)
+	x.net.ByLink[l] = ls
+}
+
+// send encodes and ships one frame to the worker, charging the ledger.
+func (w *workerLink) send(f *wire.Frame) error {
+	buf := wire.Encode(f)
+	w.x.countFrame(0, w.m, len(buf))
+	if err := w.conn.Send(buf); err != nil {
+		w.x.failFatal(fmt.Errorf("live: send %s to worker %d (%s): %w", wire.TypeName(f.Type), w.m, w.name, err))
+		return err
+	}
+	return nil
+}
+
+// reply sends an RPC reply; errText "" means success.
+func (w *workerLink) reply(req uint64, errText string, a, b uint64) {
+	w.send(&wire.Frame{Type: wire.TReply, Req: req, Label: errText, A: a, B: b})
+}
+
+// rpc sends a frame expecting a TObjData (or other) response routed back
+// by request id. It may be called with x.coh held: the worker answers
+// pulls from its receive loop without taking coordinator locks.
+func (x *Exec) rpc(w *workerLink, f *wire.Frame) (*wire.Frame, error) {
+	ch := make(chan *wire.Frame, 1)
+	x.mu.Lock()
+	f.Req = x.nextReq
+	x.nextReq++
+	x.pending[f.Req] = ch
+	x.mu.Unlock()
+	if err := w.send(f); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-x.fatal:
+		return nil, x.firstError()
+	}
+}
+
+// handshake performs the Hello/Welcome exchange with one peer.
+func (x *Exec) handshake(p Peer, m int) (*workerLink, error) {
+	msg, err := p.Conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("live: worker %d: waiting for hello: %w", m, err)
+	}
+	x.countFrame(m, 0, len(msg))
+	f, err := wire.Decode(msg)
+	if err != nil {
+		return nil, fmt.Errorf("live: worker %d: %w", m, err)
+	}
+	if f.Type != wire.THello {
+		return nil, fmt.Errorf("live: worker %d: expected hello, got %s", m, wire.TypeName(f.Type))
+	}
+	w := &workerLink{
+		x:     x,
+		m:     m,
+		conn:  p.Conn,
+		name:  f.Label,
+		caps:  map[string]bool{},
+		fmt:   format.ByteOrder(f.A),
+		group: f.B,
+	}
+	if w.name == "" {
+		w.name = fmt.Sprintf("worker-%d", m)
+	}
+	for _, c := range strings.Split(f.Aux, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			w.caps[c] = true
+		}
+	}
+	if err := w.send(&wire.Frame{Type: wire.TWelcome, A: uint64(m)}); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Run implements rt.Exec: handshake the workers, execute the main
+// program on machine 0, and drive the protocol until every task is done.
+func (x *Exec) Run(root func(rt.TC)) error {
+	x.mu.Lock()
+	if x.started {
+		x.mu.Unlock()
+		return fmt.Errorf("live: Run called twice on the same executor")
+	}
+	x.started = true
+	x.start = time.Now()
+	x.mu.Unlock()
+	x.eng.SetClock(func() int64 { return int64(time.Since(x.start)) })
+
+	for i, p := range x.opts.Peers {
+		w, err := x.handshake(p, i+1)
+		if err != nil {
+			x.failFatal(err)
+			return x.firstError()
+		}
+		x.workers = append(x.workers, w)
+	}
+	for _, w := range x.workers {
+		go x.recvLoop(w)
+	}
+
+	rootT := x.eng.Root()
+	x.mu.Lock()
+	x.tasks[rootT.ID] = rootT
+	x.mu.Unlock()
+	tc := &mainCtx{x: x, t: rootT}
+	tc.heldSince = time.Now()
+	x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(rootT.ID), Dst: 0, Label: "main"})
+	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(rootT.ID), Dst: 0, Label: "main"})
+	x.runBody(tc, root)
+	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(rootT.ID), Dst: 0})
+	if err := x.eng.Complete(rootT); err != nil {
+		x.fail(err)
+	}
+	x.record(trace.Event{Kind: trace.TaskCommitted, Task: uint64(rootT.ID), Dst: 0})
+	x.statMu.Lock()
+	x.tasksRun++
+	x.busy[0] += time.Since(tc.heldSince)
+	x.statMu.Unlock()
+
+	// Wait for every dispatched task, unless the run is already doomed.
+	done := make(chan struct{})
+	go func() { x.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-x.fatal:
+		return x.firstError()
+	}
+
+	x.drain()
+	x.mu.Lock()
+	x.closing = true
+	x.mu.Unlock()
+	for _, w := range x.workers {
+		w.send(&wire.Frame{Type: wire.TBye})
+		w.conn.Close()
+	}
+	return x.firstError()
+}
+
+// drain pulls every object whose current version lives on a worker back
+// into the coordinator cache, so ObjectValue serves final results.
+func (x *Exec) drain() {
+	x.coh.Lock()
+	defer x.coh.Unlock()
+	for obj, d := range x.dir {
+		if d.owner != 0 {
+			if err := x.syncCacheLocked(obj); err != nil {
+				return // connection died; firstErr already set
+			}
+		}
+	}
+}
+
+// runBody executes a task body on the coordinator, converting panics
+// into program failure.
+func (x *Exec) runBody(tc rt.TC, body func(rt.TC)) {
+	defer func() {
+		if r := recover(); r != nil {
+			t := tc.CoreTask()
+			x.fail(fmt.Errorf("task %d (%v) panicked: %v", t.ID, t.Seq, r))
+		}
+	}()
+	body(tc)
+}
+
+// ObjectValue implements rt.Exec: the drained final value.
+func (x *Exec) ObjectValue(obj access.ObjectID) any {
+	x.coh.Lock()
+	defer x.coh.Unlock()
+	return x.vals[obj]
+}
+
+// onReady fires when a task's declarations enable: inline tasks signal
+// their waiting creator, scheduled tasks are placed and dispatched.
+func (x *Exec) onReady(t *core.Task) {
+	pl := t.Payload.(*payload)
+	x.record(trace.Event{Kind: trace.TaskReady, Task: uint64(t.ID)})
+	if pl.inline {
+		close(pl.readyCh)
+		return
+	}
+	x.wg.Add(1)
+	go x.dispatch(t, pl)
+}
+
+// dispatch places one ready task on a worker, stages its declared
+// objects there, and ships the dispatch frame. The worker's TaskDone
+// resolves the wg entry.
+func (x *Exec) dispatch(t *core.Task, pl *payload) {
+	// Locality snapshot for the placement tiebreak: how many of the
+	// task's declared objects each machine already holds. Gathered under
+	// coh before taking mu (lock order is coh → mu, never the reverse).
+	held := make([]int, len(x.workers)+1)
+	x.coh.Lock()
+	for _, d := range t.ImmediateDecls() {
+		if dir := x.dir[d.Object]; dir != nil {
+			for c := range dir.copies {
+				if c < len(held) {
+					held[c]++
+				}
+			}
+		}
+	}
+	x.coh.Unlock()
+	x.mu.Lock()
+	w, err := x.place(pl, held)
+	if err == nil {
+		pl.machine = w.m
+		w.pendingTasks++
+	}
+	x.mu.Unlock()
+	if err != nil {
+		// No worker may legally run this task. Record the violation and
+		// run only the lifecycle so the program terminates (same policy
+		// as the simulated executor).
+		x.record(trace.Event{Kind: trace.Violation, Task: uint64(t.ID), Label: err.Error()})
+		x.fail(err)
+		pl.skipBody = true
+		x.finishSkipped(t, pl)
+		return
+	}
+	x.record(trace.Event{Kind: trace.TaskAssigned, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+	x.coh.Lock()
+	ferr := x.fetchAllLocked(t, w.m)
+	x.coh.Unlock()
+	if ferr != nil {
+		x.failFatal(ferr)
+		return
+	}
+	x.record(trace.Event{Kind: trace.TaskFetched, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+	if err := x.eng.Start(t); err != nil {
+		x.fail(err)
+		x.taskFinished(t, pl, 0, false)
+		return
+	}
+	// Started is recorded at dispatch: the span to TaskCompleted includes
+	// wire latency and worker-side queueing, which on a live network is
+	// real execution overhead rather than measurement error.
+	x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+	key := pl.bodyKey
+	if key != 0 && w.group != pl.group {
+		// The worker cannot reach the creator's closure table; it will
+		// construct the body from the kind. Release the coordinator-side
+		// table entry so it does not leak.
+		key = 0
+		if pl.group == 0 {
+			x.bodies.drop(pl.bodyKey)
+		}
+	}
+	w.send(&wire.Frame{
+		Type: wire.TDispatch, Task: uint64(t.ID), A: key,
+		Label: pl.opts.Label, Aux: pl.kind, Payload: pl.kindArgs,
+	})
+}
+
+// finishSkipped runs the lifecycle of a task whose body may not execute
+// anywhere, so dependents unblock and the program terminates.
+func (x *Exec) finishSkipped(t *core.Task, pl *payload) {
+	if err := x.eng.Start(t); err != nil {
+		x.fail(err)
+	}
+	x.record(trace.Event{Kind: trace.TaskCompleted, Task: uint64(t.ID), Dst: 0})
+	if err := x.eng.Complete(t); err != nil {
+		x.fail(err)
+	}
+	x.record(trace.Event{Kind: trace.TaskCommitted, Task: uint64(t.ID), Dst: 0})
+	x.taskFinished(t, pl, 0, false)
+}
+
+// taskFinished retires a dispatched task's accounting (exactly once).
+func (x *Exec) taskFinished(t *core.Task, pl *payload, busy time.Duration, ran bool) {
+	x.mu.Lock()
+	x.liveUser--
+	if pl.machine > 0 {
+		x.workers[pl.machine-1].pendingTasks--
+	}
+	delete(x.tasks, t.ID)
+	x.mu.Unlock()
+	x.statMu.Lock()
+	if ran {
+		x.tasksRun++
+	}
+	if pl.machine >= 0 && int(pl.machine) < len(x.busy) {
+		x.busy[pl.machine] += busy
+	}
+	x.statMu.Unlock()
+	x.wg.Done()
+}
+
+// place picks a worker for a ready task: explicit pin first, then
+// capability filtering, then least-loaded with a locality tiebreak
+// (prefer the worker already holding the task's declared objects, per
+// the held snapshot). Called with x.mu held.
+func (x *Exec) place(pl *payload, held []int) (*workerLink, error) {
+	eligible := func(w *workerLink) error {
+		if pl.opts.RequireCap != "" && !w.caps[pl.opts.RequireCap] {
+			return fmt.Errorf("task %q requires capability %q, which worker %d (%s) lacks", pl.opts.Label, pl.opts.RequireCap, w.m, w.name)
+		}
+		if pl.kind == "" && w.group != pl.group {
+			return fmt.Errorf("task %q has a closure body from another process and no kind; worker %d (%s) cannot run it", pl.opts.Label, w.m, w.name)
+		}
+		return nil
+	}
+	if m, pinned := pl.opts.PinnedMachine(); pinned {
+		// Pin indexes machines; machine 0 is the coordinator, which runs
+		// only the main program and inlined children.
+		if m == 0 {
+			return nil, fmt.Errorf("task %q pinned to machine 0, the live coordinator", pl.opts.Label)
+		}
+		if m > len(x.workers) {
+			return nil, fmt.Errorf("task %q pinned to invalid machine %d (have %d workers)", pl.opts.Label, m, len(x.workers))
+		}
+		w := x.workers[m-1]
+		if err := eligible(w); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	var best *workerLink
+	bestHeld := -1
+	var lastErr error
+	for _, w := range x.workers {
+		if err := eligible(w); err != nil {
+			lastErr = err
+			continue
+		}
+		h := held[w.m]
+		if best == nil || w.pendingTasks < best.pendingTasks ||
+			(w.pendingTasks == best.pendingTasks && h > bestHeld) {
+			best, bestHeld = w, h
+		}
+	}
+	if best == nil {
+		if lastErr != nil {
+			return nil, lastErr
+		}
+		return nil, fmt.Errorf("task %q: no eligible worker", pl.opts.Label)
+	}
+	return best, nil
+}
+
+// fetchAllLocked stages every immediately-declared object on machine m
+// before the task starts. Commuting declarations are fetched at Access
+// time instead, like the simulated executor: another commuting task may
+// legitimately hold the object right now.
+func (x *Exec) fetchAllLocked(t *core.Task, m int) error {
+	for _, d := range t.ImmediateDecls() {
+		if d.Mode.Has(access.Commute) {
+			continue
+		}
+		if err := x.fetchToLocked(t, d.Object, m, d.Mode.Has(access.Read), d.Mode.Has(access.Write)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetchToLocked implements the object-management protocol over the wire:
+// migrate on write (invalidating other copies, retaining them as delta
+// shadows), replicate on read, ship nothing for write-only grants.
+// Requires x.coh.
+func (x *Exec) fetchToLocked(t *core.Task, obj access.ObjectID, m int, read, write bool) error {
+	d := x.dir[obj]
+	if d == nil {
+		err := fmt.Errorf("live: object #%d has no directory entry", obj)
+		x.fail(err)
+		return err
+	}
+	if write {
+		if d.owner != m {
+			if err := x.syncCacheLocked(obj); err != nil {
+				return err
+			}
+			if m != 0 && !d.copies[m] {
+				if read {
+					if err := x.pushLocked(t, obj, m, d); err != nil {
+						return err
+					}
+					x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
+						Bytes: format.SizeOf(x.vals[obj]), Label: d.label})
+				} else {
+					// Write-only: ownership moves, data does not (§5: the
+					// task may not read the old contents).
+					if err := x.pushZeroLocked(t, obj, m, d); err != nil {
+						return err
+					}
+					x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
+						Bytes: 0, Label: d.label + " (write-only)"})
+				}
+			} else if m != 0 {
+				// The writer already holds a current replica: ownership
+				// moves without any data on the wire.
+				x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
+					Bytes: 0, Label: d.label + " (cached)"})
+			} else if !read {
+				x.vals[obj] = format.ZeroLike(x.vals[obj])
+			}
+		}
+		for c := range d.copies {
+			if c != m {
+				x.invalidateLocked(c, obj, d)
+			}
+		}
+		d.owner = m
+		d.copies = map[int]bool{m: true}
+		d.version++
+		if m == 0 {
+			// The coordinator's store is the authoritative copy.
+			x.cacheVer[obj] = d.version
+		}
+		return nil
+	}
+	if d.copies[m] {
+		return nil
+	}
+	if err := x.syncCacheLocked(obj); err != nil {
+		return err
+	}
+	if m != 0 {
+		if err := x.pushLocked(t, obj, m, d); err != nil {
+			return err
+		}
+	}
+	d.copies[m] = true
+	x.record(trace.Event{Kind: trace.ObjectCopied, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
+		Bytes: format.SizeOf(x.vals[obj]), Label: d.label})
+	return nil
+}
+
+// syncCacheLocked brings the coordinator's cached value of obj up to the
+// directory's current generation, pulling a patch (or full image) from
+// the owning worker if the cache is stale. Requires x.coh.
+func (x *Exec) syncCacheLocked(obj access.ObjectID) error {
+	d := x.dir[obj]
+	if d.owner == 0 || x.cacheVer[obj] == d.version {
+		return nil
+	}
+	w := x.workers[d.owner-1]
+	have := x.cacheVer[obj]
+	r, err := x.rpc(w, &wire.Frame{Type: wire.TPull, Obj: uint64(obj), A: d.version, B: have})
+	if err != nil {
+		return err
+	}
+	x.countObjData(r, w)
+	if r.C > 0 {
+		base := r.C - 1
+		if base != have {
+			err := fmt.Errorf("live: pull of object #%d: patch base %d, cache holds %d", obj, base, have)
+			x.failFatal(err)
+			return err
+		}
+		patch := r.Payload
+		if ord := format.ByteOrder(r.B); ord != x.opts.Format {
+			conv, words, cerr := format.ConvertPatch(patch, ord, x.opts.Format)
+			if cerr != nil {
+				x.failFatal(fmt.Errorf("live: convert patch for object #%d: %w", obj, cerr))
+				return cerr
+			}
+			patch = conv
+			x.noteConverted(obj, w.m, 0, words)
+		}
+		nv, perr := format.ApplyPatch(x.vals[obj], patch, x.opts.Format)
+		if perr != nil {
+			x.failFatal(fmt.Errorf("live: apply patch for object #%d: %w", obj, perr))
+			return perr
+		}
+		x.vals[obj] = nv
+		x.record(trace.Event{Kind: trace.ObjectPatched, Object: uint64(obj), Src: w.m, Dst: 0,
+			Bytes: len(r.Payload), Saved: format.WireSize(nv) - len(r.Payload), Label: d.label})
+		x.statMu.Lock()
+		x.dstats.DeltaTransfers++
+		x.dstats.DeltaBytes += int64(len(r.Payload))
+		x.dstats.SavedBytes += int64(format.WireSize(nv) - len(r.Payload))
+		x.statMu.Unlock()
+	} else {
+		img := r.Payload
+		if ord := format.ByteOrder(r.B); ord != x.opts.Format {
+			conv, words, cerr := format.Convert(img, ord, x.opts.Format)
+			if cerr != nil {
+				x.failFatal(fmt.Errorf("live: convert object #%d: %w", obj, cerr))
+				return cerr
+			}
+			img = conv
+			x.noteConverted(obj, w.m, 0, words)
+		}
+		v, derr := format.Decode(img, x.opts.Format)
+		if derr != nil {
+			x.failFatal(fmt.Errorf("live: decode object #%d: %w", obj, derr))
+			return derr
+		}
+		x.vals[obj] = v
+		x.statMu.Lock()
+		x.dstats.FullTransfers++
+		x.dstats.FullBytes += int64(len(r.Payload))
+		x.statMu.Unlock()
+	}
+	x.cacheVer[obj] = d.version
+	return nil
+}
+
+// countObjData records the wire message for a pull reply.
+func (x *Exec) countObjData(r *wire.Frame, w *workerLink) {
+	x.record(trace.Event{Kind: trace.MessageSent, Object: r.Obj, Src: w.m, Dst: 0,
+		Bytes: len(r.Payload), Label: "object-pull"})
+}
+
+func (x *Exec) noteConverted(obj access.ObjectID, src, dst, words int) {
+	if words <= 0 {
+		return
+	}
+	x.statMu.Lock()
+	x.convWords += words
+	x.statMu.Unlock()
+	x.record(trace.Event{Kind: trace.Converted, Object: uint64(obj), Src: src, Dst: dst, Bytes: words})
+}
+
+// pushLocked ships the current value of obj to worker m — as a patch
+// against the worker's shadow generation when the diff is worthwhile,
+// as a full image otherwise. Requires x.coh with the cache current.
+func (x *Exec) pushLocked(t *core.Task, obj access.ObjectID, m int, d *objDir) error {
+	w := x.workers[m-1]
+	gen := x.cacheVer[obj]
+	val := x.vals[obj]
+	if val == nil {
+		err := fmt.Errorf("live: object #%d missing from coordinator cache", obj)
+		x.failFatal(err)
+		return err
+	}
+	if sv, ok := x.shadowVer[m][obj]; ok {
+		if snap := x.verVals[obj][sv]; snap != nil {
+			if patch, _, diffOK := format.Diff(snap.val, val, x.opts.Format); diffOK {
+				saved := format.WireSize(val) - len(patch)
+				wirePatch := patch
+				if w.fmt != x.opts.Format {
+					conv, words, err := format.ConvertPatch(patch, x.opts.Format, w.fmt)
+					if err != nil {
+						x.failFatal(fmt.Errorf("live: convert patch for object #%d: %w", obj, err))
+						return err
+					}
+					wirePatch = conv
+					x.noteConverted(obj, 0, m, words)
+				}
+				x.dropShadowLocked(m, obj)
+				if err := w.send(&wire.Frame{Type: wire.TObjPatch, Obj: uint64(obj),
+					A: gen, B: uint64(w.fmt), C: sv, Payload: wirePatch}); err != nil {
+					return err
+				}
+				var tid uint64
+				if t != nil {
+					tid = uint64(t.ID)
+				}
+				x.record(trace.Event{Kind: trace.MessageSent, Task: tid, Object: uint64(obj), Src: 0, Dst: m, Bytes: len(wirePatch), Label: "object-delta"})
+				x.record(trace.Event{Kind: trace.ObjectPatched, Task: tid, Object: uint64(obj), Src: 0, Dst: m, Bytes: len(wirePatch), Saved: saved})
+				x.statMu.Lock()
+				x.dstats.DeltaTransfers++
+				x.dstats.DeltaBytes += int64(len(wirePatch))
+				x.dstats.SavedBytes += int64(saved)
+				x.statMu.Unlock()
+				return nil
+			}
+		}
+	}
+	img, err := format.Encode(val, x.opts.Format)
+	if err != nil {
+		x.failFatal(fmt.Errorf("live: encode object #%d: %w", obj, err))
+		return err
+	}
+	if w.fmt != x.opts.Format {
+		conv, words, cerr := format.Convert(img, x.opts.Format, w.fmt)
+		if cerr != nil {
+			x.failFatal(fmt.Errorf("live: convert object #%d: %w", obj, cerr))
+			return cerr
+		}
+		img = conv
+		x.noteConverted(obj, 0, m, words)
+	}
+	x.dropShadowLocked(m, obj)
+	if err := w.send(&wire.Frame{Type: wire.TObjImage, Obj: uint64(obj),
+		A: gen, B: uint64(w.fmt), Payload: img}); err != nil {
+		return err
+	}
+	var tid uint64
+	if t != nil {
+		tid = uint64(t.ID)
+	}
+	x.record(trace.Event{Kind: trace.MessageSent, Task: tid, Object: uint64(obj), Src: 0, Dst: m, Bytes: len(img), Label: "object"})
+	x.statMu.Lock()
+	x.dstats.FullTransfers++
+	x.dstats.FullBytes += int64(len(img))
+	x.statMu.Unlock()
+	return nil
+}
+
+// pushZeroLocked grants worker m a fresh zeroed buffer for obj: a
+// write-only task may not read the old contents, so no data moves.
+func (x *Exec) pushZeroLocked(t *core.Task, obj access.ObjectID, m int, d *objDir) error {
+	w := x.workers[m-1]
+	kind, n := kindAndLen(x.vals[obj])
+	x.dropShadowLocked(m, obj)
+	if err := w.send(&wire.Frame{Type: wire.TObjZero, Obj: uint64(obj),
+		A: d.version, B: uint64(kind), C: uint64(n)}); err != nil {
+		return err
+	}
+	x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Object: uint64(obj), Src: 0, Dst: m, Bytes: 0, Label: "ownership"})
+	return nil
+}
+
+// invalidateLocked discards machine c's copy of obj, retaining it as a
+// shadow frozen at the current generation so later re-fetches can
+// travel as patches. Requires x.coh with the cache current when c != 0.
+func (x *Exec) invalidateLocked(c int, obj access.ObjectID, d *objDir) {
+	if c == 0 {
+		// The coordinator's cache stays as the patch base for its own
+		// re-fetches (cacheVer tracks which generation it froze at).
+		x.record(trace.Event{Kind: trace.ObjectInvalidated, Object: uint64(obj), Src: 0, Dst: 0, Label: d.label})
+		return
+	}
+	gen := x.cacheVer[obj]
+	vm := x.verVals[obj]
+	if vm == nil {
+		vm = map[uint64]*snapshot{}
+		x.verVals[obj] = vm
+	}
+	if _, ok := x.shadowVer[c][obj]; ok {
+		// Replacing an older shadow: release its snapshot first.
+		x.dropShadowLocked(c, obj)
+	}
+	snap := vm[gen]
+	if snap == nil {
+		snap = &snapshot{val: format.Clone(x.vals[obj])}
+		vm[gen] = snap
+	}
+	snap.refs++
+	x.shadowVer[c][obj] = gen
+	w := x.workers[c-1]
+	w.send(&wire.Frame{Type: wire.TInvalidate, Obj: uint64(obj), A: gen})
+	x.record(trace.Event{Kind: trace.ObjectInvalidated, Object: uint64(obj), Src: c, Dst: c, Label: d.label})
+}
+
+// dropShadowLocked releases machine m's shadow bookkeeping for obj.
+func (x *Exec) dropShadowLocked(m int, obj access.ObjectID) {
+	sv, ok := x.shadowVer[m][obj]
+	if !ok {
+		return
+	}
+	delete(x.shadowVer[m], obj)
+	if vm := x.verVals[obj]; vm != nil {
+		if snap := vm[sv]; snap != nil {
+			snap.refs--
+			if snap.refs <= 0 {
+				delete(vm, sv)
+			}
+		}
+		if len(vm) == 0 {
+			delete(x.verVals, obj)
+		}
+	}
+}
+
+// kindAndLen describes a value for a zero grant without shipping it.
+func kindAndLen(v any) (format.Kind, int) {
+	switch s := v.(type) {
+	case []byte:
+		return format.KindBytes, len(s)
+	case []int32:
+		return format.KindInt32s, len(s)
+	case []int64:
+		return format.KindInt64s, len(s)
+	case []float32:
+		return format.KindFloat32s, len(s)
+	case []float64:
+		return format.KindFloat64s, len(s)
+	}
+	return format.KindInvalid, 0
+}
+
+// makeZero materializes a zero value for a zero grant.
+func makeZero(k format.Kind, n int) any {
+	switch k {
+	case format.KindBytes:
+		return make([]byte, n)
+	case format.KindInt32s:
+		return make([]int32, n)
+	case format.KindInt64s:
+		return make([]int64, n)
+	case format.KindFloat32s:
+		return make([]float32, n)
+	case format.KindFloat64s:
+		return make([]float64, n)
+	}
+	return nil
+}
+
+// costBits round-trips a float64 cost through a frame scalar.
+func costBits(c float64) uint64     { return math.Float64bits(c) }
+func costFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+var _ rt.Exec = (*Exec)(nil)

@@ -1,0 +1,587 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/format"
+	"repro/internal/rt"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// WorkerOptions configure one worker endpoint.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator diagnostics.
+	Name string
+	// Caps are capability tags this worker advertises; tasks created
+	// with a matching RequireCap can schedule here.
+	Caps []string
+	// Format is the worker's native byte order. On a heterogeneous
+	// network workers legitimately differ; the coordinator converts.
+	Format format.ByteOrder
+	// Bodies is the closure table shared with the coordinator when the
+	// worker runs in the coordinator's process. Leave nil for a worker
+	// in its own process: it gets a private table and a fresh process
+	// group, so the coordinator knows closures cannot reach it.
+	Bodies *BodyTable
+	// Kinds resolves named task kinds; nil uses the global registry.
+	Kinds *KindRegistry
+	// Group is the process-group token sent in the hello. Zero with a
+	// shared Bodies table means "the coordinator's process"; zero
+	// without one is replaced by a unique token.
+	Group uint64
+	// Slots is the number of tasks the worker executes concurrently
+	// (processor slots). 0 means 1.
+	Slots int
+}
+
+var groupCounter atomic.Uint64
+
+// uniqueGroup fabricates a process-group token that will not collide
+// with the coordinator's (0) and is vanishingly unlikely to collide
+// with another worker process.
+func uniqueGroup() uint64 {
+	g := uint64(os.Getpid())<<32 ^ uint64(time.Now().UnixNano()) ^ groupCounter.Add(1)
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
+// syncBase is the worker's record of the last object generation both
+// sides agree on: the diff base for patches in either direction.
+type syncBase struct {
+	val any
+	ver uint64
+}
+
+// worker is one worker endpoint's state.
+type worker struct {
+	conn  transport.Conn
+	opts  WorkerOptions
+	m     int // machine index assigned by the coordinator
+	slots chan struct{}
+
+	mu      sync.Mutex
+	store   map[access.ObjectID]any
+	bases   map[access.ObjectID]syncBase
+	pending map[uint64]chan *wire.Frame
+	nextReq uint64
+	err     error
+
+	dead     chan struct{}
+	deadOnce sync.Once
+	wg       sync.WaitGroup // running task goroutines
+}
+
+// Serve runs a worker on an established connection until the
+// coordinator says goodbye or the connection fails. It blocks for the
+// whole run; run it in a goroutine for in-process workers.
+func Serve(conn transport.Conn, opts WorkerOptions) error {
+	if opts.Slots <= 0 {
+		opts.Slots = 1
+	}
+	if opts.Kinds == nil {
+		opts.Kinds = Kinds
+	}
+	if opts.Bodies == nil {
+		opts.Bodies = NewBodyTable()
+		if opts.Group == 0 {
+			opts.Group = uniqueGroup()
+		}
+	}
+	w := &worker{
+		conn:    conn,
+		opts:    opts,
+		slots:   make(chan struct{}, opts.Slots),
+		store:   map[access.ObjectID]any{},
+		bases:   map[access.ObjectID]syncBase{},
+		pending: map[uint64]chan *wire.Frame{},
+		nextReq: 1,
+		dead:    make(chan struct{}),
+	}
+	for i := 0; i < opts.Slots; i++ {
+		w.slots <- struct{}{}
+	}
+	if err := w.send(&wire.Frame{
+		Type: wire.THello, Label: opts.Name,
+		Aux: strings.Join(opts.Caps, ","),
+		A:   uint64(opts.Format), B: opts.Group,
+	}); err != nil {
+		return err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		w.fail(err)
+		return fmt.Errorf("live worker: waiting for welcome: %w", err)
+	}
+	f, err := wire.Decode(msg)
+	if err != nil {
+		w.fail(err)
+		return fmt.Errorf("live worker: %w", err)
+	}
+	if f.Type != wire.TWelcome {
+		err := fmt.Errorf("live worker: expected welcome, got %s", wire.TypeName(f.Type))
+		w.fail(err)
+		return err
+	}
+	w.m = int(f.A)
+	err = w.loop()
+	w.wg.Wait()
+	return err
+}
+
+// fail records the first terminal error and releases every waiter.
+func (w *worker) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+	w.deadOnce.Do(func() { close(w.dead) })
+}
+
+// failErr is the terminal error to report from an unwound wait.
+func (w *worker) failErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return transport.ErrClosed
+}
+
+// send encodes and ships one frame to the coordinator.
+func (w *worker) send(f *wire.Frame) error {
+	if err := w.conn.Send(wire.Encode(f)); err != nil {
+		w.fail(err)
+		return err
+	}
+	return nil
+}
+
+// rpc ships a request frame and waits for the routed reply.
+func (w *worker) rpc(f *wire.Frame) (*wire.Frame, error) {
+	ch := make(chan *wire.Frame, 1)
+	w.mu.Lock()
+	f.Req = w.nextReq
+	w.nextReq++
+	w.pending[f.Req] = ch
+	w.mu.Unlock()
+	if err := w.send(f); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-w.dead:
+		return nil, w.failErr()
+	}
+}
+
+// loop is the worker's receive loop. Object traffic and replies are
+// handled inline (none of it blocks); dispatched task bodies run in
+// their own goroutines gated by the slot tokens.
+func (w *worker) loop() error {
+	for {
+		msg, err := w.conn.Recv()
+		if err != nil {
+			w.fail(err)
+			return fmt.Errorf("live worker %d: connection lost: %w", w.m, err)
+		}
+		f, err := wire.Decode(msg)
+		if err != nil {
+			w.fail(err)
+			return fmt.Errorf("live worker %d: %w", w.m, err)
+		}
+		switch f.Type {
+		case wire.TDispatch:
+			w.wg.Add(1)
+			go w.runTask(f)
+		case wire.TObjImage:
+			err = w.applyImage(f)
+		case wire.TObjPatch:
+			err = w.applyPatch(f)
+		case wire.TObjZero:
+			err = w.applyZero(f)
+		case wire.TInvalidate:
+			w.applyInvalidate(f)
+		case wire.TPull:
+			err = w.answerPull(f)
+		case wire.TReply:
+			w.mu.Lock()
+			ch := w.pending[f.Req]
+			delete(w.pending, f.Req)
+			w.mu.Unlock()
+			if ch != nil {
+				ch <- f
+			}
+		case wire.TBye:
+			w.fail(transport.ErrClosed)
+			return nil
+		default:
+			err = fmt.Errorf("live worker %d: unexpected %s frame", w.m, wire.TypeName(f.Type))
+		}
+		if err != nil {
+			w.fail(err)
+			return err
+		}
+	}
+}
+
+// applyImage installs a full object image and records it as the new
+// sync base. The coordinator converts to this worker's byte order
+// before sending; the order check is defensive.
+func (w *worker) applyImage(f *wire.Frame) error {
+	img := f.Payload
+	if ord := format.ByteOrder(f.B); ord != w.opts.Format {
+		conv, _, err := format.Convert(img, ord, w.opts.Format)
+		if err != nil {
+			return fmt.Errorf("live worker %d: object #%d image: %w", w.m, f.Obj, err)
+		}
+		img = conv
+	}
+	v, err := format.Decode(img, w.opts.Format)
+	if err != nil {
+		return fmt.Errorf("live worker %d: object #%d image: %w", w.m, f.Obj, err)
+	}
+	obj := access.ObjectID(f.Obj)
+	w.mu.Lock()
+	w.store[obj] = v
+	w.bases[obj] = syncBase{val: format.Clone(v), ver: f.A}
+	w.mu.Unlock()
+	return nil
+}
+
+// applyPatch advances the object from the recorded sync base.
+func (w *worker) applyPatch(f *wire.Frame) error {
+	obj := access.ObjectID(f.Obj)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b, ok := w.bases[obj]
+	if !ok || b.ver != f.C {
+		have := "none"
+		if ok {
+			have = fmt.Sprint(b.ver)
+		}
+		return fmt.Errorf("live worker %d: patch for object #%d against base %d, have %s", w.m, f.Obj, f.C, have)
+	}
+	patch := f.Payload
+	if ord := format.ByteOrder(f.B); ord != w.opts.Format {
+		conv, _, err := format.ConvertPatch(patch, ord, w.opts.Format)
+		if err != nil {
+			return fmt.Errorf("live worker %d: object #%d patch: %w", w.m, f.Obj, err)
+		}
+		patch = conv
+	}
+	nv, err := format.ApplyPatch(b.val, patch, w.opts.Format)
+	if err != nil {
+		return fmt.Errorf("live worker %d: object #%d patch: %w", w.m, f.Obj, err)
+	}
+	w.store[obj] = nv
+	w.bases[obj] = syncBase{val: format.Clone(nv), ver: f.A}
+	return nil
+}
+
+// applyZero installs a fresh zeroed buffer: a write-only grant ships no
+// data, only the shape.
+func (w *worker) applyZero(f *wire.Frame) error {
+	v := makeZero(format.Kind(f.B), int(f.C))
+	if v == nil {
+		return fmt.Errorf("live worker %d: zero grant for object #%d with invalid kind %d", w.m, f.Obj, f.B)
+	}
+	obj := access.ObjectID(f.Obj)
+	w.mu.Lock()
+	w.store[obj] = v
+	delete(w.bases, obj) // no shared base: the next pull goes full
+	w.mu.Unlock()
+	return nil
+}
+
+// applyInvalidate discards the copy but keeps it as the frozen sync
+// base, so a later re-grant can arrive as a patch.
+func (w *worker) applyInvalidate(f *wire.Frame) {
+	obj := access.ObjectID(f.Obj)
+	w.mu.Lock()
+	if v, ok := w.store[obj]; ok {
+		w.bases[obj] = syncBase{val: format.Clone(v), ver: f.A}
+		delete(w.store, obj)
+	}
+	w.mu.Unlock()
+}
+
+// answerPull ships the object's current contents to the coordinator —
+// as a patch when the coordinator's stated base matches the recorded
+// sync base, full otherwise — and advances the base to the pulled
+// generation. Never blocks: pulls are answered even while the worker's
+// tasks are parked in RPCs.
+func (w *worker) answerPull(f *wire.Frame) error {
+	obj := access.ObjectID(f.Obj)
+	w.mu.Lock()
+	v, ok := w.store[obj]
+	if !ok {
+		w.mu.Unlock()
+		return fmt.Errorf("live worker %d: pull of object #%d, which this worker does not hold", w.m, f.Obj)
+	}
+	out := &wire.Frame{Type: wire.TObjData, Req: f.Req, Obj: f.Obj, A: f.A, B: uint64(w.opts.Format)}
+	if b, ok := w.bases[obj]; ok && b.ver == f.B {
+		if patch, _, diffOK := format.Diff(b.val, v, w.opts.Format); diffOK {
+			out.C = f.B + 1
+			out.Payload = patch
+		}
+	}
+	if out.Payload == nil && out.C == 0 {
+		img, err := format.Encode(v, w.opts.Format)
+		if err != nil {
+			w.mu.Unlock()
+			return fmt.Errorf("live worker %d: pull of object #%d: %w", w.m, f.Obj, err)
+		}
+		out.Payload = img
+	}
+	w.bases[obj] = syncBase{val: format.Clone(v), ver: f.A}
+	w.mu.Unlock()
+	return w.send(out)
+}
+
+// runTask executes one dispatched task body in its own goroutine.
+func (w *worker) runTask(f *wire.Frame) {
+	defer w.wg.Done()
+	var body func(rt.TC)
+	if f.A != 0 {
+		body, _ = w.opts.Bodies.take(f.A)
+	}
+	if body == nil && f.Aux != "" {
+		body, _ = w.opts.Kinds.resolve(f.Aux, f.Payload)
+	}
+	if body == nil {
+		w.send(&wire.Frame{Type: wire.TTaskFail, Task: f.Task,
+			Label: fmt.Sprintf("no body for key %d and no registered kind %q on this worker", f.A, f.Aux)})
+		return
+	}
+	select {
+	case <-w.slots:
+	case <-w.dead:
+		return
+	}
+	wt := &watch{heldAt: time.Now()}
+	tc := &workerTC{w: w, task: f.Task, wt: wt}
+	err := w.runBody(tc, body)
+	wt.busy += time.Since(wt.heldAt)
+	w.slots <- struct{}{}
+	if err != nil {
+		w.send(&wire.Frame{Type: wire.TTaskFail, Task: f.Task, Label: err.Error()})
+		return
+	}
+	w.send(&wire.Frame{Type: wire.TTaskDone, Task: f.Task, A: uint64(wt.busy)})
+}
+
+// runBody executes a body, converting panics into task failure.
+func (w *worker) runBody(tc rt.TC, body func(rt.TC)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	body(tc)
+	return nil
+}
+
+// watch is the busy stopwatch for one dispatched task and any children
+// it inlines (they borrow its processor slot).
+type watch struct {
+	heldAt time.Time
+	busy   time.Duration
+}
+
+// workerTC implements rt.TC for a task body running on a worker. Every
+// operation is a small RPC to the coordinator's engine; blocking RPCs
+// release the processor slot so other tasks can run meanwhile —
+// otherwise a worker whose only task is waiting for an access grant
+// could never run the earlier task that grant depends on.
+type workerTC struct {
+	w    *worker
+	task uint64
+	wt   *watch
+}
+
+// CoreTask implements rt.TC. The engine record lives on the
+// coordinator; worker-side bodies have no local view of it.
+func (tc *workerTC) CoreTask() *core.Task { return nil }
+
+// Machine implements rt.TC.
+func (tc *workerTC) Machine() int { return tc.w.m }
+
+// rpcYield performs an RPC with the processor slot released.
+func (tc *workerTC) rpcYield(f *wire.Frame) (*wire.Frame, error) {
+	w := tc.w
+	tc.wt.busy += time.Since(tc.wt.heldAt)
+	w.slots <- struct{}{}
+	r, err := w.rpc(f)
+	select {
+	case <-w.slots:
+	case <-w.dead:
+		return nil, w.failErr()
+	}
+	tc.wt.heldAt = time.Now()
+	return r, err
+}
+
+// Access implements rt.TC.
+func (tc *workerTC) Access(obj access.ObjectID, m access.Mode) (any, error) {
+	r, err := tc.rpcYield(&wire.Frame{Type: wire.TAccessReq, Task: tc.task, Obj: uint64(obj), A: uint64(m)})
+	if err != nil {
+		return nil, err
+	}
+	if r.Label != "" {
+		return nil, errors.New(r.Label)
+	}
+	tc.w.mu.Lock()
+	v, ok := tc.w.store[obj]
+	tc.w.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("live worker %d: access granted for object #%d but no copy arrived", tc.w.m, obj)
+	}
+	return v, nil
+}
+
+// EndAccess implements rt.TC (fire-and-forget; FIFO ordering makes it
+// visible to the engine before anything else this task does next).
+func (tc *workerTC) EndAccess(obj access.ObjectID, m access.Mode) {
+	tc.w.send(&wire.Frame{Type: wire.TEndAccess, Task: tc.task, Obj: uint64(obj), A: uint64(m)})
+}
+
+// ClearAccess implements rt.TC.
+func (tc *workerTC) ClearAccess(obj access.ObjectID) {
+	tc.w.send(&wire.Frame{Type: wire.TClearAccess, Task: tc.task, Obj: uint64(obj)})
+}
+
+// Convert implements rt.TC.
+func (tc *workerTC) Convert(obj access.ObjectID, which access.Mode) error {
+	r, err := tc.rpcYield(&wire.Frame{Type: wire.TConvertReq, Task: tc.task, Obj: uint64(obj), A: uint64(which)})
+	if err != nil {
+		return err
+	}
+	if r.Label != "" {
+		return errors.New(r.Label)
+	}
+	return nil
+}
+
+// Retract implements rt.TC (never blocks engine-side; keep the slot).
+func (tc *workerTC) Retract(obj access.ObjectID, which access.Mode) error {
+	r, err := tc.w.rpc(&wire.Frame{Type: wire.TRetractReq, Task: tc.task, Obj: uint64(obj), A: uint64(which)})
+	if err != nil {
+		return err
+	}
+	if r.Label != "" {
+		return errors.New(r.Label)
+	}
+	return nil
+}
+
+// Create implements rt.TC. The closure is parked in this process's body
+// table and only its key crosses the wire; the coordinator decides
+// placement — or inline execution, which comes back to run here on the
+// creator's slot.
+func (tc *workerTC) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC)) error {
+	w := tc.w
+	if body == nil && opts.Kind == "" {
+		return fmt.Errorf("create %q: nil body and no kind", opts.Label)
+	}
+	var key uint64
+	if body != nil {
+		key = w.opts.Bodies.put(body)
+	}
+	r, err := w.rpc(&wire.Frame{
+		Type: wire.TCreateReq, Task: tc.task,
+		Label: opts.Label, Aux: opts.Kind,
+		A: key, B: costBits(opts.Cost), C: uint64(opts.Pin),
+		Payload: marshalCreate(createReq{decls: decls, requireCap: opts.RequireCap, kindArgs: opts.KindArgs}),
+	})
+	if err != nil {
+		if key != 0 {
+			w.opts.Bodies.drop(key)
+		}
+		return err
+	}
+	if r.Label != "" {
+		if key != 0 {
+			w.opts.Bodies.drop(key)
+		}
+		return errors.New(r.Label)
+	}
+	if r.B != 1 {
+		return nil // dispatched: a worker will claim the body by key
+	}
+
+	// Inline: reclaim the body and run it here once the coordinator
+	// reports the child ready and its objects staged.
+	childID := r.A
+	if key != 0 {
+		body, _ = w.opts.Bodies.take(key)
+	}
+	if body == nil {
+		if b, ok := w.opts.Kinds.resolve(opts.Kind, opts.KindArgs); ok {
+			body = b
+		}
+	}
+	sr, err := tc.rpcYield(&wire.Frame{Type: wire.TStartReq, Task: childID})
+	if err != nil {
+		return err
+	}
+	if sr.Label != "" {
+		return errors.New(sr.Label)
+	}
+	child := &workerTC{w: w, task: childID, wt: tc.wt}
+	if body == nil {
+		w.send(&wire.Frame{Type: wire.TTaskFail, Task: childID,
+			Label: fmt.Sprintf("kind %q not registered on worker %d (inline execution)", opts.Kind, w.m)})
+		return fmt.Errorf("create %q: kind %q not registered on this worker", opts.Label, opts.Kind)
+	}
+	if err := w.runBody(child, body); err != nil {
+		w.send(&wire.Frame{Type: wire.TTaskFail, Task: childID, Label: err.Error()})
+		return nil // mirrors smp: the failure is recorded, the creator continues
+	}
+	w.send(&wire.Frame{Type: wire.TTaskDone, Task: childID})
+	return nil
+}
+
+// Alloc implements rt.TC: the worker keeps the live value and becomes
+// the owner; the coordinator registers the object and caches a copy.
+func (tc *workerTC) Alloc(initial any, label string) (access.ObjectID, error) {
+	w := tc.w
+	if format.KindOf(initial) == format.KindInvalid {
+		return 0, fmt.Errorf("alloc %q: unsupported object type %T (portable Jade objects must be format-encodable)", label, initial)
+	}
+	img, err := format.Encode(initial, w.opts.Format)
+	if err != nil {
+		return 0, err
+	}
+	r, err := w.rpc(&wire.Frame{Type: wire.TAllocReq, Task: tc.task,
+		Label: label, A: uint64(w.opts.Format), Payload: img})
+	if err != nil {
+		return 0, err
+	}
+	if r.Label != "" {
+		return 0, errors.New(r.Label)
+	}
+	id := access.ObjectID(r.A)
+	w.mu.Lock()
+	w.store[id] = initial
+	w.bases[id] = syncBase{val: format.Clone(initial), ver: 0}
+	w.mu.Unlock()
+	return id, nil
+}
+
+// Charge implements rt.TC: computation takes real time on a live run.
+func (tc *workerTC) Charge(work float64) {}
+
+var _ rt.TC = (*workerTC)(nil)

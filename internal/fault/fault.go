@@ -23,6 +23,24 @@ import (
 	"repro/internal/sim"
 )
 
+// Failure-detector and retry defaults. The simulated distributed executor
+// applies them in virtual time; the live TCP transport reuses the same
+// parameters in wall-clock time, scaled by its LivenessScale so real
+// scheduling jitter does not trip a detector tuned for a simulator.
+const (
+	// DefaultHeartbeatInterval is the probe period of the failure detector.
+	DefaultHeartbeatInterval = 10 * time.Millisecond
+	// DefaultHeartbeatTimeout is the initial wait after a missed probe;
+	// detectors double it per consecutive miss.
+	DefaultHeartbeatTimeout = 3 * time.Millisecond
+	// DefaultHeartbeatRetries is how many consecutive misses declare a
+	// machine dead.
+	DefaultHeartbeatRetries = 3
+	// DefaultRetryBackoff is the initial retransmission delay of a
+	// reliable send; it doubles per retry.
+	DefaultRetryBackoff = 2 * time.Millisecond
+)
+
 // Crash schedules the fail-stop death of one machine: at virtual time At its
 // processor halts and its memory (object store, shadows) is lost. Machine 0
 // hosts the main program and the runtime's control state and cannot crash —

@@ -44,6 +44,13 @@ type TaskOpts struct {
 	Pin int
 	// RequireCap restricts scheduling to machines with a capability tag.
 	RequireCap string
+	// Kind names a registered task-kind constructor (internal/exec/live)
+	// so the task can execute in a worker process that cannot share the
+	// body closure. Tasks with a Kind may pass a nil body to Create.
+	Kind string
+	// KindArgs is the opaque argument blob handed to the kind
+	// constructor on the executing worker.
+	KindArgs []byte
 }
 
 // PinnedMachine returns the pinned machine index, if any.

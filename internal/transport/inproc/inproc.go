@@ -1,0 +1,182 @@
+// Package inproc is the in-process transport substrate: goroutine-to-
+// goroutine message pipes with the same Conn contract as transport/tcp.
+// It exists so the live executor can run N workers inside one process —
+// for tests, for the L1 experiment's "in-process" leg, and as the
+// degenerate platform the paper's shared-memory port corresponds to.
+//
+// Sends never block: each direction is an unbounded FIFO guarded by a
+// mutex + cond, so two endpoints can flood each other without deadlock
+// (the same guarantee the tcp substrate gets from its writer goroutine).
+package inproc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// queue is one direction of a pipe: an unbounded FIFO.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   [][]byte
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) put(msg []byte) error {
+	cp := append([]byte(nil), msg...) // callers may reuse msg
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return transport.ErrClosed
+	}
+	q.msgs = append(q.msgs, cp)
+	q.cond.Signal()
+	return nil
+}
+
+func (q *queue) get() ([]byte, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.msgs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.msgs) == 0 {
+		return nil, transport.ErrClosed
+	}
+	msg := q.msgs[0]
+	q.msgs = q.msgs[1:]
+	return msg, nil
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// conn is one endpoint of a pipe.
+type conn struct {
+	send *queue
+	recv *queue
+
+	mu    sync.Mutex
+	stats transport.Stats
+}
+
+// Pipe returns the two endpoints of a fresh duplex message pipe.
+func Pipe() (transport.Conn, transport.Conn) {
+	a, b := newQueue(), newQueue()
+	return &conn{send: a, recv: b}, &conn{send: b, recv: a}
+}
+
+func (c *conn) Send(msg []byte) error {
+	if err := c.send.put(msg); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.MsgsSent++
+	c.stats.BytesSent += uint64(len(msg))
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *conn) Recv() ([]byte, error) {
+	msg, err := c.recv.get()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.MsgsReceived++
+	c.stats.BytesRecv += uint64(len(msg))
+	c.mu.Unlock()
+	return msg, nil
+}
+
+func (c *conn) Close() error {
+	// Closing either endpoint tears down both directions, so a blocked
+	// peer Recv returns ErrClosed rather than hanging.
+	c.send.close()
+	c.recv.close()
+	return nil
+}
+
+func (c *conn) Stats() transport.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Name registry: Listen/Dial let code that only knows an address string
+// (e.g. cmd/jadeworker pointed at an inproc coordinator in tests) rendezvous
+// inside one process, mirroring the tcp Listen/Dial shape.
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*listener{}
+)
+
+type listener struct {
+	name    string
+	backlog chan transport.Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+// Listen registers name and returns a Listener accepting inproc dials.
+func Listen(name string) (transport.Listener, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[name]; ok {
+		return nil, fmt.Errorf("inproc: name %q already in use", name)
+	}
+	l := &listener{name: name, backlog: make(chan transport.Conn, 16), done: make(chan struct{})}
+	registry[name] = l
+	return l, nil
+}
+
+// Dial connects to a registered listener by name.
+func Dial(name string) (transport.Conn, error) {
+	regMu.Lock()
+	l, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("inproc: no listener named %q", name)
+	}
+	local, remote := Pipe()
+	select {
+	case l.backlog <- remote:
+		return local, nil
+	case <-l.done:
+		return nil, transport.ErrClosed
+	}
+}
+
+func (l *listener) Accept() (transport.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, transport.ErrClosed
+	}
+}
+
+func (l *listener) Addr() string { return l.name }
+
+func (l *listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		regMu.Lock()
+		delete(registry, l.name)
+		regMu.Unlock()
+	})
+	return nil
+}

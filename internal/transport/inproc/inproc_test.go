@@ -1,0 +1,136 @@
+package inproc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestPipeRoundTrip: messages flow both ways, in order, without either
+// side blocking the other.
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	const n = 100
+	// Both sides send everything before either receives: Send must not
+	// block on the peer.
+	for i := 0; i < n; i++ {
+		if err := a.Send([]byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send([]byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		msg, err := b.Recv()
+		if err != nil || string(msg) != fmt.Sprintf("a%d", i) {
+			t.Fatalf("b.Recv %d = %q, %v", i, msg, err)
+		}
+		msg, err = a.Recv()
+		if err != nil || string(msg) != fmt.Sprintf("b%d", i) {
+			t.Fatalf("a.Recv %d = %q, %v", i, msg, err)
+		}
+	}
+	st := a.(transport.Statser).Stats()
+	if st.MsgsSent != n || st.MsgsReceived != n {
+		t.Errorf("stats = %+v, want %d sent and received", st, n)
+	}
+}
+
+// TestSenderMayReuseBuffer: Send copies, so the caller can scribble on
+// the buffer afterwards.
+func TestSenderMayReuseBuffer(t *testing.T) {
+	a, b := Pipe()
+	buf := []byte("first")
+	a.Send(buf)
+	copy(buf, "XXXXX")
+	msg, err := b.Recv()
+	if err != nil || string(msg) != "first" {
+		t.Fatalf("Recv = %q, %v, want \"first\"", msg, err)
+	}
+}
+
+// TestConcurrentSenders: Send is safe from many goroutines; all messages
+// arrive exactly once.
+func TestConcurrentSenders(t *testing.T) {
+	a, b := Pipe()
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Send([]byte{byte(g)})
+			}
+		}(g)
+	}
+	counts := make([]int, senders)
+	for i := 0; i < senders*per; i++ {
+		msg, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[msg[0]]++
+	}
+	wg.Wait()
+	for g, c := range counts {
+		if c != per {
+			t.Errorf("sender %d: %d messages, want %d", g, c, per)
+		}
+	}
+}
+
+// TestClose: a blocked Recv returns ErrClosed when either side closes.
+func TestClose(t *testing.T) {
+	a, b := Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	a.Close()
+	if err := <-done; err != transport.ErrClosed {
+		t.Fatalf("Recv after peer close = %v, want ErrClosed", err)
+	}
+	if err := a.Send([]byte("x")); err != transport.ErrClosed {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestRegistry: Listen/Dial rendezvous by name.
+func TestRegistry(t *testing.T) {
+	l, err := Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := Listen("coord"); err == nil {
+		t.Fatal("duplicate Listen should fail")
+	}
+	if l.Addr() != "coord" {
+		t.Fatalf("Addr = %q", l.Addr())
+	}
+	go func() {
+		c, err := Dial("coord")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Send([]byte("hi"))
+	}()
+	c, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c.Recv()
+	if err != nil || string(msg) != "hi" {
+		t.Fatalf("Recv = %q, %v", msg, err)
+	}
+	l.Close()
+	if _, err := Dial("coord"); err == nil {
+		t.Fatal("Dial after Close should fail")
+	}
+}

@@ -1,0 +1,782 @@
+// Package tcp is the real-socket transport substrate: length-prefixed
+// frames over TCP with session-level reliability.
+//
+// A transport.Conn here is a *session*, not a socket.  The session
+// survives the raw connection: every application message gets a sequence
+// number, the sender keeps it until the peer's cumulative ack covers it,
+// and when the socket dies the dialing side reconnects with exponential
+// backoff and presents its session id.  The resume handshake exchanges
+// each side's last-received sequence number, so the sender retransmits
+// exactly the suffix the peer has not seen and delivery resumes at the
+// next whole message — a frame that died in transit is re-sent, a frame
+// that was delivered but whose ack was lost is re-sent and then dropped
+// by the receiver's sequence-number filter.  That reproduces, on real
+// sockets, the once-per-message contract of the simulated fault.Network.
+//
+// Liveness uses the same failure-detector parameters as the simulated
+// executor (fault.Default*), scaled by LivenessScale into wall-clock
+// terms: an idle sender emits heartbeat frames every interval, and a
+// receiver that hears nothing within the derived deadline declares the
+// socket dead (triggering reconnect on the dialing side, a resume wait
+// on the listening side).
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/transport"
+)
+
+// LivenessScale converts the simulator's failure-detector parameters
+// (fault.Default*, tuned for virtual time) into wall-clock settings that
+// tolerate real scheduler and network jitter.
+const LivenessScale = 50
+
+// maxFrame bounds a single frame so a corrupt length prefix cannot make
+// the reader allocate unboundedly.
+const maxFrame = 1 << 28
+
+// Frame type bytes on the wire (first byte of every frame body).
+const (
+	fData      = 'D' // 8-byte seq + application message
+	fAck       = 'A' // 8-byte cumulative last-received seq
+	fHeartbeat = 'H' // empty; proves liveness on an idle channel
+	fFin       = 'F' // orderly session shutdown
+)
+
+// handshake layout: "JTP" magic, 1 version byte, 8-byte session id
+// (0 = new session), 8-byte last-received sequence number.
+const (
+	hsLen     = 4 + 8 + 8
+	hsVersion = 1
+)
+
+var hsMagic = [3]byte{'J', 'T', 'P'}
+
+// Options tunes a session. The zero value takes every default.
+type Options struct {
+	// HeartbeatInterval is the idle-channel heartbeat period
+	// (default fault.DefaultHeartbeatInterval × LivenessScale).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout seeds the liveness deadline: a peer silent for
+	// HeartbeatInterval + HeartbeatTimeout×2^HeartbeatRetries is declared
+	// dead (default fault.DefaultHeartbeatTimeout × LivenessScale).
+	HeartbeatTimeout time.Duration
+	// HeartbeatRetries is the detector's miss budget and also the number
+	// of redial attempts after the first reconnect failure
+	// (default fault.DefaultHeartbeatRetries).
+	HeartbeatRetries int
+	// RetryBackoff is the initial redial delay, doubling per attempt
+	// (default fault.DefaultRetryBackoff × LivenessScale).
+	RetryBackoff time.Duration
+	// DialTimeout bounds each raw dial attempt (default 5s).
+	DialTimeout time.Duration
+	// SessionTimeout is how long the listening side keeps a disconnected
+	// session alive waiting for a resume (default 2× the liveness
+	// deadline).
+	SessionTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = fault.DefaultHeartbeatInterval * LivenessScale
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = fault.DefaultHeartbeatTimeout * LivenessScale
+	}
+	if o.HeartbeatRetries <= 0 {
+		o.HeartbeatRetries = fault.DefaultHeartbeatRetries
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = fault.DefaultRetryBackoff * LivenessScale
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.SessionTimeout <= 0 {
+		o.SessionTimeout = 2 * o.deadline()
+	}
+	return o
+}
+
+// deadline is how long a silent peer stays presumed-live.
+func (o Options) deadline() time.Duration {
+	return o.HeartbeatInterval + o.HeartbeatTimeout*(1<<o.HeartbeatRetries)
+}
+
+// outFrame is one unacknowledged application message.
+type outFrame struct {
+	seq  uint64
+	data []byte
+	sent bool // written to some raw conn at least once
+}
+
+// link is one raw-socket attachment of a session; a session goes through
+// a new link per reconnect.
+type link struct {
+	raw    net.Conn
+	notify chan struct{} // cap 1; poked when there is something to write
+	dead   chan struct{}
+	once   sync.Once
+}
+
+func (l *link) kill() {
+	l.once.Do(func() {
+		close(l.dead)
+		l.raw.Close()
+	})
+}
+
+func (l *link) poke() {
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
+// session implements transport.Conn over a sequence of raw sockets.
+type session struct {
+	opts     Options
+	id       uint64
+	dialAddr string // non-empty on the dialing side; "" on the listener side
+
+	mu       sync.Mutex
+	recvCond *sync.Cond
+	cur      *link
+	sendQ    []*outFrame // queued for the current link, in seq order
+	unacked  []*outFrame // sent or queued, not yet covered by a peer ack
+	nextSeq  uint64      // next sequence number to assign (first message is 1)
+	lastRecv uint64      // highest in-order seq received
+	recvQ    [][]byte
+	ackDue   bool
+	finDue   bool
+	closed   bool // local Close or terminal failure
+	peerFin  bool
+	err      error // terminal error, set once
+	redialing bool
+	deathTimer *time.Timer // listener side: session expiry while detached
+	stats    transport.Stats
+
+	// test hooks (white-box failure-path tests)
+	ignoreAcks bool // sender never prunes unacked → full retransmit on resume
+}
+
+func newSession(opts Options, id uint64, dialAddr string) *session {
+	s := &session{opts: opts, id: id, dialAddr: dialAddr, nextSeq: 1}
+	s.recvCond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Send implements transport.Conn. It never blocks on the socket: frames
+// queue in the session and a per-link writer goroutine drains them, so
+// both endpoints may send concurrently without deadlock.
+func (s *session) Send(msg []byte) error {
+	f := &outFrame{data: append([]byte(nil), msg...)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.terminalErrLocked()
+	}
+	f.seq = s.nextSeq
+	s.nextSeq++
+	s.unacked = append(s.unacked, f)
+	s.sendQ = append(s.sendQ, f)
+	s.stats.MsgsSent++
+	s.stats.BytesSent += uint64(len(msg))
+	l := s.cur
+	s.mu.Unlock()
+	if l != nil {
+		l.poke()
+	}
+	return nil
+}
+
+// Recv implements transport.Conn. Messages already delivered drain even
+// after a close or failure; then the terminal error is returned.
+func (s *session) Recv() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.recvQ) == 0 && !s.closed {
+		s.recvCond.Wait()
+	}
+	if len(s.recvQ) > 0 {
+		msg := s.recvQ[0]
+		s.recvQ = s.recvQ[1:]
+		s.stats.MsgsReceived++
+		s.stats.BytesRecv += uint64(len(msg))
+		return msg, nil
+	}
+	return nil, s.terminalErrLocked()
+}
+
+func (s *session) terminalErrLocked() error {
+	if s.err != nil {
+		return s.err
+	}
+	return transport.ErrClosed
+}
+
+// Close implements transport.Conn: best-effort fin, then teardown.
+func (s *session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.finDue = true
+	l := s.cur
+	s.recvCond.Broadcast()
+	s.mu.Unlock()
+	if l != nil {
+		l.poke() // writer flushes the queue, sends fin, and exits
+		select {
+		case <-l.dead:
+		case <-time.After(s.opts.HeartbeatInterval):
+			l.kill()
+		}
+	}
+	return nil
+}
+
+func (s *session) Stats() transport.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// fail terminates the session with err (first failure wins).
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil && !s.peerFin {
+		s.err = err
+	}
+	s.closed = true
+	l := s.cur
+	s.cur = nil
+	s.recvCond.Broadcast()
+	s.mu.Unlock()
+	if l != nil {
+		l.kill()
+	}
+}
+
+// attach wires a fresh raw socket into the session. peerAcked is the
+// last sequence number the peer reports having received: everything
+// after it is (re)queued, in order, ahead of the writer starting.
+func (s *session) attach(raw net.Conn, peerAcked uint64) {
+	l := &link{raw: raw, notify: make(chan struct{}, 1), dead: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		raw.Close()
+		return
+	}
+	if old := s.cur; old != nil {
+		old.kill()
+	}
+	if s.deathTimer != nil {
+		s.deathTimer.Stop()
+		s.deathTimer = nil
+	}
+	s.pruneAckedLocked(peerAcked)
+	// Rebuild the send queue for the new link: every unacked frame, in
+	// order. Frames that had already been written at least once count as
+	// retransmits.
+	s.sendQ = s.sendQ[:0]
+	for _, f := range s.unacked {
+		if f.sent {
+			s.stats.Retransmits++
+		}
+		s.sendQ = append(s.sendQ, f)
+	}
+	s.ackDue = true // tell the peer where we are, even if nothing to send
+	s.cur = l
+	s.mu.Unlock()
+	go s.writer(l)
+	go s.reader(l)
+	l.poke()
+}
+
+func (s *session) pruneAckedLocked(acked uint64) {
+	if s.ignoreAcks {
+		return
+	}
+	keep := s.unacked[:0]
+	for _, f := range s.unacked {
+		if f.seq > acked {
+			keep = append(keep, f)
+		}
+	}
+	s.unacked = keep
+}
+
+// linkDown handles the death of the current raw socket: the dialing side
+// redials with exponential backoff; the listening side arms the session
+// expiry and waits for the client to resume.
+func (s *session) linkDown(l *link, cause error) {
+	l.kill()
+	s.mu.Lock()
+	if s.cur != l || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.cur = nil
+	if s.dialAddr != "" {
+		if !s.redialing {
+			s.redialing = true
+			go s.redial(cause)
+		}
+		s.mu.Unlock()
+		return
+	}
+	if s.deathTimer == nil {
+		s.deathTimer = time.AfterFunc(s.opts.SessionTimeout, func() {
+			s.fail(fmt.Errorf("tcp: session %d: peer did not resume within %v: %w", s.id, s.opts.SessionTimeout, cause))
+		})
+	}
+	s.mu.Unlock()
+}
+
+// redial reconnects the dialing side: one immediate attempt, then
+// HeartbeatRetries more with exponential backoff.
+func (s *session) redial(cause error) {
+	var lastErr error = cause
+	backoff := s.opts.RetryBackoff
+	for attempt := 0; attempt <= s.opts.HeartbeatRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		raw, _, peerAcked, err := clientHandshake(s.dialAddr, s.opts, s.id, s.snapshotLastRecv())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		s.mu.Lock()
+		s.redialing = false
+		s.stats.Reconnects++
+		s.mu.Unlock()
+		s.attach(raw, peerAcked)
+		return
+	}
+	s.fail(fmt.Errorf("tcp: session %d: reconnect failed after %d attempts: %w", s.id, s.opts.HeartbeatRetries+1, lastErr))
+}
+
+func (s *session) snapshotLastRecv() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastRecv
+}
+
+// writer drains the session's queue onto one raw socket, emitting acks
+// when due and heartbeats when idle.
+func (s *session) writer(l *link) {
+	hb := time.NewTimer(s.opts.HeartbeatInterval)
+	defer hb.Stop()
+	lastWrite := time.Now()
+	for {
+		var frames []*outFrame
+		var ack, fin bool
+		var ackSeq uint64
+		s.mu.Lock()
+		frames = s.sendQ
+		s.sendQ = nil
+		ack, ackSeq = s.ackDue, s.lastRecv
+		s.ackDue = false
+		// Once Close has been called no new sends are accepted, so this
+		// batch drains the queue and the fin can follow it.
+		fin = s.finDue
+		s.mu.Unlock()
+
+		wrote := false
+		var err error
+		if ack {
+			err = writeFrame(l.raw, fAck, binary.BigEndian.AppendUint64(nil, ackSeq))
+			wrote = true
+		}
+		for _, f := range frames {
+			if err != nil {
+				break
+			}
+			body := make([]byte, 0, 9+len(f.data))
+			body = binary.BigEndian.AppendUint64(body, f.seq)
+			body = append(body, f.data...)
+			err = writeFrame(l.raw, fData, body)
+			f.sent = true
+			wrote = true
+		}
+		if err == nil && fin {
+			writeFrame(l.raw, fFin, nil) // best-effort
+			l.kill()
+			return
+		}
+		if err != nil {
+			// Unwritten frames of this batch are still in unacked; the
+			// resume path requeues them.
+			s.linkDown(l, err)
+			return
+		}
+		if wrote {
+			lastWrite = time.Now()
+		}
+
+		idle := s.opts.HeartbeatInterval - time.Since(lastWrite)
+		if idle < 0 {
+			idle = 0
+		}
+		if !hb.Stop() {
+			select {
+			case <-hb.C:
+			default:
+			}
+		}
+		hb.Reset(idle)
+		select {
+		case <-l.notify:
+		case <-hb.C:
+			if time.Since(lastWrite) >= s.opts.HeartbeatInterval {
+				if err := writeFrame(l.raw, fHeartbeat, nil); err != nil {
+					s.linkDown(l, err)
+					return
+				}
+				s.mu.Lock()
+				s.stats.Heartbeats++
+				s.mu.Unlock()
+				lastWrite = time.Now()
+			}
+		case <-l.dead:
+			return
+		}
+	}
+}
+
+// reader consumes frames from one raw socket. Any read error — including
+// the liveness deadline expiring — downs the link.
+func (s *session) reader(l *link) {
+	deadline := s.opts.deadline()
+	for {
+		l.raw.SetReadDeadline(time.Now().Add(deadline))
+		typ, body, err := readFrame(l.raw)
+		if err != nil {
+			select {
+			case <-l.dead: // orderly teardown, not a failure
+			default:
+				s.linkDown(l, err)
+			}
+			return
+		}
+		switch typ {
+		case fData:
+			if len(body) < 8 {
+				s.fail(fmt.Errorf("tcp: session %d: short data frame (%d bytes)", s.id, len(body)))
+				return
+			}
+			seq := binary.BigEndian.Uint64(body)
+			msg := append([]byte(nil), body[8:]...)
+			s.mu.Lock()
+			switch {
+			case seq <= s.lastRecv:
+				// Retransmission of a message we already delivered (its
+				// ack was lost): at-most-once delivery drops it here.
+				s.stats.DupsDropped++
+				s.ackDue = true
+			case seq == s.lastRecv+1:
+				s.lastRecv = seq
+				s.recvQ = append(s.recvQ, msg)
+				s.ackDue = true
+				s.recvCond.Broadcast()
+			default:
+				s.mu.Unlock()
+				s.fail(fmt.Errorf("tcp: session %d: sequence gap: got %d, want <= %d", s.id, seq, s.lastRecv+1))
+				return
+			}
+			s.mu.Unlock()
+			l.poke()
+		case fAck:
+			if len(body) < 8 {
+				s.fail(fmt.Errorf("tcp: session %d: short ack frame", s.id))
+				return
+			}
+			s.mu.Lock()
+			s.pruneAckedLocked(binary.BigEndian.Uint64(body))
+			s.mu.Unlock()
+		case fHeartbeat:
+			// Receipt alone resets the liveness deadline.
+		case fFin:
+			s.mu.Lock()
+			s.peerFin = true
+			s.closed = true
+			s.recvCond.Broadcast()
+			s.mu.Unlock()
+			l.kill()
+			return
+		default:
+			s.fail(fmt.Errorf("tcp: session %d: unknown frame type 0x%02x", s.id, typ))
+			return
+		}
+	}
+}
+
+// writeFrame writes one length-prefixed frame: 4-byte big-endian length
+// of (type byte + body), then the type byte and body.
+func writeFrame(w io.Writer, typ byte, body []byte) error {
+	buf := make([]byte, 0, 5+len(body))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(1+len(body)))
+	buf = append(buf, typ)
+	buf = append(buf, body...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame. A peer that dies mid-frame
+// surfaces as an io error here — the partial frame is never delivered.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("tcp: invalid frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+func writeHandshake(c net.Conn, id, lastRecv uint64) error {
+	var buf [hsLen]byte
+	copy(buf[:3], hsMagic[:])
+	buf[3] = hsVersion
+	binary.BigEndian.PutUint64(buf[4:], id)
+	binary.BigEndian.PutUint64(buf[12:], lastRecv)
+	_, err := c.Write(buf[:])
+	return err
+}
+
+func readHandshake(c net.Conn) (id, lastRecv uint64, err error) {
+	var buf [hsLen]byte
+	if _, err = io.ReadFull(c, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	if [3]byte{buf[0], buf[1], buf[2]} != hsMagic {
+		return 0, 0, errors.New("tcp: bad handshake magic")
+	}
+	if buf[3] != hsVersion {
+		return 0, 0, fmt.Errorf("tcp: handshake version mismatch: got %d, want %d", buf[3], hsVersion)
+	}
+	return binary.BigEndian.Uint64(buf[4:]), binary.BigEndian.Uint64(buf[12:]), nil
+}
+
+// clientHandshake dials addr and performs the session handshake. It
+// returns the raw socket, the session id the server assigned (or echoed),
+// and the peer's last-received sequence number.
+func clientHandshake(addr string, opts Options, id, lastRecv uint64) (net.Conn, uint64, uint64, error) {
+	raw, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	raw.SetDeadline(time.Now().Add(opts.DialTimeout))
+	if err := writeHandshake(raw, id, lastRecv); err != nil {
+		raw.Close()
+		return nil, 0, 0, err
+	}
+	gotID, peerAcked, err := readHandshake(raw)
+	if err != nil {
+		raw.Close()
+		return nil, 0, 0, err
+	}
+	if id != 0 && gotID != id {
+		raw.Close()
+		return nil, 0, 0, fmt.Errorf("tcp: handshake returned session %d, want %d", gotID, id)
+	}
+	raw.SetDeadline(time.Time{})
+	if tc, ok := raw.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return raw, gotID, peerAcked, nil
+}
+
+// Dial opens a session to a Listener at addr.
+func Dial(addr string, opts ...Options) (transport.Conn, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o = o.withDefaults()
+	raw, id, peerAcked, err := clientHandshake(addr, o, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	s := newSession(o, id, addr)
+	s.attach(raw, peerAcked)
+	return s, nil
+}
+
+// Listener accepts tcp sessions. New handshakes surface via Accept;
+// resume handshakes reattach to their existing session transparently.
+type Listener struct {
+	nl   net.Listener
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextID   uint64
+	closed   bool
+
+	backlog chan *session
+	done    chan struct{}
+}
+
+// Listen starts a session listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, opts ...Options) (*Listener, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o = o.withDefaults()
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{
+		nl:       nl,
+		opts:     o,
+		sessions: map[uint64]*session{},
+		nextID:   1,
+		backlog:  make(chan *session, 64),
+		done:     make(chan struct{}),
+	}
+	go l.acceptLoop()
+	return l, nil
+}
+
+func (l *Listener) acceptLoop() {
+	for {
+		raw, err := l.nl.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go l.handshake(raw)
+	}
+}
+
+// handshake routes one inbound raw socket: a zero session id creates a
+// session and hands it to Accept; a known id resumes that session.
+func (l *Listener) handshake(raw net.Conn) {
+	raw.SetDeadline(time.Now().Add(l.opts.DialTimeout))
+	id, peerAcked, err := readHandshake(raw)
+	if err != nil {
+		raw.Close()
+		return
+	}
+	if id == 0 {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			raw.Close()
+			return
+		}
+		id = l.nextID
+		l.nextID++
+		s := newSession(l.opts, id, "")
+		l.sessions[id] = s
+		l.mu.Unlock()
+		if err := writeHandshake(raw, id, 0); err != nil {
+			raw.Close()
+			return
+		}
+		raw.SetDeadline(time.Time{})
+		if tc, ok := raw.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		s.attach(raw, peerAcked)
+		select {
+		case l.backlog <- s:
+		case <-l.done:
+			s.Close()
+		}
+		return
+	}
+	l.mu.Lock()
+	s := l.sessions[id]
+	l.mu.Unlock()
+	if s == nil {
+		raw.Close()
+		return
+	}
+	// The resume reply carries our lastRecv so the client retransmits
+	// exactly the suffix we missed; it must precede our retransmissions.
+	if err := writeHandshake(raw, id, s.snapshotLastRecv()); err != nil {
+		raw.Close()
+		return
+	}
+	raw.SetDeadline(time.Time{})
+	if tc, ok := raw.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	s.mu.Lock()
+	s.stats.Reconnects++
+	s.mu.Unlock()
+	s.attach(raw, peerAcked)
+}
+
+// Accept implements transport.Listener.
+func (l *Listener) Accept() (transport.Conn, error) {
+	select {
+	case s := <-l.backlog:
+		return s, nil
+	case <-l.done:
+		return nil, transport.ErrClosed
+	}
+}
+
+// Addr implements transport.Listener.
+func (l *Listener) Addr() string { return l.nl.Addr().String() }
+
+// Close stops accepting new sessions. Existing sessions live on until
+// closed individually.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.done)
+	return l.nl.Close()
+}
+
+var (
+	_ transport.Conn     = (*session)(nil)
+	_ transport.Statser  = (*session)(nil)
+	_ transport.Listener = (*Listener)(nil)
+)
+
+// dropRaw is a test hook: it kills the current raw socket without
+// touching session state, simulating a network-level connection drop.
+func (s *session) dropRaw() {
+	s.mu.Lock()
+	l := s.cur
+	s.mu.Unlock()
+	if l != nil {
+		l.raw.Close() // reader/writer error out → linkDown → redial/resume
+	}
+}

@@ -1,0 +1,76 @@
+// Package transport defines the pluggable message substrate beneath the
+// live executor (internal/exec/live).
+//
+// The Jade paper's claim is that one program runs unmodified on shared
+// memory, on the iPSC/860, and on an Ethernet network of workstations;
+// what makes that portable is a runtime factored from the communication
+// substrate behind a narrow interface.  This package is that seam for the
+// repo: the live executor speaks only Conn/Listener, and the two concrete
+// substrates — inproc (goroutine channels) and tcp (length-prefixed frames
+// over real sockets with reconnect, heartbeats, and at-most-once delivery)
+// — plug in underneath without the executor changing.
+//
+// The contract is deliberately message-oriented rather than stream
+// oriented: Send/Recv move whole messages (the wire codec in
+// transport/wire produces one frame per message), preserving the
+// message-at-a-time model of the simulated network in internal/netmodel.
+package transport
+
+import "errors"
+
+// ErrClosed is returned by Send/Recv/Accept after the endpoint has been
+// closed locally or the peer has terminated the session for good (as
+// opposed to a transient drop that the substrate will repair itself).
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is a reliable, ordered, duplex message pipe.
+//
+//   - Send enqueues one message.  It may be called from many goroutines
+//     concurrently; messages from a single sender are delivered in order.
+//     Send does not block on the peer (substrates buffer internally), so
+//     two endpoints may Send to each other without deadlock.
+//   - Recv returns the next message.  Only one goroutine may call Recv at
+//     a time.  The returned slice is owned by the caller.
+//   - Messages are delivered at most once and in order.  Substrates that
+//     retransmit (tcp) deduplicate by sequence number, mirroring the
+//     once-per-message contract of the simulated fault.Network.
+type Conn interface {
+	// Send enqueues msg for delivery.  The implementation must not
+	// retain msg after returning.
+	Send(msg []byte) error
+	// Recv blocks for the next message or a terminal error.
+	Recv() ([]byte, error)
+	// Close tears the session down.  Pending Recv calls return ErrClosed.
+	Close() error
+}
+
+// Listener accepts inbound connections for the coordinator side.
+type Listener interface {
+	// Accept blocks for the next inbound Conn.
+	Accept() (Conn, error)
+	// Addr returns the address workers should dial ("host:port" for tcp,
+	// the registered name for inproc).
+	Addr() string
+	// Close stops accepting; blocked Accept calls return ErrClosed.
+	Close() error
+}
+
+// Stats counts traffic on a Conn.  Substrates that implement the optional
+//
+//	interface{ Stats() transport.Stats }
+//
+// expose them; the live executor folds these into Runtime.Report().Fault
+// (heartbeats, retries, duplicates) alongside its own frame accounting.
+type Stats struct {
+	MsgsSent     uint64 // application messages submitted to Send
+	MsgsReceived uint64 // application messages surfaced by Recv
+	BytesSent    uint64 // payload bytes submitted
+	BytesRecv    uint64 // payload bytes surfaced
+	Retransmits  uint64 // data frames re-sent after a reconnect
+	DupsDropped  uint64 // retransmitted frames discarded by seq number
+	Heartbeats   uint64 // idle-channel heartbeat frames sent
+	Reconnects   uint64 // successful session resumptions
+}
+
+// Statser is the optional stats interface, satisfied by tcp conns.
+type Statser interface{ Stats() Stats }

@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode pins the codec's safety contract: Decode of arbitrary bytes
+// must never panic, and any input it accepts must re-encode to the exact
+// same bytes and an equal Frame (canonical form). The committed seed
+// corpus in testdata/fuzz/FuzzDecode covers every frame type plus the
+// interesting corruption shapes; `go test -fuzz=FuzzDecode` extends it.
+func FuzzDecode(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		f.Add(Encode(fr))
+	}
+	// Corruption shapes worth keeping in the corpus.
+	valid := Encode(&Frame{Type: TObjPatch, Obj: 3, A: 2, C: 1, Payload: []byte{9, 9}})
+	f.Add(valid[:len(valid)-1])              // truncated payload
+	f.Add(append([]byte(nil), valid[1:]...)) // missing magic
+	wrongVer := append([]byte(nil), valid...)
+	wrongVer[1] = ProtoVersion + 1
+	f.Add(wrongVer)
+	f.Add([]byte{})
+	f.Add([]byte{magic, ProtoVersion, TBye})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		re := Encode(fr)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input is not canonical:\n in  %x\n out %x", data, re)
+		}
+		fr2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("re-decode differs:\n a %+v\n b %+v", fr, fr2)
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Package wire is the versioned codec for the live executor's protocol.
+//
+// Every message between the coordinator and a worker is one Frame: a
+// fixed header (magic, protocol version, frame type, six 64-bit scalar
+// fields) followed by three length-prefixed variable sections (Label,
+// Aux, Payload).  The same generic frame carries task dispatches, object
+// images, format.Diff patches, and the small RPCs of the coherence
+// protocol; which scalar means what is per-type and documented next to
+// the type constants.
+//
+// Design rules, enforced by Decode and pinned by the fuzz tests:
+//
+//   - A frame from a different protocol version is rejected with
+//     ErrVersion (wrapped, so errors.Is works) — never misparsed.
+//   - Truncated or corrupt frames return an error; Decode never panics
+//     and never allocates more than the input length (section lengths
+//     are validated against the remaining bytes before use).
+//   - Encode∘Decode is the identity on canonical frames, so the
+//     substrate may retransmit encoded bytes verbatim.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ProtoVersion is the wire protocol version.  Peers running a different
+// version are rejected at decode time with ErrVersion.
+const ProtoVersion = 1
+
+// magic is the first byte of every frame ('J' for Jade).
+const magic = 0x4A
+
+// Frame types.  The comments give the meaning of the scalar fields for
+// each type; unused fields are zero.
+const (
+	// THello: worker → coordinator greeting.
+	// Label=worker name, Aux=comma-separated capability labels,
+	// A=format.ByteOrder of the worker's native encoding.
+	THello = iota + 1
+	// TWelcome: coordinator → worker. A=assigned machine index (1-based;
+	// the coordinator itself is machine 0).
+	TWelcome
+	// TDispatch: coordinator → worker "run this task".
+	// Task=task id, A=body key (shared in-process body table; 0 if the
+	// task is kind-dispatched), Label=task label, Aux=kind name,
+	// Payload=kind args.
+	TDispatch
+	// TObjImage: full object image push, coordinator → worker.
+	// Obj=object id, A=directory version the image represents,
+	// B=format.ByteOrder of Payload, Payload=format.Encode image.
+	TObjImage
+	// TObjPatch: delta push, coordinator → worker.  Obj=object id,
+	// A=new version, B=format.ByteOrder of the patch, C=base version the
+	// patch applies to (the worker's shadow), Payload=format.Diff patch.
+	TObjPatch
+	// TObjZero: write-only grant, coordinator → worker: materialize a
+	// zero object instead of moving data.  Obj=object id, A=version,
+	// B=format.Kind, C=element count.
+	TObjZero
+	// TInvalidate: coordinator → worker: drop your copy of Obj but keep
+	// it as a shadow (delta base) tagged with version A.
+	TInvalidate
+	// TPull: coordinator → owner worker: send the current contents of
+	// Obj.  Req=request id for the TObjData reply, A=version being
+	// synced, B=version the coordinator already holds (patch base).
+	TPull
+	// TObjData: owner worker → coordinator reply to TPull.
+	// Req echoes the pull, Obj=object id, A=version, B=ByteOrder,
+	// C=0 for a full image, baseVersion+1 for a patch,
+	// Payload=image or patch.
+	TObjData
+	// TAccessReq: worker task → coordinator: rt.TC Access.
+	// Req=request id, Task=task id, Obj=object id, A=access.Mode bits.
+	TAccessReq
+	// TCreateReq: worker task → coordinator: child task creation.
+	// Req=request id, Task=parent id, Label=child label, Aux=child kind,
+	// A=body key, B=Cost bits (math.Float64bits), C=pin+1 (0 = unpinned),
+	// Payload=marshalled decls + required capability + kind args.
+	TCreateReq
+	// TAllocReq: worker task → coordinator: object allocation.
+	// Req=request id, Task=task id, Label=object label, A=ByteOrder of
+	// Payload, Payload=format.Encode of the initial value.
+	TAllocReq
+	// TStartReq: worker → coordinator: an inline child is about to run;
+	// wait for readiness and grant its declared accesses.
+	// Req=request id, Task=child task id.
+	TStartReq
+	// TConvertReq: worker task → coordinator: deferred→immediate
+	// conversion.  Req, Task, Obj, A=access.Mode bits.
+	TConvertReq
+	// TRetractReq: worker task → coordinator: retract a declaration.
+	// Req, Task, Obj, A=access.Mode bits.
+	TRetractReq
+	// TEndAccess: worker task → coordinator, fire-and-forget:
+	// Task, Obj, A=access.Mode bits.
+	TEndAccess
+	// TClearAccess: like TEndAccess for Cont.Clear.
+	TClearAccess
+	// TTaskDone: worker → coordinator: task body finished.
+	// Task=task id, A=busy nanoseconds the task held the worker slot.
+	TTaskDone
+	// TTaskFail: worker → coordinator: task body panicked or could not
+	// be resolved.  Task=task id, Label=error text.
+	TTaskFail
+	// TReply: coordinator → worker: generic RPC reply.  Req echoes the
+	// request, Label=error text ("" = ok), A and B are per-request
+	// result scalars (e.g. Create: A=child id, B=1 if inline).
+	TReply
+	// TBye: either direction: orderly shutdown of the session.
+	TBye
+	// typeMax bounds the valid range; Decode rejects types outside it.
+	typeMax
+)
+
+// Frame is the unit of the protocol.  See the type constants for field
+// meanings.
+type Frame struct {
+	Type    byte
+	Req     uint64
+	Task    uint64
+	Obj     uint64
+	A, B, C uint64
+	Label   string
+	Aux     string
+	Payload []byte
+}
+
+// Errors returned by Decode.  ErrVersion is distinguished so a peer can
+// report a protocol mismatch rather than a corrupt stream.
+var (
+	ErrVersion   = errors.New("wire: protocol version mismatch")
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrCorrupt   = errors.New("wire: corrupt frame")
+)
+
+// headerLen is magic+version+type plus six 8-byte scalars.
+const headerLen = 3 + 6*8
+
+// Encode serializes f. The layout is:
+//
+//	magic | version | type | Req..C (6×8B LE) | len+Label | len+Aux | len+Payload
+func Encode(f *Frame) []byte {
+	buf := make([]byte, 0, headerLen+12+len(f.Label)+len(f.Aux)+len(f.Payload))
+	buf = append(buf, magic, ProtoVersion, f.Type)
+	for _, v := range [...]uint64{f.Req, f.Task, f.Obj, f.A, f.B, f.C} {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Label)))
+	buf = append(buf, f.Label...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Aux)))
+	buf = append(buf, f.Aux...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Payload)))
+	buf = append(buf, f.Payload...)
+	return buf
+}
+
+// Decode parses one frame.  It validates the magic, the protocol version,
+// the type, and every section length against the remaining input, and
+// requires the frame to be exactly consumed (no trailing garbage).
+func Decode(data []byte) (*Frame, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(data), headerLen)
+	}
+	if data[0] != magic {
+		return nil, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, data[0])
+	}
+	if data[1] != ProtoVersion {
+		return nil, fmt.Errorf("%w: got v%d, want v%d", ErrVersion, data[1], ProtoVersion)
+	}
+	f := &Frame{Type: data[2]}
+	if f.Type == 0 || f.Type >= typeMax {
+		return nil, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, f.Type)
+	}
+	for i, p := range [...]*uint64{&f.Req, &f.Task, &f.Obj, &f.A, &f.B, &f.C} {
+		*p = binary.LittleEndian.Uint64(data[3+8*i:])
+	}
+	rest := data[headerLen:]
+	section := func() ([]byte, error) {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: missing section length", ErrTruncated)
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(n) > uint64(len(rest)) {
+			return nil, fmt.Errorf("%w: section length %d exceeds %d remaining bytes", ErrTruncated, n, len(rest))
+		}
+		s := rest[:n]
+		rest = rest[n:]
+		return s, nil
+	}
+	lab, err := section()
+	if err != nil {
+		return nil, err
+	}
+	f.Label = string(lab)
+	aux, err := section()
+	if err != nil {
+		return nil, err
+	}
+	f.Aux = string(aux)
+	pay, err := section()
+	if err != nil {
+		return nil, err
+	}
+	if len(pay) > 0 {
+		f.Payload = append([]byte(nil), pay...)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return f, nil
+}
+
+// TypeName returns a short human-readable name for a frame type, for
+// traces and error messages.
+func TypeName(t byte) string {
+	names := [...]string{
+		THello: "hello", TWelcome: "welcome", TDispatch: "dispatch",
+		TObjImage: "obj-image", TObjPatch: "obj-patch", TObjZero: "obj-zero",
+		TInvalidate: "invalidate", TPull: "pull", TObjData: "obj-data",
+		TAccessReq: "access", TCreateReq: "create", TAllocReq: "alloc",
+		TStartReq: "start", TConvertReq: "convert", TRetractReq: "retract",
+		TEndAccess: "end-access", TClearAccess: "clear-access",
+		TTaskDone: "task-done", TTaskFail: "task-fail", TReply: "reply",
+		TBye: "bye",
+	}
+	if int(t) < len(names) && names[t] != "" {
+		return names[t]
+	}
+	return fmt.Sprintf("type(%d)", t)
+}

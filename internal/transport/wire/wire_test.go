@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// sampleFrames returns one representative frame per frame type, with all
+// field classes (scalars, strings, payload) populated.
+func sampleFrames() []*Frame {
+	return []*Frame{
+		{Type: THello, Label: "mica-3", Aux: "fpu,video", A: 1},
+		{Type: TWelcome, A: 3},
+		{Type: TDispatch, Task: 42, A: 7, Label: "factor", Aux: "cholesky.col", Payload: []byte{1, 2, 3}},
+		{Type: TObjImage, Obj: 9, A: 4, B: 0, Payload: []byte{0, 0, 0, 1, 0xff}},
+		{Type: TObjPatch, Obj: 9, A: 5, B: 1, C: 4, Payload: []byte{8, 8, 8}},
+		{Type: TObjZero, Obj: 11, A: 1, B: 4, C: 1024},
+		{Type: TInvalidate, Obj: 9, A: 5},
+		{Type: TPull, Req: 100, Obj: 9, A: 6, B: 5},
+		{Type: TObjData, Req: 100, Obj: 9, A: 6, B: 0, C: 6, Payload: []byte("patchbytes")},
+		{Type: TAccessReq, Req: 101, Task: 42, Obj: 9, A: 3},
+		{Type: TCreateReq, Req: 102, Task: 42, Label: "child", Aux: "", A: 17, B: 0x3FF0000000000000, C: 0, Payload: []byte{0, 0, 0, 2}},
+		{Type: TAllocReq, Req: 103, Task: 42, Label: "cells", A: 1, Payload: []byte{5, 4, 0, 0, 0}},
+		{Type: TStartReq, Req: 104, Task: 43},
+		{Type: TConvertReq, Req: 105, Task: 42, Obj: 9, A: 2},
+		{Type: TRetractReq, Req: 106, Task: 42, Obj: 9, A: 1},
+		{Type: TEndAccess, Task: 42, Obj: 9, A: 2},
+		{Type: TClearAccess, Task: 42, Obj: 9, A: 3},
+		{Type: TTaskDone, Task: 42, A: 123456789},
+		{Type: TTaskFail, Task: 42, Label: "panic: index out of range"},
+		{Type: TReply, Req: 101, Label: "", A: 55, B: 1},
+		{Type: TBye},
+	}
+}
+
+// TestRoundTrip: Encode∘Decode is the identity for every frame type.
+func TestRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		got, err := Decode(Encode(f))
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", TypeName(f.Type), err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Errorf("%s: round trip:\n got %+v\nwant %+v", TypeName(f.Type), got, f)
+		}
+	}
+}
+
+// TestRoundTripEmptySections: empty strings and nil payload survive.
+func TestRoundTripEmptySections(t *testing.T) {
+	f := &Frame{Type: TBye}
+	got, err := Decode(Encode(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "" || got.Aux != "" || got.Payload != nil {
+		t.Errorf("empty sections mutated: %+v", got)
+	}
+}
+
+// TestTruncated: every proper prefix of a valid frame errors, never
+// panics, and never succeeds.
+func TestTruncated(t *testing.T) {
+	for _, f := range sampleFrames() {
+		enc := Encode(f)
+		for n := 0; n < len(enc); n++ {
+			got, err := Decode(enc[:n])
+			if err == nil {
+				t.Fatalf("%s: Decode of %d/%d byte prefix succeeded: %+v", TypeName(f.Type), n, len(enc), got)
+			}
+		}
+	}
+}
+
+// TestCorrupt covers the specific corruption classes Decode distinguishes.
+func TestCorrupt(t *testing.T) {
+	valid := Encode(&Frame{Type: TDispatch, Task: 1, Label: "x"})
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'K'
+	if _, err := Decode(badMagic); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+
+	badType := append([]byte(nil), valid...)
+	badType[2] = 200
+	if _, err := Decode(badType); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad type: err = %v, want ErrCorrupt", err)
+	}
+	zeroType := append([]byte(nil), valid...)
+	zeroType[2] = 0
+	if _, err := Decode(zeroType); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("zero type: err = %v, want ErrCorrupt", err)
+	}
+
+	trailing := append(append([]byte(nil), valid...), 0xAB)
+	if _, err := Decode(trailing); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing bytes: err = %v, want ErrCorrupt", err)
+	}
+
+	// A section length far past the end of the buffer must error without
+	// attempting the allocation.
+	hugeLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(hugeLen[headerLen:], 1<<31)
+	if _, err := Decode(hugeLen); !errors.Is(err, ErrTruncated) {
+		t.Errorf("huge section length: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestVersionMismatch: cross-version frames are rejected with ErrVersion
+// specifically, so peers can report a protocol mismatch.
+func TestVersionMismatch(t *testing.T) {
+	enc := Encode(&Frame{Type: THello, Label: "w"})
+	for _, v := range []byte{0, ProtoVersion + 1, 0xFF} {
+		bad := append([]byte(nil), enc...)
+		bad[1] = v
+		_, err := Decode(bad)
+		if !errors.Is(err, ErrVersion) {
+			t.Errorf("version %d: err = %v, want ErrVersion", v, err)
+		}
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	if got := TypeName(TDispatch); got != "dispatch" {
+		t.Errorf("TypeName(TDispatch) = %q", got)
+	}
+	if got := TypeName(250); got != "type(250)" {
+		t.Errorf("TypeName(250) = %q", got)
+	}
+}

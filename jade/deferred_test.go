@@ -119,7 +119,7 @@ func TestArrayIDAndRuntimeAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.NetStats().Messages != 0 {
+	if r.Report().Net.Messages != 0 {
 		t.Error("SMP runtime has no network")
 	}
 	if r.TraceLog() != nil {

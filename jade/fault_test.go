@@ -75,7 +75,7 @@ func TestFaultCholeskyBitIdentical(t *testing.T) {
 		if !reflect.DeepEqual(got.Cols, want.Cols) {
 			t.Fatalf("seed %d (plan %+v): factorization differs from failure-free run", seed, plan)
 		}
-		fs := r.FaultStats()
+		fs := r.Report().Fault
 		if fs.CrashesInjected != len(plan.Crashes) {
 			t.Fatalf("seed %d: CrashesInjected = %d, want %d", seed, fs.CrashesInjected, len(plan.Crashes))
 		}
@@ -101,7 +101,7 @@ func TestFaultWaterBitIdentical(t *testing.T) {
 			Seed:     seed,
 		}
 		got, r := runWater(t, plan)
-		if fs := r.FaultStats(); fs.CrashesInjected != len(plan.Crashes) {
+		if fs := r.Report().Fault; fs.CrashesInjected != len(plan.Crashes) {
 			t.Fatalf("seed %d: only %d of %d crashes fired before the run ended — the plan is not stressing recovery",
 				seed, fs.CrashesInjected, len(plan.Crashes))
 		}
@@ -114,16 +114,16 @@ func TestFaultWaterBitIdentical(t *testing.T) {
 	}
 }
 
-// TestFaultSummarySurfacesStats checks the fault counters flow through the
-// public Runtime.Summary.
-func TestFaultSummarySurfacesStats(t *testing.T) {
+// TestFaultReportSurfacesStats checks the fault counters flow through the
+// public Runtime.Report.
+func TestFaultReportSurfacesStats(t *testing.T) {
 	plan := &jade.FaultPlan{Crashes: []jade.Crash{{Machine: 2, At: 50 * time.Millisecond}}}
 	_, r := runCholesky(t, 6, plan)
-	s := r.Summary()
-	if s.Fault.CrashesInjected != 1 || s.Fault.CrashesDetected < 1 {
-		t.Fatalf("Summary().Fault = %+v, want the injected crash reflected", s.Fault)
+	fs := r.Report().Fault
+	if fs.CrashesInjected != 1 || fs.CrashesDetected < 1 {
+		t.Fatalf("Report().Fault = %+v, want the injected crash reflected", fs)
 	}
-	if s.Fault.HeartbeatsSent == 0 {
-		t.Fatal("Summary().Fault.HeartbeatsSent = 0")
+	if fs.HeartbeatsSent == 0 {
+		t.Fatal("Report().Fault.HeartbeatsSent = 0")
 	}
 }

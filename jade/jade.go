@@ -16,7 +16,7 @@
 //	with { rd(a) } cont;              →  t.WithCont(func(c *jade.Cont) { c.Rd(a) })
 //	df_rd(a) / no_rd(a)               →  s.DfRd(a) / c.NoRd(a)
 //
-// The same program runs unmodified on two substrates:
+// The same program runs unmodified on three substrates:
 //
 //   - NewSMP: real parallelism with goroutines over the host's processors
 //     (the paper's shared-memory implementations on SGI and Stanford DASH).
@@ -25,6 +25,9 @@
 //     workstation farm (Mica), or heterogeneous with special-purpose
 //     accelerators (HRV) — with object migration, replication, data format
 //     conversion, dynamic load balancing and latency hiding.
+//   - NewLive: real message passing over a pluggable transport — goroutine
+//     pipes or TCP sockets — with worker processes joining over the network
+//     (the paper's network-of-workstations implementation, for real).
 package jade
 
 import (
@@ -34,6 +37,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/exec/dist"
+	"repro/internal/exec/live"
 	"repro/internal/exec/smp"
 	"repro/internal/fault"
 	"repro/internal/machine"
@@ -41,6 +45,9 @@ import (
 	"repro/internal/profile"
 	"repro/internal/rt"
 	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/transport/inproc"
+	"repro/internal/transport/tcp"
 )
 
 // Platform describes a simulated machine collection (see DASH, IPSC860,
@@ -111,7 +118,13 @@ type Runtime struct {
 	simulated bool
 	traced    bool
 	wall      time.Duration
+	liveAddr  string
 }
+
+// ListenAddr returns the coordinator's bound TCP address for a live runtime
+// with Transport "tcp" (useful with Listen "127.0.0.1:0" to learn the
+// ephemeral port external jadeworkers should dial), or "" otherwise.
+func (r *Runtime) ListenAddr() string { return r.liveAddr }
 
 // Feature names a runtime optimization that SimConfig.Disable can turn off
 // for ablation experiments.
@@ -205,6 +218,175 @@ func NewSimulated(cfg SimConfig) (*Runtime, error) {
 	return &Runtime{ex: x, simulated: true, traced: cfg.Trace}, nil
 }
 
+// LiveConfig configures the live message-passing runtime: a coordinator
+// (machine 0, which runs the main program and the dependency engine) plus
+// workers that execute task bodies, exchanging real protocol frames over a
+// transport.
+type LiveConfig struct {
+	// Workers is the number of worker endpoints to start in this process
+	// (each is machine 1..Workers). Required unless AwaitExternal > 0.
+	Workers int
+	// Transport selects the substrate: "inproc" (goroutine pipes, the
+	// default) or "tcp" (real loopback sockets with framing, heartbeats
+	// and reconnect — the full wire path).
+	Transport string
+	// Listen is the TCP listen address for Transport "tcp". Empty means
+	// "127.0.0.1:0" (an ephemeral loopback port). Give an explicit
+	// address (e.g. ":7070") to let external jadeworker processes join.
+	Listen string
+	// AwaitExternal additionally waits for this many external jadeworker
+	// processes to connect before NewLive returns (Transport "tcp" only).
+	// External workers run task kinds registered with RegisterKind; Go
+	// closures cannot cross a process boundary.
+	AwaitExternal int
+	// WorkerSlots is the number of tasks each in-process worker executes
+	// concurrently (0 = 1).
+	WorkerSlots int
+	// MaxLiveTasks bounds outstanding tasks; creators inline children
+	// above it (0 = 64 × workers).
+	MaxLiveTasks int
+	// Trace records execution events.
+	Trace bool
+}
+
+// NewLive returns a runtime executing over real message passing. In-process
+// workers are started immediately; with AwaitExternal > 0 the call blocks
+// until every external worker has connected.
+func NewLive(cfg LiveConfig) (*Runtime, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("jade: LiveConfig.Workers = %d", cfg.Workers)
+	}
+	if cfg.Workers+cfg.AwaitExternal == 0 {
+		return nil, fmt.Errorf("jade: live runtime needs at least one worker")
+	}
+	bodies := live.NewBodyTable()
+	localWorker := func(i int) live.WorkerOptions {
+		return live.WorkerOptions{
+			Name:   fmt.Sprintf("local-%d", i+1),
+			Bodies: bodies,
+			Slots:  cfg.WorkerSlots,
+		}
+	}
+	var peers []live.Peer
+	var boundAddr string
+	switch cfg.Transport {
+	case "", "inproc":
+		if cfg.AwaitExternal > 0 {
+			return nil, fmt.Errorf("jade: AwaitExternal requires Transport \"tcp\"")
+		}
+		for i := 0; i < cfg.Workers; i++ {
+			a, b := inproc.Pipe()
+			go live.Serve(b, localWorker(i))
+			peers = append(peers, live.Peer{Conn: a})
+		}
+	case "tcp":
+		addr := cfg.Listen
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		l, err := tcp.Listen(addr, tcp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("jade: live listen: %w", err)
+		}
+		boundAddr = l.Addr()
+		for i := 0; i < cfg.Workers; i++ {
+			go func(i int) {
+				c, err := tcp.Dial(l.Addr(), tcp.Options{})
+				if err != nil {
+					return
+				}
+				live.Serve(c, localWorker(i))
+			}(i)
+		}
+		for len(peers) < cfg.Workers+cfg.AwaitExternal {
+			c, err := l.Accept()
+			if err != nil {
+				l.Close()
+				return nil, fmt.Errorf("jade: live accept: %w", err)
+			}
+			peers = append(peers, live.Peer{Conn: c})
+		}
+		// The rendezvous is complete; late connections are not part of
+		// this run.
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		}()
+	default:
+		return nil, fmt.Errorf("jade: unknown live transport %q (known: inproc, tcp)", cfg.Transport)
+	}
+	x, err := live.New(live.Options{
+		Peers:        peers,
+		Bodies:       bodies,
+		MaxLiveTasks: cfg.MaxLiveTasks,
+		Trace:        cfg.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{ex: x, traced: cfg.Trace, liveAddr: boundAddr}, nil
+}
+
+// WorkerConfig configures a jadeworker endpoint joining a live run from its
+// own process (see cmd/jadeworker).
+type WorkerConfig struct {
+	// Addr is the coordinator's TCP address (required).
+	Addr string
+	// Name identifies the worker in coordinator diagnostics.
+	Name string
+	// Caps are capability tags to advertise (TaskOptions.RequireCap).
+	Caps []string
+	// Slots is the number of concurrent task slots (0 = 1).
+	Slots int
+}
+
+// ServeWorker connects to a live coordinator and executes dispatched tasks
+// until the run ends. Task bodies are resolved through kinds registered
+// with RegisterKind. It blocks for the whole run.
+func ServeWorker(cfg WorkerConfig) error {
+	if cfg.Addr == "" {
+		return fmt.Errorf("jade: ServeWorker needs an address")
+	}
+	c, err := tcp.Dial(cfg.Addr, tcp.Options{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	err = live.Serve(c, live.WorkerOptions{
+		Name:  cfg.Name,
+		Caps:  cfg.Caps,
+		Slots: cfg.Slots,
+	})
+	if err == transport.ErrClosed {
+		return nil
+	}
+	return err
+}
+
+// KindFunc builds a task body from an opaque argument blob. Kinds are how
+// live runs dispatch tasks to external worker processes: the kind name and
+// arguments cross the wire instead of a Go closure.
+type KindFunc func(args []byte) func(*Task)
+
+// RegisterKind registers a task-kind constructor in the process-global
+// registry. Register the same kinds (same names, same semantics) in the
+// coordinator program and in every jadeworker binary — the paper's model of
+// installing the program text on every machine ahead of time. Registering a
+// duplicate name panics.
+func RegisterKind(name string, fn KindFunc) {
+	live.RegisterKind(name, func(args []byte) func(rt.TC) {
+		body := fn(args)
+		return func(tc rt.TC) {
+			body(&Task{tc: tc})
+		}
+	})
+}
+
 // Run executes the main program. It returns when every task has completed,
 // reporting the first access-specification violation or task panic, if any.
 // Run must be called exactly once per Runtime.
@@ -268,9 +450,10 @@ type Report struct {
 	Profile *Profile
 }
 
-// Report computes the unified metrics report for the finished run. This is
-// the one metrics entry point; the per-section accessors (NetStats,
-// DeltaStats, FaultStats, EngineStats, Summary) are deprecated wrappers.
+// Report computes the unified metrics report for the finished run. It is
+// the one metrics entry point, populated from always-on counters on every
+// substrate — simulated runs report modeled traffic, live runs report the
+// real frames and bytes that crossed the transport.
 func (r *Runtime) Report() Report {
 	es := r.ex.Engine().Stats()
 	c := r.ex.Counters()
@@ -284,7 +467,13 @@ func (r *Runtime) Report() Report {
 		},
 		Engine: es,
 	}
-	if x, ok := r.ex.(*dist.Exec); ok {
+	switch x := r.ex.(type) {
+	case *dist.Exec:
+		rep.Net = x.NetStats()
+		rep.Delta = x.DeltaStats()
+		rep.Fault = x.FaultStats()
+		rep.ConvertedWords = x.ConvertedWords()
+	case *live.Exec:
 		rep.Net = x.NetStats()
 		rep.Delta = x.DeltaStats()
 		rep.Fault = x.FaultStats()
@@ -300,61 +489,12 @@ func (r *Runtime) Report() Report {
 	return rep
 }
 
-// NetStats returns network counters (zero value for the SMP runtime, whose
-// shared memory sends no messages).
-//
-// Deprecated: use Report().Net.
-func (r *Runtime) NetStats() NetworkStats {
-	if x, ok := r.ex.(*dist.Exec); ok {
-		return x.NetStats()
-	}
-	return NetworkStats{}
-}
-
-// DeltaStats returns delta-transfer and coalescing counters (zero value for
-// the SMP runtime and for runs disabling FeatDelta).
-//
-// Deprecated: use Report().Delta.
-func (r *Runtime) DeltaStats() DeltaStats {
-	if x, ok := r.ex.(*dist.Exec); ok {
-		return x.DeltaStats()
-	}
-	return DeltaStats{}
-}
-
-// FaultStats returns failure-injection and recovery counters (zero value for
-// the SMP runtime and for simulated runs without a fault plan).
-//
-// Deprecated: use Report().Fault.
-func (r *Runtime) FaultStats() FaultStats {
-	if x, ok := r.ex.(*dist.Exec); ok {
-		return x.FaultStats()
-	}
-	return FaultStats{}
-}
-
-// EngineStats returns dependency-engine counters.
-//
-// Deprecated: use Report().Engine.
-func (r *Runtime) EngineStats() core.Stats { return r.ex.Engine().Stats() }
-
 // TraceLog returns the full event log (nil unless tracing was enabled).
 func (r *Runtime) TraceLog() *trace.Log {
 	if !r.traced {
 		return nil
 	}
 	return r.ex.Log()
-}
-
-// Summary aggregates the trace into headline counters (requires tracing for
-// the trace-derived fields; the Engine and Fault counters are always
-// populated).
-//
-// Deprecated: use Report, which is populated regardless of trace mode.
-func (r *Runtime) Summary() trace.Summary {
-	s := trace.SummarizeWithEngine(r.ex.Log(), r.ex.Engine().Stats())
-	s.Fault = r.FaultStats()
-	return s
 }
 
 // TaskGraphDOT renders the dynamic task graph in Graphviz DOT format
@@ -399,6 +539,14 @@ type TaskOptions struct {
 	// RequireCap restricts scheduling to machines offering a capability
 	// (e.g. jade.CapCamera on the HRV platform).
 	RequireCap string
+	// Kind names a task kind registered with RegisterKind. On a live
+	// runtime a kind task may run on external workers in other processes,
+	// where Go closures cannot travel; the worker rebuilds the body from
+	// Kind and KindArgs. When Kind is set the body passed to WithOnlyOpts
+	// may be nil.
+	Kind string
+	// KindArgs is the opaque argument blob handed to the kind constructor.
+	KindArgs []byte
 }
 
 // On is a convenience for TaskOptions.Machine: TaskOptions{Machine: jade.On(2)}.
@@ -418,14 +566,24 @@ func (t *Task) WithOnly(declare func(*Spec), body func(*Task)) {
 func (t *Task) WithOnlyOpts(opts TaskOptions, declare func(*Spec), body func(*Task)) {
 	s := &Spec{}
 	declare(s)
-	ro := rt.TaskOpts{Label: opts.Label, Cost: opts.Cost, RequireCap: opts.RequireCap}
+	ro := rt.TaskOpts{
+		Label:      opts.Label,
+		Cost:       opts.Cost,
+		RequireCap: opts.RequireCap,
+		Kind:       opts.Kind,
+		KindArgs:   opts.KindArgs,
+	}
 	if opts.Machine != nil {
 		ro.Pin = *opts.Machine + 1
 	}
-	r := t.r
-	if err := t.tc.Create(s.decls, ro, func(tc rt.TC) {
-		body(&Task{tc: tc, r: r})
-	}); err != nil {
+	var rb func(rt.TC)
+	if body != nil {
+		r := t.r
+		rb = func(tc rt.TC) {
+			body(&Task{tc: tc, r: r})
+		}
+	}
+	if err := t.tc.Create(s.decls, ro, rb); err != nil {
 		panic(fmt.Sprintf("jade: withonly: %v", err))
 	}
 }
@@ -540,8 +698,17 @@ type Array[E Elem] struct {
 
 func (a *Array[E]) objectID() access.ObjectID { return a.id }
 
-// ID returns the object's global identifier (for debugging).
+// ID returns the object's global identifier. IDs are how kind arguments
+// name objects across a process boundary: encode ID() into
+// TaskOptions.KindArgs and rebind with ArrayByID in the kind constructor.
 func (a *Array[E]) ID() uint64 { return uint64(a.id) }
+
+// ArrayByID rebinds a shared-array handle from a wire-carried identifier
+// (see Array.ID). The element type must match the allocation; access panics
+// otherwise.
+func ArrayByID[E Elem](id uint64) *Array[E] {
+	return &Array[E]{id: access.ObjectID(id)}
+}
 
 // NewArray allocates a zeroed shared array of length n. The allocating task
 // gets implicit read/write rights.

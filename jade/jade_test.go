@@ -238,9 +238,9 @@ func TestSummaryAndTaskGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum := r.Summary()
-	if sum.TasksRun != 3 { // two tasks + main
-		t.Fatalf("tasks run = %d", sum.TasksRun)
+	rep := r.Report()
+	if rep.Tasks.Run != 3 { // two tasks + main
+		t.Fatalf("tasks run = %d", rep.Tasks.Run)
 	}
 	dot := r.TaskGraphDOT("test")
 	if !strings.Contains(dot, `label="w1"`) || !strings.Contains(dot, "->") {
@@ -249,8 +249,8 @@ func TestSummaryAndTaskGraph(t *testing.T) {
 	if r.Makespan() <= 0 {
 		t.Fatal("makespan should be positive")
 	}
-	if r.EngineStats().TasksCreated != 2 {
-		t.Fatalf("engine stats: %+v", r.EngineStats())
+	if rep.Engine.TasksCreated != 2 {
+		t.Fatalf("engine stats: %+v", rep.Engine)
 	}
 }
 

@@ -1,0 +1,116 @@
+package jade_test
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"repro/jade"
+)
+
+// TestLiveRuntimes runs the same fan-out/fan-in program over both live
+// substrates and checks Report carries real traffic.
+func TestLiveRuntimes(t *testing.T) {
+	for _, tr := range []string{"inproc", "tcp"} {
+		t.Run(tr, func(t *testing.T) {
+			r, err := jade.NewLive(jade.LiveConfig{Workers: 2, Transport: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runSum(t, r)
+			rep := r.Report()
+			if rep.Net.Messages == 0 || rep.Net.Bytes == 0 {
+				t.Fatalf("Report().Net = %+v, want real frames", rep.Net)
+			}
+			if rep.Tasks.Run < 4 {
+				t.Fatalf("Report().Tasks.Run = %d, want >= 4", rep.Tasks.Run)
+			}
+			if rep.Makespan <= 0 {
+				t.Fatalf("Report().Makespan = %v", rep.Makespan)
+			}
+		})
+	}
+}
+
+func init() {
+	// The doubler kind used by TestLiveExternalWorker; registered in both
+	// "processes" (coordinator and worker share this test binary, as a real
+	// deployment shares the program text).
+	jade.RegisterKind("jadetest-double", func(args []byte) func(*jade.Task) {
+		a := jade.ArrayByID[int64](binary.LittleEndian.Uint64(args))
+		return func(tk *jade.Task) {
+			v := a.ReadWrite(tk)
+			for i := range v {
+				v[i] *= 2
+			}
+		}
+	})
+}
+
+// freeAddr reserves an ephemeral loopback port and releases it for the
+// coordinator to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestLiveExternalWorker exercises the jadeworker path end to end: an
+// external worker (own process group, no shared closures) joins over TCP,
+// and a task declared by kind with a required capability runs there.
+func TestLiveExternalWorker(t *testing.T) {
+	addr := freeAddr(t)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		// Retry until the coordinator is listening; stop when the test ends.
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			jade.ServeWorker(jade.WorkerConfig{Addr: addr, Name: "ext", Caps: []string{"fpga"}})
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	r, err := jade.NewLive(jade.LiveConfig{
+		Workers:       1,
+		Transport:     "tcp",
+		Listen:        addr,
+		AwaitExternal: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ListenAddr() == "" {
+		t.Fatal("ListenAddr empty on a tcp live runtime")
+	}
+	var got []int64
+	err = r.Run(func(tk *jade.Task) {
+		a := jade.NewArrayFrom(tk, []int64{1, 2, 3}, "v")
+		a.Release(tk)
+		tk.WithOnlyOpts(jade.TaskOptions{
+			Label:      "double",
+			Kind:       "jadetest-double",
+			KindArgs:   binary.LittleEndian.AppendUint64(nil, a.ID()),
+			RequireCap: "fpga",
+		}, func(s *jade.Spec) { s.RdWr(a) }, nil)
+		got = append([]int64(nil), a.Read(tk)...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 4, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("array = %v, want %v", got, want)
+		}
+	}
+}

@@ -79,29 +79,26 @@ func TestReportPopulatedWithoutTracing(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersMatchReport keeps the one-release compatibility
-// wrappers truthful: each must agree with the corresponding Report section.
-func TestDeprecatedWrappersMatchReport(t *testing.T) {
+// TestReportSections pins the Report sections on a traced simulated run;
+// Report is the single metrics entry point for every substrate.
+func TestReportSections(t *testing.T) {
 	r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.Mica(4), Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	runSum(t, r)
 	rep := r.Report()
-	if got := r.NetStats(); got.Messages != rep.Net.Messages || got.Bytes != rep.Net.Bytes {
-		t.Errorf("NetStats() = %+v, Report().Net = %+v", got, rep.Net)
+	if rep.Net.Messages == 0 || rep.Net.Bytes == 0 {
+		t.Errorf("Report().Net = %+v, want traffic", rep.Net)
 	}
-	if got := r.DeltaStats(); got != rep.Delta {
-		t.Errorf("DeltaStats() = %+v, Report().Delta = %+v", got, rep.Delta)
+	if rep.Engine.TasksCreated != 4 {
+		t.Errorf("Report().Engine = %+v, want 4 tasks created", rep.Engine)
 	}
-	if got := r.FaultStats(); got != rep.Fault {
-		t.Errorf("FaultStats() = %+v, Report().Fault = %+v", got, rep.Fault)
+	if rep.Fault != (jade.FaultStats{}) {
+		t.Errorf("Report().Fault = %+v, want zero without a fault plan", rep.Fault)
 	}
-	if got := r.EngineStats(); got != rep.Engine {
-		t.Errorf("EngineStats() = %+v, Report().Engine = %+v", got, rep.Engine)
-	}
-	if sum := r.Summary(); sum.TasksRun != rep.Tasks.Run {
-		t.Errorf("Summary().TasksRun = %d, Report().Tasks.Run = %d", sum.TasksRun, rep.Tasks.Run)
+	if rep.Tasks.Run != 5 { // 4 tasks + main
+		t.Errorf("Report().Tasks.Run = %d, want 5", rep.Tasks.Run)
 	}
 }
 
