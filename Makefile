@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race determinism fault live bench clean
+.PHONY: check vet build test race determinism fault live live-fault bench clean
 
-check: vet build test race determinism fault live bench
+check: vet build test race determinism fault live live-fault bench
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,13 @@ fault:
 # real concurrency over real sockets, under the race detector, twice.
 live:
 	$(GO) test -race -count=2 ./internal/transport/... ./internal/exec/live/...
+
+# The live-fault tier: fault tolerance and elastic membership on the live
+# executor — session fencing, chaos-scripted kills/drains/joins, and the L2
+# experiment (mid-run kill + joins, bit-identical to the serial oracle) —
+# under the race detector, twice (DESIGN.md §4.13).
+live-fault:
+	$(GO) test -race -count=2 -run 'Chaos|Fence|Redial|Session|Cadence|Elastic|Membership|Leave|Evict|Drain|Admit|L2' ./internal/transport/... ./internal/exec/live/... ./internal/fault/... ./internal/experiments/...
 
 # The benchmark-snapshot tier: engine throughput plus the S1 profiler sweep,
 # recorded to BENCH_profile.json as a reviewable performance artifact.

@@ -47,6 +47,7 @@ var catalog = []struct{ id, desc string }{
 	{"g3", "granularity: Water task-count sweep"},
 	{"k1", "Barnes-Hut N-body on the simulated platforms"},
 	{"l1", "live execution: Cholesky over in-process and TCP worker endpoints"},
+	{"l2", "elastic fault tolerance: live Cholesky with a mid-run kill + joins"},
 }
 
 func main() {
@@ -331,6 +332,17 @@ func main() {
 		tb, err := experiments.L1Live(grid, 4)
 		if err != nil {
 			fail("l1", err)
+		}
+		show(tb)
+	}
+	if selected("l2") {
+		grid := 16
+		if *quick {
+			grid = 8
+		}
+		tb, err := experiments.L2Elastic(grid, 3)
+		if err != nil {
+			fail("l2", err)
 		}
 		show(tb)
 	}

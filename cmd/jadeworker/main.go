@@ -15,13 +15,23 @@
 //
 // With -loop the daemon reconnects and serves again after each run,
 // so one long-lived worker can participate in many coordinator runs.
+// Against an elastic coordinator (jade.LiveConfig.Elastic) each redial
+// joins the run in progress as a brand-new member — including after the
+// coordinator declared a previous incarnation dead and evicted it.
+//
+// SIGTERM or SIGINT drains the worker: it announces its departure to the
+// coordinator, finishes the tasks it holds, and exits once the
+// coordinator has pulled its data away. A second signal kills it
+// immediately.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/jade"
@@ -49,21 +59,46 @@ func main() {
 			tags = append(tags, c)
 		}
 	}
-	cfg := jade.WorkerConfig{Addr: *addr, Name: wn, Caps: tags, Slots: *slots}
+	drain := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigs
+		fmt.Fprintf(os.Stderr, "jadeworker: draining (signal again to exit now)\n")
+		close(drain)
+		<-sigs
+		os.Exit(1)
+	}()
+
+	cfg := jade.WorkerConfig{Addr: *addr, Name: wn, Caps: tags, Slots: *slots, Drain: drain}
 
 	for {
 		err := jade.ServeWorker(cfg)
-		if err != nil {
+		switch {
+		case err == jade.ErrWorkerEvicted:
+			// The coordinator fenced this session and declared it dead; any
+			// state it held has been rebuilt elsewhere. With -loop the next
+			// dial joins the run as a fresh member.
+			fmt.Fprintf(os.Stderr, "jadeworker: evicted by coordinator\n")
+			if !*loop {
+				os.Exit(1)
+			}
+		case err != nil:
 			fmt.Fprintf(os.Stderr, "jadeworker: %v\n", err)
 			if !*loop {
 				os.Exit(1)
 			}
-		} else {
+		default:
 			fmt.Fprintf(os.Stderr, "jadeworker: run complete\n")
 			if !*loop {
 				return
 			}
 		}
-		time.Sleep(*retry)
+		select {
+		case <-drain:
+			fmt.Fprintf(os.Stderr, "jadeworker: drained, exiting\n")
+			return
+		case <-time.After(*retry):
+		}
 	}
 }

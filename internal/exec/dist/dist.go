@@ -310,21 +310,22 @@ func New(opts Options) (*Exec, error) {
 		x.inputLogs = map[core.TaskID]map[access.ObjectID]any{}
 		x.logHome = map[core.TaskID]int{}
 		x.history = map[access.ObjectID][]verRec{}
+		cad := fault.DefaultCadence()
 		x.hbInterval = opts.HeartbeatInterval
 		if x.hbInterval <= 0 {
-			x.hbInterval = fault.DefaultHeartbeatInterval
+			x.hbInterval = cad.HeartbeatInterval
 		}
 		x.hbTimeout = opts.HeartbeatTimeout
 		if x.hbTimeout <= 0 {
-			x.hbTimeout = fault.DefaultHeartbeatTimeout
+			x.hbTimeout = cad.HeartbeatTimeout
 		}
 		x.hbRetries = opts.HeartbeatRetries
 		if x.hbRetries <= 0 {
-			x.hbRetries = fault.DefaultHeartbeatRetries
+			x.hbRetries = cad.HeartbeatRetries
 		}
 		x.retryBackoff = opts.RetryBackoff
 		if x.retryBackoff <= 0 {
-			x.retryBackoff = fault.DefaultRetryBackoff
+			x.retryBackoff = cad.RetryBackoff
 		}
 	}
 	x.cpus = make([]*sim.Resource, n)

@@ -58,6 +58,16 @@ func (b *BodyTable) take(key uint64) (func(rt.TC), bool) {
 	return body, ok
 }
 
+// peek returns the body for key without consuming it. The recovery
+// machinery uses it to retain a replayable reference to worker-created
+// closure bodies that share the coordinator's process.
+func (b *BodyTable) peek(key uint64) (func(rt.TC), bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	body, ok := b.bodies[key]
+	return body, ok
+}
+
 // drop discards a registered body (creation failed before dispatch).
 func (b *BodyTable) drop(key uint64) {
 	b.mu.Lock()

@@ -53,13 +53,12 @@ func (tc *mainCtx) Access(obj access.ObjectID, m access.Mode) (any, error) {
 	}
 	read := m.HasAny(access.Read | access.Commute)
 	write := m.HasAny(access.Write | access.Commute)
-	tc.x.coh.Lock()
-	ferr := tc.x.fetchToLocked(tc.t, obj, 0, read, write)
-	v := tc.x.vals[obj]
-	tc.x.coh.Unlock()
-	if ferr != nil {
+	if ferr := tc.x.fetchOneRetry(tc.t, obj, 0, read, write); ferr != nil {
 		return nil, ferr
 	}
+	tc.x.coh.Lock()
+	v := tc.x.vals[obj]
+	tc.x.coh.Unlock()
 	if v == nil {
 		return nil, fmt.Errorf("task %d: access to unallocated object #%d", tc.t.ID, obj)
 	}
@@ -112,6 +111,9 @@ func (tc *mainCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC
 	}
 	if body != nil {
 		pl.bodyKey = x.bodies.put(body)
+		// Retain the closure for crash recovery: if the executing worker
+		// dies after consuming the key, the re-dispatch re-registers it.
+		pl.body = body
 	}
 	x.mu.Lock()
 	if x.liveUser >= x.opts.MaxLiveTasks {
@@ -159,10 +161,7 @@ func (tc *mainCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC
 	if err := tc.await(pl.readyCh); err != nil {
 		return err
 	}
-	x.coh.Lock()
-	ferr := x.fetchAllLocked(t, 0)
-	x.coh.Unlock()
-	if ferr != nil {
+	if ferr := x.fetchAllRetry(t, 0); ferr != nil {
 		return ferr
 	}
 	if err := x.eng.Start(t); err != nil {

@@ -26,14 +26,18 @@ func (x *Exec) task(id uint64) *core.Task {
 // reply that only this loop can route, so blocking here on coh would
 // deadlock the protocol.
 func (x *Exec) recvLoop(w *workerLink) {
+	defer close(w.recvDone)
 	for {
 		msg, err := w.conn.Recv()
 		if err != nil {
 			x.mu.Lock()
-			closing := x.closing
+			quiet := x.closing || w.state == memberLeft
 			x.mu.Unlock()
-			if !closing {
-				x.failFatal(fmt.Errorf("live: worker %d (%s): connection lost: %w", w.m, w.name, err))
+			if !quiet {
+				// The transport IS the failure detector: a broken session
+				// means the worker missed its liveness deadline (or the
+				// process died). Declare it dead and recover.
+				x.workerLost(w, fmt.Errorf("connection lost: %w", err))
 			}
 			return
 		}
@@ -79,6 +83,10 @@ func (x *Exec) recvLoop(w *workerLink) {
 			go x.handleAlloc(w, f)
 		case wire.TStartReq:
 			go x.handleStart(w, f)
+		case wire.TLeave:
+			// Graceful departure request; the drain completes asynchronously
+			// (it must not block this loop, which routes the sync pulls).
+			go x.Drain(w.m)
 		default:
 			x.failFatal(fmt.Errorf("live: worker %d (%s): unexpected %s frame", w.m, w.name, wire.TypeName(f.Type)))
 			return
@@ -143,9 +151,7 @@ func (x *Exec) handleAccess(w *workerLink, f *wire.Frame) {
 	}
 	read := mode.HasAny(access.Read | access.Commute)
 	write := mode.HasAny(access.Write | access.Commute)
-	x.coh.Lock()
-	ferr := x.fetchToLocked(t, obj, w.m, read, write)
-	x.coh.Unlock()
+	ferr := x.fetchOneRetry(t, obj, w.m, read, write)
 	if ferr != nil {
 		w.reply(f.Req, ferr.Error(), 0, 0)
 		return
@@ -219,6 +225,11 @@ func (x *Exec) handleCreate(w *workerLink, f *wire.Frame) {
 		creator: w.m,
 		machine: -1,
 	}
+	if f.A != 0 && w.group == 0 {
+		// The creator shares our process: keep a replayable reference to
+		// the closure so a crash of the executing worker can re-run it.
+		pl.body, _ = x.bodies.peek(f.A)
+	}
 	x.mu.Lock()
 	if x.liveUser >= x.opts.MaxLiveTasks {
 		pl.inline = true
@@ -267,9 +278,7 @@ func (x *Exec) handleStart(w *workerLink, f *wire.Frame) {
 	case <-x.fatal:
 		return
 	}
-	x.coh.Lock()
-	ferr := x.fetchAllLocked(t, w.m)
-	x.coh.Unlock()
+	ferr := x.fetchAllRetry(t, w.m)
 	if ferr != nil {
 		w.reply(f.Req, ferr.Error(), 0, 0)
 		return

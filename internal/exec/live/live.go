@@ -29,6 +29,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -71,6 +72,11 @@ type Options struct {
 	Format format.ByteOrder
 	// Trace enables full event recording.
 	Trace bool
+	// OnTaskDone, if set, is called synchronously each time a dispatched
+	// task retires, with the total retired so far. The chaos harness
+	// uses it to fire scripted kills, joins, and drains at deterministic
+	// points in a run's progress.
+	OnTaskDone func(done int)
 }
 
 // objDir is the coordinator's directory entry for one object, same
@@ -102,6 +108,19 @@ type payload struct {
 	inline   bool
 	readyCh  chan struct{}
 	skipBody bool
+
+	// body is the closure retained coordinator-side (when the creator
+	// runs in the coordinator's process) so the task can be redispatched
+	// or replayed after a worker crash consumed the table entry.
+	body func(rt.TC)
+	// attempt counts dispatch attempts; >0 means redispatch after a
+	// placement was lost. Guarded by x.mu.
+	attempt int
+	// sent is the ownership handshake between dispatch() and the
+	// recovery sweep: true once the dispatch frame shipped, at which
+	// point orphan recovery (not the dispatch goroutine) owns failures.
+	// Guarded by x.mu.
+	sent bool
 }
 
 // workerLink is the coordinator's view of one connected worker.
@@ -116,6 +135,19 @@ type workerLink struct {
 
 	// Scheduler load estimate; guarded by x.mu.
 	pendingTasks int
+
+	// state is the membership lifecycle; guarded by x.mu.
+	state memberState
+	// started reports whether recvLoop was launched (and so recvDone
+	// will close); guarded by x.mu.
+	started bool
+	// dead closes when the worker is declared dead, unblocking RPC
+	// waiters. lostOnce makes the declaration exactly-once.
+	dead     chan struct{}
+	lostOnce sync.Once
+	// recvDone closes when the worker's receive loop exits; recovery
+	// waits on it so no late frame handler races the directory sweep.
+	recvDone chan struct{}
 }
 
 // Exec is the live coordinator. Create with New; each Exec runs one
@@ -134,11 +166,22 @@ type Exec struct {
 	fatal     chan struct{}
 	fatalOnce sync.Once
 
+	// admitMu serializes handshakes (initial and elastic joins) with
+	// machine-index assignment; the handshake itself cannot run under
+	// x.mu because it blocks on the connection.
+	admitMu sync.Mutex
+	// recMu serializes crash recoveries: concurrent deaths are recovered
+	// one at a time.
+	recMu sync.Mutex
+
 	// mu guards executor bookkeeping: task maps, throttle, RPC routing,
-	// scheduler load, first error.
+	// scheduler load, membership state, first error.
 	mu       sync.Mutex
+	cond     *sync.Cond // on mu; broadcast on epoch bumps and fatal
 	started  bool
 	closing  bool
+	epoch    uint64 // membership epoch; parked operations retry on change
+	nextMachine int // next machine index to assign (indices never reused)
 	tasks    map[core.TaskID]*core.Task
 	liveUser int
 	nextObj  access.ObjectID
@@ -157,6 +200,12 @@ type Exec struct {
 	cacheVer  map[access.ObjectID]uint64
 	verVals   map[access.ObjectID]map[uint64]*snapshot
 	shadowVer []map[access.ObjectID]uint64 // per machine: generation its shadow froze at
+	// hist is the per-object write-grant history above the cached
+	// version; inputs is the per-task input log. Together they make a
+	// completed task replayable when its worker dies with the only
+	// up-to-date copy of an object (see fault.go).
+	hist   map[access.ObjectID][]histEntry
+	inputs map[core.TaskID]map[access.ObjectID]any
 
 	// statMu guards the metrics ledgers.
 	statMu    sync.Mutex
@@ -166,6 +215,7 @@ type Exec struct {
 	convWords int
 	busy      []time.Duration // per machine (0 = coordinator)
 	tasksRun  int
+	retired   int // dispatched tasks retired (drives Options.OnTaskDone)
 
 	wg sync.WaitGroup // dispatched (non-inline) tasks in flight
 }
@@ -183,20 +233,24 @@ func New(opts Options) (*Exec, error) {
 	}
 	n := len(opts.Peers) + 1
 	x := &Exec{
-		opts:      opts,
-		bodies:    opts.Bodies,
-		fatal:     make(chan struct{}),
-		tasks:     map[core.TaskID]*core.Task{},
-		nextObj:   1,
-		nextReq:   1,
-		pending:   map[uint64]chan *wire.Frame{},
-		dir:       map[access.ObjectID]*objDir{},
-		vals:      map[access.ObjectID]any{},
-		cacheVer:  map[access.ObjectID]uint64{},
-		verVals:   map[access.ObjectID]map[uint64]*snapshot{},
-		shadowVer: make([]map[access.ObjectID]uint64, n),
-		busy:      make([]time.Duration, n),
+		opts:        opts,
+		bodies:      opts.Bodies,
+		fatal:       make(chan struct{}),
+		nextMachine: 1,
+		tasks:       map[core.TaskID]*core.Task{},
+		nextObj:     1,
+		nextReq:     1,
+		pending:     map[uint64]chan *wire.Frame{},
+		dir:         map[access.ObjectID]*objDir{},
+		vals:        map[access.ObjectID]any{},
+		cacheVer:    map[access.ObjectID]uint64{},
+		verVals:     map[access.ObjectID]map[uint64]*snapshot{},
+		shadowVer:   make([]map[access.ObjectID]uint64, n),
+		hist:        map[access.ObjectID][]histEntry{},
+		inputs:      map[core.TaskID]map[access.ObjectID]any{},
+		busy:        make([]time.Duration, n),
 	}
+	x.cond = sync.NewCond(&x.mu)
 	for i := range x.shadowVer {
 		x.shadowVer[i] = map[access.ObjectID]uint64{}
 	}
@@ -263,7 +317,7 @@ func (x *Exec) FaultStats() fault.Stats {
 	x.statMu.Lock()
 	s := x.fstats
 	x.statMu.Unlock()
-	for _, w := range x.workers {
+	for _, w := range x.workerList() {
 		if ts, ok := w.conn.(transport.Statser); ok {
 			st := ts.Stats()
 			s.HeartbeatsSent += int(st.Heartbeats)
@@ -295,10 +349,14 @@ func (x *Exec) fail(err error) {
 }
 
 // failFatal records err and aborts the run: parked handlers and RPC
-// waiters unwind via the fatal channel.
+// waiters unwind via the fatal channel, and epoch waiters are woken so
+// they observe the abort.
 func (x *Exec) failFatal(err error) {
 	x.fail(err)
 	x.fatalOnce.Do(func() { close(x.fatal) })
+	x.mu.Lock()
+	x.cond.Broadcast()
+	x.mu.Unlock()
 }
 
 func (x *Exec) firstError() error {
@@ -324,12 +382,15 @@ func (x *Exec) countFrame(src, dst, bytes int) {
 }
 
 // send encodes and ships one frame to the worker, charging the ledger.
+// A send failure is a failure-detector verdict on this worker, not on
+// the run: the session is torn down and recovery takes over.
 func (w *workerLink) send(f *wire.Frame) error {
 	buf := wire.Encode(f)
 	w.x.countFrame(0, w.m, len(buf))
 	if err := w.conn.Send(buf); err != nil {
-		w.x.failFatal(fmt.Errorf("live: send %s to worker %d (%s): %w", wire.TypeName(f.Type), w.m, w.name, err))
-		return err
+		err = fmt.Errorf("live: send %s to worker %d (%s): %w", wire.TypeName(f.Type), w.m, w.name, err)
+		w.x.workerLost(w, err)
+		return fmt.Errorf("%w: %w", errWorkerLost, err)
 	}
 	return nil
 }
@@ -355,6 +416,11 @@ func (x *Exec) rpc(w *workerLink, f *wire.Frame) (*wire.Frame, error) {
 	select {
 	case r := <-ch:
 		return r, nil
+	case <-w.dead:
+		x.mu.Lock()
+		delete(x.pending, f.Req)
+		x.mu.Unlock()
+		return nil, fmt.Errorf("live: worker %d (%s) died during %s rpc: %w", w.m, w.name, wire.TypeName(f.Type), errWorkerLost)
 	case <-x.fatal:
 		return nil, x.firstError()
 	}
@@ -375,13 +441,15 @@ func (x *Exec) handshake(p Peer, m int) (*workerLink, error) {
 		return nil, fmt.Errorf("live: worker %d: expected hello, got %s", m, wire.TypeName(f.Type))
 	}
 	w := &workerLink{
-		x:     x,
-		m:     m,
-		conn:  p.Conn,
-		name:  f.Label,
-		caps:  map[string]bool{},
-		fmt:   format.ByteOrder(f.A),
-		group: f.B,
+		x:        x,
+		m:        m,
+		conn:     p.Conn,
+		name:     f.Label,
+		caps:     map[string]bool{},
+		fmt:      format.ByteOrder(f.A),
+		group:    f.B,
+		dead:     make(chan struct{}),
+		recvDone: make(chan struct{}),
 	}
 	if w.name == "" {
 		w.name = fmt.Sprintf("worker-%d", m)
@@ -410,16 +478,11 @@ func (x *Exec) Run(root func(rt.TC)) error {
 	x.mu.Unlock()
 	x.eng.SetClock(func() int64 { return int64(time.Since(x.start)) })
 
-	for i, p := range x.opts.Peers {
-		w, err := x.handshake(p, i+1)
-		if err != nil {
+	for _, p := range x.opts.Peers {
+		if _, err := x.admit(p.Conn, false); err != nil {
 			x.failFatal(err)
 			return x.firstError()
 		}
-		x.workers = append(x.workers, w)
-	}
-	for _, w := range x.workers {
-		go x.recvLoop(w)
 	}
 
 	rootT := x.eng.Root()
@@ -453,8 +516,15 @@ func (x *Exec) Run(root func(rt.TC)) error {
 	x.drain()
 	x.mu.Lock()
 	x.closing = true
+	x.cond.Broadcast()
 	x.mu.Unlock()
-	for _, w := range x.workers {
+	for _, w := range x.workerList() {
+		x.mu.Lock()
+		st := w.state
+		x.mu.Unlock()
+		if st == memberDead || st == memberLeft {
+			continue // already fenced or already said goodbye
+		}
 		w.send(&wire.Frame{Type: wire.TBye})
 		w.conn.Close()
 	}
@@ -462,15 +532,29 @@ func (x *Exec) Run(root func(rt.TC)) error {
 }
 
 // drain pulls every object whose current version lives on a worker back
-// into the coordinator cache, so ObjectValue serves final results.
+// into the coordinator cache, so ObjectValue serves final results. A
+// worker death mid-drain parks on the membership epoch and retries
+// once recovery has promoted the dead worker's objects.
 func (x *Exec) drain() {
-	x.coh.Lock()
-	defer x.coh.Unlock()
-	for obj, d := range x.dir {
-		if d.owner != 0 {
-			if err := x.syncCacheLocked(obj); err != nil {
-				return // connection died; firstErr already set
+	for {
+		seen := x.epochNow()
+		err := func() error {
+			x.coh.Lock()
+			defer x.coh.Unlock()
+			for obj, d := range x.dir {
+				if d.owner != 0 {
+					if err := x.syncCacheLocked(obj); err != nil {
+						return err
+					}
+				}
 			}
+			return nil
+		}()
+		if err == nil || !errors.Is(err, errWorkerLost) {
+			return // success, or a non-membership failure (firstErr set)
+		}
+		if !x.awaitEpoch(seen) {
+			return
 		}
 	}
 }
@@ -509,73 +593,134 @@ func (x *Exec) onReady(t *core.Task) {
 
 // dispatch places one ready task on a worker, stages its declared
 // objects there, and ships the dispatch frame. The worker's TaskDone
-// resolves the wg entry.
+// resolves the wg entry. When a worker dies under the dispatch — before
+// the frame ships — this goroutine re-places the task itself, parking
+// on the membership epoch until recovery (or a join) changes the
+// member set; after the frame ships, the recovery sweep owns
+// re-placement (the pl.sent handshake).
 func (x *Exec) dispatch(t *core.Task, pl *payload) {
-	// Locality snapshot for the placement tiebreak: how many of the
-	// task's declared objects each machine already holds. Gathered under
-	// coh before taking mu (lock order is coh → mu, never the reverse).
-	held := make([]int, len(x.workers)+1)
-	x.coh.Lock()
-	for _, d := range t.ImmediateDecls() {
-		if dir := x.dir[d.Object]; dir != nil {
-			for c := range dir.copies {
-				if c < len(held) {
-					held[c]++
+	for {
+		seen := x.epochNow()
+		// Locality snapshot for the placement tiebreak: how many of the
+		// task's declared objects each machine already holds. Gathered
+		// under coh before taking mu (lock order is coh → mu, never the
+		// reverse).
+		held := make([]int, x.machineCount()+1)
+		x.coh.Lock()
+		for _, d := range t.ImmediateDecls() {
+			if dir := x.dir[d.Object]; dir != nil {
+				for c := range dir.copies {
+					if c < len(held) {
+						held[c]++
+					}
 				}
 			}
 		}
-	}
-	x.coh.Unlock()
-	x.mu.Lock()
-	w, err := x.place(pl, held)
-	if err == nil {
-		pl.machine = w.m
-		w.pendingTasks++
-	}
-	x.mu.Unlock()
-	if err != nil {
-		// No worker may legally run this task. Record the violation and
-		// run only the lifecycle so the program terminates (same policy
-		// as the simulated executor).
-		x.record(trace.Event{Kind: trace.Violation, Task: uint64(t.ID), Label: err.Error()})
-		x.fail(err)
-		pl.skipBody = true
-		x.finishSkipped(t, pl)
-		return
-	}
-	x.record(trace.Event{Kind: trace.TaskAssigned, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
-	x.coh.Lock()
-	ferr := x.fetchAllLocked(t, w.m)
-	x.coh.Unlock()
-	if ferr != nil {
-		x.failFatal(ferr)
-		return
-	}
-	x.record(trace.Event{Kind: trace.TaskFetched, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
-	if err := x.eng.Start(t); err != nil {
-		x.fail(err)
-		x.taskFinished(t, pl, 0, false)
-		return
-	}
-	// Started is recorded at dispatch: the span to TaskCompleted includes
-	// wire latency and worker-side queueing, which on a live network is
-	// real execution overhead rather than measurement error.
-	x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
-	x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
-	key := pl.bodyKey
-	if key != 0 && w.group != pl.group {
-		// The worker cannot reach the creator's closure table; it will
-		// construct the body from the kind. Release the coordinator-side
-		// table entry so it does not leak.
-		key = 0
-		if pl.group == 0 {
-			x.bodies.drop(pl.bodyKey)
+		x.coh.Unlock()
+		x.mu.Lock()
+		w, err := x.place(pl, held)
+		if err == nil {
+			pl.machine = w.m
+			pl.sent = false
+			w.pendingTasks++
+		}
+		x.mu.Unlock()
+		if err != nil {
+			if errors.Is(err, errWorkerLost) {
+				// Every worker is momentarily gone (mid-recovery, or
+				// between a drain and a join). Wait for membership to
+				// change rather than declaring the program wrong.
+				if x.awaitEpoch(seen) {
+					continue
+				}
+			}
+			// No worker may legally run this task. Record the violation
+			// and run only the lifecycle so the program terminates (same
+			// policy as the simulated executor).
+			x.record(trace.Event{Kind: trace.Violation, Task: uint64(t.ID), Label: err.Error()})
+			x.fail(err)
+			pl.skipBody = true
+			x.finishSkipped(t, pl)
+			return
+		}
+		x.record(trace.Event{Kind: trace.TaskAssigned, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+		ferr := x.fetchAllRetry(t, w.m)
+		if ferr != nil {
+			x.mu.Lock()
+			w.pendingTasks--
+			pl.machine = -1
+			x.mu.Unlock()
+			if errors.Is(ferr, errWorkerLost) {
+				if x.awaitEpoch(seen) {
+					pl.attempt++
+					continue
+				}
+				return // run is unwinding
+			}
+			x.failFatal(ferr)
+			return
+		}
+		x.record(trace.Event{Kind: trace.TaskFetched, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+		if pl.attempt == 0 || t.State() != core.Running {
+			if err := x.eng.Start(t); err != nil {
+				x.fail(err)
+				x.taskFinished(t, pl, 0, false)
+				return
+			}
+		}
+		// Started is recorded at dispatch: the span to TaskCompleted includes
+		// wire latency and worker-side queueing, which on a live network is
+		// real execution overhead rather than measurement error.
+		x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+		x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+		key := pl.bodyKey
+		if pl.attempt > 0 && pl.body != nil {
+			// Redispatch with a retained closure: the previous attempt
+			// may have consumed (or stranded) the table entry; park the
+			// closure under a fresh key.
+			if pl.bodyKey != 0 && pl.group == 0 {
+				x.bodies.drop(pl.bodyKey)
+			}
+			key = x.bodies.put(pl.body)
+			pl.bodyKey = key
+		}
+		if key != 0 && w.group != pl.group {
+			// The worker cannot reach the creator's closure table; it will
+			// construct the body from the kind. Release the coordinator-side
+			// table entry so it does not leak.
+			key = 0
+			if pl.group == 0 {
+				x.bodies.drop(pl.bodyKey)
+			}
+		}
+		// Mark sent BEFORE sending: if the send fails, the recovery
+		// sweep may already have claimed the task; the mu-guarded check
+		// below decides which side re-places it (never both).
+		x.mu.Lock()
+		pl.sent = true
+		x.mu.Unlock()
+		if w.send(&wire.Frame{
+			Type: wire.TDispatch, Task: uint64(t.ID), A: key,
+			Label: pl.opts.Label, Aux: pl.kind, Payload: pl.kindArgs,
+		}) == nil {
+			return
+		}
+		x.mu.Lock()
+		mine := pl.sent && pl.machine == w.m
+		if mine {
+			pl.sent = false
+			pl.machine = -1
+			pl.attempt++
+			w.pendingTasks--
+		}
+		x.mu.Unlock()
+		if !mine {
+			return // the recovery sweep claimed and redispatched it
+		}
+		if !x.awaitEpoch(seen) {
+			return
 		}
 	}
-	w.send(&wire.Frame{
-		Type: wire.TDispatch, Task: uint64(t.ID), A: key,
-		Label: pl.opts.Label, Aux: pl.kind, Payload: pl.kindArgs,
-	})
 }
 
 // finishSkipped runs the lifecycle of a task whose body may not execute
@@ -596,11 +741,23 @@ func (x *Exec) finishSkipped(t *core.Task, pl *payload) {
 func (x *Exec) taskFinished(t *core.Task, pl *payload, busy time.Duration, ran bool) {
 	x.mu.Lock()
 	x.liveUser--
+	var drained *workerLink
 	if pl.machine > 0 {
-		x.workers[pl.machine-1].pendingTasks--
+		if w := x.workerAtLocked(pl.machine); w != nil {
+			w.pendingTasks--
+			if w.state == memberDraining && w.pendingTasks == 0 {
+				drained = w
+			}
+		}
 	}
 	delete(x.tasks, t.ID)
 	x.mu.Unlock()
+	if drained != nil {
+		// In a goroutine: the drain syncs objects off the worker, and
+		// those pulls are routed by the very receive loop that may be
+		// running this retirement.
+		go x.completeDrain(drained)
+	}
 	x.statMu.Lock()
 	if ran {
 		x.tasksRun++
@@ -608,7 +765,12 @@ func (x *Exec) taskFinished(t *core.Task, pl *payload, busy time.Duration, ran b
 	if pl.machine >= 0 && int(pl.machine) < len(x.busy) {
 		x.busy[pl.machine] += busy
 	}
+	x.retired++
+	n := x.retired
 	x.statMu.Unlock()
+	if h := x.opts.OnTaskDone; h != nil {
+		h(n)
+	}
 	x.wg.Done()
 }
 
@@ -618,6 +780,9 @@ func (x *Exec) taskFinished(t *core.Task, pl *payload, busy time.Duration, ran b
 // the held snapshot). Called with x.mu held.
 func (x *Exec) place(pl *payload, held []int) (*workerLink, error) {
 	eligible := func(w *workerLink) error {
+		if w.state != memberActive {
+			return fmt.Errorf("task %q cannot place on worker %d (%s): member is %v", pl.opts.Label, w.m, w.name, w.state)
+		}
 		if pl.opts.RequireCap != "" && !w.caps[pl.opts.RequireCap] {
 			return fmt.Errorf("task %q requires capability %q, which worker %d (%s) lacks", pl.opts.Label, pl.opts.RequireCap, w.m, w.name)
 		}
@@ -644,18 +809,34 @@ func (x *Exec) place(pl *payload, held []int) (*workerLink, error) {
 	var best *workerLink
 	bestHeld := -1
 	var lastErr error
+	anyActive := false
 	for _, w := range x.workers {
+		if w.state == memberActive {
+			anyActive = true
+		}
 		if err := eligible(w); err != nil {
-			lastErr = err
+			if w.state == memberActive {
+				lastErr = err
+			}
 			continue
 		}
-		h := held[w.m]
+		// A worker admitted after the locality snapshot was taken holds
+		// nothing from the snapshot's point of view.
+		h := 0
+		if w.m < len(held) {
+			h = held[w.m]
+		}
 		if best == nil || w.pendingTasks < best.pendingTasks ||
 			(w.pendingTasks == best.pendingTasks && h > bestHeld) {
 			best, bestHeld = w, h
 		}
 	}
 	if best == nil {
+		if !anyActive {
+			// Transient: every member is dead, draining, or departed.
+			// The caller parks on the membership epoch and retries.
+			return nil, fmt.Errorf("task %q: no live worker: %w", pl.opts.Label, errWorkerLost)
+		}
 		if lastErr != nil {
 			return nil, lastErr
 		}
@@ -690,6 +871,23 @@ func (x *Exec) fetchToLocked(t *core.Task, obj access.ObjectID, m int, read, wri
 		err := fmt.Errorf("live: object #%d has no directory entry", obj)
 		x.fail(err)
 		return err
+	}
+	if m != 0 {
+		// Refuse dead or departed targets. The check runs inside the coh
+		// critical section, and the recovery sweep also runs under coh
+		// after the state flips: every grant to a dying worker either
+		// precedes the sweep (and is cleaned up by it) or is refused.
+		if _, err := x.workerTarget(m); err != nil {
+			return err
+		}
+		if t != nil {
+			// Input logging for crash replay: capture what this task
+			// will observe for obj, before the grant mutates the
+			// directory.
+			if err := x.logInputLocked(t, obj, m, read, write); err != nil {
+				return err
+			}
+		}
 	}
 	if write {
 		if d.owner != m {
@@ -732,6 +930,11 @@ func (x *Exec) fetchToLocked(t *core.Task, obj access.ObjectID, m int, read, wri
 		if m == 0 {
 			// The coordinator's store is the authoritative copy.
 			x.cacheVer[obj] = d.version
+			x.trimHistLocked(obj)
+		} else if t != nil {
+			// Record the write grant so the recovery sweep can find the
+			// last completed writer of a version that died with m.
+			x.hist[obj] = append(x.hist[obj], histEntry{ver: d.version, task: t})
 		}
 		return nil
 	}
@@ -760,7 +963,10 @@ func (x *Exec) syncCacheLocked(obj access.ObjectID) error {
 	if d.owner == 0 || x.cacheVer[obj] == d.version {
 		return nil
 	}
-	w := x.workers[d.owner-1]
+	w, err := x.workerTarget(d.owner)
+	if err != nil {
+		return err
+	}
 	have := x.cacheVer[obj]
 	r, err := x.rpc(w, &wire.Frame{Type: wire.TPull, Obj: uint64(obj), A: d.version, B: have})
 	if err != nil {
@@ -820,6 +1026,7 @@ func (x *Exec) syncCacheLocked(obj access.ObjectID) error {
 		x.statMu.Unlock()
 	}
 	x.cacheVer[obj] = d.version
+	x.trimHistLocked(obj)
 	return nil
 }
 
@@ -843,7 +1050,10 @@ func (x *Exec) noteConverted(obj access.ObjectID, src, dst, words int) {
 // against the worker's shadow generation when the diff is worthwhile,
 // as a full image otherwise. Requires x.coh with the cache current.
 func (x *Exec) pushLocked(t *core.Task, obj access.ObjectID, m int, d *objDir) error {
-	w := x.workers[m-1]
+	w, err := x.workerTarget(m)
+	if err != nil {
+		return err
+	}
 	gen := x.cacheVer[obj]
 	val := x.vals[obj]
 	if val == nil {
@@ -919,7 +1129,10 @@ func (x *Exec) pushLocked(t *core.Task, obj access.ObjectID, m int, d *objDir) e
 // pushZeroLocked grants worker m a fresh zeroed buffer for obj: a
 // write-only task may not read the old contents, so no data moves.
 func (x *Exec) pushZeroLocked(t *core.Task, obj access.ObjectID, m int, d *objDir) error {
-	w := x.workers[m-1]
+	w, err := x.workerTarget(m)
+	if err != nil {
+		return err
+	}
 	kind, n := kindAndLen(x.vals[obj])
 	x.dropShadowLocked(m, obj)
 	if err := w.send(&wire.Frame{Type: wire.TObjZero, Obj: uint64(obj),
@@ -940,6 +1153,13 @@ func (x *Exec) invalidateLocked(c int, obj access.ObjectID, d *objDir) {
 		x.record(trace.Event{Kind: trace.ObjectInvalidated, Object: uint64(obj), Src: 0, Dst: 0, Label: d.label})
 		return
 	}
+	w, err := x.workerTarget(c)
+	if err != nil {
+		// The copy holder is dead or departed: nothing to invalidate and
+		// no shadow worth retaining (the sweep drops its state).
+		x.record(trace.Event{Kind: trace.ObjectInvalidated, Object: uint64(obj), Src: c, Dst: c, Label: d.label + " (member gone)"})
+		return
+	}
 	gen := x.cacheVer[obj]
 	vm := x.verVals[obj]
 	if vm == nil {
@@ -957,7 +1177,6 @@ func (x *Exec) invalidateLocked(c int, obj access.ObjectID, d *objDir) {
 	}
 	snap.refs++
 	x.shadowVer[c][obj] = gen
-	w := x.workers[c-1]
 	w.send(&wire.Frame{Type: wire.TInvalidate, Obj: uint64(obj), A: gen})
 	x.record(trace.Event{Kind: trace.ObjectInvalidated, Object: uint64(obj), Src: c, Dst: c, Label: d.label})
 }

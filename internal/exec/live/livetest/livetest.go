@@ -1,0 +1,201 @@
+// Package livetest is a chaos-test harness for the live executor: it
+// builds an in-process cluster and fires a scripted sequence of
+// membership events — fail-stop kills, graceful drains, fresh joins —
+// at deterministic points in the task stream.
+//
+// Scripting on the count of retired tasks (rather than wall-clock time)
+// makes chaos schedules reproducible: "kill worker 2 after 5 tasks have
+// retired" happens at the same logical point in every run, so a failing
+// seed replays. The harness is the test half of the executor's fault
+// tolerance: every scripted run must still produce results bit-identical
+// to the serial oracle, which is exactly the paper's determinism
+// guarantee extended to a crashing, elastic machine set.
+package livetest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/exec/live"
+	"repro/internal/rt"
+	"repro/internal/transport/inproc"
+)
+
+// Step is one scripted membership event. Exactly one of Kill, Drain, or
+// Join should be set. The step fires when the count of retired
+// dispatched tasks first reaches AfterDone.
+type Step struct {
+	// AfterDone is the retired-task count that triggers the step.
+	AfterDone int
+	// Kill declares worker machine Kill dead (fail-stop; its session is
+	// fenced and its work recovered). 0 = no kill.
+	Kill int
+	// Drain gracefully retires worker machine Drain. 0 = no drain.
+	Drain int
+	// Join admits this many fresh workers.
+	Join int
+}
+
+// Options configure a chaos cluster.
+type Options struct {
+	// Workers is the initial worker count (required, ≥ 1).
+	Workers int
+	// Slots is the per-worker concurrency (0 = 1).
+	Slots int
+	// MaxLiveTasks bounds outstanding tasks (0 = executor default).
+	MaxLiveTasks int
+	// Script is the membership schedule, fired in AfterDone order.
+	Script []Step
+	// Trace records execution events.
+	Trace bool
+}
+
+// Cluster is a live coordinator plus in-process workers under a chaos
+// script.
+type Cluster struct {
+	// X is the coordinator; tests read FaultStats, Members, and object
+	// values from it.
+	X *live.Exec
+
+	bodies *live.BodyTable
+	slots  int
+
+	mu     sync.Mutex
+	script []Step // sorted by AfterDone
+	cursor int
+	next   int // name counter for joined workers
+	errs   []error
+
+	// Steps are applied by a dedicated goroutine: OnTaskDone runs inside
+	// the executor's protocol loops, which must never block on the
+	// coherence lock — and Admit does. The channel preserves firing
+	// order; stepWG lets tests wait for every fired step to finish.
+	stepCh chan Step
+	stepWG sync.WaitGroup
+}
+
+// New builds the cluster and connects the initial workers over
+// goroutine pipes. The script is sorted by AfterDone; ties fire in the
+// order given.
+func New(opts Options) (*Cluster, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("livetest: need at least one initial worker")
+	}
+	c := &Cluster{
+		bodies: live.NewBodyTable(),
+		slots:  opts.Slots,
+		script: append([]Step(nil), opts.Script...),
+		next:   opts.Workers,
+	}
+	sort.SliceStable(c.script, func(i, j int) bool {
+		return c.script[i].AfterDone < c.script[j].AfterDone
+	})
+	c.stepCh = make(chan Step, len(c.script))
+	go func() {
+		for s := range c.stepCh {
+			if err := c.apply(s); err != nil {
+				c.mu.Lock()
+				c.errs = append(c.errs, err)
+				c.mu.Unlock()
+			}
+			c.stepWG.Done()
+		}
+	}()
+	peers := make([]live.Peer, opts.Workers)
+	for i := range peers {
+		a, b := inproc.Pipe()
+		peers[i] = live.Peer{Conn: a}
+		go live.Serve(b, live.WorkerOptions{
+			Name:   fmt.Sprintf("chaos-%d", i+1),
+			Bodies: c.bodies,
+			Slots:  opts.Slots,
+		})
+	}
+	x, err := live.New(live.Options{
+		Peers:        peers,
+		Bodies:       c.bodies,
+		MaxLiveTasks: opts.MaxLiveTasks,
+		Trace:        opts.Trace,
+		OnTaskDone:   c.onTaskDone,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.X = x
+	return c, nil
+}
+
+// Run executes the program under the script and returns the run error,
+// if any. Script-step errors are reported separately by Err.
+func (c *Cluster) Run(main func(rt.TC)) error {
+	return c.X.Run(main)
+}
+
+// Err returns the first error a script step produced, if any.
+func (c *Cluster) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.errs) > 0 {
+		return c.errs[0]
+	}
+	return nil
+}
+
+// Fired reports how many script steps have fired.
+func (c *Cluster) Fired() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cursor
+}
+
+// Wait blocks until every step fired so far has finished applying. Call
+// after Run before inspecting membership or fault counters.
+func (c *Cluster) Wait() {
+	c.stepWG.Wait()
+}
+
+// onTaskDone is the executor's retirement hook: enqueue every step
+// whose threshold has been reached, in order, each at most once. The
+// hook runs inside protocol loops, so the steps themselves are applied
+// elsewhere.
+func (c *Cluster) onTaskDone(done int) {
+	for {
+		c.mu.Lock()
+		if c.cursor >= len(c.script) || c.script[c.cursor].AfterDone > done {
+			c.mu.Unlock()
+			return
+		}
+		step := c.script[c.cursor]
+		c.cursor++
+		c.mu.Unlock()
+		c.stepWG.Add(1)
+		c.stepCh <- step // buffered to len(script): never blocks
+	}
+}
+
+// apply executes one step.
+func (c *Cluster) apply(s Step) error {
+	if s.Kill != 0 {
+		if err := c.X.KillWorker(s.Kill); err != nil {
+			return fmt.Errorf("livetest: step kill %d: %w", s.Kill, err)
+		}
+	}
+	if s.Drain != 0 {
+		if err := c.X.Drain(s.Drain); err != nil {
+			return fmt.Errorf("livetest: step drain %d: %w", s.Drain, err)
+		}
+	}
+	for i := 0; i < s.Join; i++ {
+		c.mu.Lock()
+		c.next++
+		name := fmt.Sprintf("chaos-%d", c.next)
+		c.mu.Unlock()
+		a, b := inproc.Pipe()
+		go live.Serve(b, live.WorkerOptions{Name: name, Bodies: c.bodies, Slots: c.slots})
+		if _, err := c.X.Admit(a); err != nil {
+			return fmt.Errorf("livetest: step join: %w", err)
+		}
+	}
+	return nil
+}

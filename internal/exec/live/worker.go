@@ -41,7 +41,17 @@ type WorkerOptions struct {
 	// Slots is the number of tasks the worker executes concurrently
 	// (processor slots). 0 means 1.
 	Slots int
+	// Leave, when non-nil, requests a graceful departure when it becomes
+	// readable: the worker sends TLeave and keeps serving until the
+	// coordinator has drained it and answers TBye.
+	Leave <-chan struct{}
 }
+
+// ErrEvicted is returned by Serve when the coordinator has declared this
+// worker dead and fenced its session. The worker process is in fact
+// alive (a false positive of the failure detector); it may rejoin the
+// computation only as a brand-new member via a fresh dial.
+var ErrEvicted = errors.New("live: worker evicted (declared dead by coordinator)")
 
 var groupCounter atomic.Uint64
 
@@ -134,6 +144,15 @@ func Serve(conn transport.Conn, opts WorkerOptions) error {
 		return err
 	}
 	w.m = int(f.A)
+	if opts.Leave != nil {
+		go func() {
+			select {
+			case <-opts.Leave:
+				w.send(&wire.Frame{Type: wire.TLeave})
+			case <-w.dead:
+			}
+		}()
+	}
 	err = w.loop()
 	w.wg.Wait()
 	return err
@@ -227,6 +246,9 @@ func (w *worker) loop() error {
 		case wire.TBye:
 			w.fail(transport.ErrClosed)
 			return nil
+		case wire.TEvict:
+			w.fail(ErrEvicted)
+			return ErrEvicted
 		default:
 			err = fmt.Errorf("live worker %d: unexpected %s frame", w.m, wire.TypeName(f.Type))
 		}
@@ -375,7 +397,9 @@ func (w *worker) runTask(f *wire.Frame) {
 	tc := &workerTC{w: w, task: f.Task, wt: wt}
 	err := w.runBody(tc, body)
 	wt.busy += time.Since(wt.heldAt)
-	w.slots <- struct{}{}
+	if !wt.lost {
+		w.slots <- struct{}{}
+	}
 	if err != nil {
 		w.send(&wire.Frame{Type: wire.TTaskFail, Task: f.Task, Label: err.Error()})
 		return
@@ -399,6 +423,10 @@ func (w *worker) runBody(tc rt.TC, body func(rt.TC)) (err error) {
 type watch struct {
 	heldAt time.Time
 	busy   time.Duration
+	// lost records that the slot token was released for an RPC and never
+	// re-acquired because the worker died; the task must not return a
+	// token it does not hold.
+	lost bool
 }
 
 // workerTC implements rt.TC for a task body running on a worker. Every
@@ -428,6 +456,7 @@ func (tc *workerTC) rpcYield(f *wire.Frame) (*wire.Frame, error) {
 	select {
 	case <-w.slots:
 	case <-w.dead:
+		tc.wt.lost = true
 		return nil, w.failErr()
 	}
 	tc.wt.heldAt = time.Now()

@@ -1,0 +1,17 @@
+package experiments
+
+import "testing"
+
+// TestL2Elastic: Cholesky on the live runtime survives a mid-run worker
+// kill plus two joins on both transports, stays bit-identical to the
+// serial oracle, and the fault counters account for every membership
+// event (asserted inside L2Elastic).
+func TestL2Elastic(t *testing.T) {
+	tb, err := L2Elastic(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per transport", len(tb.Rows))
+	}
+}

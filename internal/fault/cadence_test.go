@@ -1,0 +1,44 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDefaultCadenceMatchesConstants is the drift guard for the single
+// source of truth: every consumer of the detector cadence (the simulated
+// executor and the live TCP transport) goes through DefaultCadence, and
+// this test pins that the struct and the exported constants agree.
+func TestDefaultCadenceMatchesConstants(t *testing.T) {
+	c := DefaultCadence()
+	if c.HeartbeatInterval != DefaultHeartbeatInterval {
+		t.Errorf("HeartbeatInterval = %v, want %v", c.HeartbeatInterval, DefaultHeartbeatInterval)
+	}
+	if c.HeartbeatTimeout != DefaultHeartbeatTimeout {
+		t.Errorf("HeartbeatTimeout = %v, want %v", c.HeartbeatTimeout, DefaultHeartbeatTimeout)
+	}
+	if c.HeartbeatRetries != DefaultHeartbeatRetries {
+		t.Errorf("HeartbeatRetries = %d, want %d", c.HeartbeatRetries, DefaultHeartbeatRetries)
+	}
+	if c.RetryBackoff != DefaultRetryBackoff {
+		t.Errorf("RetryBackoff = %v, want %v", c.RetryBackoff, DefaultRetryBackoff)
+	}
+}
+
+func TestCadenceScaledAndDeadline(t *testing.T) {
+	c := DefaultCadence().Scaled(50)
+	if c.HeartbeatInterval != 50*DefaultHeartbeatInterval {
+		t.Errorf("scaled interval = %v, want %v", c.HeartbeatInterval, 50*DefaultHeartbeatInterval)
+	}
+	if c.HeartbeatRetries != DefaultHeartbeatRetries {
+		t.Errorf("scaling must not touch the retry count: got %d", c.HeartbeatRetries)
+	}
+	want := c.HeartbeatInterval + c.HeartbeatTimeout*(1<<c.HeartbeatRetries)
+	if got := c.Deadline(); got != want {
+		t.Errorf("Deadline() = %v, want %v", got, want)
+	}
+	if DefaultCadence().Deadline() <= 0 {
+		t.Error("default deadline must be positive")
+	}
+	_ = time.Millisecond
+}

@@ -41,6 +41,51 @@ const (
 	DefaultRetryBackoff = 2 * time.Millisecond
 )
 
+// Cadence bundles the failure-detector timing parameters so every
+// consumer — the simulated executor's virtual-time detector and the live
+// TCP transport's wall-clock heartbeats — draws from one source of truth
+// instead of copying the Default* constants field by field.
+type Cadence struct {
+	// HeartbeatInterval is the probe (or idle-heartbeat) period.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the initial wait after a missed probe,
+	// doubling per consecutive miss.
+	HeartbeatTimeout time.Duration
+	// HeartbeatRetries is the consecutive-miss budget before a machine
+	// is declared dead.
+	HeartbeatRetries int
+	// RetryBackoff is the initial retransmission (or redial) delay,
+	// doubling per retry.
+	RetryBackoff time.Duration
+}
+
+// DefaultCadence returns the canonical detector cadence (the Default*
+// constants as one value).
+func DefaultCadence() Cadence {
+	return Cadence{
+		HeartbeatInterval: DefaultHeartbeatInterval,
+		HeartbeatTimeout:  DefaultHeartbeatTimeout,
+		HeartbeatRetries:  DefaultHeartbeatRetries,
+		RetryBackoff:      DefaultRetryBackoff,
+	}
+}
+
+// Scaled multiplies the durations by k (the retry count is unitless and
+// unchanged): how the live transport converts simulator cadence into
+// wall-clock settings that tolerate real scheduler jitter.
+func (c Cadence) Scaled(k int) Cadence {
+	c.HeartbeatInterval *= time.Duration(k)
+	c.HeartbeatTimeout *= time.Duration(k)
+	c.RetryBackoff *= time.Duration(k)
+	return c
+}
+
+// Deadline is how long a silent peer stays presumed-live: one full
+// heartbeat interval plus the exponential miss budget.
+func (c Cadence) Deadline() time.Duration {
+	return c.HeartbeatInterval + c.HeartbeatTimeout*(1<<c.HeartbeatRetries)
+}
+
 // Crash schedules the fail-stop death of one machine: at virtual time At its
 // processor halts and its memory (object store, shadows) is lost. Machine 0
 // hosts the main program and the runtime's control state and cannot crash —
@@ -156,6 +201,11 @@ type Stats struct {
 	// (ownership promoted to a surviving copy, restored from a shadow, or
 	// re-derived by replay).
 	ObjectsRebuilt int
+	// WorkersJoined and WorkersDrained count elastic-membership events on
+	// a live run: workers admitted to a running coordinator and workers
+	// that left gracefully (objects synced back before departure).
+	WorkersJoined  int
+	WorkersDrained int
 	// RecoveryTime is the summed virtual-time unavailability window: from
 	// each crash to the completion of its recovery.
 	RecoveryTime time.Duration
@@ -175,6 +225,8 @@ func (s Stats) Add(o Stats) Stats {
 	s.TasksReexecuted += o.TasksReexecuted
 	s.TasksReplayed += o.TasksReplayed
 	s.ObjectsRebuilt += o.ObjectsRebuilt
+	s.WorkersJoined += o.WorkersJoined
+	s.WorkersDrained += o.WorkersDrained
 	s.RecoveryTime += o.RecoveryTime
 	return s
 }

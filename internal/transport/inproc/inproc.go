@@ -63,6 +63,17 @@ func (q *queue) close() {
 	q.mu.Unlock()
 }
 
+// closeDiscard closes the queue AND drops messages already in flight:
+// the fencing teardown, where late frames from a declared-dead peer must
+// never be delivered.
+func (q *queue) closeDiscard() {
+	q.mu.Lock()
+	q.closed = true
+	q.msgs = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
 // conn is one endpoint of a pipe.
 type conn struct {
 	send *queue
@@ -114,6 +125,21 @@ func (c *conn) Stats() transport.Stats {
 	defer c.mu.Unlock()
 	return c.stats
 }
+
+// Fence implements transport.Fencer. The pipe IS the session on this
+// substrate, so fencing closes both directions and additionally discards
+// frames the peer already had in flight — they are late traffic from a
+// declared-dead sender and must not be applied. This is the SIGKILL
+// analogue the chaos harness uses for in-process workers.
+func (c *conn) Fence() {
+	c.send.close()
+	c.recv.closeDiscard()
+}
+
+var (
+	_ transport.Conn   = (*conn)(nil)
+	_ transport.Fencer = (*conn)(nil)
+)
 
 // Name registry: Listen/Dial let code that only knows an address string
 // (e.g. cmd/jadeworker pointed at an inproc coordinator in tests) rendezvous

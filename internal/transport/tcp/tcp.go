@@ -85,17 +85,18 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	cad := fault.DefaultCadence().Scaled(LivenessScale)
 	if o.HeartbeatInterval <= 0 {
-		o.HeartbeatInterval = fault.DefaultHeartbeatInterval * LivenessScale
+		o.HeartbeatInterval = cad.HeartbeatInterval
 	}
 	if o.HeartbeatTimeout <= 0 {
-		o.HeartbeatTimeout = fault.DefaultHeartbeatTimeout * LivenessScale
+		o.HeartbeatTimeout = cad.HeartbeatTimeout
 	}
 	if o.HeartbeatRetries <= 0 {
-		o.HeartbeatRetries = fault.DefaultHeartbeatRetries
+		o.HeartbeatRetries = cad.HeartbeatRetries
 	}
 	if o.RetryBackoff <= 0 {
-		o.RetryBackoff = fault.DefaultRetryBackoff * LivenessScale
+		o.RetryBackoff = cad.RetryBackoff
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
@@ -106,10 +107,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// deadline is how long a silent peer stays presumed-live.
+// deadline is how long a silent peer stays presumed-live. The formula is
+// fault.Cadence.Deadline applied to this session's (scaled) cadence.
 func (o Options) deadline() time.Duration {
-	return o.HeartbeatInterval + o.HeartbeatTimeout*(1<<o.HeartbeatRetries)
+	return fault.Cadence{
+		HeartbeatInterval: o.HeartbeatInterval,
+		HeartbeatTimeout:  o.HeartbeatTimeout,
+		HeartbeatRetries:  o.HeartbeatRetries,
+	}.Deadline()
 }
+
+// ErrFenced is the terminal error of a fenced session: the peer holding
+// the other end has been declared dead by the application and its late
+// frames are discarded rather than applied.
+var ErrFenced = errors.New("tcp: session fenced (peer declared dead)")
 
 // outFrame is one unacknowledged application message.
 type outFrame struct {
@@ -145,7 +156,8 @@ func (l *link) poke() {
 type session struct {
 	opts     Options
 	id       uint64
-	dialAddr string // non-empty on the dialing side; "" on the listener side
+	dialAddr string    // non-empty on the dialing side; "" on the listener side
+	lst      *Listener // listener that owns this session; nil on the dialing side
 
 	mu       sync.Mutex
 	recvCond *sync.Cond
@@ -158,6 +170,7 @@ type session struct {
 	ackDue   bool
 	finDue   bool
 	closed   bool // local Close or terminal failure
+	fenced   bool // Fence was called: drop (never deliver) late data frames
 	peerFin  bool
 	err      error // terminal error, set once
 	redialing bool
@@ -250,6 +263,30 @@ func (s *session) Stats() transport.Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// SessionID implements transport.Sessioner.
+func (s *session) SessionID() uint64 { return s.id }
+
+// Fence implements transport.Fencer: terminate the session AND bar any
+// late traffic from it. The session id is deregistered from the owning
+// listener, so a resume handshake presenting it is rejected (the client
+// side then exhausts its redials and dies); data frames that race the
+// teardown — already queued on the socket, or retransmitted before the
+// reject lands — are discarded by the reader instead of delivered. A
+// fenced peer that is in fact alive must dial a brand-new session to
+// come back, which is what makes acting on a false suspicion safe.
+func (s *session) Fence() {
+	s.mu.Lock()
+	s.fenced = true
+	s.recvQ = nil // undelivered frames from the now-dead peer are dropped
+	s.mu.Unlock()
+	if s.lst != nil {
+		s.lst.mu.Lock()
+		delete(s.lst.sessions, s.id)
+		s.lst.mu.Unlock()
+	}
+	s.fail(ErrFenced)
 }
 
 // fail terminates the session with err (first failure wins).
@@ -489,6 +526,11 @@ func (s *session) reader(l *link) {
 			msg := append([]byte(nil), body[8:]...)
 			s.mu.Lock()
 			switch {
+			case s.fenced:
+				// Late frame from a fenced (declared-dead) session: dropped,
+				// never delivered. The fencing invariant the live executor's
+				// recovery relies on.
+				s.stats.DupsDropped++
 			case seq <= s.lastRecv:
 				// Retransmission of a message we already delivered (its
 				// ack was lost): at-most-once delivery drops it here.
@@ -696,6 +738,7 @@ func (l *Listener) handshake(raw net.Conn) {
 		id = l.nextID
 		l.nextID++
 		s := newSession(l.opts, id, "")
+		s.lst = l
 		l.sessions[id] = s
 		l.mu.Unlock()
 		if err := writeHandshake(raw, id, 0); err != nil {
@@ -765,9 +808,11 @@ func (l *Listener) Close() error {
 }
 
 var (
-	_ transport.Conn     = (*session)(nil)
-	_ transport.Statser  = (*session)(nil)
-	_ transport.Listener = (*Listener)(nil)
+	_ transport.Conn      = (*session)(nil)
+	_ transport.Statser   = (*session)(nil)
+	_ transport.Fencer    = (*session)(nil)
+	_ transport.Sessioner = (*session)(nil)
+	_ transport.Listener  = (*Listener)(nil)
 )
 
 // dropRaw is a test hook: it kills the current raw socket without

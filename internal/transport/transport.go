@@ -74,3 +74,19 @@ type Stats struct {
 
 // Statser is the optional stats interface, satisfied by tcp conns.
 type Statser interface{ Stats() Stats }
+
+// Fencer is the optional fencing interface. Fence tears the connection
+// down AND bars any late traffic from the same session from ever being
+// delivered: frames in flight (or retransmitted on a resume attempt) are
+// dropped, not applied, and a resume handshake presenting the fenced
+// session id is rejected. The coordinator fences a worker it has
+// declared dead so that a worker that was merely slow cannot corrupt the
+// recovered run — the falsely-suspected worker must rejoin as a brand
+// new member. Substrates without session state (inproc) treat Fence as
+// Close: the channel is the session.
+type Fencer interface{ Fence() }
+
+// Sessioner exposes the substrate's session identity, when it has one.
+// Two conns with different ids are different sessions even if they
+// connect the same two endpoints — the property session fencing keys on.
+type Sessioner interface{ SessionID() uint64 }

@@ -110,6 +110,16 @@ const (
 	TReply
 	// TBye: either direction: orderly shutdown of the session.
 	TBye
+	// TLeave: worker → coordinator: request a graceful departure. The
+	// coordinator stops placing tasks on the worker, waits for its
+	// in-flight tasks, syncs its owned objects back, and answers with
+	// TBye. No scalar fields.
+	TLeave
+	// TEvict: coordinator → worker: you have been declared dead and your
+	// session is fenced; do not attempt to resume it. A worker that is in
+	// fact alive may rejoin as a brand-new member (fresh dial + THello).
+	// Delivery is best-effort — a genuinely dead worker never sees it.
+	TEvict
 	// typeMax bounds the valid range; Decode rejects types outside it.
 	typeMax
 )
@@ -224,7 +234,7 @@ func TypeName(t byte) string {
 		TStartReq: "start", TConvertReq: "convert", TRetractReq: "retract",
 		TEndAccess: "end-access", TClearAccess: "clear-access",
 		TTaskDone: "task-done", TTaskFail: "task-fail", TReply: "reply",
-		TBye: "bye",
+		TBye: "bye", TLeave: "leave", TEvict: "evict",
 	}
 	if int(t) < len(names) && names[t] != "" {
 		return names[t]

@@ -32,6 +32,8 @@ func sampleFrames() []*Frame {
 		{Type: TTaskFail, Task: 42, Label: "panic: index out of range"},
 		{Type: TReply, Req: 101, Label: "", A: 55, B: 1},
 		{Type: TBye},
+		{Type: TLeave},
+		{Type: TEvict},
 	}
 }
 

@@ -32,6 +32,7 @@ package jade
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/access"
@@ -119,6 +120,15 @@ type Runtime struct {
 	traced    bool
 	wall      time.Duration
 	liveAddr  string
+
+	// Live-runtime elastic-membership state (nil/zero otherwise).
+	liveX       *live.Exec
+	liveBodies  *live.BodyTable
+	liveSlots   int
+	liveTCP     bool
+	liveElastic bool
+	liveMu      sync.Mutex
+	liveNext    int // counter for naming joined in-process workers
 }
 
 // ListenAddr returns the coordinator's bound TCP address for a live runtime
@@ -247,6 +257,17 @@ type LiveConfig struct {
 	MaxLiveTasks int
 	// Trace records execution events.
 	Trace bool
+	// Elastic keeps membership open after the run starts: workers may
+	// join mid-run (JoinWorkers, or — with Transport "tcp" — external
+	// jadeworkers dialing in late), drain out gracefully (DrainWorker),
+	// or be declared dead and recovered from (KillWorker injects such a
+	// death; real connection failures are detected the same way).
+	Elastic bool
+	// OnTaskDone, when non-nil, is called synchronously each time a
+	// dispatched task retires, with the running total. Chaos and
+	// elasticity tests use it to script membership changes at
+	// deterministic points in the task stream.
+	OnTaskDone func(done int)
 }
 
 // NewLive returns a runtime executing over real message passing. In-process
@@ -269,6 +290,7 @@ func NewLive(cfg LiveConfig) (*Runtime, error) {
 	}
 	var peers []live.Peer
 	var boundAddr string
+	var lateConns *tcp.Listener
 	switch cfg.Transport {
 	case "", "inproc":
 		if cfg.AwaitExternal > 0 {
@@ -306,17 +328,7 @@ func NewLive(cfg LiveConfig) (*Runtime, error) {
 			}
 			peers = append(peers, live.Peer{Conn: c})
 		}
-		// The rendezvous is complete; late connections are not part of
-		// this run.
-		go func() {
-			for {
-				c, err := l.Accept()
-				if err != nil {
-					return
-				}
-				c.Close()
-			}
-		}()
+		lateConns = l
 	default:
 		return nil, fmt.Errorf("jade: unknown live transport %q (known: inproc, tcp)", cfg.Transport)
 	}
@@ -325,11 +337,115 @@ func NewLive(cfg LiveConfig) (*Runtime, error) {
 		Bodies:       bodies,
 		MaxLiveTasks: cfg.MaxLiveTasks,
 		Trace:        cfg.Trace,
+		OnTaskDone:   cfg.OnTaskDone,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{ex: x, traced: cfg.Trace, liveAddr: boundAddr}, nil
+	if lateConns != nil {
+		if cfg.Elastic {
+			// Elastic membership: late dials (redialing evicted workers,
+			// fresh jadeworkers, JoinWorkers) are admitted mid-run.
+			go func() {
+				for {
+					c, err := lateConns.Accept()
+					if err != nil {
+						return
+					}
+					go x.Admit(c)
+				}
+			}()
+		} else {
+			// The rendezvous is complete; late connections are not part
+			// of this run.
+			go func() {
+				for {
+					c, err := lateConns.Accept()
+					if err != nil {
+						return
+					}
+					c.Close()
+				}
+			}()
+		}
+	}
+	return &Runtime{
+		ex: x, traced: cfg.Trace, liveAddr: boundAddr,
+		liveX: x, liveBodies: bodies, liveSlots: cfg.WorkerSlots,
+		liveTCP: lateConns != nil, liveElastic: cfg.Elastic,
+		liveNext: cfg.Workers,
+	}, nil
+}
+
+// KillWorker injects the fail-stop death of worker machine m on a live
+// runtime: its session is fenced exactly as if the process had died, its
+// in-flight tasks are re-executed elsewhere, and its directory state is
+// rebuilt — the run continues and produces bit-identical results.
+func (r *Runtime) KillWorker(m int) error {
+	if r.liveX == nil {
+		return fmt.Errorf("jade: KillWorker requires a live runtime")
+	}
+	return r.liveX.KillWorker(m)
+}
+
+// DrainWorker gracefully retires worker machine m from a live runtime:
+// no new tasks are placed on it, in-flight tasks finish, owned objects
+// sync back to the coordinator, and the worker departs.
+func (r *Runtime) DrainWorker(m int) error {
+	if r.liveX == nil {
+		return fmt.Errorf("jade: DrainWorker requires a live runtime")
+	}
+	return r.liveX.Drain(m)
+}
+
+// JoinWorkers adds n fresh in-process workers to a running live runtime
+// (elastic membership). Placement immediately rebalances onto the new
+// capacity. It returns after every new worker has completed the join
+// handshake.
+func (r *Runtime) JoinWorkers(n int) error {
+	if r.liveX == nil {
+		return fmt.Errorf("jade: JoinWorkers requires a live runtime")
+	}
+	for i := 0; i < n; i++ {
+		r.liveMu.Lock()
+		r.liveNext++
+		name := fmt.Sprintf("local-%d", r.liveNext)
+		r.liveMu.Unlock()
+		opts := live.WorkerOptions{Name: name, Bodies: r.liveBodies, Slots: r.liveSlots}
+		if r.liveTCP {
+			if !r.liveElastic {
+				return fmt.Errorf("jade: JoinWorkers on a tcp runtime requires LiveConfig.Elastic")
+			}
+			want := r.activeMembers() + 1
+			c, err := tcp.Dial(r.liveAddr, tcp.Options{})
+			if err != nil {
+				return fmt.Errorf("jade: join dial: %w", err)
+			}
+			go live.Serve(c, opts)
+			// Admission happens in the listener's accept loop; wait for
+			// the member count to reflect it.
+			deadline := time.Now().Add(10 * time.Second)
+			for r.activeMembers() < want {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("jade: join of %s timed out", name)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		} else {
+			a, b := inproc.Pipe()
+			go live.Serve(b, opts)
+			if _, err := r.liveX.Admit(a); err != nil {
+				return fmt.Errorf("jade: join: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// activeMembers reports the live runtime's current active worker count.
+func (r *Runtime) activeMembers() int {
+	active, _, _, _ := r.liveX.Members()
+	return active
 }
 
 // WorkerConfig configures a jadeworker endpoint joining a live run from its
@@ -343,7 +459,17 @@ type WorkerConfig struct {
 	Caps []string
 	// Slots is the number of concurrent task slots (0 = 1).
 	Slots int
+	// Drain, when non-nil, requests a graceful departure when it becomes
+	// readable (e.g. on SIGTERM): the worker finishes its in-flight
+	// tasks, syncs its objects back, and leaves the run.
+	Drain <-chan struct{}
 }
+
+// ErrWorkerEvicted is returned by ServeWorker when the coordinator
+// declared this worker dead (a failure-detector verdict — real or a
+// false positive) and fenced its session. The worker may rejoin an
+// elastic run as a brand-new member by calling ServeWorker again.
+var ErrWorkerEvicted = live.ErrEvicted
 
 // ServeWorker connects to a live coordinator and executes dispatched tasks
 // until the run ends. Task bodies are resolved through kinds registered
@@ -361,6 +487,7 @@ func ServeWorker(cfg WorkerConfig) error {
 		Name:  cfg.Name,
 		Caps:  cfg.Caps,
 		Slots: cfg.Slots,
+		Leave: cfg.Drain,
 	})
 	if err == transport.ErrClosed {
 		return nil
