@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race determinism fault live live-fault bench clean
+.PHONY: check vet build test race determinism fault live live-fault bench live-bench clean
 
-check: vet build test race determinism fault live live-fault bench
+check: vet build test race determinism fault live live-fault bench live-bench
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,13 @@ live-fault:
 # recorded to BENCH_profile.json as a reviewable performance artifact.
 bench:
 	scripts/bench_snapshot.sh
+
+# The live-bench tier: sustained wire-path throughput on the live executor
+# (L3: tasks/sec + frames/sec over inproc and TCP loopback, best-of-N,
+# bit-identity-checked every round), recorded to BENCH_live.json with the
+# pre-overhaul baseline embedded (DESIGN.md §4.14).
+live-bench:
+	scripts/bench_snapshot.sh --live
 
 clean:
 	$(GO) clean ./...

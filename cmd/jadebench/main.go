@@ -48,6 +48,7 @@ var catalog = []struct{ id, desc string }{
 	{"k1", "Barnes-Hut N-body on the simulated platforms"},
 	{"l1", "live execution: Cholesky over in-process and TCP worker endpoints"},
 	{"l2", "elastic fault tolerance: live Cholesky with a mid-run kill + joins"},
+	{"l3", "live wire-path throughput: tasks/sec and frames/sec, best-of-N (§4.14)"},
 }
 
 func main() {
@@ -63,6 +64,7 @@ func main() {
 		waterSrc = flag.String("watersrc", "internal/apps/water/water.go", "path to the water source for the T1 construct count")
 		profText = flag.Bool("profile", false, "print each S1 point's full profile (phases, utilization, critical path, hotspots)")
 		profJSON = flag.String("profilejson", "", "write the S1 points with their profiles as JSON to this file")
+		liveJSON = flag.String("livejson", "", "write the L3 live-throughput points as JSON to this file")
 		disable  = flag.String("disable", "", "comma-separated runtime features to turn off in S1 (prefetch,locality,delta)")
 	)
 	flag.Parse()
@@ -345,5 +347,26 @@ func main() {
 			fail("l2", err)
 		}
 		show(tb)
+	}
+	if selected("l3") {
+		grid, rounds := 16, 5
+		if *quick {
+			grid, rounds = 12, 3
+		}
+		res, err := experiments.L3Throughput(grid, 4, rounds)
+		if err != nil {
+			fail("l3", err)
+		}
+		show(res.Table)
+		if *liveJSON != "" {
+			data, err := json.MarshalIndent(res.Points, "", "  ")
+			if err != nil {
+				fail("l3", err)
+			}
+			if err := os.WriteFile(*liveJSON, data, 0o644); err != nil {
+				fail("l3", err)
+			}
+			fmt.Printf("wrote live throughput points to %s\n\n", *liveJSON)
+		}
 	}
 }

@@ -136,6 +136,11 @@ type Task struct {
 	entriesBuf [4]*entry // inline backing for entries (typical task: ≤4 objects)
 
 	nextChild uint32 // touched only by the task's own thread
+
+	// immOnce/immDecls memoize ImmediateDecls: Decls is immutable after
+	// Create, and executors ask several times per dispatch.
+	immOnce  sync.Once
+	immDecls []access.Decl
 }
 
 // Parent returns the task's parent (nil for the root task).
@@ -198,25 +203,36 @@ func (t *Task) dropEntry(en *entry) {
 }
 
 // ImmediateDecls returns the objects and modes the task must hold to start:
-// the immediate portion of its initial declarations. Executors use this to
-// plan data movement before running the task.
+// the immediate portion of its initial declarations, merged per object and
+// sorted by object ID. Executors use this to plan data movement before
+// running the task. The returned slice is memoized and shared — callers
+// must not modify it.
 func (t *Task) ImmediateDecls() []access.Decl {
-	var out []access.Decl
-	seen := map[access.ObjectID]access.Mode{}
-	for _, d := range t.Decls {
-		seen[d.Object] |= d.Mode
-	}
-	ids := make([]access.ObjectID, 0, len(seen))
-	for o := range seen {
-		ids = append(ids, o)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, o := range ids {
-		if m := seen[o].Immediate(); m != 0 {
-			out = append(out, access.Decl{Object: o, Mode: m})
+	t.immOnce.Do(func() {
+		// Merge per object with an insertion sort: declaration lists are
+		// short (typically ≤4 objects), so this beats a map + sort.Slice
+		// and allocates exactly once.
+		out := make([]access.Decl, 0, len(t.Decls))
+		for _, d := range t.Decls {
+			i := sort.Search(len(out), func(i int) bool { return out[i].Object >= d.Object })
+			if i < len(out) && out[i].Object == d.Object {
+				out[i].Mode |= d.Mode
+				continue
+			}
+			out = append(out, access.Decl{})
+			copy(out[i+1:], out[i:])
+			out[i] = d
 		}
-	}
-	return out
+		w := 0
+		for _, d := range out {
+			if m := d.Mode.Immediate(); m != 0 {
+				out[w] = access.Decl{Object: d.Object, Mode: m}
+				w++
+			}
+		}
+		t.immDecls = out[:w]
+	})
+	return t.immDecls
 }
 
 // numCheckoutSlots is the number of distinct immediate checkout modes

@@ -161,7 +161,7 @@ func (tc *mainCtx) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.TC
 	if err := tc.await(pl.readyCh); err != nil {
 		return err
 	}
-	if ferr := x.fetchAllRetry(t, 0); ferr != nil {
+	if ferr := x.fetchAllRetry(t, 0, nil); ferr != nil {
 		return ferr
 	}
 	if err := x.eng.Start(t); err != nil {

@@ -211,11 +211,14 @@ func (x *Exec) awaitEpoch(seen uint64) bool {
 // membership epoch whenever a crashed worker's recovery is in flight.
 // It returns errWorkerLost (wrapped) only when m itself is gone or the
 // run is unwinding; losses of OTHER workers are retried internally.
-func (x *Exec) fetchAllRetry(t *core.Task, m int) error {
+// A non-nil car piggybacks the task's dispatch frame on the first push
+// to m; attachment survives internal retries (an attached frame either
+// reached m, or m is lost and the caller rebuilds the carrier).
+func (x *Exec) fetchAllRetry(t *core.Task, m int, car *dispatchCarrier) error {
 	for {
 		seen := x.epochNow()
 		x.coh.Lock()
-		err := x.fetchAllLocked(t, m)
+		err := x.fetchAllLocked(t, m, car)
 		x.coh.Unlock()
 		if err == nil || !errors.Is(err, errWorkerLost) {
 			return err
@@ -237,7 +240,7 @@ func (x *Exec) fetchOneRetry(t *core.Task, obj access.ObjectID, m int, read, wri
 	for {
 		seen := x.epochNow()
 		x.coh.Lock()
-		err := x.fetchToLocked(t, obj, m, read, write)
+		err := x.fetchToLocked(t, obj, m, read, write, nil)
 		x.coh.Unlock()
 		if err == nil || !errors.Is(err, errWorkerLost) {
 			return err
@@ -280,7 +283,18 @@ func (x *Exec) logInputLocked(t *core.Task, obj access.ObjectID, m int, read, wr
 	if err := x.syncCacheLocked(obj); err != nil {
 		return err
 	}
-	ins[obj] = format.Clone(x.vals[obj])
+	// Logged inputs are immutable (replayLocked clones before running
+	// the body), so every task staged at the same object version shares
+	// one clone. Version transitions evict the cached snapshot: the
+	// directory bumps d.version on each write grant before any task can
+	// observe the new contents.
+	if s := x.inSnap[obj]; s != nil && s.ver == d.version {
+		ins[obj] = s.val
+		return nil
+	}
+	v := format.Clone(x.vals[obj])
+	x.inSnap[obj] = &inputSnap{ver: d.version, val: v}
+	ins[obj] = v
 	return nil
 }
 
@@ -323,7 +337,9 @@ func (x *Exec) workerLost(w *workerLink, cause error) {
 		x.mu.Unlock()
 		// Best effort, before fencing kills the session: a falsely-
 		// suspected worker learns it must rejoin as a new member.
-		_ = w.conn.Send(wire.Encode(&wire.Frame{Type: wire.TEvict}))
+		if enc, err := wire.Encode(&wire.Frame{Type: wire.TEvict}); err == nil {
+			_ = w.conn.Send(enc)
+		}
 		if f, ok := w.conn.(transport.Fencer); ok {
 			f.Fence()
 		}

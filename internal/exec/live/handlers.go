@@ -9,6 +9,7 @@ import (
 	"repro/internal/format"
 	"repro/internal/rt"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/transport/wire"
 )
 
@@ -41,11 +42,18 @@ func (x *Exec) recvLoop(w *workerLink) {
 			}
 			return
 		}
-		x.countFrame(w.m, 0, len(msg))
-		f, err := wire.Decode(msg)
+		w.inMsgs.Add(1)
+		w.inBytes.Add(int64(len(msg)))
+		f, err := wire.DecodeOwned(msg)
 		if err != nil {
 			x.failFatal(fmt.Errorf("live: worker %d (%s): %w", w.m, w.name, err))
 			return
+		}
+		if len(f.Payload) == 0 {
+			// Payload is the only Frame field aliasing msg (strings are
+			// copies): payload-free frames — the vast majority of RPC
+			// traffic — release their buffer to the send pool here.
+			transport.PutBuf(msg)
 		}
 		switch f.Type {
 		case wire.TObjData:
@@ -76,7 +84,14 @@ func (x *Exec) recvLoop(w *workerLink) {
 			// the connection's FIFO plus inline handling preserves it.
 			x.handleCreate(w, f)
 		case wire.TAccessReq:
-			go x.handleAccess(w, f)
+			if f.B == 1 {
+				// Pre-granted access notify: must run inline so it
+				// enters the engine in FIFO order with this task's
+				// later TEndAccess/TTaskDone. It never takes x.coh.
+				x.handleAccessNotify(w, f)
+			} else {
+				go x.handleAccess(w, f)
+			}
 		case wire.TConvertReq:
 			go x.handleConvert(w, f)
 		case wire.TAllocReq:
@@ -157,6 +172,31 @@ func (x *Exec) handleAccess(w *workerLink, f *wire.Frame) {
 		return
 	}
 	w.reply(f.Req, "", 0, 0)
+}
+
+// handleAccessNotify checks in a dispatch-time pre-granted access: the
+// worker already proceeded on the promise that the engine cannot make
+// this access wait, so there is no reply. The engine still records the
+// checkout (EndAccess bookkeeping, violation detection) exactly as for
+// a slow-path access.
+func (x *Exec) handleAccessNotify(w *workerLink, f *wire.Frame) {
+	t := x.task(f.Task)
+	if t == nil {
+		x.failFatal(fmt.Errorf("live: worker %d: access notify for unknown task %d", w.m, f.Task))
+		return
+	}
+	ok, err := x.eng.Access(t, access.ObjectID(f.Obj), access.Mode(f.A), func() {})
+	if err != nil {
+		// The engine's Violation hook has already recorded the failure
+		// and is unwinding the run; nothing to route back.
+		return
+	}
+	if !ok {
+		// The pre-grant contract promised this could not wait: the only
+		// legal wait causes (conflicting later child, commute lock) are
+		// excluded by the worker-side spawned/mode guards.
+		x.failFatal(fmt.Errorf("live: protocol invariant broken: pre-granted access of object #%d by task %d had to wait", f.Obj, f.Task))
+	}
 }
 
 // handleConvert promotes deferred rights to immediate.
@@ -278,7 +318,7 @@ func (x *Exec) handleStart(w *workerLink, f *wire.Frame) {
 	case <-x.fatal:
 		return
 	}
-	ferr := x.fetchAllRetry(t, w.m)
+	ferr := x.fetchAllRetry(t, w.m, nil)
 	if ferr != nil {
 		w.reply(f.Req, ferr.Error(), 0, 0)
 		return

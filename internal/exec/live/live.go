@@ -29,11 +29,13 @@
 package live
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/access"
@@ -48,8 +50,12 @@ import (
 	"repro/internal/transport/wire"
 )
 
-// ringCap bounds the always-on event stream when tracing is off.
-const ringCap = 1 << 16
+// ringCap bounds the always-on event stream when tracing is off. The
+// ring exists for crash forensics — only the recent window matters — so
+// it is kept small: the GC scans the whole ring (Events hold string
+// labels) on every cycle, and a large ring measurably taxes the
+// coordinator's issue rate.
+const ringCap = 1 << 12
 
 // Peer is one worker connection the coordinator will drive.
 type Peer struct {
@@ -94,6 +100,13 @@ type objDir struct {
 type snapshot struct {
 	val  any
 	refs int
+}
+
+// inputSnap is the shared input-log clone of an object at one version
+// (see logInputLocked). val is immutable once stored.
+type inputSnap struct {
+	ver uint64
+	val any
 }
 
 // payload is the executor attachment on core tasks.
@@ -145,6 +158,12 @@ type workerLink struct {
 	// waiters. lostOnce makes the declaration exactly-once.
 	dead     chan struct{}
 	lostOnce sync.Once
+
+	// Wire-traffic counters for this link, split by direction. Updated
+	// lock-free on the per-frame send/recv hot paths and read
+	// transiently by NetStats; the statMu-guarded global ledger keeps
+	// only handshake traffic, which flows before the link exists.
+	outMsgs, outBytes, inMsgs, inBytes atomic.Int64
 	// recvDone closes when the worker's receive loop exits; recovery
 	// waits on it so no late frame handler races the directory sweep.
 	recvDone chan struct{}
@@ -206,6 +225,11 @@ type Exec struct {
 	// up-to-date copy of an object (see fault.go).
 	hist   map[access.ObjectID][]histEntry
 	inputs map[core.TaskID]map[access.ObjectID]any
+	// inSnap caches one immutable clone of each object's latest logged
+	// version, shared by every input-log entry taken at that version:
+	// logged inputs are read-only (replay clones before mutating), so
+	// the per-(task,object) clone the log used to take is pure waste.
+	inSnap map[access.ObjectID]*inputSnap
 
 	// statMu guards the metrics ledgers.
 	statMu    sync.Mutex
@@ -248,6 +272,7 @@ func New(opts Options) (*Exec, error) {
 		shadowVer:   make([]map[access.ObjectID]uint64, n),
 		hist:        map[access.ObjectID][]histEntry{},
 		inputs:      map[core.TaskID]map[access.ObjectID]any{},
+		inSnap:      map[access.ObjectID]*inputSnap{},
 		busy:        make([]time.Duration, n),
 	}
 	x.cond = sync.NewCond(&x.mu)
@@ -291,20 +316,45 @@ func (x *Exec) Counters() rt.Counters {
 // NetStats returns the real frame traffic: every protocol frame counted
 // once per direction, with the coordinator as machine 0 in ByLink.
 func (x *Exec) NetStats() netmodel.Stats {
+	x.mu.Lock()
+	links := append([]*workerLink(nil), x.workers...)
+	x.mu.Unlock()
 	x.statMu.Lock()
-	defer x.statMu.Unlock()
 	s := x.net
-	if x.net.ByLink != nil {
-		s.ByLink = make(map[netmodel.Link]netmodel.LinkStats, len(x.net.ByLink))
-		for k, v := range x.net.ByLink {
-			s.ByLink[k] = v
+	s.ByLink = make(map[netmodel.Link]netmodel.LinkStats, len(x.net.ByLink)+2*len(links))
+	for k, v := range x.net.ByLink {
+		s.ByLink[k] = v
+	}
+	x.statMu.Unlock()
+	// Fold in the lock-free per-link counters. Links are never removed
+	// from x.workers (departed members are state-marked), so departed
+	// traffic is still here.
+	for _, w := range links {
+		if n := w.outMsgs.Load(); n > 0 {
+			l := netmodel.Link{Src: 0, Dst: w.m}
+			ls := s.ByLink[l]
+			ls.Messages += int(n)
+			ls.Bytes += w.outBytes.Load()
+			s.ByLink[l] = ls
+			s.Messages += int(n)
+			s.Bytes += w.outBytes.Load()
+		}
+		if n := w.inMsgs.Load(); n > 0 {
+			l := netmodel.Link{Src: w.m, Dst: 0}
+			ls := s.ByLink[l]
+			ls.Messages += int(n)
+			ls.Bytes += w.inBytes.Load()
+			s.ByLink[l] = ls
+			s.Messages += int(n)
+			s.Bytes += w.inBytes.Load()
 		}
 	}
 	return s
 }
 
-// DeltaStats returns the delta-transfer ledger (dispatch coalescing does
-// not apply to the live wire: dispatches are already single frames).
+// DeltaStats returns the delta-transfer ledger. CoalescedDispatches
+// counts dispatch frames that rode the task's first object push instead
+// of crossing the wire on their own (see dispatchCarrier).
 func (x *Exec) DeltaStats() dist.DeltaStats {
 	x.statMu.Lock()
 	defer x.statMu.Unlock()
@@ -382,12 +432,20 @@ func (x *Exec) countFrame(src, dst, bytes int) {
 }
 
 // send encodes and ships one frame to the worker, charging the ledger.
-// A send failure is a failure-detector verdict on this worker, not on
-// the run: the session is torn down and recovery takes over.
+// The encode buffer is pooled: ownership passes to the transport (or
+// back to the pool) inside SendPooled. A send failure is a failure-
+// detector verdict on this worker, not on the run: the session is torn
+// down and recovery takes over.
 func (w *workerLink) send(f *wire.Frame) error {
-	buf := wire.Encode(f)
-	w.x.countFrame(0, w.m, len(buf))
-	if err := w.conn.Send(buf); err != nil {
+	buf, err := wire.AppendFrame(transport.GetBuf(), f)
+	if err != nil {
+		err = fmt.Errorf("live: encode %s for worker %d (%s): %w", wire.TypeName(f.Type), w.m, w.name, err)
+		w.x.failFatal(err)
+		return err
+	}
+	w.outMsgs.Add(1)
+	w.outBytes.Add(int64(len(buf)))
+	if err := transport.SendPooled(w.conn, buf); err != nil {
 		err = fmt.Errorf("live: send %s to worker %d (%s): %w", wire.TypeName(f.Type), w.m, w.name, err)
 		w.x.workerLost(w, err)
 		return fmt.Errorf("%w: %w", errWorkerLost, err)
@@ -404,6 +462,17 @@ func (w *workerLink) reply(req uint64, errText string, a, b uint64) {
 // by request id. It may be called with x.coh held: the worker answers
 // pulls from its receive loop without taking coordinator locks.
 func (x *Exec) rpc(w *workerLink, f *wire.Frame) (*wire.Frame, error) {
+	ch, req, err := x.rpcStart(w, f)
+	if err != nil {
+		return nil, err
+	}
+	return x.rpcAwait(w, ch, req, f.Type)
+}
+
+// rpcStart ships a request frame and returns the routed reply channel,
+// without waiting: the pipelined drain keeps several pulls in flight per
+// worker instead of paying one round trip per object.
+func (x *Exec) rpcStart(w *workerLink, f *wire.Frame) (chan *wire.Frame, uint64, error) {
 	ch := make(chan *wire.Frame, 1)
 	x.mu.Lock()
 	f.Req = x.nextReq
@@ -411,16 +480,24 @@ func (x *Exec) rpc(w *workerLink, f *wire.Frame) (*wire.Frame, error) {
 	x.pending[f.Req] = ch
 	x.mu.Unlock()
 	if err := w.send(f); err != nil {
-		return nil, err
+		x.mu.Lock()
+		delete(x.pending, f.Req)
+		x.mu.Unlock()
+		return nil, 0, err
 	}
+	return ch, f.Req, nil
+}
+
+// rpcAwait collects the reply for one rpcStart.
+func (x *Exec) rpcAwait(w *workerLink, ch chan *wire.Frame, req uint64, typ byte) (*wire.Frame, error) {
 	select {
 	case r := <-ch:
 		return r, nil
 	case <-w.dead:
 		x.mu.Lock()
-		delete(x.pending, f.Req)
+		delete(x.pending, req)
 		x.mu.Unlock()
-		return nil, fmt.Errorf("live: worker %d (%s) died during %s rpc: %w", w.m, w.name, wire.TypeName(f.Type), errWorkerLost)
+		return nil, fmt.Errorf("live: worker %d (%s) died during %s rpc: %w", w.m, w.name, wire.TypeName(typ), errWorkerLost)
 	case <-x.fatal:
 		return nil, x.firstError()
 	}
@@ -541,14 +618,7 @@ func (x *Exec) drain() {
 		err := func() error {
 			x.coh.Lock()
 			defer x.coh.Unlock()
-			for obj, d := range x.dir {
-				if d.owner != 0 {
-					if err := x.syncCacheLocked(obj); err != nil {
-						return err
-					}
-				}
-			}
-			return nil
+			return x.drainBatchLocked()
 		}()
 		if err == nil || !errors.Is(err, errWorkerLost) {
 			return // success, or a non-membership failure (firstErr set)
@@ -557,6 +627,74 @@ func (x *Exec) drain() {
 			return
 		}
 	}
+}
+
+// drainInflight bounds the pulls the drain keeps outstanding at once.
+const drainInflight = 32
+
+// drainBatchLocked syncs every stale worker-owned object into the
+// coordinator cache with pipelined pulls: a wave of TPulls ships before
+// the first reply is awaited, so the drain pays wire latency once per
+// wave rather than once per object. Requires x.coh (held across the
+// whole drain; replies are routed by the receive loops, which never take
+// it).
+func (x *Exec) drainBatchLocked() error {
+	var stale []access.ObjectID
+	for obj, d := range x.dir {
+		if d.owner != 0 && x.cacheVer[obj] != d.version {
+			stale = append(stale, obj)
+		}
+	}
+	type pend struct {
+		obj access.ObjectID
+		d   *objDir
+		w   *workerLink
+		ch  chan *wire.Frame
+		req uint64
+	}
+	for start := 0; start < len(stale); start += drainInflight {
+		end := start + drainInflight
+		if end > len(stale) {
+			end = len(stale)
+		}
+		pends := make([]pend, 0, end-start)
+		var firstErr error
+		for _, obj := range stale[start:end] {
+			d := x.dir[obj]
+			w, err := x.workerTarget(d.owner)
+			if err != nil {
+				firstErr = err
+				break
+			}
+			ch, req, err := x.rpcStart(w, &wire.Frame{Type: wire.TPull, Obj: uint64(obj), A: d.version, B: x.cacheVer[obj]})
+			if err != nil {
+				firstErr = err
+				break
+			}
+			pends = append(pends, pend{obj, d, w, ch, req})
+		}
+		// Collect the whole wave even after a failure: every issued pull
+		// must be awaited (or its pending entry dropped) before retrying.
+		for _, p := range pends {
+			r, err := x.rpcAwait(p.w, p.ch, p.req, wire.TPull)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if firstErr != nil {
+				continue // late reply of a doomed wave; the retry re-pulls
+			}
+			if err := x.applyPullReplyLocked(p.obj, p.d, p.w, r); err != nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	return nil
 }
 
 // runBody executes a task body on the coordinator, converting panics
@@ -591,13 +729,89 @@ func (x *Exec) onReady(t *core.Task) {
 	go x.dispatch(t, pl)
 }
 
+// dispatchCarrier coalesces the dispatch control frame onto the task's
+// first object push (the same optimization the simulated distributed
+// executor applies): the encoded TDispatch rides the push's Aux section,
+// so a task whose objects must move anyway starts without a separate
+// control frame. Attach-once — the flag survives fetch retries inside
+// one placement attempt, so an epoch-parked re-stage never ships the
+// dispatch twice. Mutated under x.coh (pushes run inside the coherence
+// critical section); read by the owning dispatch goroutine afterwards.
+type dispatchCarrier struct {
+	m        int    // the placed worker; only its pushes may carry
+	frame    []byte // encoded TDispatch
+	attached bool
+}
+
+// attachTo piggybacks the dispatch onto push frame f bound for machine m
+// if this carrier still wants a ride there.
+func (c *dispatchCarrier) attachTo(f *wire.Frame, m int) {
+	if c == nil || c.attached || m != c.m {
+		return
+	}
+	f.Aux = string(c.frame)
+	c.attached = true
+}
+
+// marshalDispatchPayload packs a dispatch payload: a pre-grant prefix
+// (1-byte count, then 8-byte object + 1-byte mode per grant) followed by
+// the kind args. The pre-grants name the immediate non-commuting
+// declarations the coordinator stages before the task starts; the worker
+// uses them to answer Access locally with a fire-and-forget notify
+// instead of a blocking RPC.
+func marshalDispatchPayload(decls []access.Decl, kindArgs []byte) []byte {
+	grants := decls[:0:0]
+	for _, d := range decls {
+		if m := d.Mode & access.ReadWrite; m != 0 && !d.Mode.Has(access.Commute) {
+			grants = append(grants, access.Decl{Object: d.Object, Mode: m})
+		}
+	}
+	if len(grants) > 255 {
+		grants = grants[:255] // 1-byte count; the rest take the slow path
+	}
+	buf := make([]byte, 0, 1+9*len(grants)+len(kindArgs))
+	buf = append(buf, byte(len(grants)))
+	for _, d := range grants {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(d.Object))
+		buf = append(buf, byte(d.Mode))
+	}
+	return append(buf, kindArgs...)
+}
+
+// unmarshalDispatchPayload is the worker-side inverse.
+func unmarshalDispatchPayload(data []byte) (map[access.ObjectID]access.Mode, []byte, error) {
+	if len(data) == 0 {
+		return nil, nil, nil
+	}
+	n := int(data[0])
+	data = data[1:]
+	if 9*n > len(data) {
+		return nil, nil, fmt.Errorf("live: dispatch payload declares %d pre-grants in %d bytes", n, len(data))
+	}
+	var grants map[access.ObjectID]access.Mode
+	if n > 0 {
+		grants = make(map[access.ObjectID]access.Mode, n)
+	}
+	for i := 0; i < n; i++ {
+		grants[access.ObjectID(binary.LittleEndian.Uint64(data))] = access.Mode(data[8])
+		data = data[9:]
+	}
+	if len(data) == 0 {
+		data = nil
+	}
+	return grants, data, nil
+}
+
 // dispatch places one ready task on a worker, stages its declared
-// objects there, and ships the dispatch frame. The worker's TaskDone
-// resolves the wg entry. When a worker dies under the dispatch — before
-// the frame ships — this goroutine re-places the task itself, parking
-// on the membership epoch until recovery (or a join) changes the
-// member set; after the frame ships, the recovery sweep owns
-// re-placement (the pl.sent handshake).
+// objects there, and ships the dispatch frame — coalesced onto the
+// first object push when one goes to the placed worker, standalone
+// otherwise. The worker's TaskDone resolves the wg entry. The task is
+// started in the engine BEFORE staging: a coalesced dispatch can reach
+// the worker mid-stage, and its first accesses must find a Running
+// task. When a worker dies under the dispatch, the pl.sent handshake
+// decides who re-places the task: the recovery sweep if it claimed the
+// orphan first, this goroutine otherwise (parking on the membership
+// epoch until the member set changes).
 func (x *Exec) dispatch(t *core.Task, pl *payload) {
 	for {
 		seen := x.epochNow()
@@ -644,23 +858,9 @@ func (x *Exec) dispatch(t *core.Task, pl *payload) {
 			return
 		}
 		x.record(trace.Event{Kind: trace.TaskAssigned, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
-		ferr := x.fetchAllRetry(t, w.m)
-		if ferr != nil {
-			x.mu.Lock()
-			w.pendingTasks--
-			pl.machine = -1
-			x.mu.Unlock()
-			if errors.Is(ferr, errWorkerLost) {
-				if x.awaitEpoch(seen) {
-					pl.attempt++
-					continue
-				}
-				return // run is unwinding
-			}
-			x.failFatal(ferr)
-			return
-		}
-		x.record(trace.Event{Kind: trace.TaskFetched, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+		// Start the task in the engine before staging: a coalesced
+		// dispatch reaches the worker with the first push, and the
+		// access notifies it triggers must find a Running task.
 		if pl.attempt == 0 || t.State() != core.Running {
 			if err := x.eng.Start(t); err != nil {
 				x.fail(err)
@@ -668,11 +868,6 @@ func (x *Exec) dispatch(t *core.Task, pl *payload) {
 				return
 			}
 		}
-		// Started is recorded at dispatch: the span to TaskCompleted includes
-		// wire latency and worker-side queueing, which on a live network is
-		// real execution overhead rather than measurement error.
-		x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
-		x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
 		key := pl.bodyKey
 		if pl.attempt > 0 && pl.body != nil {
 			// Redispatch with a retained closure: the previous attempt
@@ -693,33 +888,67 @@ func (x *Exec) dispatch(t *core.Task, pl *payload) {
 				x.bodies.drop(pl.bodyKey)
 			}
 		}
-		// Mark sent BEFORE sending: if the send fails, the recovery
-		// sweep may already have claimed the task; the mu-guarded check
-		// below decides which side re-places it (never both).
+		df := &wire.Frame{
+			Type: wire.TDispatch, Task: uint64(t.ID), A: key,
+			Label: pl.opts.Label, Aux: pl.kind,
+			Payload: marshalDispatchPayload(t.ImmediateDecls(), pl.kindArgs),
+		}
+		enc, err := wire.Encode(df)
+		if err != nil {
+			x.failFatal(fmt.Errorf("live: encode dispatch of task %d (%s): %w", t.ID, pl.opts.Label, err))
+			return
+		}
+		car := &dispatchCarrier{m: w.m, frame: enc}
+		// Mark sent BEFORE staging: the dispatch may ride any push, so
+		// from here on the recovery sweep may claim the task if w dies;
+		// the mu-guarded mine-check below decides which side re-places
+		// it (never both).
 		x.mu.Lock()
 		pl.sent = true
 		x.mu.Unlock()
-		if w.send(&wire.Frame{
-			Type: wire.TDispatch, Task: uint64(t.ID), A: key,
-			Label: pl.opts.Label, Aux: pl.kind, Payload: pl.kindArgs,
-		}) == nil {
+		ferr := x.fetchAllRetry(t, w.m, car)
+		if ferr == nil && !car.attached {
+			// Nothing shipped to w during staging (its copies were all
+			// current): the dispatch crosses the wire on its own.
+			if w.send(df) != nil {
+				ferr = fmt.Errorf("dispatch of task %d: %w", t.ID, errWorkerLost)
+			}
+		}
+		if ferr != nil {
+			x.mu.Lock()
+			mine := pl.sent && pl.machine == w.m
+			if mine {
+				pl.sent = false
+				pl.machine = -1
+				pl.attempt++
+				w.pendingTasks--
+			}
+			x.mu.Unlock()
+			if !mine {
+				return // the recovery sweep claimed and redispatched it
+			}
+			if errors.Is(ferr, errWorkerLost) {
+				if x.awaitEpoch(seen) {
+					continue
+				}
+				return // run is unwinding
+			}
+			x.failFatal(ferr)
 			return
 		}
-		x.mu.Lock()
-		mine := pl.sent && pl.machine == w.m
-		if mine {
-			pl.sent = false
-			pl.machine = -1
-			pl.attempt++
-			w.pendingTasks--
+		x.record(trace.Event{Kind: trace.TaskFetched, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+		// Started is recorded at dispatch: the span to TaskCompleted includes
+		// wire latency and worker-side queueing, which on a live network is
+		// real execution overhead rather than measurement error.
+		x.record(trace.Event{Kind: trace.TaskScheduled, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+		x.record(trace.Event{Kind: trace.TaskStarted, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
+		if car.attached {
+			x.statMu.Lock()
+			x.dstats.CoalescedDispatches++
+			x.statMu.Unlock()
+			x.record(trace.Event{Kind: trace.DispatchCoalesced, Task: uint64(t.ID), Dst: w.m, Label: pl.opts.Label})
 		}
-		x.mu.Unlock()
-		if !mine {
-			return // the recovery sweep claimed and redispatched it
-		}
-		if !x.awaitEpoch(seen) {
-			return
-		}
+		return
 	}
 }
 
@@ -849,12 +1078,12 @@ func (x *Exec) place(pl *payload, held []int) (*workerLink, error) {
 // before the task starts. Commuting declarations are fetched at Access
 // time instead, like the simulated executor: another commuting task may
 // legitimately hold the object right now.
-func (x *Exec) fetchAllLocked(t *core.Task, m int) error {
+func (x *Exec) fetchAllLocked(t *core.Task, m int, car *dispatchCarrier) error {
 	for _, d := range t.ImmediateDecls() {
 		if d.Mode.Has(access.Commute) {
 			continue
 		}
-		if err := x.fetchToLocked(t, d.Object, m, d.Mode.Has(access.Read), d.Mode.Has(access.Write)); err != nil {
+		if err := x.fetchToLocked(t, d.Object, m, d.Mode.Has(access.Read), d.Mode.Has(access.Write), car); err != nil {
 			return err
 		}
 	}
@@ -864,8 +1093,10 @@ func (x *Exec) fetchAllLocked(t *core.Task, m int) error {
 // fetchToLocked implements the object-management protocol over the wire:
 // migrate on write (invalidating other copies, retaining them as delta
 // shadows), replicate on read, ship nothing for write-only grants.
+// A non-nil car lets the task's dispatch frame ride the first push to
+// the dispatch target instead of crossing the wire on its own.
 // Requires x.coh.
-func (x *Exec) fetchToLocked(t *core.Task, obj access.ObjectID, m int, read, write bool) error {
+func (x *Exec) fetchToLocked(t *core.Task, obj access.ObjectID, m int, read, write bool, car *dispatchCarrier) error {
 	d := x.dir[obj]
 	if d == nil {
 		err := fmt.Errorf("live: object #%d has no directory entry", obj)
@@ -896,7 +1127,7 @@ func (x *Exec) fetchToLocked(t *core.Task, obj access.ObjectID, m int, read, wri
 			}
 			if m != 0 && !d.copies[m] {
 				if read {
-					if err := x.pushLocked(t, obj, m, d); err != nil {
+					if err := x.pushLocked(t, obj, m, d, car); err != nil {
 						return err
 					}
 					x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
@@ -904,7 +1135,7 @@ func (x *Exec) fetchToLocked(t *core.Task, obj access.ObjectID, m int, read, wri
 				} else {
 					// Write-only: ownership moves, data does not (§5: the
 					// task may not read the old contents).
-					if err := x.pushZeroLocked(t, obj, m, d); err != nil {
+					if err := x.pushZeroLocked(t, obj, m, d, car); err != nil {
 						return err
 					}
 					x.record(trace.Event{Kind: trace.ObjectMoved, Task: uint64(t.ID), Object: uint64(obj), Src: d.owner, Dst: m,
@@ -925,7 +1156,11 @@ func (x *Exec) fetchToLocked(t *core.Task, obj access.ObjectID, m int, read, wri
 			}
 		}
 		d.owner = m
-		d.copies = map[int]bool{m: true}
+		// Reuse the map (this is the per-write-grant hot path).
+		for c := range d.copies {
+			delete(d.copies, c)
+		}
+		d.copies[m] = true
 		d.version++
 		if m == 0 {
 			// The coordinator's store is the authoritative copy.
@@ -945,7 +1180,7 @@ func (x *Exec) fetchToLocked(t *core.Task, obj access.ObjectID, m int, read, wri
 		return err
 	}
 	if m != 0 {
-		if err := x.pushLocked(t, obj, m, d); err != nil {
+		if err := x.pushLocked(t, obj, m, d, car); err != nil {
 			return err
 		}
 	}
@@ -967,11 +1202,18 @@ func (x *Exec) syncCacheLocked(obj access.ObjectID) error {
 	if err != nil {
 		return err
 	}
-	have := x.cacheVer[obj]
-	r, err := x.rpc(w, &wire.Frame{Type: wire.TPull, Obj: uint64(obj), A: d.version, B: have})
+	r, err := x.rpc(w, &wire.Frame{Type: wire.TPull, Obj: uint64(obj), A: d.version, B: x.cacheVer[obj]})
 	if err != nil {
 		return err
 	}
+	return x.applyPullReplyLocked(obj, d, w, r)
+}
+
+// applyPullReplyLocked installs one pull reply — patch or full image —
+// into the coordinator cache and advances the cached generation to the
+// directory's. Requires x.coh, held since the pull was issued.
+func (x *Exec) applyPullReplyLocked(obj access.ObjectID, d *objDir, w *workerLink, r *wire.Frame) error {
+	have := x.cacheVer[obj]
 	x.countObjData(r, w)
 	if r.C > 0 {
 		base := r.C - 1
@@ -1049,7 +1291,7 @@ func (x *Exec) noteConverted(obj access.ObjectID, src, dst, words int) {
 // pushLocked ships the current value of obj to worker m — as a patch
 // against the worker's shadow generation when the diff is worthwhile,
 // as a full image otherwise. Requires x.coh with the cache current.
-func (x *Exec) pushLocked(t *core.Task, obj access.ObjectID, m int, d *objDir) error {
+func (x *Exec) pushLocked(t *core.Task, obj access.ObjectID, m int, d *objDir, car *dispatchCarrier) error {
 	w, err := x.workerTarget(m)
 	if err != nil {
 		return err
@@ -1076,8 +1318,10 @@ func (x *Exec) pushLocked(t *core.Task, obj access.ObjectID, m int, d *objDir) e
 					x.noteConverted(obj, 0, m, words)
 				}
 				x.dropShadowLocked(m, obj)
-				if err := w.send(&wire.Frame{Type: wire.TObjPatch, Obj: uint64(obj),
-					A: gen, B: uint64(w.fmt), C: sv, Payload: wirePatch}); err != nil {
+				pf := &wire.Frame{Type: wire.TObjPatch, Obj: uint64(obj),
+					A: gen, B: uint64(w.fmt), C: sv, Payload: wirePatch}
+				car.attachTo(pf, m)
+				if err := w.send(pf); err != nil {
 					return err
 				}
 				var tid uint64
@@ -1110,8 +1354,10 @@ func (x *Exec) pushLocked(t *core.Task, obj access.ObjectID, m int, d *objDir) e
 		x.noteConverted(obj, 0, m, words)
 	}
 	x.dropShadowLocked(m, obj)
-	if err := w.send(&wire.Frame{Type: wire.TObjImage, Obj: uint64(obj),
-		A: gen, B: uint64(w.fmt), Payload: img}); err != nil {
+	imf := &wire.Frame{Type: wire.TObjImage, Obj: uint64(obj),
+		A: gen, B: uint64(w.fmt), Payload: img}
+	car.attachTo(imf, m)
+	if err := w.send(imf); err != nil {
 		return err
 	}
 	var tid uint64
@@ -1128,15 +1374,17 @@ func (x *Exec) pushLocked(t *core.Task, obj access.ObjectID, m int, d *objDir) e
 
 // pushZeroLocked grants worker m a fresh zeroed buffer for obj: a
 // write-only task may not read the old contents, so no data moves.
-func (x *Exec) pushZeroLocked(t *core.Task, obj access.ObjectID, m int, d *objDir) error {
+func (x *Exec) pushZeroLocked(t *core.Task, obj access.ObjectID, m int, d *objDir, car *dispatchCarrier) error {
 	w, err := x.workerTarget(m)
 	if err != nil {
 		return err
 	}
 	kind, n := kindAndLen(x.vals[obj])
 	x.dropShadowLocked(m, obj)
-	if err := w.send(&wire.Frame{Type: wire.TObjZero, Obj: uint64(obj),
-		A: d.version, B: uint64(kind), C: uint64(n)}); err != nil {
+	zf := &wire.Frame{Type: wire.TObjZero, Obj: uint64(obj),
+		A: d.version, B: uint64(kind), C: uint64(n)}
+	car.attachTo(zf, m)
+	if err := w.send(zf); err != nil {
 		return err
 	}
 	x.record(trace.Event{Kind: trace.MessageSent, Task: uint64(t.ID), Object: uint64(obj), Src: 0, Dst: m, Bytes: 0, Label: "ownership"})

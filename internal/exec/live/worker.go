@@ -80,12 +80,14 @@ type worker struct {
 	m     int // machine index assigned by the coordinator
 	slots chan struct{}
 
-	mu      sync.Mutex
-	store   map[access.ObjectID]any
-	bases   map[access.ObjectID]syncBase
-	pending map[uint64]chan *wire.Frame
-	nextReq uint64
-	err     error
+	mu        sync.Mutex
+	store     map[access.ObjectID]any
+	bases     map[access.ObjectID]syncBase
+	pending   map[uint64]chan *wire.Frame
+	nextReq   uint64
+	err       error
+	storeCond *sync.Cond // broadcast on every store insert and on fail
+	closed    bool       // set by fail; wakes awaitObject waiters
 
 	dead     chan struct{}
 	deadOnce sync.Once
@@ -118,6 +120,7 @@ func Serve(conn transport.Conn, opts WorkerOptions) error {
 		nextReq: 1,
 		dead:    make(chan struct{}),
 	}
+	w.storeCond = sync.NewCond(&w.mu)
 	for i := 0; i < opts.Slots; i++ {
 		w.slots <- struct{}{}
 	}
@@ -164,6 +167,8 @@ func (w *worker) fail(err error) {
 	if w.err == nil {
 		w.err = err
 	}
+	w.closed = true
+	w.storeCond.Broadcast()
 	w.mu.Unlock()
 	w.deadOnce.Do(func() { close(w.dead) })
 }
@@ -178,9 +183,17 @@ func (w *worker) failErr() error {
 	return transport.ErrClosed
 }
 
-// send encodes and ships one frame to the coordinator.
+// send encodes and ships one frame to the coordinator, recycling the
+// encode buffer through the transport pool when the transport accepts
+// ownership.
 func (w *worker) send(f *wire.Frame) error {
-	if err := w.conn.Send(wire.Encode(f)); err != nil {
+	buf, err := wire.AppendFrame(transport.GetBuf(), f)
+	if err != nil {
+		err = fmt.Errorf("live worker %d: encode %s: %w", w.m, wire.TypeName(f.Type), err)
+		w.fail(err)
+		return err
+	}
+	if err := transport.SendPooled(w.conn, buf); err != nil {
 		w.fail(err)
 		return err
 	}
@@ -216,10 +229,16 @@ func (w *worker) loop() error {
 			w.fail(err)
 			return fmt.Errorf("live worker %d: connection lost: %w", w.m, err)
 		}
-		f, err := wire.Decode(msg)
+		f, err := wire.DecodeOwned(msg)
 		if err != nil {
 			w.fail(err)
 			return fmt.Errorf("live worker %d: %w", w.m, err)
+		}
+		if len(f.Payload) == 0 {
+			// Payload is the only Frame field that aliases msg (strings
+			// are copies): a payload-free frame releases its buffer to
+			// the send pool immediately.
+			transport.PutBuf(msg)
 		}
 		switch f.Type {
 		case wire.TDispatch:
@@ -252,6 +271,18 @@ func (w *worker) loop() error {
 		default:
 			err = fmt.Errorf("live worker %d: unexpected %s frame", w.m, wire.TypeName(f.Type))
 		}
+		if err == nil && f.Aux != "" &&
+			(f.Type == wire.TObjImage || f.Type == wire.TObjPatch || f.Type == wire.TObjZero) {
+			// A coalesced dispatch rode this push: unwrap it and start
+			// the task, now that its first object is installed.
+			df, derr := wire.DecodeOwned([]byte(f.Aux))
+			if derr != nil || df.Type != wire.TDispatch {
+				err = fmt.Errorf("live worker %d: coalesced dispatch on %s frame: %v", w.m, wire.TypeName(f.Type), derr)
+			} else {
+				w.wg.Add(1)
+				go w.runTask(df)
+			}
+		}
 		if err != nil {
 			w.fail(err)
 			return err
@@ -279,6 +310,7 @@ func (w *worker) applyImage(f *wire.Frame) error {
 	w.mu.Lock()
 	w.store[obj] = v
 	w.bases[obj] = syncBase{val: format.Clone(v), ver: f.A}
+	w.storeCond.Broadcast()
 	w.mu.Unlock()
 	return nil
 }
@@ -310,6 +342,7 @@ func (w *worker) applyPatch(f *wire.Frame) error {
 	}
 	w.store[obj] = nv
 	w.bases[obj] = syncBase{val: format.Clone(nv), ver: f.A}
+	w.storeCond.Broadcast()
 	return nil
 }
 
@@ -324,6 +357,7 @@ func (w *worker) applyZero(f *wire.Frame) error {
 	w.mu.Lock()
 	w.store[obj] = v
 	delete(w.bases, obj) // no shared base: the next pull goes full
+	w.storeCond.Broadcast()
 	w.mu.Unlock()
 	return nil
 }
@@ -376,12 +410,18 @@ func (w *worker) answerPull(f *wire.Frame) error {
 // runTask executes one dispatched task body in its own goroutine.
 func (w *worker) runTask(f *wire.Frame) {
 	defer w.wg.Done()
+	grants, args, gerr := unmarshalDispatchPayload(f.Payload)
+	if gerr != nil {
+		w.send(&wire.Frame{Type: wire.TTaskFail, Task: f.Task,
+			Label: fmt.Sprintf("malformed dispatch payload: %v", gerr)})
+		return
+	}
 	var body func(rt.TC)
 	if f.A != 0 {
 		body, _ = w.opts.Bodies.take(f.A)
 	}
 	if body == nil && f.Aux != "" {
-		body, _ = w.opts.Kinds.resolve(f.Aux, f.Payload)
+		body, _ = w.opts.Kinds.resolve(f.Aux, args)
 	}
 	if body == nil {
 		w.send(&wire.Frame{Type: wire.TTaskFail, Task: f.Task,
@@ -394,7 +434,7 @@ func (w *worker) runTask(f *wire.Frame) {
 		return
 	}
 	wt := &watch{heldAt: time.Now()}
-	tc := &workerTC{w: w, task: f.Task, wt: wt}
+	tc := &workerTC{w: w, task: f.Task, wt: wt, grants: grants}
 	err := w.runBody(tc, body)
 	wt.busy += time.Since(wt.heldAt)
 	if !wt.lost {
@@ -438,6 +478,15 @@ type workerTC struct {
 	w    *worker
 	task uint64
 	wt   *watch
+	// grants are the access modes pre-granted at dispatch time (the
+	// task's immediate non-commuting declarations): an Access within a
+	// grant cannot conflict engine-side, so it skips the round trip.
+	// Touched only by the task's own goroutine.
+	grants map[access.ObjectID]access.Mode
+	// spawned flips once this task creates a child; from then on every
+	// Access takes the slow path, because a conflicting child may
+	// legitimately make the parent's deferred re-access wait.
+	spawned bool
 }
 
 // CoreTask implements rt.TC. The engine record lives on the
@@ -463,8 +512,50 @@ func (tc *workerTC) rpcYield(f *wire.Frame) (*wire.Frame, error) {
 	return r, err
 }
 
+// canFastPath reports whether an Access is covered by a dispatch-time
+// pre-grant: plain read/write modes only, no children spawned yet, and
+// the requested bits a subset of the granted bits.
+func (tc *workerTC) canFastPath(obj access.ObjectID, m access.Mode) bool {
+	if tc.spawned || m == 0 || m&^access.ReadWrite != 0 {
+		return false
+	}
+	g, ok := tc.grants[obj]
+	return ok && g&m == m
+}
+
+// awaitObject waits for a copy of obj to land in the store. Presence is
+// currency: stale copies are always invalidated out of the store, so a
+// stored value is the one the coordinator granted.
+func (w *worker) awaitObject(obj access.ObjectID) (any, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if v, ok := w.store[obj]; ok {
+			return v, nil
+		}
+		if w.closed {
+			if w.err != nil {
+				return nil, w.err
+			}
+			return nil, transport.ErrClosed
+		}
+		w.storeCond.Wait()
+	}
+}
+
 // Access implements rt.TC.
 func (tc *workerTC) Access(obj access.ObjectID, m access.Mode) (any, error) {
+	if tc.canFastPath(obj, m) {
+		// Pre-granted at dispatch: the engine cannot make this access
+		// wait, so the request is fire-and-forget (B=1 marks it as a
+		// notify handled inline by the coordinator) and the task only
+		// waits for the object copy itself — keeping its slot, since no
+		// local task can be what it is waiting for.
+		if err := tc.w.send(&wire.Frame{Type: wire.TAccessReq, Task: tc.task, Obj: uint64(obj), A: uint64(m), B: 1}); err != nil {
+			return nil, err
+		}
+		return tc.w.awaitObject(obj)
+	}
 	r, err := tc.rpcYield(&wire.Frame{Type: wire.TAccessReq, Task: tc.task, Obj: uint64(obj), A: uint64(m)})
 	if err != nil {
 		return nil, err
@@ -484,16 +575,19 @@ func (tc *workerTC) Access(obj access.ObjectID, m access.Mode) (any, error) {
 // EndAccess implements rt.TC (fire-and-forget; FIFO ordering makes it
 // visible to the engine before anything else this task does next).
 func (tc *workerTC) EndAccess(obj access.ObjectID, m access.Mode) {
+	delete(tc.grants, obj) // released grants never fast-path again
 	tc.w.send(&wire.Frame{Type: wire.TEndAccess, Task: tc.task, Obj: uint64(obj), A: uint64(m)})
 }
 
 // ClearAccess implements rt.TC.
 func (tc *workerTC) ClearAccess(obj access.ObjectID) {
+	delete(tc.grants, obj)
 	tc.w.send(&wire.Frame{Type: wire.TClearAccess, Task: tc.task, Obj: uint64(obj)})
 }
 
 // Convert implements rt.TC.
 func (tc *workerTC) Convert(obj access.ObjectID, which access.Mode) error {
+	delete(tc.grants, obj) // the declaration changed shape: slow-path it
 	r, err := tc.rpcYield(&wire.Frame{Type: wire.TConvertReq, Task: tc.task, Obj: uint64(obj), A: uint64(which)})
 	if err != nil {
 		return err
@@ -506,6 +600,7 @@ func (tc *workerTC) Convert(obj access.ObjectID, which access.Mode) error {
 
 // Retract implements rt.TC (never blocks engine-side; keep the slot).
 func (tc *workerTC) Retract(obj access.ObjectID, which access.Mode) error {
+	delete(tc.grants, obj)
 	r, err := tc.w.rpc(&wire.Frame{Type: wire.TRetractReq, Task: tc.task, Obj: uint64(obj), A: uint64(which)})
 	if err != nil {
 		return err
@@ -525,6 +620,10 @@ func (tc *workerTC) Create(decls []access.Decl, opts rt.TaskOpts, body func(rt.T
 	if body == nil && opts.Kind == "" {
 		return fmt.Errorf("create %q: nil body and no kind", opts.Label)
 	}
+	// A child may conflict with the parent's declarations; after this
+	// point a parent Access can legitimately be made to wait, so the
+	// pre-grant fast path is off for the rest of the task.
+	tc.spawned = true
 	var key uint64
 	if body != nil {
 		key = w.opts.Bodies.put(body)
@@ -606,6 +705,7 @@ func (tc *workerTC) Alloc(initial any, label string) (access.ObjectID, error) {
 	w.mu.Lock()
 	w.store[id] = initial
 	w.bases[id] = syncBase{val: format.Clone(initial), ver: 0}
+	w.storeCond.Broadcast()
 	w.mu.Unlock()
 	return id, nil
 }

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestL3Throughput: the live throughput bench produces one point per
+// transport, each with nonzero rates, and every round passed the
+// bit-identity check (a failed round errors the whole experiment).
+func TestL3Throughput(t *testing.T) {
+	res, err := L3Throughput(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want one per transport", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.TasksPerSec <= 0 || p.FramesPerSec <= 0 {
+			t.Fatalf("%s: non-positive rates: %+v", p.Transport, p)
+		}
+		if p.Frames == 0 || p.Tasks == 0 {
+			t.Fatalf("%s: missing traffic or tasks: %+v", p.Transport, p)
+		}
+	}
+}

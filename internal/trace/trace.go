@@ -189,12 +189,14 @@ type Log struct {
 func New() *Log { return &Log{} }
 
 // NewRing returns a log bounded to the newest cap events (cap <= 0 falls
-// back to unbounded). The buffer grows on demand up to cap, then wraps.
+// back to unbounded). The buffer is allocated up front: the ring is the
+// always-on profiling stream, and growing it incrementally under the
+// log mutex puts repeated large copies on every executor's hot path.
 func NewRing(cap int) *Log {
 	if cap <= 0 {
 		return New()
 	}
-	return &Log{cap: cap}
+	return &Log{cap: cap, events: make([]Event, 0, cap)}
 }
 
 // Add appends an event.

@@ -32,12 +32,18 @@ func newQueue() *queue {
 
 func (q *queue) put(msg []byte) error {
 	cp := append([]byte(nil), msg...) // callers may reuse msg
+	return q.putOwned(cp)
+}
+
+// putOwned enqueues msg without copying: the queue (and then the
+// receiver) owns the slice.
+func (q *queue) putOwned(msg []byte) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return transport.ErrClosed
 	}
-	q.msgs = append(q.msgs, cp)
+	q.msgs = append(q.msgs, msg)
 	q.cond.Signal()
 	return nil
 }
@@ -93,11 +99,26 @@ func (c *conn) Send(msg []byte) error {
 	if err := c.send.put(msg); err != nil {
 		return err
 	}
+	c.noteSent(len(msg))
+	return nil
+}
+
+// SendOwned implements transport.OwnedSender: the message slice is
+// enqueued as-is (the receiver takes ownership via Recv), skipping the
+// defensive copy Send makes.
+func (c *conn) SendOwned(msg []byte) error {
+	if err := c.send.putOwned(msg); err != nil {
+		return err
+	}
+	c.noteSent(len(msg))
+	return nil
+}
+
+func (c *conn) noteSent(n int) {
 	c.mu.Lock()
 	c.stats.MsgsSent++
-	c.stats.BytesSent += uint64(len(msg))
+	c.stats.BytesSent += uint64(n)
 	c.mu.Unlock()
-	return nil
 }
 
 func (c *conn) Recv() ([]byte, error) {
@@ -137,8 +158,9 @@ func (c *conn) Fence() {
 }
 
 var (
-	_ transport.Conn   = (*conn)(nil)
-	_ transport.Fencer = (*conn)(nil)
+	_ transport.Conn        = (*conn)(nil)
+	_ transport.Fencer      = (*conn)(nil)
+	_ transport.OwnedSender = (*conn)(nil)
 )
 
 // Name registry: Listen/Dial let code that only knows an address string

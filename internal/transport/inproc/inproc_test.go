@@ -134,3 +134,33 @@ func TestRegistry(t *testing.T) {
 		t.Fatal("Dial after Close should fail")
 	}
 }
+
+// TestSendOwnedTransfersOwnership: SendOwned must hand the very slice to
+// the receiver (no defensive copy), while Send must copy — the pooled
+// send path in the live executor depends on this distinction.
+func TestSendOwnedTransfersOwnership(t *testing.T) {
+	a, b := Pipe()
+	owned := []byte{1, 2, 3}
+	if err := a.(transport.OwnedSender).SendOwned(owned); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &owned[0] {
+		t.Error("SendOwned copied the message; it must transfer ownership")
+	}
+
+	copied := []byte{4, 5, 6}
+	if err := a.Send(copied); err != nil {
+		t.Fatal(err)
+	}
+	got, err = b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] == &copied[0] {
+		t.Error("Send handed the caller's slice to the receiver; it must copy")
+	}
+}

@@ -1,0 +1,70 @@
+package transport
+
+import "sync"
+
+// Buffer pooling for the frame hot path. The live executor encodes tens
+// of thousands of small frames per second; allocating each one fresh put
+// the allocator (memclr + memmove) at the top of the CPU profile. GetBuf
+// and PutBuf recycle encode buffers through a sync.Pool, and the optional
+// OwnedSender interface lets a substrate take ownership of a pooled
+// buffer instead of copying it.
+//
+// Ownership discipline (see DESIGN.md §4.14):
+//
+//   - A buffer from GetBuf belongs to the caller until it is handed to
+//     PutBuf, SendOwned, or SendPooled — exactly one of them, exactly
+//     once.
+//   - SendOwned transfers ownership to the substrate: the caller must not
+//     touch the slice afterwards. The substrate frees or recycles it when
+//     delivery bookkeeping no longer needs it.
+//   - Recv hands the returned slice to the receiver (the Conn contract),
+//     so a receiver that fully consumes a message may PutBuf it.
+
+// maxPooledBuf caps what PutBuf retains. Object images can reach
+// megabytes; keeping them alive in the pool would pin peak memory, so
+// oversized buffers are left to the GC.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// GetBuf returns a zero-length buffer with non-trivial capacity.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (or any buffer the caller
+// owns outright). The caller must not use b afterwards.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// OwnedSender is the optional ownership-transfer variant of Conn.Send:
+// the connection takes msg instead of copying it, and the caller must not
+// retain or reuse the slice. Substrates that must keep the bytes anyway
+// (tcp retains every unacked frame for retransmit; inproc enqueues for
+// the peer) implement it to skip the defensive copy Send requires.
+type OwnedSender interface {
+	SendOwned(msg []byte) error
+}
+
+// SendPooled ships a pooled buffer over c with whichever discipline the
+// substrate supports: ownership transfer when c is an OwnedSender,
+// otherwise Send (which must not retain msg) followed by recycling the
+// buffer. Either way the caller has relinquished msg when this returns.
+func SendPooled(c Conn, msg []byte) error {
+	if os, ok := c.(OwnedSender); ok {
+		return os.SendOwned(msg)
+	}
+	err := c.Send(msg)
+	PutBuf(msg)
+	return err
+}

@@ -1,0 +1,215 @@
+package tcp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSendRejectsOversized: the sender enforces maxFrame, so an oversized
+// message fails fast at its origin with a descriptive error instead of
+// reaching the peer's reader and killing the session as "invalid frame
+// length". Regression test: writeFrame historically never checked the
+// bound the reader enforces. The limit is lowered for the test — the real
+// bound is 256 MiB.
+func TestSendRejectsOversized(t *testing.T) {
+	old := maxFrame.Load()
+	maxFrame.Store(64)
+	defer maxFrame.Store(old)
+
+	c, s, _ := pair(t, fastOpts())
+
+	// 1 type byte + 8 seq bytes + msg must fit maxFrame: 55 is the largest
+	// message that does.
+	atLimit := make([]byte, 55)
+	if err := c.Send(atLimit); err != nil {
+		t.Fatalf("Send at the frame limit: %v", err)
+	}
+	if got := recvN(t, s, 1); len(got[0]) != 55 {
+		t.Fatalf("at-limit message arrived with %d bytes", len(got[0]))
+	}
+
+	over := make([]byte, 56)
+	if err := c.Send(over); err == nil {
+		t.Fatal("Send over the frame limit succeeded")
+	}
+	if err := c.SendOwned(append([]byte(nil), over...)); err == nil {
+		t.Fatal("SendOwned over the frame limit succeeded")
+	}
+
+	// The refused sends must not have consumed sequence numbers or
+	// poisoned the session: ordinary traffic still flows.
+	if err := c.Send([]byte("after")); err != nil {
+		t.Fatalf("Send after a refused message: %v", err)
+	}
+	if got := recvN(t, s, 1); got[0] != "after" {
+		t.Fatalf("post-refusal message = %q", got[0])
+	}
+}
+
+// TestBacklogBurst drives more concurrent dials than the listener's
+// 64-slot accept backlog holds. No session may be dropped — each dial
+// must eventually surface via Accept and carry traffic — and the
+// BacklogWaits counter must record that the backlog overflowed.
+func TestBacklogBurst(t *testing.T) {
+	const dials = 80 // backlog is 64
+	l, err := Listen("127.0.0.1:0", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, dials)
+	for i := 0; i < dials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(l.Addr(), fastOpts())
+			if err != nil {
+				errs <- fmt.Errorf("dial %d: %w", i, err)
+				return
+			}
+			defer c.Close()
+			errs <- c.Send([]byte(fmt.Sprintf("hello-%d", i)))
+		}(i)
+	}
+
+	// Accept lags the dial burst on purpose so the backlog fills.
+	time.Sleep(50 * time.Millisecond)
+	seen := map[string]bool{}
+	for i := 0; i < dials; i++ {
+		sc, err := l.Accept()
+		if err != nil {
+			t.Fatalf("Accept %d: %v", i, err)
+		}
+		msg, err := sc.Recv()
+		if err != nil {
+			t.Fatalf("Recv on accepted session %d: %v", i, err)
+		}
+		seen[string(msg)] = true
+		sc.Close()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if len(seen) != dials {
+		t.Errorf("delivered %d distinct greetings, want %d", len(seen), dials)
+	}
+	if l.BacklogWaits() == 0 {
+		t.Error("BacklogWaits() = 0 after a burst past the backlog capacity")
+	}
+}
+
+// TestAppendDataFrameAllocs pins the batching writer's per-frame packing
+// at zero allocations once the batch buffer has grown: the hot send path
+// must not feed the allocator per message.
+func TestAppendDataFrameAllocs(t *testing.T) {
+	msg := []byte("0123456789abcdef")
+	batch := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(200, func() {
+		batch = batch[:0]
+		for i := 0; i < 16; i++ {
+			batch = appendDataFrame(batch, uint64(i+1), msg)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("appendDataFrame into a reused batch: %.1f allocs, want 0", allocs)
+	}
+}
+
+// readAll parses a byte stream as a train of wire frames, the way the
+// session reader consumes one batched Write from the peer.
+func readAll(data []byte) (types []byte, bodies [][]byte, err error) {
+	br := bufio.NewReaderSize(bytes.NewReader(data), readBufSize)
+	for {
+		typ, body, err := readFrame(br)
+		if err == io.EOF {
+			return types, bodies, nil
+		}
+		if err != nil {
+			return types, bodies, err
+		}
+		types = append(types, typ)
+		bodies = append(bodies, body)
+	}
+}
+
+// TestReadBatchedFrames: a single buffer packed by the batching writer
+// (ack + data train + heartbeat) parses back frame by frame.
+func TestReadBatchedFrames(t *testing.T) {
+	var seqBuf [8]byte
+	binary.BigEndian.PutUint64(seqBuf[:], 41)
+	batch := appendWireFrame(nil, fAck, seqBuf[:])
+	for i := 1; i <= 5; i++ {
+		batch = appendDataFrame(batch, uint64(i), []byte(fmt.Sprintf("m%d", i)))
+	}
+	batch = appendWireFrame(batch, fHeartbeat, nil)
+
+	types, bodies, err := readAll(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{fAck, fData, fData, fData, fData, fData, fHeartbeat}
+	if !bytes.Equal(types, want) {
+		t.Fatalf("frame types = %q, want %q", types, want)
+	}
+	for i := 1; i <= 5; i++ {
+		body := bodies[i]
+		if got := binary.BigEndian.Uint64(body); got != uint64(i) {
+			t.Errorf("data frame %d: seq = %d", i, got)
+		}
+		if got := string(body[8:]); got != fmt.Sprintf("m%d", i) {
+			t.Errorf("data frame %d: msg = %q", i, got)
+		}
+	}
+}
+
+// FuzzReadFrames feeds arbitrary byte streams to the frame reader the
+// way a batched Write arrives: many frames in one buffer. The reader
+// must never panic, and any stream it fully accepts must re-pack to the
+// identical bytes. Seeds cover the shapes the batching writer produces.
+func FuzzReadFrames(f *testing.F) {
+	var seqBuf [8]byte
+	binary.BigEndian.PutUint64(seqBuf[:], 7)
+
+	// Single frames.
+	f.Add(appendWireFrame(nil, fAck, seqBuf[:]))
+	f.Add(appendWireFrame(nil, fHeartbeat, nil))
+	f.Add(appendWireFrame(nil, fFin, nil))
+	f.Add(appendDataFrame(nil, 1, []byte("solo")))
+	// A full batch: ack, data train, fin — the writer's flush shape.
+	batch := appendWireFrame(nil, fAck, seqBuf[:])
+	for i := 1; i <= 3; i++ {
+		batch = appendDataFrame(batch, uint64(i), []byte{byte(i), 0xEE})
+	}
+	batch = appendWireFrame(batch, fFin, nil)
+	f.Add(batch)
+	// Corruption shapes: truncated mid-frame, zero length, huge length.
+	f.Add(batch[:len(batch)-3])
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, fData})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		types, bodies, err := readAll(data)
+		if err != nil {
+			return // rejected or truncated streams just must not panic
+		}
+		var re []byte
+		for i, typ := range types {
+			re = appendWireFrame(re, typ, bodies[i])
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted stream is not canonical:\n in  %x\n out %x", data, re)
+		}
+	})
+}

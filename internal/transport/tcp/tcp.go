@@ -22,12 +22,14 @@
 package tcp
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -40,8 +42,25 @@ import (
 const LivenessScale = 50
 
 // maxFrame bounds a single frame so a corrupt length prefix cannot make
-// the reader allocate unboundedly.
-const maxFrame = 1 << 28
+// the reader allocate unboundedly. The sender enforces the same bound in
+// Send/SendOwned — an oversized message must fail fast at its origin with
+// a descriptive error, not kill the peer's session as "invalid frame
+// length". An atomic (not a const) so tests can lower the limit without
+// shipping 256 MiB frames — or racing live session goroutines.
+var maxFrame = func() *atomic.Uint32 {
+	var v atomic.Uint32
+	v.Store(1 << 28)
+	return &v
+}()
+
+// maxBatch caps the bytes the writer packs into one raw Write. A full
+// batch flushes mid-collection, so a burst of large frames costs several
+// writes rather than unbounded buffering before the first byte moves.
+const maxBatch = 256 << 10
+
+// readBufSize is the reader's buffer: one socket read surfaces many
+// batched frames.
+const readBufSize = 64 << 10
 
 // Frame type bytes on the wire (first byte of every frame body).
 const (
@@ -159,23 +178,23 @@ type session struct {
 	dialAddr string    // non-empty on the dialing side; "" on the listener side
 	lst      *Listener // listener that owns this session; nil on the dialing side
 
-	mu       sync.Mutex
-	recvCond *sync.Cond
-	cur      *link
-	sendQ    []*outFrame // queued for the current link, in seq order
-	unacked  []*outFrame // sent or queued, not yet covered by a peer ack
-	nextSeq  uint64      // next sequence number to assign (first message is 1)
-	lastRecv uint64      // highest in-order seq received
-	recvQ    [][]byte
-	ackDue   bool
-	finDue   bool
-	closed   bool // local Close or terminal failure
-	fenced   bool // Fence was called: drop (never deliver) late data frames
-	peerFin  bool
-	err      error // terminal error, set once
-	redialing bool
+	mu         sync.Mutex
+	recvCond   *sync.Cond
+	cur        *link
+	sendQ      []*outFrame // queued for the current link, in seq order
+	unacked    []*outFrame // sent or queued, not yet covered by a peer ack
+	nextSeq    uint64      // next sequence number to assign (first message is 1)
+	lastRecv   uint64      // highest in-order seq received
+	recvQ      [][]byte
+	ackDue     bool
+	finDue     bool
+	closed     bool // local Close or terminal failure
+	fenced     bool // Fence was called: drop (never deliver) late data frames
+	peerFin    bool
+	err        error // terminal error, set once
+	redialing  bool
 	deathTimer *time.Timer // listener side: session expiry while detached
-	stats    transport.Stats
+	stats      transport.Stats
 
 	// test hooks (white-box failure-path tests)
 	ignoreAcks bool // sender never prunes unacked → full retransmit on resume
@@ -191,7 +210,34 @@ func newSession(opts Options, id uint64, dialAddr string) *session {
 // queue in the session and a per-link writer goroutine drains them, so
 // both endpoints may send concurrently without deadlock.
 func (s *session) Send(msg []byte) error {
-	f := &outFrame{data: append([]byte(nil), msg...)}
+	if err := checkFrameSize(len(msg)); err != nil {
+		return err
+	}
+	return s.enqueue(&outFrame{data: append([]byte(nil), msg...)})
+}
+
+// SendOwned implements transport.OwnedSender: the session takes msg as
+// its retransmit copy directly instead of duplicating it (it must retain
+// the bytes until the peer's ack anyway). The caller must not reuse msg.
+func (s *session) SendOwned(msg []byte) error {
+	if err := checkFrameSize(len(msg)); err != nil {
+		return err
+	}
+	return s.enqueue(&outFrame{data: msg})
+}
+
+// checkFrameSize is the sender-side maxFrame guard: the wire frame is
+// type byte + 8-byte seq + msg, and the receiver rejects length prefixes
+// above maxFrame, so an oversized message must be refused here — at the
+// origin, with a diagnosable error — rather than poisoning the peer.
+func checkFrameSize(n int) error {
+	if limit := maxFrame.Load(); uint64(1+8+n) > uint64(limit) {
+		return fmt.Errorf("tcp: message of %d bytes exceeds the frame limit (%d-byte frame, max %d)", n, 1+8+n, limit)
+	}
+	return nil
+}
+
+func (s *session) enqueue(f *outFrame) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -202,7 +248,7 @@ func (s *session) Send(msg []byte) error {
 	s.unacked = append(s.unacked, f)
 	s.sendQ = append(s.sendQ, f)
 	s.stats.MsgsSent++
-	s.stats.BytesSent += uint64(len(msg))
+	s.stats.BytesSent += uint64(len(f.data))
 	l := s.cur
 	s.mu.Unlock()
 	if l != nil {
@@ -420,11 +466,16 @@ func (s *session) snapshotLastRecv() uint64 {
 }
 
 // writer drains the session's queue onto one raw socket, emitting acks
-// when due and heartbeats when idle.
+// when due and heartbeats when idle. Everything collected in one wakeup
+// is packed into one buffer and hits the socket as one Write (flushing
+// early only past maxBatch): the flush boundary is the queue going
+// momentarily empty, so senders that burst many small frames pay one
+// syscall for the burst, and the pending ack rides the same segment.
 func (s *session) writer(l *link) {
 	hb := time.NewTimer(s.opts.HeartbeatInterval)
 	defer hb.Stop()
 	lastWrite := time.Now()
+	batch := make([]byte, 0, 32<<10)
 	for {
 		var frames []*outFrame
 		var ack, fin bool
@@ -441,26 +492,36 @@ func (s *session) writer(l *link) {
 
 		wrote := false
 		var err error
+		batch = batch[:0]
+		flush := func() {
+			if err == nil && len(batch) > 0 {
+				_, err = l.raw.Write(batch)
+				wrote = true
+			}
+			batch = batch[:0]
+		}
 		if ack {
-			err = writeFrame(l.raw, fAck, binary.BigEndian.AppendUint64(nil, ackSeq))
-			wrote = true
+			var seqBuf [8]byte
+			binary.BigEndian.PutUint64(seqBuf[:], ackSeq)
+			batch = appendWireFrame(batch, fAck, seqBuf[:])
 		}
 		for _, f := range frames {
 			if err != nil {
 				break
 			}
-			body := make([]byte, 0, 9+len(f.data))
-			body = binary.BigEndian.AppendUint64(body, f.seq)
-			body = append(body, f.data...)
-			err = writeFrame(l.raw, fData, body)
+			batch = appendDataFrame(batch, f.seq, f.data)
 			f.sent = true
-			wrote = true
+			if len(batch) >= maxBatch {
+				flush()
+			}
 		}
 		if err == nil && fin {
-			writeFrame(l.raw, fFin, nil) // best-effort
+			batch = appendWireFrame(batch, fFin, nil)
+			flush() // best-effort
 			l.kill()
 			return
 		}
+		flush()
 		if err != nil {
 			// Unwritten frames of this batch are still in unacked; the
 			// resume path requeues them.
@@ -502,12 +563,16 @@ func (s *session) writer(l *link) {
 }
 
 // reader consumes frames from one raw socket. Any read error — including
-// the liveness deadline expiring — downs the link.
+// the liveness deadline expiring — downs the link. The buffered reader is
+// the receive half of batching: one socket read surfaces a whole train of
+// small frames, which then parse without further syscalls (the deadline
+// is armed on the raw conn, so it only gates actual socket reads).
 func (s *session) reader(l *link) {
 	deadline := s.opts.deadline()
+	br := bufio.NewReaderSize(l.raw, readBufSize)
 	for {
 		l.raw.SetReadDeadline(time.Now().Add(deadline))
-		typ, body, err := readFrame(l.raw)
+		typ, body, err := readFrame(br)
 		if err != nil {
 			select {
 			case <-l.dead: // orderly teardown, not a failure
@@ -573,14 +638,27 @@ func (s *session) reader(l *link) {
 	}
 }
 
-// writeFrame writes one length-prefixed frame: 4-byte big-endian length
-// of (type byte + body), then the type byte and body.
+// appendWireFrame packs one length-prefixed frame onto dst: 4-byte
+// big-endian length of (type byte + body), then the type byte and body.
+func appendWireFrame(dst []byte, typ byte, body []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(1+len(body)))
+	dst = append(dst, typ)
+	return append(dst, body...)
+}
+
+// appendDataFrame packs one data frame (type + 8-byte seq + message)
+// without materializing the body separately.
+func appendDataFrame(dst []byte, seq uint64, msg []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(1+8+len(msg)))
+	dst = append(dst, fData)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	return append(dst, msg...)
+}
+
+// writeFrame writes one frame as its own Write call (heartbeats and
+// tests; the data path batches via appendWireFrame/appendDataFrame).
 func writeFrame(w io.Writer, typ byte, body []byte) error {
-	buf := make([]byte, 0, 5+len(body))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(1+len(body)))
-	buf = append(buf, typ)
-	buf = append(buf, body...)
-	_, err := w.Write(buf)
+	_, err := w.Write(appendWireFrame(nil, typ, body))
 	return err
 }
 
@@ -592,7 +670,7 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n == 0 || n > maxFrame {
+	if n == 0 || n > maxFrame.Load() {
 		return 0, nil, fmt.Errorf("tcp: invalid frame length %d", n)
 	}
 	buf := make([]byte, n)
@@ -684,7 +762,18 @@ type Listener struct {
 
 	backlog chan *session
 	done    chan struct{}
+	// backlogWaits counts handshakes that found the backlog channel full
+	// and had to block until Accept drained it. The channel send always
+	// blocks rather than dropping the session — a burst of elastic
+	// redials beyond the backlog must never be silently lost — so this
+	// counter is the observable symptom of an undersized backlog.
+	backlogWaits atomic.Uint64
 }
+
+// BacklogWaits reports how many inbound sessions found the accept backlog
+// full and blocked waiting for Accept. Nonzero means dial bursts exceeded
+// the backlog capacity; no session was dropped.
+func (l *Listener) BacklogWaits() uint64 { return l.backlogWaits.Load() }
 
 // Listen starts a session listener on addr (e.g. "127.0.0.1:0").
 func Listen(addr string, opts ...Options) (*Listener, error) {
@@ -752,8 +841,14 @@ func (l *Listener) handshake(raw net.Conn) {
 		s.attach(raw, peerAcked)
 		select {
 		case l.backlog <- s:
-		case <-l.done:
-			s.Close()
+		default:
+			// Backlog full: block (never drop) and surface the pressure.
+			l.backlogWaits.Add(1)
+			select {
+			case l.backlog <- s:
+			case <-l.done:
+				s.Close()
+			}
 		}
 		return
 	}
@@ -808,11 +903,12 @@ func (l *Listener) Close() error {
 }
 
 var (
-	_ transport.Conn      = (*session)(nil)
-	_ transport.Statser   = (*session)(nil)
-	_ transport.Fencer    = (*session)(nil)
-	_ transport.Sessioner = (*session)(nil)
-	_ transport.Listener  = (*Listener)(nil)
+	_ transport.Conn        = (*session)(nil)
+	_ transport.Statser     = (*session)(nil)
+	_ transport.Fencer      = (*session)(nil)
+	_ transport.Sessioner   = (*session)(nil)
+	_ transport.OwnedSender = (*session)(nil)
+	_ transport.Listener    = (*Listener)(nil)
 )
 
 // dropRaw is a test hook: it kills the current raw socket without

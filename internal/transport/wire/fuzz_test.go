@@ -13,10 +13,10 @@ import (
 // interesting corruption shapes; `go test -fuzz=FuzzDecode` extends it.
 func FuzzDecode(f *testing.F) {
 	for _, fr := range sampleFrames() {
-		f.Add(Encode(fr))
+		f.Add(mustEncode(f, fr))
 	}
 	// Corruption shapes worth keeping in the corpus.
-	valid := Encode(&Frame{Type: TObjPatch, Obj: 3, A: 2, C: 1, Payload: []byte{9, 9}})
+	valid := mustEncode(f, &Frame{Type: TObjPatch, Obj: 3, A: 2, C: 1, Payload: []byte{9, 9}})
 	f.Add(valid[:len(valid)-1])              // truncated payload
 	f.Add(append([]byte(nil), valid[1:]...)) // missing magic
 	wrongVer := append([]byte(nil), valid...)
@@ -30,7 +30,10 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			return // rejected inputs just must not panic
 		}
-		re := Encode(fr)
+		re, err := Encode(fr)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
 		if !bytes.Equal(re, data) {
 			t.Fatalf("accepted input is not canonical:\n in  %x\n out %x", data, re)
 		}

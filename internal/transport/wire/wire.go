@@ -137,23 +137,40 @@ type Frame struct {
 	Payload []byte
 }
 
-// Errors returned by Decode.  ErrVersion is distinguished so a peer can
-// report a protocol mismatch rather than a corrupt stream.
+// Errors returned by Encode and Decode.  ErrVersion is distinguished so a
+// peer can report a protocol mismatch rather than a corrupt stream;
+// ErrTooLarge is the encoder refusing a section whose length does not fit
+// the 32-bit length prefix (silently truncating it would corrupt the
+// stream for every frame that follows).
 var (
 	ErrVersion   = errors.New("wire: protocol version mismatch")
 	ErrTruncated = errors.New("wire: truncated frame")
 	ErrCorrupt   = errors.New("wire: corrupt frame")
+	ErrTooLarge  = errors.New("wire: section exceeds 32-bit length prefix")
 )
+
+// maxSection bounds each variable section's length. The wire format
+// carries lengths as uint32, so anything larger cannot be represented.
+// A var (not const) so the overflow path is testable without allocating
+// 4 GiB.
+var maxSection = uint64(^uint32(0))
 
 // headerLen is magic+version+type plus six 8-byte scalars.
 const headerLen = 3 + 6*8
 
-// Encode serializes f. The layout is:
+// AppendFrame serializes f onto dst and returns the extended slice, so a
+// caller with a pooled buffer encodes without allocating. The layout is:
 //
 //	magic | version | type | Req..C (6×8B LE) | len+Label | len+Aux | len+Payload
-func Encode(f *Frame) []byte {
-	buf := make([]byte, 0, headerLen+12+len(f.Label)+len(f.Aux)+len(f.Payload))
-	buf = append(buf, magic, ProtoVersion, f.Type)
+//
+// A section longer than the 32-bit length prefix can carry returns
+// ErrTooLarge with dst unmodified.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if uint64(len(f.Label)) > maxSection || uint64(len(f.Aux)) > maxSection || uint64(len(f.Payload)) > maxSection {
+		return dst, fmt.Errorf("%w: label %d, aux %d, payload %d bytes (max %d)",
+			ErrTooLarge, len(f.Label), len(f.Aux), len(f.Payload), maxSection)
+	}
+	buf := append(dst, magic, ProtoVersion, f.Type)
 	for _, v := range [...]uint64{f.Req, f.Task, f.Obj, f.A, f.B, f.C} {
 		buf = binary.LittleEndian.AppendUint64(buf, v)
 	}
@@ -163,13 +180,36 @@ func Encode(f *Frame) []byte {
 	buf = append(buf, f.Aux...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Payload)))
 	buf = append(buf, f.Payload...)
-	return buf
+	return buf, nil
 }
 
-// Decode parses one frame.  It validates the magic, the protocol version,
+// Encode serializes f into a fresh buffer. See AppendFrame for the layout
+// and the ErrTooLarge contract.
+func Encode(f *Frame) ([]byte, error) {
+	buf := make([]byte, 0, headerLen+12+len(f.Label)+len(f.Aux)+len(f.Payload))
+	return AppendFrame(buf, f)
+}
+
+// Decode parses one frame, copying Payload out of data so the caller may
+// recycle the input buffer immediately. See DecodeOwned for validation
+// rules.
+func Decode(data []byte) (*Frame, error) {
+	f, err := DecodeOwned(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Payload) > 0 {
+		f.Payload = append([]byte(nil), f.Payload...)
+	}
+	return f, nil
+}
+
+// DecodeOwned parses one frame with Payload aliasing data — zero-copy for
+// callers that own the input buffer (the transport Recv contract hands the
+// slice to the receiver). It validates the magic, the protocol version,
 // the type, and every section length against the remaining input, and
 // requires the frame to be exactly consumed (no trailing garbage).
-func Decode(data []byte) (*Frame, error) {
+func DecodeOwned(data []byte) (*Frame, error) {
 	if len(data) < headerLen {
 		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(data), headerLen)
 	}
@@ -215,7 +255,7 @@ func Decode(data []byte) (*Frame, error) {
 		return nil, err
 	}
 	if len(pay) > 0 {
-		f.Payload = append([]byte(nil), pay...)
+		f.Payload = pay
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))

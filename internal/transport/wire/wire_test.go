@@ -37,10 +37,20 @@ func sampleFrames() []*Frame {
 	}
 }
 
+// mustEncode is Encode for tests, where the frames are known to fit.
+func mustEncode(tb testing.TB, f *Frame) []byte {
+	tb.Helper()
+	b, err := Encode(f)
+	if err != nil {
+		tb.Fatalf("Encode(%s): %v", TypeName(f.Type), err)
+	}
+	return b
+}
+
 // TestRoundTrip: Encode∘Decode is the identity for every frame type.
 func TestRoundTrip(t *testing.T) {
 	for _, f := range sampleFrames() {
-		got, err := Decode(Encode(f))
+		got, err := Decode(mustEncode(t, f))
 		if err != nil {
 			t.Fatalf("%s: Decode: %v", TypeName(f.Type), err)
 		}
@@ -53,7 +63,7 @@ func TestRoundTrip(t *testing.T) {
 // TestRoundTripEmptySections: empty strings and nil payload survive.
 func TestRoundTripEmptySections(t *testing.T) {
 	f := &Frame{Type: TBye}
-	got, err := Decode(Encode(f))
+	got, err := Decode(mustEncode(t, f))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +76,7 @@ func TestRoundTripEmptySections(t *testing.T) {
 // panics, and never succeeds.
 func TestTruncated(t *testing.T) {
 	for _, f := range sampleFrames() {
-		enc := Encode(f)
+		enc := mustEncode(t, f)
 		for n := 0; n < len(enc); n++ {
 			got, err := Decode(enc[:n])
 			if err == nil {
@@ -78,7 +88,7 @@ func TestTruncated(t *testing.T) {
 
 // TestCorrupt covers the specific corruption classes Decode distinguishes.
 func TestCorrupt(t *testing.T) {
-	valid := Encode(&Frame{Type: TDispatch, Task: 1, Label: "x"})
+	valid := mustEncode(t, &Frame{Type: TDispatch, Task: 1, Label: "x"})
 
 	badMagic := append([]byte(nil), valid...)
 	badMagic[0] = 'K'
@@ -114,7 +124,7 @@ func TestCorrupt(t *testing.T) {
 // TestVersionMismatch: cross-version frames are rejected with ErrVersion
 // specifically, so peers can report a protocol mismatch.
 func TestVersionMismatch(t *testing.T) {
-	enc := Encode(&Frame{Type: THello, Label: "w"})
+	enc := mustEncode(t, &Frame{Type: THello, Label: "w"})
 	for _, v := range []byte{0, ProtoVersion + 1, 0xFF} {
 		bad := append([]byte(nil), enc...)
 		bad[1] = v
@@ -122,6 +132,108 @@ func TestVersionMismatch(t *testing.T) {
 		if !errors.Is(err, ErrVersion) {
 			t.Errorf("version %d: err = %v, want ErrVersion", v, err)
 		}
+	}
+}
+
+// TestTooLarge: a section whose length does not fit the 32-bit prefix is
+// refused with ErrTooLarge, never silently truncated into a corrupt
+// stream. The limit is lowered for the test — nobody allocates 4 GiB to
+// prove an overflow check.
+func TestTooLarge(t *testing.T) {
+	old := maxSection
+	maxSection = 16
+	defer func() { maxSection = old }()
+
+	big := make([]byte, 17)
+	for _, f := range []*Frame{
+		{Type: TObjImage, Payload: big},
+		{Type: TDispatch, Label: string(big)},
+		{Type: TDispatch, Aux: string(big)},
+	} {
+		if _, err := Encode(f); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("%s with 17-byte section: err = %v, want ErrTooLarge", TypeName(f.Type), err)
+		}
+		// AppendFrame must leave dst untouched on refusal.
+		dst := []byte{1, 2, 3}
+		out, err := AppendFrame(dst, f)
+		if !errors.Is(err, ErrTooLarge) || len(out) != 3 {
+			t.Errorf("AppendFrame refusal: out len %d, err %v", len(out), err)
+		}
+	}
+	if _, err := Encode(&Frame{Type: TObjImage, Payload: big[:16]}); err != nil {
+		t.Errorf("payload at the limit: %v", err)
+	}
+}
+
+// TestAppendFrame: append-style encoding into a reused buffer matches
+// Encode byte for byte.
+func TestAppendFrame(t *testing.T) {
+	buf := make([]byte, 0, 1024)
+	for _, f := range sampleFrames() {
+		var err error
+		buf, err = AppendFrame(buf[:0], f)
+		if err != nil {
+			t.Fatalf("AppendFrame(%s): %v", TypeName(f.Type), err)
+		}
+		if want := mustEncode(t, f); !reflect.DeepEqual(buf, want) {
+			t.Errorf("%s: AppendFrame differs from Encode", TypeName(f.Type))
+		}
+	}
+}
+
+// TestDecodeOwnedAliases: the zero-copy decode's Payload aliases the
+// input (that is its contract — the caller owns the buffer), while
+// Decode's does not.
+func TestDecodeOwnedAliases(t *testing.T) {
+	enc := mustEncode(t, &Frame{Type: TObjImage, Obj: 1, Payload: []byte{1, 2, 3, 4}})
+	fo, err := DecodeOwned(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[len(enc)-1] = 99
+	if fo.Payload[3] != 99 {
+		t.Error("DecodeOwned payload does not alias the input")
+	}
+	if fc.Payload[3] != 4 {
+		t.Error("Decode payload aliases the input; it must copy")
+	}
+}
+
+// TestEncodeAllocs pins the hot encode path at zero allocations when the
+// caller reuses a buffer: the live executor encodes tens of thousands of
+// frames per run, and regressing this puts the allocator back on top of
+// the CPU profile.
+func TestEncodeAllocs(t *testing.T) {
+	f := &Frame{Type: TAccessReq, Req: 7, Task: 42, Obj: 9, A: 3}
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendFrame(buf[:0], f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendFrame into a reused buffer: %.1f allocs/frame, want 0", allocs)
+	}
+}
+
+// TestDecodeOwnedAllocs pins the zero-copy decode at one allocation (the
+// Frame itself) for control frames with empty string sections — the
+// overwhelming majority of live-protocol traffic.
+func TestDecodeOwnedAllocs(t *testing.T) {
+	enc := mustEncode(t, &Frame{Type: TAccessReq, Req: 7, Task: 42, Obj: 9, A: 3})
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeOwned(enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("DecodeOwned of a control frame: %.1f allocs/frame, want <= 1", allocs)
 	}
 }
 

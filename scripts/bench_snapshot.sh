@@ -5,8 +5,38 @@
 # BENCH_profile.json, so performance changes ride along with each PR as a
 # reviewable artifact.
 #
+# With --live it instead records the live executor's sustained wire-path
+# throughput (the L3 experiment: tasks/sec + frames/sec on inproc and TCP
+# loopback, best-of-N, bit-identity-checked) to BENCH_live.json, alongside
+# the pre-PR-7 baseline measured on the reference dev host so the artifact
+# carries its own before/after story.
+#
 # Usage: scripts/bench_snapshot.sh [output.json]
+#        scripts/bench_snapshot.sh --live [output.json]
 set -eu
+
+if [ "${1:-}" = "--live" ]; then
+	out=${2:-BENCH_live.json}
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+	go run ./cmd/jadebench -exp l3 -livejson "$tmp/l3.json" >"$tmp/l3_table.txt"
+	cat "$tmp/l3_table.txt"
+	{
+		echo '{'
+		echo '  "note": "live wire-path throughput (L3): 16x16 Cholesky, 4 workers, best-of-5 wall time, bit-identity-checked each round",'
+		echo '  "baseline": {'
+		echo '    "note": "measured at the pre-wire-path-overhaul coordinator (commit 19cde13) on the reference dev host",'
+		echo '    "inproc": { "best_wall_ns": 264100000, "tasks_per_sec": 15568, "frames": 51161, "bytes": 3930000 },'
+		echo '    "tcp":    { "best_wall_ns": 721300000, "tasks_per_sec": 5701 }'
+		echo '  },'
+		echo '  "current":'
+		sed 's/^/  /' "$tmp/l3.json"
+		echo '}'
+	} >"$out"
+	go run ./scripts/jsoncheck "$out"
+	echo "wrote $out"
+	exit 0
+fi
 
 out=${1:-BENCH_profile.json}
 tmp=$(mktemp -d)
