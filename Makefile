@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race determinism fault live live-fault bench live-bench clean
+.PHONY: check vet build test race determinism fault live live-fault tenant bench live-bench tenant-bench clean
 
-check: vet build test race determinism fault live live-fault bench live-bench
+check: vet build test race determinism fault live live-fault tenant bench live-bench tenant-bench
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,14 @@ live:
 live-fault:
 	$(GO) test -race -count=2 -run 'Chaos|Fence|Redial|Session|Cadence|Elastic|Membership|Leave|Evict|Drain|Admit|L2' ./internal/transport/... ./internal/exec/live/... ./internal/fault/... ./internal/experiments/...
 
+# The tenant tier: the multi-tenant session service — session mux and
+# namespace isolation on the wire, admission control and per-tenant slot
+# quotas, cross-tenant isolation properties, chaos-scripted daemon kills
+# with sessions from several tenants resident, and the MT1 experiment —
+# under the race detector, twice (DESIGN.md §4.15).
+tenant:
+	$(GO) test -race -count=2 -run 'Tenant|Mux|MultiServ|Service|SlotStats|MT1' ./internal/transport/mux/... ./internal/exec/live/... ./jade/... ./internal/experiments/...
+
 # The benchmark-snapshot tier: engine throughput plus the S1 profiler sweep,
 # recorded to BENCH_profile.json as a reviewable performance artifact.
 bench:
@@ -59,6 +67,12 @@ bench:
 # pre-overhaul baseline embedded (DESIGN.md §4.14).
 live-bench:
 	scripts/bench_snapshot.sh --live
+
+# The tenant-bench tier: the multi-tenant serving stream (MT1: 100 mixed
+# sessions through the admission gate on inproc and TCP loopback, every
+# session bit-identity-checked), recorded to BENCH_tenant.json.
+tenant-bench:
+	scripts/bench_snapshot.sh --tenant
 
 clean:
 	$(GO) clean ./...

@@ -49,6 +49,7 @@ var catalog = []struct{ id, desc string }{
 	{"l1", "live execution: Cholesky over in-process and TCP worker endpoints"},
 	{"l2", "elastic fault tolerance: live Cholesky with a mid-run kill + joins"},
 	{"l3", "live wire-path throughput: tasks/sec and frames/sec, best-of-N (§4.14)"},
+	{"mt1", "multi-tenant serving: 100+ mixed sessions over one shared fleet (§4.15)"},
 }
 
 func main() {
@@ -65,6 +66,7 @@ func main() {
 		profText = flag.Bool("profile", false, "print each S1 point's full profile (phases, utilization, critical path, hotspots)")
 		profJSON = flag.String("profilejson", "", "write the S1 points with their profiles as JSON to this file")
 		liveJSON = flag.String("livejson", "", "write the L3 live-throughput points as JSON to this file")
+		tenJSON  = flag.String("tenantjson", "", "write the MT1 multi-tenant points as JSON to this file")
 		disable  = flag.String("disable", "", "comma-separated runtime features to turn off in S1 (prefetch,locality,delta)")
 	)
 	flag.Parse()
@@ -367,6 +369,27 @@ func main() {
 				fail("l3", err)
 			}
 			fmt.Printf("wrote live throughput points to %s\n\n", *liveJSON)
+		}
+	}
+	if selected("mt1") {
+		sessions, workers, cap := 100, 4, 16
+		if *quick {
+			sessions, workers, cap = 24, 2, 6
+		}
+		res, err := experiments.MT1Tenant(sessions, workers, cap)
+		if err != nil {
+			fail("mt1", err)
+		}
+		show(res.Table)
+		if *tenJSON != "" {
+			data, err := json.MarshalIndent(res.Points, "", "  ")
+			if err != nil {
+				fail("mt1", err)
+			}
+			if err := os.WriteFile(*tenJSON, data, 0o644); err != nil {
+				fail("mt1", err)
+			}
+			fmt.Printf("wrote multi-tenant serving points to %s\n\n", *tenJSON)
 		}
 	}
 }

@@ -13,6 +13,12 @@
 // this binary (or a copy of it) for real work; a stock jadeworker can still
 // serve as a remote memory/relay endpoint for closure-free protocols.
 //
+// With -multi the daemon joins a multi-tenant session service
+// (jade.NewService with AwaitExternal > 0) instead of a single run: it
+// hosts an isolated worker instance per announced session, sharing its
+// -slots capacity across every resident tenant under the service's
+// per-tenant quotas.
+//
 // With -loop the daemon reconnects and serves again after each run,
 // so one long-lived worker can participate in many coordinator runs.
 // Against an elastic coordinator (jade.LiveConfig.Elastic) each redial
@@ -42,7 +48,8 @@ func main() {
 		addr  = flag.String("addr", "127.0.0.1:7070", "coordinator address to join")
 		name  = flag.String("name", "", "worker name in coordinator diagnostics (default host:pid)")
 		caps  = flag.String("caps", "", "comma-separated capability tags to advertise (e.g. gpu,camera)")
-		slots = flag.Int("slots", 1, "concurrent task slots")
+		slots = flag.Int("slots", 1, "concurrent task slots (with -multi: machine total shared by all sessions)")
+		multi = flag.Bool("multi", false, "serve a multi-tenant session service (jade.NewService) instead of a single run")
 		loop  = flag.Bool("loop", false, "serve runs forever: reconnect after each run ends")
 		retry = flag.Duration("retry", time.Second, "redial interval with -loop")
 	)
@@ -70,7 +77,7 @@ func main() {
 		os.Exit(1)
 	}()
 
-	cfg := jade.WorkerConfig{Addr: *addr, Name: wn, Caps: tags, Slots: *slots, Drain: drain}
+	cfg := jade.WorkerConfig{Addr: *addr, Name: wn, Caps: tags, Slots: *slots, Multi: *multi, Drain: drain}
 
 	for {
 		err := jade.ServeWorker(cfg)

@@ -433,6 +433,7 @@ func (x *Exec) recoverWorker(w *workerLink, cause error) {
 			pl.machine = -1
 			pl.attempt++
 			w.pendingTasks--
+			x.fleetUncharge(w.m)
 			orphans = append(orphans, orphaned{t, pl})
 		}
 	}

@@ -83,6 +83,30 @@ type Options struct {
 	// uses it to fire scripted kills, joins, and drains at deterministic
 	// points in a run's progress.
 	OnTaskDone func(done int)
+	// Fleet, if set, gives the placer a fleet-level load view shared by
+	// every coordinator multiplexed onto the same worker fleet: place()
+	// compares Load(m) across machines instead of this session's private
+	// pendingTasks, so one chatty session cannot pile its tasks onto a
+	// worker another session is already saturating. Charge/Uncharge are
+	// paired with every pendingTasks transition.
+	Fleet FleetView
+	// FirstObjectID offsets this executor's object-id space (0 means 1,
+	// the classic single-session numbering). The tenant service gives
+	// each session a disjoint range so cross-session isolation is
+	// checkable by inspection: a foreign id in any cache is a leak.
+	FirstObjectID access.ObjectID
+}
+
+// FleetView is the shared placement ledger of a multi-session fleet.
+// Implementations must be safe for concurrent use and non-blocking:
+// Load is read under the coordinator's scheduler lock.
+type FleetView interface {
+	// Charge records one task placed on machine m of this session.
+	Charge(m int)
+	// Uncharge reverses a Charge when the task retires or is re-placed.
+	Uncharge(m int)
+	// Load reports the fleet-wide outstanding task count on machine m.
+	Load(m int) int
 }
 
 // objDir is the coordinator's directory entry for one object, same
@@ -145,6 +169,9 @@ type workerLink struct {
 	caps  map[string]bool
 	fmt   format.ByteOrder
 	group uint64
+	// slots is the concurrent task capacity the worker advertised in its
+	// hello; surfaced by SlotStats so quota starvation is debuggable.
+	slots int
 
 	// Scheduler load estimate; guarded by x.mu.
 	pendingTasks int
@@ -255,6 +282,9 @@ func New(opts Options) (*Exec, error) {
 	if opts.Bodies == nil {
 		opts.Bodies = NewBodyTable()
 	}
+	if opts.FirstObjectID == 0 {
+		opts.FirstObjectID = 1
+	}
 	n := len(opts.Peers) + 1
 	x := &Exec{
 		opts:        opts,
@@ -262,7 +292,7 @@ func New(opts Options) (*Exec, error) {
 		fatal:       make(chan struct{}),
 		nextMachine: 1,
 		tasks:       map[core.TaskID]*core.Task{},
-		nextObj:     1,
+		nextObj:     opts.FirstObjectID,
 		nextReq:     1,
 		pending:     map[uint64]chan *wire.Frame{},
 		dir:         map[access.ObjectID]*objDir{},
@@ -525,8 +555,12 @@ func (x *Exec) handshake(p Peer, m int) (*workerLink, error) {
 		caps:     map[string]bool{},
 		fmt:      format.ByteOrder(f.A),
 		group:    f.B,
+		slots:    int(f.C),
 		dead:     make(chan struct{}),
 		recvDone: make(chan struct{}),
+	}
+	if w.slots <= 0 {
+		w.slots = 1 // pre-slot-reporting worker: it runs at least one task
 	}
 	if w.name == "" {
 		w.name = fmt.Sprintf("worker-%d", m)
@@ -837,6 +871,7 @@ func (x *Exec) dispatch(t *core.Task, pl *payload) {
 			pl.machine = w.m
 			pl.sent = false
 			w.pendingTasks++
+			x.fleetCharge(w.m)
 		}
 		x.mu.Unlock()
 		if err != nil {
@@ -922,6 +957,7 @@ func (x *Exec) dispatch(t *core.Task, pl *payload) {
 				pl.machine = -1
 				pl.attempt++
 				w.pendingTasks--
+				x.fleetUncharge(w.m)
 			}
 			x.mu.Unlock()
 			if !mine {
@@ -974,6 +1010,7 @@ func (x *Exec) taskFinished(t *core.Task, pl *payload, busy time.Duration, ran b
 	if pl.machine > 0 {
 		if w := x.workerAtLocked(pl.machine); w != nil {
 			w.pendingTasks--
+			x.fleetUncharge(w.m)
 			if w.state == memberDraining && w.pendingTasks == 0 {
 				drained = w
 			}
@@ -1037,6 +1074,7 @@ func (x *Exec) place(pl *payload, held []int) (*workerLink, error) {
 	}
 	var best *workerLink
 	bestHeld := -1
+	bestLoad := 0
 	var lastErr error
 	anyActive := false
 	for _, w := range x.workers {
@@ -1055,9 +1093,10 @@ func (x *Exec) place(pl *payload, held []int) (*workerLink, error) {
 		if w.m < len(held) {
 			h = held[w.m]
 		}
-		if best == nil || w.pendingTasks < best.pendingTasks ||
-			(w.pendingTasks == best.pendingTasks && h > bestHeld) {
-			best, bestHeld = w, h
+		load := x.loadOf(w)
+		if best == nil || load < bestLoad ||
+			(load == bestLoad && h > bestHeld) {
+			best, bestHeld, bestLoad = w, h, load
 		}
 	}
 	if best == nil {

@@ -1,0 +1,267 @@
+package livetest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/exec/live/tenant"
+)
+
+// TenantStep is one scripted fleet event for a tenant-service chaos
+// run. The step fires when the aggregate count of retired tasks across
+// every session first reaches AfterDone.
+type TenantStep struct {
+	// AfterDone is the fleet-wide retired-task count that triggers the
+	// step.
+	AfterDone int
+	// MinPerSession additionally holds the step until every session
+	// opened so far has retired at least this many tasks — and, the
+	// other half of the guarantee, PARKS each session at this retirement
+	// count until the step has been applied. Without the park a fast
+	// session (or all of them, on a single-CPU host where sessions
+	// serialize) finishes its whole program before the step lands and
+	// never observes the event the script placed mid-run. With it,
+	// "kill while every session is mid-run" is deterministic: the kill
+	// fences while every session still has its remaining program
+	// outstanding.
+	MinPerSession int
+	// Kill fences daemon number Kill (1-based): every session resident
+	// there must independently detect the loss and recover. 0 = no kill.
+	Kill int
+}
+
+// TenantOptions configure a chaos-scripted tenant service.
+type TenantOptions struct {
+	// Daemons is the shared fleet size (required, ≥ 1).
+	Daemons int
+	// WorkerSlots is each daemon's shared task capacity (0 = 2).
+	WorkerSlots int
+	// Profiles declares the tenants and their quotas.
+	Profiles []tenant.Profile
+	// MaxSessions caps concurrent sessions (0 = unlimited).
+	MaxSessions int
+	// Script is the fleet-event schedule, fired in AfterDone order.
+	Script []TenantStep
+}
+
+// TenantCluster is a tenant service under a chaos script. Sessions
+// opened through Open feed their task retirements into one aggregate
+// counter; scripted kills fire at deterministic points in the combined
+// task stream, no matter which session's tasks got there first.
+type TenantCluster struct {
+	// Svc is the service; tests open extra sessions or read reports
+	// directly from it.
+	Svc *tenant.Service
+
+	mu      sync.Mutex
+	applied *sync.Cond   // signalled when a fired step finishes applying
+	script  []TenantStep // sorted by AfterDone
+	cursor  int
+	total   int
+	pending int            // steps fired but not yet applied
+	parked  int            // sessions blocked at a MinPerSession gate
+	perSess map[uint64]int // session id → retired count (MinPerSession gate)
+	killed  map[int]bool   // 1-based daemons the script has fenced
+	errs    []error
+
+	// Steps are applied by a dedicated goroutine, exactly as in Cluster:
+	// OnTaskDone runs inside a session's protocol loops, which must not
+	// block on service or executor locks.
+	stepCh chan TenantStep
+	stepWG sync.WaitGroup
+}
+
+// NewTenant starts the service and arms the script.
+func NewTenant(opts TenantOptions) (*TenantCluster, error) {
+	if opts.Daemons < 1 {
+		return nil, fmt.Errorf("livetest: need at least one daemon")
+	}
+	svc, err := tenant.NewService(tenant.Options{
+		Workers:     opts.Daemons,
+		WorkerSlots: opts.WorkerSlots,
+		Profiles:    opts.Profiles,
+		MaxSessions: opts.MaxSessions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &TenantCluster{
+		Svc:     svc,
+		script:  append([]TenantStep(nil), opts.Script...),
+		perSess: map[uint64]int{},
+		killed:  map[int]bool{},
+	}
+	c.applied = sync.NewCond(&c.mu)
+	sort.SliceStable(c.script, func(i, j int) bool {
+		return c.script[i].AfterDone < c.script[j].AfterDone
+	})
+	c.stepCh = make(chan TenantStep, len(c.script))
+	go func() {
+		for s := range c.stepCh {
+			if err := c.apply(s); err != nil {
+				c.mu.Lock()
+				c.errs = append(c.errs, err)
+				c.mu.Unlock()
+			}
+			c.mu.Lock()
+			c.pending--
+			c.applied.Broadcast()
+			c.mu.Unlock()
+			c.stepWG.Done()
+		}
+	}()
+	return c, nil
+}
+
+// Open admits a session whose task retirements count toward the
+// script's aggregate thresholds.
+func (c *TenantCluster) Open(tenantName string) (*tenant.Session, error) {
+	// Each session reports its own running total; fold the deltas into
+	// the fleet aggregate. The session id isn't known until OpenSessionCfg
+	// returns, so bind it through a pointer the hook closes over.
+	var lmu sync.Mutex
+	last := 0
+	var sid uint64
+	s, err := c.Svc.OpenSessionCfg(tenant.SessionConfig{
+		Tenant: tenantName,
+		OnTaskDone: func(done int) {
+			lmu.Lock()
+			delta := done - last
+			if delta > 0 {
+				last = done
+			}
+			id := sid
+			lmu.Unlock()
+			if delta > 0 {
+				c.bump(id, done, delta)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	lmu.Lock()
+	sid = s.ID()
+	lmu.Unlock()
+	c.mu.Lock()
+	c.perSess[s.ID()] = 0
+	c.mu.Unlock()
+	return s, nil
+}
+
+// bump advances the counters, enqueues every step whose thresholds have
+// been reached (in order, each at most once), and enforces the
+// MinPerSession park: a session that has reached the next unfired
+// step's per-session threshold waits here — mid-run, with the rest of
+// its program outstanding — until that step has fired AND been applied.
+// The last session to reach the gate is what fires the step, so the
+// event provably lands while every session is resident. Blocking inside
+// OnTaskDone is safe: apply() never needs a session's protocol loops to
+// make progress (KillWorker is a fence — channel closes, no
+// round-trips).
+func (c *TenantCluster) bump(sid uint64, done, delta int) {
+	c.mu.Lock()
+	c.total += delta
+	if sid != 0 {
+		c.perSess[sid] = done
+	}
+	c.fireLocked()
+	for c.gateLocked(done) {
+		c.parked++
+		c.fireLocked() // this session may be the last one the gate waited on
+		c.applied.Wait()
+		c.parked--
+	}
+	c.mu.Unlock()
+}
+
+// fireLocked enqueues every due step. A step with a MinPerSession gate
+// fires once every session has reached the gate and either the
+// aggregate threshold is met or every session is parked at the gate
+// (the aggregate can never advance past a full park, so waiting longer
+// would deadlock the script). Requires c.mu.
+func (c *TenantCluster) fireLocked() {
+	for c.cursor < len(c.script) {
+		st := c.script[c.cursor]
+		if st.MinPerSession > 0 {
+			for _, n := range c.perSess {
+				if n < st.MinPerSession {
+					return
+				}
+			}
+		}
+		if c.total < st.AfterDone && !(st.MinPerSession > 0 && c.parked == len(c.perSess)) {
+			return
+		}
+		c.cursor++
+		c.pending++
+		c.stepWG.Add(1)
+		c.stepCh <- st // buffered to len(script): never blocks
+	}
+}
+
+// gateLocked reports whether the session that just retired its done-th
+// task must park: a fired step is still being applied, or the next
+// unfired step has a MinPerSession gate this session has reached.
+// Requires c.mu.
+func (c *TenantCluster) gateLocked(done int) bool {
+	if c.pending > 0 {
+		return true
+	}
+	if c.cursor < len(c.script) {
+		if m := c.script[c.cursor].MinPerSession; m > 0 && done >= m {
+			return true
+		}
+	}
+	return false
+}
+
+// apply executes one step.
+func (c *TenantCluster) apply(s TenantStep) error {
+	if s.Kill != 0 {
+		if err := c.Svc.KillWorker(s.Kill - 1); err != nil {
+			return fmt.Errorf("livetest: step kill daemon %d: %w", s.Kill, err)
+		}
+		c.mu.Lock()
+		c.killed[s.Kill] = true
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// Wait blocks until every step fired so far has finished applying.
+func (c *TenantCluster) Wait() { c.stepWG.Wait() }
+
+// Err returns the first error a script step produced, if any.
+func (c *TenantCluster) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.errs) > 0 {
+		return c.errs[0]
+	}
+	return nil
+}
+
+// Fired reports how many script steps have fired.
+func (c *TenantCluster) Fired() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cursor
+}
+
+// Killed reports whether the script fenced daemon d (1-based). Killed
+// daemons keep the slot tokens their lost tasks held — their ledgers are
+// exempt from the held-drains-to-zero check.
+func (c *TenantCluster) Killed(d int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed[d]
+}
+
+// Done reports the aggregate retired-task count so far.
+func (c *TenantCluster) Done() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}

@@ -1,0 +1,284 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/transport"
+	"repro/internal/transport/mux"
+)
+
+// MultiServer serves several tenant sessions over one physical daemon
+// connection (DESIGN.md §4.15). Each session announced by the service's
+// mux gets its own worker instance — own object store, own sync bases,
+// own RPC routing — so cross-tenant isolation is structural: there is no
+// shared map a foreign object id could leak through. What IS shared is
+// the machine: one slot pool gates task execution across every resident
+// session, with per-tenant caps enforced at acquire time, and one body
+// table serves closure dispatch for all in-process sessions.
+//
+// Quota enforcement lives here, on the worker, rather than as a blocking
+// admission gate on the coordinator: a coordinator-side semaphore can
+// deadlock (a parent task holding the tenant's last token blocks in an
+// Access that only a child — which cannot get a token — would unblock).
+// The worker-side pool inherits the executor's §3.3 discipline instead:
+// blocking RPCs release the slot (rpcYield), inline children borrow the
+// creator's slot, so a held token always belongs to a task that is
+// actually burning CPU.
+type MultiServer struct {
+	mx   *mux.Mux
+	opts WorkerOptions
+	pool *tenantSlots
+
+	mu       sync.Mutex
+	sessions map[uint64]*sessionWorker
+	closed   map[uint64][]access.ObjectID // final cache snapshot per finished session
+	wg       sync.WaitGroup
+}
+
+type sessionWorker struct {
+	info mux.Session
+	w    *worker
+}
+
+// NewMultiServer wraps an established daemon connection. opts are the
+// per-daemon defaults: Slots is the machine's total concurrent task
+// capacity (shared by all sessions), Bodies/Kinds/Caps/Format/Group
+// apply to every session worker.
+func NewMultiServer(conn transport.Conn, opts WorkerOptions) *MultiServer {
+	if opts.Slots <= 0 {
+		opts.Slots = 1
+	}
+	if opts.Bodies == nil {
+		opts.Bodies = NewBodyTable()
+		if opts.Group == 0 {
+			opts.Group = uniqueGroup()
+		}
+	}
+	return &MultiServer{
+		mx:       mux.New(conn),
+		opts:     opts,
+		pool:     newTenantSlots(opts.Slots),
+		sessions: map[uint64]*sessionWorker{},
+		closed:   map[uint64][]access.ObjectID{},
+	}
+}
+
+// Serve accepts sessions until the physical connection dies, running
+// each session's worker protocol in its own goroutine. A clean shutdown
+// (the service closed the connection) returns nil.
+func (ms *MultiServer) Serve() error {
+	defer ms.wg.Wait()
+	for n := 0; ; n++ {
+		s, err := ms.mx.Accept()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wopts := ms.opts
+		wopts.Name = fmt.Sprintf("%s/s%d", ms.opts.Name, s.ID)
+		wopts.sharedSlots = ms.pool.view(s.Tenant, s.SlotCap)
+		w := newWorker(s.Conn, wopts)
+		sw := &sessionWorker{info: s, w: w}
+		ms.mu.Lock()
+		ms.sessions[s.ID] = sw
+		ms.mu.Unlock()
+		ms.wg.Add(1)
+		go func() {
+			defer ms.wg.Done()
+			_ = w.serve()
+			ms.mu.Lock()
+			ms.closed[sw.info.ID] = w.objectIDs()
+			delete(ms.sessions, sw.info.ID)
+			ms.mu.Unlock()
+			s.Conn.Close()
+		}()
+	}
+}
+
+// Ledger snapshots the shared slot pool's per-tenant accounting.
+func (ms *MultiServer) Ledger() SlotLedger { return ms.pool.ledger() }
+
+// SessionObjects reports, per session id, every object id that session's
+// worker cache holds (live sessions) or held when it finished (closed
+// sessions: the final store + sync-base snapshot, which sync bases make
+// a superset of everything that was ever resident). The isolation
+// property test intersects these across sessions.
+func (ms *MultiServer) SessionObjects() map[uint64][]access.ObjectID {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make(map[uint64][]access.ObjectID, len(ms.sessions)+len(ms.closed))
+	for id, objs := range ms.closed {
+		out[id] = append([]access.ObjectID(nil), objs...)
+	}
+	for id, sw := range ms.sessions {
+		out[id] = sw.w.objectIDs()
+	}
+	return out
+}
+
+// SessionTenants reports the tenant each known session belonged to.
+func (ms *MultiServer) SessionTenants() map[uint64]string {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := map[uint64]string{}
+	for id, sw := range ms.sessions {
+		out[id] = sw.info.Tenant
+	}
+	return out
+}
+
+// SlotLedger is one daemon's slot accounting: the shared pool plus each
+// tenant's usage against its cap. Violation is non-empty if the pool
+// ever caught its own invariants broken (a quota exceeded, or per-tenant
+// holds not summing to the global hold) — the exactness check the
+// isolation property test pins.
+type SlotLedger struct {
+	Slots     int // shared pool capacity
+	Held      int // tokens currently held across all tenants
+	PerTenant map[string]TenantSlotUse
+	Violation string
+}
+
+// TenantSlotUse is one tenant's slot usage on one daemon.
+type TenantSlotUse struct {
+	Cap  int // per-worker quota (0 = uncapped)
+	Held int // tokens currently held
+	Peak int // high-water mark of Held
+}
+
+// tenantSlots is the shared, quota-aware slot pool of one daemon.
+// Acquire order is fixed — tenant token first, then global token — so
+// there is no circular wait: a task holding its tenant token and blocked
+// on the global pool is waiting only on tasks that already hold global
+// tokens, and those always release (task end or rpcYield).
+type tenantSlots struct {
+	total  int
+	global chan struct{}
+
+	mu        sync.Mutex
+	held      int
+	tenants   map[string]*tenantBucket
+	violation string
+}
+
+type tenantBucket struct {
+	cap  int
+	sem  chan struct{} // nil when uncapped
+	held int
+	peak int
+}
+
+func newTenantSlots(total int) *tenantSlots {
+	ts := &tenantSlots{
+		total:   total,
+		global:  make(chan struct{}, total),
+		tenants: map[string]*tenantBucket{},
+	}
+	for i := 0; i < total; i++ {
+		ts.global <- struct{}{}
+	}
+	return ts
+}
+
+// view binds a slotPool to one tenant's bucket, creating it on first
+// use. Sessions of the same tenant share the bucket — the quota is per
+// tenant per worker, not per session.
+func (ts *tenantSlots) view(tenant string, cap int) slotPool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	b, ok := ts.tenants[tenant]
+	if !ok {
+		b = &tenantBucket{cap: cap}
+		if cap > 0 {
+			b.sem = make(chan struct{}, cap)
+			for i := 0; i < cap; i++ {
+				b.sem <- struct{}{}
+			}
+		}
+		ts.tenants[tenant] = b
+	}
+	return &tenantPool{ts: ts, b: b}
+}
+
+// note moves a tenant's hold count by delta and self-checks the pool
+// invariants, recording the first violation instead of panicking (the
+// tests assert it stays empty).
+func (ts *tenantSlots) note(b *tenantBucket, delta int) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	b.held += delta
+	ts.held += delta
+	if b.held > b.peak {
+		b.peak = b.held
+	}
+	if ts.violation == "" {
+		sum := 0
+		for _, t := range ts.tenants {
+			sum += t.held
+		}
+		switch {
+		case b.cap > 0 && b.held > b.cap:
+			ts.violation = fmt.Sprintf("tenant holds %d slots, cap %d", b.held, b.cap)
+		case b.held < 0 || ts.held < 0:
+			ts.violation = fmt.Sprintf("negative hold: tenant %d, global %d", b.held, ts.held)
+		case ts.held > ts.total:
+			ts.violation = fmt.Sprintf("pool holds %d slots, capacity %d", ts.held, ts.total)
+		case sum != ts.held:
+			ts.violation = fmt.Sprintf("per-tenant holds sum to %d, global hold is %d", sum, ts.held)
+		}
+	}
+}
+
+func (ts *tenantSlots) ledger() SlotLedger {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	l := SlotLedger{
+		Slots: ts.total, Held: ts.held,
+		PerTenant: make(map[string]TenantSlotUse, len(ts.tenants)),
+		Violation: ts.violation,
+	}
+	for name, b := range ts.tenants {
+		l.PerTenant[name] = TenantSlotUse{Cap: b.cap, Held: b.held, Peak: b.peak}
+	}
+	return l
+}
+
+// tenantPool is the slotPool one session worker sees: its tenant's
+// bucket layered over the shared pool.
+type tenantPool struct {
+	ts *tenantSlots
+	b  *tenantBucket
+}
+
+func (p *tenantPool) acquire(abort <-chan struct{}) bool {
+	if p.b.sem != nil {
+		select {
+		case <-p.b.sem:
+		case <-abort:
+			return false
+		}
+	}
+	select {
+	case <-p.ts.global:
+	case <-abort:
+		if p.b.sem != nil {
+			p.b.sem <- struct{}{}
+		}
+		return false
+	}
+	p.ts.note(p.b, +1)
+	return true
+}
+
+func (p *tenantPool) release() {
+	p.ts.note(p.b, -1)
+	p.ts.global <- struct{}{}
+	if p.b.sem != nil {
+		p.b.sem <- struct{}{}
+	}
+}

@@ -45,7 +45,45 @@ type WorkerOptions struct {
 	// readable: the worker sends TLeave and keeps serving until the
 	// coordinator has drained it and answers TBye.
 	Leave <-chan struct{}
+	// sharedSlots, when non-nil, replaces the private slot pool: the
+	// multi-tenant daemon gates every session's tasks on one shared,
+	// quota-aware pool (see MultiServer). Slots still states the pool's
+	// total for the hello.
+	sharedSlots slotPool
 }
+
+// slotPool gates concurrent task execution on a worker. acquire blocks
+// for a free slot — and, on a shared multi-tenant pool, for the tenant
+// to be under its quota — returning false when abort closes first.
+// Deadlock freedom rests on the same discipline as the single-tenant
+// pool (DESIGN.md §3.3): blocking RPCs release the slot via rpcYield,
+// and inline children borrow their creator's slot.
+type slotPool interface {
+	acquire(abort <-chan struct{}) bool
+	release()
+}
+
+// chanPool is the private single-tenant pool: a plain token channel.
+type chanPool chan struct{}
+
+func newChanPool(n int) chanPool {
+	p := make(chanPool, n)
+	for i := 0; i < n; i++ {
+		p <- struct{}{}
+	}
+	return p
+}
+
+func (p chanPool) acquire(abort <-chan struct{}) bool {
+	select {
+	case <-p:
+		return true
+	case <-abort:
+		return false
+	}
+}
+
+func (p chanPool) release() { p <- struct{}{} }
 
 // ErrEvicted is returned by Serve when the coordinator has declared this
 // worker dead and fenced its session. The worker process is in fact
@@ -78,7 +116,7 @@ type worker struct {
 	conn  transport.Conn
 	opts  WorkerOptions
 	m     int // machine index assigned by the coordinator
-	slots chan struct{}
+	slots slotPool
 
 	mu        sync.Mutex
 	store     map[access.ObjectID]any
@@ -98,6 +136,12 @@ type worker struct {
 // coordinator says goodbye or the connection fails. It blocks for the
 // whole run; run it in a goroutine for in-process workers.
 func Serve(conn transport.Conn, opts WorkerOptions) error {
+	return newWorker(conn, opts).serve()
+}
+
+// newWorker normalizes opts and builds the endpoint state. Split from
+// serve so the multi-tenant daemon can hold the handle for inspection.
+func newWorker(conn transport.Conn, opts WorkerOptions) *worker {
 	if opts.Slots <= 0 {
 		opts.Slots = 1
 	}
@@ -113,21 +157,26 @@ func Serve(conn transport.Conn, opts WorkerOptions) error {
 	w := &worker{
 		conn:    conn,
 		opts:    opts,
-		slots:   make(chan struct{}, opts.Slots),
+		slots:   opts.sharedSlots,
 		store:   map[access.ObjectID]any{},
 		bases:   map[access.ObjectID]syncBase{},
 		pending: map[uint64]chan *wire.Frame{},
 		nextReq: 1,
 		dead:    make(chan struct{}),
 	}
-	w.storeCond = sync.NewCond(&w.mu)
-	for i := 0; i < opts.Slots; i++ {
-		w.slots <- struct{}{}
+	if w.slots == nil {
+		w.slots = newChanPool(opts.Slots)
 	}
+	w.storeCond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *worker) serve() error {
+	conn, opts := w.conn, w.opts
 	if err := w.send(&wire.Frame{
 		Type: wire.THello, Label: opts.Name,
 		Aux: strings.Join(opts.Caps, ","),
-		A:   uint64(opts.Format), B: opts.Group,
+		A:   uint64(opts.Format), B: opts.Group, C: uint64(opts.Slots),
 	}); err != nil {
 		return err
 	}
@@ -407,6 +456,27 @@ func (w *worker) answerPull(f *wire.Frame) error {
 	return w.send(out)
 }
 
+// objectIDs snapshots every object id resident in this worker's cache:
+// live store entries plus sync bases (which outlive invalidation). The
+// cross-tenant isolation tests use it to prove no foreign session's
+// object ever lands here.
+func (w *worker) objectIDs() []access.ObjectID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seen := make(map[access.ObjectID]struct{}, len(w.store)+len(w.bases))
+	for id := range w.store {
+		seen[id] = struct{}{}
+	}
+	for id := range w.bases {
+		seen[id] = struct{}{}
+	}
+	ids := make([]access.ObjectID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
 // runTask executes one dispatched task body in its own goroutine.
 func (w *worker) runTask(f *wire.Frame) {
 	defer w.wg.Done()
@@ -428,9 +498,7 @@ func (w *worker) runTask(f *wire.Frame) {
 			Label: fmt.Sprintf("no body for key %d and no registered kind %q on this worker", f.A, f.Aux)})
 		return
 	}
-	select {
-	case <-w.slots:
-	case <-w.dead:
+	if !w.slots.acquire(w.dead) {
 		return
 	}
 	wt := &watch{heldAt: time.Now()}
@@ -438,7 +506,7 @@ func (w *worker) runTask(f *wire.Frame) {
 	err := w.runBody(tc, body)
 	wt.busy += time.Since(wt.heldAt)
 	if !wt.lost {
-		w.slots <- struct{}{}
+		w.slots.release()
 	}
 	if err != nil {
 		w.send(&wire.Frame{Type: wire.TTaskFail, Task: f.Task, Label: err.Error()})
@@ -500,11 +568,9 @@ func (tc *workerTC) Machine() int { return tc.w.m }
 func (tc *workerTC) rpcYield(f *wire.Frame) (*wire.Frame, error) {
 	w := tc.w
 	tc.wt.busy += time.Since(tc.wt.heldAt)
-	w.slots <- struct{}{}
+	w.slots.release()
 	r, err := w.rpc(f)
-	select {
-	case <-w.slots:
-	case <-w.dead:
+	if !w.slots.acquire(w.dead) {
 		tc.wt.lost = true
 		return nil, w.failErr()
 	}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestMT1Tenant: a reduced session stream through the full experiment —
+// mixed workloads, both transports, admission cap and quota assertions
+// all enforced inside MT1Tenant itself.
+func TestMT1Tenant(t *testing.T) {
+	res, err := MT1Tenant(12, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2 (inproc, tcp)", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Tasks < 12 {
+			t.Fatalf("%s: %d tasks for 12 sessions", p.Transport, p.Tasks)
+		}
+		if p.PeakActive > 4 {
+			t.Fatalf("%s: peak active %d > cap 4", p.Transport, p.PeakActive)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package mux
+
+import (
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// inbox is one session's receive FIFO, the same unbounded mutex+cond
+// queue the inproc substrate uses: puts never block, get drains messages
+// queued before a graceful close, closeDiscard drops them (fencing).
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   [][]byte
+	closed bool
+}
+
+func newInbox() *inbox {
+	q := &inbox{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *inbox) putOwned(msg []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		transport.PutBuf(msg)
+		return
+	}
+	q.msgs = append(q.msgs, msg)
+	q.cond.Signal()
+}
+
+func (q *inbox) get() ([]byte, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.msgs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.msgs) == 0 {
+		return nil, transport.ErrClosed
+	}
+	msg := q.msgs[0]
+	q.msgs = q.msgs[1:]
+	return msg, nil
+}
+
+func (q *inbox) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *inbox) closeDiscard() {
+	q.mu.Lock()
+	q.closed = true
+	q.msgs = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// sconn is a virtual connection: the transport.Conn one session sees.
+// Sends stamp the session id into the encoded frame and forward to the
+// physical conn; Recv reads the session's inbox. Close and Fence both
+// tell the peer to drop the session's routing entry (TSessionClose);
+// Fence additionally discards queued inbound frames, mirroring the
+// fencing semantics of the physical substrates.
+type sconn struct {
+	m     *Mux
+	id    uint64
+	inbox *inbox
+
+	mu     sync.Mutex
+	fenced bool
+	closed bool
+}
+
+func newSconn(m *Mux, id uint64) *sconn {
+	return &sconn{m: m, id: id, inbox: newInbox()}
+}
+
+func (c *sconn) sendErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fenced {
+		return ErrFenced
+	}
+	if c.closed {
+		return transport.ErrClosed
+	}
+	return nil
+}
+
+func (c *sconn) Send(msg []byte) error {
+	if err := c.sendErr(); err != nil {
+		return err
+	}
+	buf := append(transport.GetBuf(), msg...)
+	if err := wire.SetSession(buf, c.id); err != nil {
+		transport.PutBuf(buf)
+		return err
+	}
+	return transport.SendPooled(c.m.phys, buf)
+}
+
+// SendOwned stamps the session id in place — zero extra copies on the
+// pooled-frame hot path.
+func (c *sconn) SendOwned(msg []byte) error {
+	if err := c.sendErr(); err != nil {
+		transport.PutBuf(msg)
+		return err
+	}
+	if err := wire.SetSession(msg, c.id); err != nil {
+		transport.PutBuf(msg)
+		return err
+	}
+	return transport.SendPooled(c.m.phys, msg)
+}
+
+func (c *sconn) Recv() ([]byte, error) {
+	return c.inbox.get()
+}
+
+// Close gracefully ends the session: the peer drops its routing entry,
+// frames already queued locally stay readable.
+func (c *sconn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.m.drop(c.id)
+	c.announceClose()
+	c.inbox.close()
+	return nil
+}
+
+// Fence implements transport.Fencer for one session: late inbound frames
+// are discarded, future routes are dropped (the routing entry is gone),
+// and the peer is told — best-effort — to forget the session.
+func (c *sconn) Fence() {
+	c.mu.Lock()
+	if c.fenced {
+		c.mu.Unlock()
+		return
+	}
+	c.fenced = true
+	c.closed = true
+	c.mu.Unlock()
+	c.m.drop(c.id)
+	c.announceClose()
+	c.inbox.closeDiscard()
+}
+
+// announceClose sends TSessionClose to the peer, best-effort: on a dead
+// physical conn there is nobody left to tell.
+func (c *sconn) announceClose() {
+	buf, err := wire.AppendFrame(transport.GetBuf(), &wire.Frame{Type: wire.TSessionClose, Sess: c.id})
+	if err != nil {
+		return
+	}
+	_ = transport.SendPooled(c.m.phys, buf)
+}
+
+var (
+	_ transport.Conn        = (*sconn)(nil)
+	_ transport.Fencer      = (*sconn)(nil)
+	_ transport.OwnedSender = (*sconn)(nil)
+)

@@ -22,8 +22,16 @@ func FuzzDecode(f *testing.F) {
 	wrongVer := append([]byte(nil), valid...)
 	wrongVer[1] = ProtoVersion + 1
 	f.Add(wrongVer)
+	oldVer := append([]byte(nil), valid...)
+	oldVer[1] = ProtoVersion - 1 // a v1 peer's frame: shorter header, must hit ErrVersion
+	f.Add(oldVer)
 	f.Add([]byte{})
 	f.Add([]byte{magic, ProtoVersion, TBye})
+	// Session-scoped control frames (v2): open with a tenant label and a
+	// slot cap, close, and a data frame stamped with a large session id.
+	f.Add(mustEncode(f, &Frame{Type: TSessionOpen, Sess: 3, Label: "tenant-a", A: 2}))
+	f.Add(mustEncode(f, &Frame{Type: TSessionClose, Sess: 3}))
+	f.Add(mustEncode(f, &Frame{Type: TTaskDone, Task: 8, Sess: 1 << 40, A: 77}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Decode(data)

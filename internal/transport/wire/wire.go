@@ -26,8 +26,10 @@ import (
 )
 
 // ProtoVersion is the wire protocol version.  Peers running a different
-// version are rejected at decode time with ErrVersion.
-const ProtoVersion = 1
+// version are rejected at decode time with ErrVersion.  Version 2 added
+// the Sess scalar (session-scoped frames for the multi-tenant service)
+// and the TSessionOpen/TSessionClose control types.
+const ProtoVersion = 2
 
 // magic is the first byte of every frame ('J' for Jade).
 const magic = 0x4A
@@ -120,6 +122,15 @@ const (
 	// fact alive may rejoin as a brand-new member (fresh dial + THello).
 	// Delivery is best-effort — a genuinely dead worker never sees it.
 	TEvict
+	// TSessionOpen: service → worker daemon: begin multiplexing the
+	// session named by Sess onto this physical connection. Sess=session
+	// id, Label=tenant name, A=the tenant's per-worker slot cap (0 =
+	// uncapped). Handled by the session mux, never by the executor.
+	TSessionOpen
+	// TSessionClose: either direction: the session named by Sess is
+	// finished (or fenced); drop its routing entry and discard any late
+	// frames that still carry its id. Handled by the session mux.
+	TSessionClose
 	// typeMax bounds the valid range; Decode rejects types outside it.
 	typeMax
 )
@@ -132,6 +143,10 @@ type Frame struct {
 	Task    uint64
 	Obj     uint64
 	A, B, C uint64
+	// Sess scopes the frame to one multiplexed session (0 = the sole
+	// session of a dedicated connection). Stamped by the session mux;
+	// the executor itself never reads it.
+	Sess    uint64
 	Label   string
 	Aux     string
 	Payload []byte
@@ -155,13 +170,17 @@ var (
 // 4 GiB.
 var maxSection = uint64(^uint32(0))
 
-// headerLen is magic+version+type plus six 8-byte scalars.
-const headerLen = 3 + 6*8
+// headerLen is magic+version+type plus seven 8-byte scalars.
+const headerLen = 3 + 7*8
+
+// sessOffset is the fixed byte offset of the Sess scalar (the last one),
+// so the session mux can peek and stamp it without a full decode.
+const sessOffset = 3 + 6*8
 
 // AppendFrame serializes f onto dst and returns the extended slice, so a
 // caller with a pooled buffer encodes without allocating. The layout is:
 //
-//	magic | version | type | Req..C (6×8B LE) | len+Label | len+Aux | len+Payload
+//	magic | version | type | Req..C,Sess (7×8B LE) | len+Label | len+Aux | len+Payload
 //
 // A section longer than the 32-bit length prefix can carry returns
 // ErrTooLarge with dst unmodified.
@@ -171,7 +190,7 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 			ErrTooLarge, len(f.Label), len(f.Aux), len(f.Payload), maxSection)
 	}
 	buf := append(dst, magic, ProtoVersion, f.Type)
-	for _, v := range [...]uint64{f.Req, f.Task, f.Obj, f.A, f.B, f.C} {
+	for _, v := range [...]uint64{f.Req, f.Task, f.Obj, f.A, f.B, f.C, f.Sess} {
 		buf = binary.LittleEndian.AppendUint64(buf, v)
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Label)))
@@ -223,7 +242,7 @@ func DecodeOwned(data []byte) (*Frame, error) {
 	if f.Type == 0 || f.Type >= typeMax {
 		return nil, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, f.Type)
 	}
-	for i, p := range [...]*uint64{&f.Req, &f.Task, &f.Obj, &f.A, &f.B, &f.C} {
+	for i, p := range [...]*uint64{&f.Req, &f.Task, &f.Obj, &f.A, &f.B, &f.C, &f.Sess} {
 		*p = binary.LittleEndian.Uint64(data[3+8*i:])
 	}
 	rest := data[headerLen:]
@@ -263,6 +282,44 @@ func DecodeOwned(data []byte) (*Frame, error) {
 	return f, nil
 }
 
+// PeekSession returns an encoded frame's type and session id without
+// decoding it, validating only the fixed header (magic, version, type,
+// minimum length). The session mux routes on this so a multiplexed frame
+// is parsed exactly once, by its final consumer.
+func PeekSession(data []byte) (typ byte, sess uint64, err error) {
+	if len(data) < headerLen {
+		return 0, 0, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(data), headerLen)
+	}
+	if data[0] != magic {
+		return 0, 0, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, data[0])
+	}
+	if data[1] != ProtoVersion {
+		return 0, 0, fmt.Errorf("%w: got v%d, want v%d", ErrVersion, data[1], ProtoVersion)
+	}
+	typ = data[2]
+	if typ == 0 || typ >= typeMax {
+		return 0, 0, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, typ)
+	}
+	return typ, binary.LittleEndian.Uint64(data[sessOffset:]), nil
+}
+
+// SetSession stamps sess into an already-encoded frame in place. The mux
+// uses it to tag outbound frames with the virtual connection's session id
+// without re-encoding them.
+func SetSession(data []byte, sess uint64) error {
+	if len(data) < headerLen {
+		return fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(data), headerLen)
+	}
+	if data[0] != magic {
+		return fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, data[0])
+	}
+	if data[1] != ProtoVersion {
+		return fmt.Errorf("%w: got v%d, want v%d", ErrVersion, data[1], ProtoVersion)
+	}
+	binary.LittleEndian.PutUint64(data[sessOffset:], sess)
+	return nil
+}
+
 // TypeName returns a short human-readable name for a frame type, for
 // traces and error messages.
 func TypeName(t byte) string {
@@ -275,6 +332,7 @@ func TypeName(t byte) string {
 		TEndAccess: "end-access", TClearAccess: "clear-access",
 		TTaskDone: "task-done", TTaskFail: "task-fail", TReply: "reply",
 		TBye: "bye", TLeave: "leave", TEvict: "evict",
+		TSessionOpen: "session-open", TSessionClose: "session-close",
 	}
 	if int(t) < len(names) && names[t] != "" {
 		return names[t]

@@ -34,6 +34,9 @@ func sampleFrames() []*Frame {
 		{Type: TBye},
 		{Type: TLeave},
 		{Type: TEvict},
+		{Type: TSessionOpen, Sess: 7, Label: "tenant-a", A: 2},
+		{Type: TSessionClose, Sess: 7},
+		{Type: TDispatch, Task: 42, A: 7, Sess: 1 << 40, Label: "scoped", Payload: []byte{9}},
 	}
 }
 
@@ -125,7 +128,7 @@ func TestCorrupt(t *testing.T) {
 // specifically, so peers can report a protocol mismatch.
 func TestVersionMismatch(t *testing.T) {
 	enc := mustEncode(t, &Frame{Type: THello, Label: "w"})
-	for _, v := range []byte{0, ProtoVersion + 1, 0xFF} {
+	for _, v := range []byte{0, ProtoVersion - 1, ProtoVersion + 1, 0xFF} {
 		bad := append([]byte(nil), enc...)
 		bad[1] = v
 		_, err := Decode(bad)
@@ -234,6 +237,65 @@ func TestDecodeOwnedAllocs(t *testing.T) {
 	})
 	if allocs > 1 {
 		t.Errorf("DecodeOwned of a control frame: %.1f allocs/frame, want <= 1", allocs)
+	}
+}
+
+// TestPeekSession: the mux's header-only peek agrees with a full decode
+// on every frame type, and rejects the same bad headers Decode rejects.
+func TestPeekSession(t *testing.T) {
+	for _, f := range sampleFrames() {
+		enc := mustEncode(t, f)
+		typ, sess, err := PeekSession(enc)
+		if err != nil {
+			t.Fatalf("%s: PeekSession: %v", TypeName(f.Type), err)
+		}
+		if typ != f.Type || sess != f.Sess {
+			t.Errorf("%s: PeekSession = (%d, %d), want (%d, %d)", TypeName(f.Type), typ, sess, f.Type, f.Sess)
+		}
+	}
+	if _, _, err := PeekSession(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty input: err = %v, want ErrTruncated", err)
+	}
+	enc := mustEncode(t, &Frame{Type: TBye})
+	bad := append([]byte(nil), enc...)
+	bad[1] = ProtoVersion + 1
+	if _, _, err := PeekSession(bad); !errors.Is(err, ErrVersion) {
+		t.Errorf("wrong version: err = %v, want ErrVersion", err)
+	}
+	bad = append([]byte(nil), enc...)
+	bad[0] = 'K'
+	if _, _, err := PeekSession(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+	bad = append([]byte(nil), enc...)
+	bad[2] = 0
+	if _, _, err := PeekSession(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("zero type: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSetSession: stamping a session id in place is exactly equivalent to
+// encoding the frame with that Sess value, and refuses non-frames.
+func TestSetSession(t *testing.T) {
+	for _, f := range sampleFrames() {
+		enc := mustEncode(t, f)
+		if err := SetSession(enc, 0xDEADBEEF); err != nil {
+			t.Fatalf("%s: SetSession: %v", TypeName(f.Type), err)
+		}
+		stamped := *f
+		stamped.Sess = 0xDEADBEEF
+		want := mustEncode(t, &stamped)
+		if !reflect.DeepEqual(enc, want) {
+			t.Errorf("%s: SetSession differs from re-encode with Sess set", TypeName(f.Type))
+		}
+	}
+	if err := SetSession([]byte{magic}, 1); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short input: err = %v, want ErrTruncated", err)
+	}
+	enc := mustEncode(t, &Frame{Type: TBye})
+	enc[1] = ProtoVersion + 1
+	if err := SetSession(enc, 1); !errors.Is(err, ErrVersion) {
+		t.Errorf("wrong version: err = %v, want ErrVersion", err)
 	}
 }
 

@@ -129,6 +129,10 @@ type Runtime struct {
 	liveElastic bool
 	liveMu      sync.Mutex
 	liveNext    int // counter for naming joined in-process workers
+
+	// runWrap, when non-nil, brackets the executor run (service sessions
+	// use it to keep their lifecycle state truthful).
+	runWrap func(run func() error) error
 }
 
 // ListenAddr returns the coordinator's bound TCP address for a live runtime
@@ -457,8 +461,14 @@ type WorkerConfig struct {
 	Name string
 	// Caps are capability tags to advertise (TaskOptions.RequireCap).
 	Caps []string
-	// Slots is the number of concurrent task slots (0 = 1).
+	// Slots is the number of concurrent task slots (0 = 1). On a Multi
+	// daemon this is the machine total shared by all resident sessions.
 	Slots int
+	// Multi serves a multi-tenant session service (jade.NewService)
+	// instead of a single run: the daemon hosts a worker instance per
+	// announced session, with per-tenant slot quotas enforced against
+	// the shared Slots pool.
+	Multi bool
 	// Drain, when non-nil, requests a graceful departure when it becomes
 	// readable (e.g. on SIGTERM): the worker finishes its in-flight
 	// tasks, syncs its objects back, and leaves the run.
@@ -483,12 +493,16 @@ func ServeWorker(cfg WorkerConfig) error {
 		return err
 	}
 	defer c.Close()
-	err = live.Serve(c, live.WorkerOptions{
+	wopts := live.WorkerOptions{
 		Name:  cfg.Name,
 		Caps:  cfg.Caps,
 		Slots: cfg.Slots,
 		Leave: cfg.Drain,
-	})
+	}
+	if cfg.Multi {
+		return live.NewMultiServer(c, wopts).Serve()
+	}
+	err = live.Serve(c, wopts)
 	if err == transport.ErrClosed {
 		return nil
 	}
@@ -519,9 +533,17 @@ func RegisterKind(name string, fn KindFunc) {
 // Run must be called exactly once per Runtime.
 func (r *Runtime) Run(main func(t *Task)) error {
 	start := time.Now()
-	err := r.ex.Run(func(tc rt.TC) {
-		main(&Task{tc: tc, r: r})
-	})
+	run := func() error {
+		return r.ex.Run(func(tc rt.TC) {
+			main(&Task{tc: tc, r: r})
+		})
+	}
+	var err error
+	if r.runWrap != nil {
+		err = r.runWrap(run)
+	} else {
+		err = run()
+	}
 	r.wall = time.Since(start)
 	return err
 }
@@ -569,6 +591,10 @@ type Report struct {
 	// ConvertedWords counts data words format-converted in transit between
 	// heterogeneous machines (zero on homogeneous platforms and on SMP).
 	ConvertedWords int
+	// Workers is per-worker slot accounting on a live runtime (nil
+	// otherwise): advertised capacity against tasks currently charged,
+	// in machine order — the view that makes quota starvation visible.
+	Workers []WorkerSlots
 	// Profile is the execution profile: phase breakdowns, machine
 	// utilization, critical path (T₁, T∞, speedup ceiling) and hotspot
 	// attribution, computed from the always-on event stream. With full
@@ -605,6 +631,7 @@ func (r *Runtime) Report() Report {
 		rep.Delta = x.DeltaStats()
 		rep.Fault = x.FaultStats()
 		rep.ConvertedWords = x.ConvertedWords()
+		rep.Workers = x.SlotStats()
 	}
 	log := r.ex.Log()
 	rep.Profile = profile.Compute(profile.Input{

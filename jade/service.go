@@ -1,0 +1,140 @@
+package jade
+
+import (
+	"repro/internal/exec/live"
+	"repro/internal/exec/live/tenant"
+)
+
+// WorkerSlots is one live worker's slot accounting (capacity advertised
+// at handshake vs. tasks currently charged to it), surfaced in
+// Report.Workers.
+type WorkerSlots = live.WorkerSlots
+
+// TenantProfile declares one tenant's resource envelope for a session
+// service: per-worker slot quota and concurrent-session cap.
+type TenantProfile = tenant.Profile
+
+// ServiceReport is the fleet-level aggregate of a session service:
+// admission counters, per-tenant rollups, and each daemon's slot ledger.
+type ServiceReport = tenant.ServiceReport
+
+// ErrBusy is returned by Service.OpenSession when the service is at its
+// session cap and the admission queue is full.
+var ErrBusy = tenant.ErrBusy
+
+// ServiceConfig configures a multi-tenant session service.
+type ServiceConfig struct {
+	// Workers is the shared daemon fleet size (0 = 4).
+	Workers int
+	// Transport is "inproc" (default) or "tcp".
+	Transport string
+	// Listen is the tcp listen address ("" = "127.0.0.1:0"). Give an
+	// explicit address to let external `jadeworker -multi` daemons join.
+	Listen string
+	// AwaitExternal waits for this many external daemons on top of the
+	// in-process fleet (Transport "tcp" only).
+	AwaitExternal int
+	// WorkerSlots is each daemon's total concurrent task capacity,
+	// shared across every resident session (0 = 2).
+	WorkerSlots int
+	// MaxSessions caps concurrently-admitted sessions fleet-wide
+	// (0 = unlimited). Beyond it OpenSession blocks.
+	MaxSessions int
+	// MaxQueue bounds OpenSession callers waiting for admission (0 = 64);
+	// beyond it OpenSession fails fast with ErrBusy.
+	MaxQueue int
+	// Tenants declares the known tenants and their quotas. Sessions
+	// under an undeclared tenant get DefaultSlotsPerWorker and no
+	// session cap.
+	Tenants []TenantProfile
+	// DefaultSlotsPerWorker is the implicit per-worker slot quota for
+	// undeclared tenants (0 = uncapped).
+	DefaultSlotsPerWorker int
+	// MaxLiveTasks bounds outstanding tasks per session (0 = default).
+	MaxLiveTasks int
+	// Trace records execution events on every session.
+	Trace bool
+}
+
+// Service is a multi-tenant session service: many independent Jade
+// programs share one worker fleet, each session isolated in its own
+// executor and object-id range, with admission control and per-tenant
+// quotas between them. Open sessions with OpenSession, run programs on
+// them exactly as on a dedicated runtime, inspect the fleet with Report.
+type Service struct {
+	svc *tenant.Service
+}
+
+// NewService starts the shared fleet and returns the service.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	svc, err := tenant.NewService(tenant.Options{
+		Workers:               cfg.Workers,
+		Transport:             cfg.Transport,
+		Listen:                cfg.Listen,
+		AwaitExternal:         cfg.AwaitExternal,
+		WorkerSlots:           cfg.WorkerSlots,
+		MaxSessions:           cfg.MaxSessions,
+		MaxQueue:              cfg.MaxQueue,
+		Profiles:              cfg.Tenants,
+		DefaultSlotsPerWorker: cfg.DefaultSlotsPerWorker,
+		MaxLiveTasks:          cfg.MaxLiveTasks,
+		Trace:                 cfg.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{svc: svc}, nil
+}
+
+// Session is one admitted Jade program on the shared fleet. It embeds a
+// Runtime, so the full programming API — Run, WithOnly, NewArray,
+// Report, Final — works unchanged; the only addition is Close, which
+// releases the session's admission slot.
+type Session struct {
+	*Runtime
+	ts *tenant.Session
+}
+
+// OpenSession admits one session for the named tenant, blocking while
+// the service is at capacity (bounded by MaxQueue, then ErrBusy).
+func (s *Service) OpenSession(tenantName string) (*Session, error) {
+	ts, err := s.svc.OpenSession(tenantName)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{ex: ts.X, liveX: ts.X}
+	r.runWrap = func(run func() error) error {
+		if err := ts.BeginRun(); err != nil {
+			return err
+		}
+		defer ts.EndRun()
+		return run()
+	}
+	return &Session{Runtime: r, ts: ts}, nil
+}
+
+// ID returns the session id (also the high 32 bits of its object ids).
+func (s *Session) ID() uint64 { return s.ts.ID() }
+
+// Tenant returns the owning tenant's name.
+func (s *Session) Tenant() string { return s.ts.Tenant() }
+
+// Close drains the session and frees its admission slot, waking queued
+// OpenSession callers. Idempotent.
+func (s *Session) Close() error { return s.ts.Close() }
+
+// Addr returns the tcp address external `jadeworker -multi` daemons
+// should dial ("" on inproc).
+func (s *Service) Addr() string { return s.svc.Addr() }
+
+// KillWorker fences daemon d (0-based): every session with state there
+// independently detects the loss and recovers, exactly as a dedicated
+// runtime recovers a dead worker.
+func (s *Service) KillWorker(d int) error { return s.svc.KillWorker(d) }
+
+// Report snapshots the fleet: admission counters, per-tenant usage, and
+// each daemon's slot ledger.
+func (s *Service) Report() ServiceReport { return s.svc.Report() }
+
+// Close shuts the service down. Close sessions first for a clean exit.
+func (s *Service) Close() error { return s.svc.Close() }

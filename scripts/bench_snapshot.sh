@@ -11,9 +11,33 @@
 # the pre-PR-7 baseline measured on the reference dev host so the artifact
 # carries its own before/after story.
 #
+# With --tenant it records the multi-tenant serving bench (the MT1
+# experiment: 100 mixed sessions — Cholesky, Water, parallel make —
+# through the session service's admission gate on inproc and TCP
+# loopback, every session bit-identity-checked) to BENCH_tenant.json.
+#
 # Usage: scripts/bench_snapshot.sh [output.json]
 #        scripts/bench_snapshot.sh --live [output.json]
+#        scripts/bench_snapshot.sh --tenant [output.json]
 set -eu
+
+if [ "${1:-}" = "--tenant" ]; then
+	out=${2:-BENCH_tenant.json}
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+	go run ./cmd/jadebench -exp mt1 -tenantjson "$tmp/mt1.json" >"$tmp/mt1_table.txt"
+	cat "$tmp/mt1_table.txt"
+	{
+		echo '{'
+		echo '  "note": "multi-tenant serving (MT1): 100 mixed sessions (cholesky/water/make) x 4 tenants, 4 workers, <=16 concurrent, every session bit-identity-checked",'
+		echo '  "current":'
+		sed 's/^/  /' "$tmp/mt1.json"
+		echo '}'
+	} >"$out"
+	go run ./scripts/jsoncheck "$out"
+	echo "wrote $out"
+	exit 0
+fi
 
 if [ "${1:-}" = "--live" ]; then
 	out=${2:-BENCH_live.json}

@@ -8,9 +8,14 @@
 # (transports, wire codec and live executor over real sockets under the
 # race detector), the live-fault tier (session fencing, chaos-scripted
 # membership churn and the L2 kill+join experiment under the race
-# detector), the benchmark-snapshot tier (engine throughput +
-# S1 profiler sweep recorded to BENCH_profile.json), and the live-bench
-# tier (sustained live wire-path throughput recorded to BENCH_live.json).
+# detector), the tenant tier (multi-tenant session service: wire-level
+# session mux, admission control, per-tenant quotas, cross-tenant
+# isolation and multi-tenant chaos recovery under the race detector),
+# the benchmark-snapshot tier (engine throughput + S1 profiler sweep
+# recorded to BENCH_profile.json), the live-bench tier (sustained live
+# wire-path throughput recorded to BENCH_live.json), and the
+# tenant-bench tier (the MT1 multi-tenant serving stream recorded to
+# BENCH_tenant.json).
 set -eux
 
 go vet ./...
@@ -21,5 +26,7 @@ go test -run Determin -count=2 ./internal/sim/... ./internal/exec/dist/...
 go test -race -count=2 -run Fault ./internal/fault/... ./internal/exec/dist/... ./jade/... ./internal/experiments/...
 go test -race -count=2 ./internal/transport/... ./internal/exec/live/...
 go test -race -count=2 -run 'Chaos|Fence|Redial|Session|Cadence|Elastic|Membership|Leave|Evict|Drain|Admit|L2' ./internal/transport/... ./internal/exec/live/... ./internal/fault/... ./internal/experiments/...
+go test -race -count=2 -run 'Tenant|Mux|MultiServ|Service|SlotStats|MT1' ./internal/transport/mux/... ./internal/exec/live/... ./jade/... ./internal/experiments/...
 scripts/bench_snapshot.sh
 scripts/bench_snapshot.sh --live
+scripts/bench_snapshot.sh --tenant
