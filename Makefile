@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race determinism fault live live-fault tenant bench live-bench tenant-bench clean
+.PHONY: check vet build test race determinism fault live live-fault tenant obs bench live-bench tenant-bench serve-bench clean
 
-check: vet build test race determinism fault live live-fault tenant bench live-bench tenant-bench
+check: vet build test race determinism fault live live-fault tenant obs bench live-bench tenant-bench serve-bench
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,17 @@ live-fault:
 tenant:
 	$(GO) test -race -count=2 -run 'Tenant|Mux|MultiServ|Service|SlotStats|MT1' ./internal/transport/mux/... ./internal/exec/live/... ./jade/... ./internal/experiments/...
 
+# The obs tier: the observability subsystem — trace export determinism and
+# structure, histogram merging, the Prometheus endpoint, ring sizing, the
+# serving workload and an SV1 smoke at low rate — under the race detector,
+# twice, plus a structural gate on an actual `jadebench -trace-out` artifact
+# (DESIGN.md §4.16).
+obs:
+	$(GO) test -race -count=2 ./internal/obs/... ./internal/apps/serve/...
+	$(GO) test -race -count=2 -run 'Obs|Export|Latency|TraceRing|RingCap|WorkerCaps|Serve|SV1' ./jade/... ./internal/exec/live/... ./internal/experiments/...
+	go run ./cmd/jadebench -exp l3 -quick -trace-out /tmp/jade_l3_trace.json >/dev/null
+	go run ./scripts/tracecheck -min-tasks 100 -want-flows /tmp/jade_l3_trace.json
+
 # The benchmark-snapshot tier: engine throughput plus the S1 profiler sweep,
 # recorded to BENCH_profile.json as a reviewable performance artifact.
 bench:
@@ -73,6 +84,13 @@ live-bench:
 # session bit-identity-checked), recorded to BENCH_tenant.json.
 tenant-bench:
 	scripts/bench_snapshot.sh --tenant
+
+# The serve-bench tier: the serving-latency bench (SV1: open-loop
+# request-DAG stream at three arrival rates on inproc and TCP loopback,
+# p50/p90/p99/max from the log-bucketed histograms, every run
+# bit-identity-checked), recorded to BENCH_serve.json (DESIGN.md §4.16).
+serve-bench:
+	scripts/bench_snapshot.sh --serve
 
 clean:
 	$(GO) clean ./...

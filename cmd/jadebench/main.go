@@ -8,6 +8,13 @@
 //	jadebench -quick           # reduced problem sizes (seconds, not minutes)
 //	jadebench -csv             # also print tables as CSV
 //
+// Observability exports (from the live executor's always-on event ring):
+//
+//	jadebench -exp l3 -trace-out t.json    # Perfetto trace of a live round
+//	                                       # (open in https://ui.perfetto.dev)
+//	jadebench -exp sv1 -flame-out f.txt    # flamegraph collapsed stacks
+//	jadebench -exp sv1 -servejson sv1.json # raw serving-latency points
+//
 // Experiments (see DESIGN.md §3 and §4.10): run jadebench -list.
 package main
 
@@ -15,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -50,6 +58,7 @@ var catalog = []struct{ id, desc string }{
 	{"l2", "elastic fault tolerance: live Cholesky with a mid-run kill + joins"},
 	{"l3", "live wire-path throughput: tasks/sec and frames/sec, best-of-N (§4.14)"},
 	{"mt1", "multi-tenant serving: 100+ mixed sessions over one shared fleet (§4.15)"},
+	{"sv1", "serving latency: open-loop request-DAG stream, p50/p99 vs arrival rate (§4.16)"},
 }
 
 func main() {
@@ -67,6 +76,9 @@ func main() {
 		profJSON = flag.String("profilejson", "", "write the S1 points with their profiles as JSON to this file")
 		liveJSON = flag.String("livejson", "", "write the L3 live-throughput points as JSON to this file")
 		tenJSON  = flag.String("tenantjson", "", "write the MT1 multi-tenant points as JSON to this file")
+		srvJSON  = flag.String("servejson", "", "write the SV1 serving-latency points as JSON to this file")
+		traceOut = flag.String("trace-out", "", "with -exp l3 or sv1: write an instrumented live round as Perfetto trace JSON to this file")
+		flameOut = flag.String("flame-out", "", "with -exp l3 or sv1: write an instrumented live round as flamegraph collapsed stacks to this file")
 		disable  = flag.String("disable", "", "comma-separated runtime features to turn off in S1 (prefetch,locality,delta)")
 	)
 	flag.Parse()
@@ -106,6 +118,44 @@ func main() {
 	fail := func(id string, err error) {
 		fmt.Fprintf(os.Stderr, "jadebench: %s: %v\n", id, err)
 		os.Exit(1)
+	}
+	// exportRound runs one extra instrumented live round of an experiment
+	// and writes its -trace-out / -flame-out files. When several traced
+	// experiments are selected, the last one's files win.
+	exportRound := func(id string, run func(traceW, flameW io.Writer) error) {
+		if *traceOut == "" && *flameOut == "" {
+			return
+		}
+		var traceW, flameW io.Writer
+		var open []*os.File
+		create := func(path string) io.Writer {
+			f, err := os.Create(path)
+			if err != nil {
+				fail(id, err)
+			}
+			open = append(open, f)
+			return f
+		}
+		if *traceOut != "" {
+			traceW = create(*traceOut)
+		}
+		if *flameOut != "" {
+			flameW = create(*flameOut)
+		}
+		if err := run(traceW, flameW); err != nil {
+			fail(id, err)
+		}
+		for _, f := range open {
+			if err := f.Close(); err != nil {
+				fail(id, err)
+			}
+		}
+		if *traceOut != "" {
+			fmt.Printf("wrote Perfetto trace to %s (open in https://ui.perfetto.dev)\n\n", *traceOut)
+		}
+		if *flameOut != "" {
+			fmt.Printf("wrote flame stacks to %s\n\n", *flameOut)
+		}
 	}
 
 	if selected("f4") {
@@ -370,6 +420,9 @@ func main() {
 			}
 			fmt.Printf("wrote live throughput points to %s\n\n", *liveJSON)
 		}
+		exportRound("l3", func(tw, fw io.Writer) error {
+			return experiments.L3Traced(grid, 4, tw, fw)
+		})
 	}
 	if selected("mt1") {
 		sessions, workers, cap := 100, 4, 16
@@ -391,5 +444,31 @@ func main() {
 			}
 			fmt.Printf("wrote multi-tenant serving points to %s\n\n", *tenJSON)
 		}
+	}
+	if selected("sv1") {
+		requests, workers := 64, 4
+		rates := []float64{100, 400, 1600}
+		if *quick {
+			requests, workers = 16, 3
+			rates = []float64{400, 1600, 6400}
+		}
+		res, err := experiments.SV1Serving(requests, workers, rates)
+		if err != nil {
+			fail("sv1", err)
+		}
+		show(res.Table)
+		if *srvJSON != "" {
+			data, err := json.MarshalIndent(res.Points, "", "  ")
+			if err != nil {
+				fail("sv1", err)
+			}
+			if err := os.WriteFile(*srvJSON, data, 0o644); err != nil {
+				fail("sv1", err)
+			}
+			fmt.Printf("wrote serving latency points to %s\n\n", *srvJSON)
+		}
+		exportRound("sv1", func(tw, fw io.Writer) error {
+			return experiments.SV1Traced(requests, workers, rates[len(rates)-1], tw, fw)
+		})
 	}
 }

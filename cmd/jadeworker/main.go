@@ -19,6 +19,14 @@
 // -slots capacity across every resident tenant under the service's
 // per-tenant quotas.
 //
+// Capability tags (-caps) drive §4.5 placement: tasks created with
+// jade.TaskOptions.RequireCap schedule only onto workers advertising
+// the tag (the SV1 serving workload pins its camera ingest and display
+// egress stages this way). A coordinator or service started with
+// jade.ObsConfig exposes this daemon's observed behavior — slot
+// ledgers, dispatch flows, per-task-kind latency — on its /metrics and
+// /trace endpoints; the daemon itself needs no flags for that.
+//
 // With -loop the daemon reconnects and serves again after each run,
 // so one long-lived worker can participate in many coordinator runs.
 // Against an elastic coordinator (jade.LiveConfig.Elastic) each redial

@@ -1,0 +1,267 @@
+// Package serve implements a request-serving workload on the Jade
+// runtime: an open-loop stream of requests, each expanded into a small
+// task DAG with the HRV video pipeline's shape (§7.2) — a
+// capability-placed ingest task, two parallel transform tasks, and a
+// capability-placed egress task whose commits serialize in request
+// order on the display device object.
+//
+// Where the batch applications measure makespan, this one measures
+// latency: each request carries its nominal arrival time (arrival i is
+// start + i/rate, independent of how fast the system drains — open
+// loop), and the egress task records completion-minus-arrival into a
+// mergeable log-bucketed histogram. Every request's digest is checked
+// bit-identical against a serial oracle: a fast wrong answer is a
+// failure, not a result.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/jade"
+)
+
+// Config parameterizes a serving run.
+type Config struct {
+	// Requests is the number of requests to serve.
+	Requests int
+	// Rate is the open-loop arrival rate in requests/second. Zero or
+	// negative issues all requests immediately (a closed burst).
+	Rate float64
+	// FrameBytes is the per-request payload size.
+	FrameBytes int
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Requests == 0 {
+		c.Requests = 32
+	}
+	if c.FrameBytes == 0 {
+		c.FrameBytes = 4096
+	}
+	return c
+}
+
+// frame synthesizes request r's payload: a deterministic gradient keyed
+// by the request number, run-length compressed as the HRV camera
+// hardware would.
+func frame(r, frameBytes int) []byte {
+	img := make([]byte, frameBytes)
+	for i := range img {
+		img[i] = byte((i + 11*r) % 249)
+	}
+	return rle(img)
+}
+
+// rle is a toy run-length compressor: (count, value) pairs.
+func rle(data []byte) []byte {
+	var out []byte
+	for i := 0; i < len(data); {
+		j := i
+		for j < len(data) && data[j] == data[i] && j-i < 255 {
+			j++
+		}
+		out = append(out, byte(j-i), data[i])
+		i = j
+	}
+	return out
+}
+
+// unrle decompresses run-length data.
+func unrle(data []byte) []byte {
+	var out []byte
+	for i := 0; i+1 < len(data); i += 2 {
+		for k := 0; k < int(data[i]); k++ {
+			out = append(out, data[i+1])
+		}
+	}
+	return out
+}
+
+// invert is transform A: video inversion, digested.
+func invert(img []byte) int64 {
+	var sum int64
+	for _, b := range img {
+		sum = sum*131 + int64(255-b)
+	}
+	return sum
+}
+
+// emboss is transform B: a neighbor-difference pass, digested.
+func emboss(img []byte) int64 {
+	var sum int64
+	prev := byte(128)
+	for _, b := range img {
+		sum = sum*137 + int64(byte(b-prev+128))
+		prev = b
+	}
+	return sum
+}
+
+// digest combines the two transform results into the displayed value.
+func digest(a, b int64) int64 { return a*1000003 + b }
+
+// RunSerial computes every request's display digest serially (the
+// semantic reference).
+func RunSerial(cfg Config) []int64 {
+	cfg = cfg.WithDefaults()
+	out := make([]int64, cfg.Requests)
+	for r := 0; r < cfg.Requests; r++ {
+		img := unrle(frame(r, cfg.FrameBytes))
+		out[r] = digest(invert(img), emboss(img))
+	}
+	return out
+}
+
+// Result reports a Jade serving run.
+type Result struct {
+	// Digests are the displayed values, in request order.
+	Digests []int64
+	// Latency is the end-to-end request latency distribution:
+	// egress-commit time minus nominal (open-loop) arrival time.
+	Latency obs.HistSnapshot
+	// IngestMachines and EgressMachines record placement, for asserting
+	// that capability tags were honored.
+	IngestMachines []int
+	EgressMachines []int
+	// Wall is the span from the first nominal arrival to the last
+	// request's completion.
+	Wall time.Duration
+}
+
+// RunJade serves cfg.Requests requests on the runtime. The platform
+// must offer the camera and display capabilities: on a live runtime,
+// tag workers via LiveConfig.WorkerCaps; the simulated HRV platform
+// carries them natively.
+//
+// Per request: an ingest task (RequireCap camera) admits the payload,
+// serializing on the camera device object; two transform tasks read
+// the payload concurrently; an egress task (RequireCap display) joins
+// them and commits to the display in request order (deferred display
+// access holds the serial queue position, §4.2). The egress body
+// records the request's open-loop latency.
+func RunJade(r *jade.Runtime, cfg Config) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	res := &Result{
+		Digests:        make([]int64, cfg.Requests),
+		IngestMachines: make([]int, cfg.Requests),
+		EgressMachines: make([]int, cfg.Requests),
+	}
+	var hist obs.Histogram
+	var start time.Time
+	err := r.Run(func(t *jade.Task) {
+		camera := jade.NewArray[int64](t, 1, "camera")
+		display := jade.NewArray[int64](t, cfg.Requests, "display")
+		// Placement records live in per-stage arrays: ingest tasks already
+		// serialize on the camera and egress tasks on the display, so each
+		// stage's deferred machine-record access adds no new ordering —
+		// while one shared array would chain every ingest continuation
+		// behind the previous request's egress commit.
+		ingestM := jade.NewArray[int64](t, cfg.Requests, "ingestM")
+		egressM := jade.NewArray[int64](t, cfg.Requests, "egressM")
+		start = time.Now()
+		for req := 0; req < cfg.Requests; req++ {
+			req := req
+			// Open-loop pacing: arrival req/Rate after start, regardless
+			// of how far behind the pipeline is running.
+			arrival := start
+			if cfg.Rate > 0 {
+				arrival = start.Add(time.Duration(float64(req) / cfg.Rate * float64(time.Second)))
+				if wait := time.Until(arrival); wait > 0 {
+					time.Sleep(wait)
+				}
+			}
+			payload := jade.NewArray[byte](t, 2*cfg.FrameBytes+8, fmt.Sprintf("req%d", req))
+			partA := jade.NewArray[int64](t, 1, fmt.Sprintf("partA%d", req))
+			partB := jade.NewArray[int64](t, 1, fmt.Sprintf("partB%d", req))
+			// Ingest: camera hardware; captures serialize on the device.
+			t.WithOnlyOpts(
+				jade.TaskOptions{Label: "ingest", RequireCap: jade.CapCamera, Cost: 0.001},
+				func(s *jade.Spec) {
+					s.RdWr(camera)
+					s.Wr(payload)
+					s.DfRdWr(ingestM)
+				},
+				func(t *jade.Task) {
+					camera.ReadWrite(t)[0]++
+					buf := payload.Write(t)
+					data := frame(req, cfg.FrameBytes)
+					buf[0] = byte(len(data))
+					buf[1] = byte(len(data) >> 8)
+					buf[2] = byte(len(data) >> 16)
+					copy(buf[3:], data)
+					t.WithCont(func(c *jade.Cont) { c.RdWr(ingestM) })
+					ingestM.ReadWrite(t)[req] = int64(t.Machine())
+				})
+			// Two transforms: both only read the payload, so they run
+			// concurrently on whatever machines are free.
+			t.WithOnlyOpts(
+				jade.TaskOptions{Label: "transformA", Cost: 0.002},
+				func(s *jade.Spec) {
+					s.Rd(payload)
+					s.Wr(partA)
+				},
+				func(t *jade.Task) {
+					partA.Write(t)[0] = invert(decode(payload.Read(t)))
+				})
+			t.WithOnlyOpts(
+				jade.TaskOptions{Label: "transformB", Cost: 0.002},
+				func(s *jade.Spec) {
+					s.Rd(payload)
+					s.Wr(partB)
+				},
+				func(t *jade.Task) {
+					partB.Write(t)[0] = emboss(decode(payload.Read(t)))
+				})
+			// Egress: joins the transforms and updates the display. The
+			// deferred display access keeps commits in request order
+			// while letting egress bodies of different requests overlap.
+			t.WithOnlyOpts(
+				jade.TaskOptions{Label: "egress", RequireCap: jade.CapDisplay, Cost: 0.001},
+				func(s *jade.Spec) {
+					s.Rd(partA)
+					s.Rd(partB)
+					s.DfRdWr(display)
+					s.DfRdWr(egressM)
+				},
+				func(t *jade.Task) {
+					d := digest(partA.Read(t)[0], partB.Read(t)[0])
+					t.WithCont(func(c *jade.Cont) {
+						c.RdWr(display)
+						c.RdWr(egressM)
+					})
+					display.ReadWrite(t)[req] = d
+					egressM.ReadWrite(t)[req] = int64(t.Machine())
+					// The request is served once its display slot is
+					// written; latency is measured against the nominal
+					// open-loop arrival, not the (possibly later) issue.
+					hist.Record(time.Since(arrival))
+				})
+		}
+		shown := display.Read(t)
+		im := ingestM.Read(t)
+		em := egressM.Read(t)
+		for req := 0; req < cfg.Requests; req++ {
+			res.Digests[req] = shown[req]
+			res.IngestMachines[req] = int(im[req])
+			res.EgressMachines[req] = int(em[req])
+		}
+		display.Release(t)
+		ingestM.Release(t)
+		egressM.Release(t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	res.Latency = hist.Snapshot()
+	return res, nil
+}
+
+// decode unpacks a length-prefixed payload buffer.
+func decode(buf []byte) []byte {
+	n := int(buf[0]) | int(buf[1])<<8 | int(buf[2])<<16
+	return unrle(buf[3 : 3+n])
+}

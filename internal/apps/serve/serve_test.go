@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/jade"
+)
+
+// TestSerialDeterministic: the oracle is a pure function of the config.
+func TestSerialDeterministic(t *testing.T) {
+	a := RunSerial(Config{Requests: 8})
+	b := RunSerial(Config{Requests: 8})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("serial oracle is not deterministic")
+	}
+	if len(a) != 8 {
+		t.Fatalf("digests = %d, want 8", len(a))
+	}
+}
+
+// TestServeSimulated: the DAG runs on the simulated HRV platform (which
+// carries the camera and display capabilities natively) bit-identical
+// to the serial oracle.
+func TestServeSimulated(t *testing.T) {
+	cfg := Config{Requests: 12}
+	r, err := jade.NewSimulated(jade.SimConfig{Platform: jade.HRV(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunJade(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Digests, RunSerial(cfg)) {
+		t.Fatal("simulated digests differ from the serial oracle")
+	}
+	for i, m := range out.IngestMachines {
+		if m != 0 {
+			t.Fatalf("ingest %d ran on machine %d, want 0 (HRV camera host)", i, m)
+		}
+	}
+}
+
+// TestServeLive: the same program on the live executor with
+// capability-tagged workers — burst mode (Rate 0) and paced — stays
+// bit-identical and lands ingest/egress on the tagged workers, with
+// one latency sample per request.
+func TestServeLive(t *testing.T) {
+	caps := [][]string{{jade.CapCamera}, {jade.CapDisplay}, {}}
+	for _, rate := range []float64{0, 2000} {
+		cfg := Config{Requests: 10, Rate: rate}
+		r, err := jade.NewLive(jade.LiveConfig{Workers: 3, WorkerCaps: caps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := RunJade(r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out.Digests, RunSerial(cfg)) {
+			t.Fatalf("rate %g: live digests differ from the serial oracle", rate)
+		}
+		for i := range out.IngestMachines {
+			if out.IngestMachines[i] != 1 {
+				t.Fatalf("rate %g: ingest %d on machine %d, want 1", rate, i, out.IngestMachines[i])
+			}
+			if out.EgressMachines[i] != 2 {
+				t.Fatalf("rate %g: egress %d on machine %d, want 2", rate, i, out.EgressMachines[i])
+			}
+		}
+		if out.Latency.Count != 10 {
+			t.Fatalf("rate %g: %d latency samples, want 10", rate, out.Latency.Count)
+		}
+		if out.Latency.P50() <= 0 || out.Latency.P99() < out.Latency.P50() {
+			t.Fatalf("rate %g: broken quantiles: %v", rate, out.Latency)
+		}
+	}
+}

@@ -78,6 +78,11 @@ type Options struct {
 	Format format.ByteOrder
 	// Trace enables full event recording.
 	Trace bool
+	// TraceRingSize overrides the always-on event ring's capacity in
+	// events (0 = the default ringCap; ignored when Trace is on). Bigger
+	// rings widen the /trace and export window at a GC-scan cost — see
+	// the ringCap comment.
+	TraceRingSize int
 	// OnTaskDone, if set, is called synchronously each time a dispatched
 	// task retires, with the total retired so far. The chaos harness
 	// uses it to fire scripted kills, joins, and drains at deterministic
@@ -311,6 +316,8 @@ func New(opts Options) (*Exec, error) {
 	}
 	if opts.Trace {
 		x.log = trace.New()
+	} else if opts.TraceRingSize > 0 {
+		x.log = trace.NewRing(opts.TraceRingSize)
 	} else {
 		x.log = trace.NewRing(ringCap)
 	}

@@ -1,0 +1,13 @@
+package live
+
+import "testing"
+
+// TestRingCapDefault pins the always-on ring's default: it is the
+// overhead budget's load-bearing constant (the GC scans the whole ring
+// every cycle — see the ringCap comment). Raising it is an explicit
+// decision via Options.TraceRingSize, not a drive-by edit here.
+func TestRingCapDefault(t *testing.T) {
+	if ringCap != 1<<12 {
+		t.Fatalf("live ringCap = %d, want %d (change TraceRingSize per run instead)", ringCap, 1<<12)
+	}
+}

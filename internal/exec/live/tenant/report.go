@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/exec/live"
+	"repro/internal/obs"
 )
 
 // ServiceReport is the fleet-level aggregate: admission counters, the
@@ -39,6 +40,9 @@ type ServiceReport struct {
 	// Workers is one entry per in-process daemon: its shared slot
 	// ledger with per-tenant holds, peaks, and any invariant violation.
 	Workers []WorkerReport
+	// Latency is the fleet-wide per-task-label latency rollup: every
+	// tenant's sessions merged, active and closed, sorted by label.
+	Latency []obs.LabelLatency
 }
 
 // TenantReport is one tenant's slice of the fleet.
@@ -50,6 +54,34 @@ type TenantReport struct {
 	Frames   int
 	Bytes    int64
 	Crashes  int
+	// Latency is the tenant's per-task-label latency rollup, merged
+	// across its sessions (active ones contribute their current ring
+	// window; closed ones the snapshot captured at retirement).
+	Latency []obs.LabelLatency
+}
+
+// mergeLatency folds per-label snapshots into an accumulator map.
+func mergeLatency(dst map[string]obs.LabelLatency, src []obs.LabelLatency) {
+	for _, ll := range src {
+		cur := dst[ll.Label]
+		cur.Label = ll.Label
+		cur.Total = cur.Total.Merge(ll.Total)
+		cur.Exec = cur.Exec.Merge(ll.Exec)
+		dst[ll.Label] = cur
+	}
+}
+
+// sortedLatency flattens an accumulator map deterministically.
+func sortedLatency(m map[string]obs.LabelLatency) []obs.LabelLatency {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]obs.LabelLatency, 0, len(m))
+	for _, ll := range m {
+		out = append(out, ll)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
 }
 
 // WorkerReport pairs a daemon's name with its slot ledger.
@@ -73,6 +105,7 @@ func (s *Service) Report() ServiceReport {
 		SessionsClosed:   s.counters.closedSessions,
 		Tenants:          map[string]TenantReport{},
 	}
+	latAcc := map[string]map[string]obs.LabelLatency{}
 	for name, tot := range s.retired {
 		tr := r.Tenants[name]
 		tr.Profile = s.profileFor(name)
@@ -82,6 +115,13 @@ func (s *Service) Report() ServiceReport {
 		tr.Bytes += tot.bytes
 		tr.Crashes += tot.crashes
 		r.Tenants[name] = tr
+		if len(tot.latency) > 0 {
+			acc := map[string]obs.LabelLatency{}
+			for k, v := range tot.latency {
+				acc[k] = v
+			}
+			latAcc[name] = acc
+		}
 	}
 	resident := make([]*Session, 0, len(s.active))
 	for _, sess := range s.active {
@@ -107,7 +147,21 @@ func (s *Service) Report() ServiceReport {
 		tr.Bytes += net.Bytes
 		tr.Crashes += fst.CrashesDetected
 		r.Tenants[sess.tenant] = tr
+		if lat := obs.LatencyByLabel(sess.X.Log().Events()); len(lat) > 0 {
+			if latAcc[sess.tenant] == nil {
+				latAcc[sess.tenant] = map[string]obs.LabelLatency{}
+			}
+			mergeLatency(latAcc[sess.tenant], lat)
+		}
 	}
+	fleetLat := map[string]obs.LabelLatency{}
+	for name, acc := range latAcc {
+		tr := r.Tenants[name]
+		tr.Latency = sortedLatency(acc)
+		r.Tenants[name] = tr
+		mergeLatency(fleetLat, tr.Latency)
+	}
+	r.Latency = sortedLatency(fleetLat)
 	for _, tr := range r.Tenants {
 		r.TasksRun += tr.TasksRun
 		r.Frames += tr.Frames

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/exec/live"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/inproc"
 	"repro/internal/transport/mux"
@@ -85,6 +86,9 @@ type Options struct {
 	MaxLiveTasks int
 	// Trace enables full event recording on every session.
 	Trace bool
+	// TraceRingSize overrides each session's always-on event ring
+	// capacity (0 = the executor default; ignored when Trace is on).
+	TraceRingSize int
 }
 
 // daemon is the service's handle on one worker machine.
@@ -126,6 +130,9 @@ type tenantTotals struct {
 	frames   int
 	bytes    int64
 	crashes  int
+	// latency is the per-task-label latency rollup captured from each
+	// session's event ring at retirement, merged across sessions.
+	latency map[string]obs.LabelLatency
 }
 
 // NewService builds the daemon fleet and starts serving.
@@ -339,6 +346,7 @@ func (s *Service) buildSession(id uint64, cfg SessionConfig, prof Profile) (*Ses
 		Bodies:        s.bodies,
 		MaxLiveTasks:  s.opts.MaxLiveTasks,
 		Trace:         cfg.Trace || s.opts.Trace,
+		TraceRingSize: s.opts.TraceRingSize,
 		OnTaskDone:    cfg.OnTaskDone,
 		Fleet:         &fleetView{loads: s.loads, dmap: dmap},
 		FirstObjectID: sess.base,
@@ -360,6 +368,8 @@ func (s *Service) retire(sess *Session) {
 	cnt := sess.X.Counters()
 	net := sess.X.NetStats()
 	fst := sess.X.FaultStats()
+	log := sess.X.Log()
+	lat := obs.LatencyByLabel(log.Events())
 	s.mu.Lock()
 	delete(s.active, sess.id)
 	s.perTenant[sess.tenant]--
@@ -370,9 +380,22 @@ func (s *Service) retire(sess *Session) {
 	tot.frames += net.Messages
 	tot.bytes += net.Bytes
 	tot.crashes += fst.CrashesDetected
+	if tot.latency == nil {
+		tot.latency = map[string]obs.LabelLatency{}
+	}
+	mergeLatency(tot.latency, lat)
 	s.retired[sess.tenant] = tot
 	s.cond.Broadcast()
 	s.mu.Unlock()
+}
+
+// SessionByID returns an active session (the observability endpoint's
+// ?session= lookup).
+func (s *Service) SessionByID(id uint64) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.active[id]
+	return sess, ok
 }
 
 // KillWorker fences daemon d (0-based): its physical connection is torn

@@ -34,6 +34,10 @@ type Options struct {
 	MaxLiveTasks int
 	// Trace enables event recording (small overhead).
 	Trace bool
+	// TraceRingSize overrides the always-on event ring's capacity in
+	// events (0 = the executor default; ignored when Trace is on, which
+	// keeps everything).
+	TraceRingSize int
 }
 
 // ringCap bounds the always-on event stream when full tracing is off: the
@@ -102,6 +106,8 @@ func New(opts Options) *Exec {
 	}
 	if opts.Trace {
 		x.log = trace.New()
+	} else if opts.TraceRingSize > 0 {
+		x.log = trace.NewRing(opts.TraceRingSize)
 	} else {
 		x.log = trace.NewRing(ringCap)
 	}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestSV1Serving: a low-rate smoke run produces one point per
+// (transport, rate) with sane quantile ordering; bit-identity and
+// placement failures error the whole experiment.
+func TestSV1Serving(t *testing.T) {
+	res, err := SV1Serving(8, 3, []float64{800, 3200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 2 transports x 2 rates", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.P50NS <= 0 || p.P99NS < p.P50NS || p.MaxNS < p.P99NS {
+			t.Fatalf("%s rate %g: broken quantiles: %+v", p.Transport, p.Rate, p)
+		}
+		if p.AchievedRate <= 0 {
+			t.Fatalf("%s rate %g: non-positive achieved rate", p.Transport, p.Rate)
+		}
+	}
+}

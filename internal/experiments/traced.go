@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+
+	"repro/internal/apps/cholesky"
+	"repro/internal/apps/serve"
+	"repro/jade"
+)
+
+// exportRun writes a finished runtime's always-on event stream as
+// Perfetto JSON and/or flamegraph collapsed stacks (either writer may
+// be nil).
+func exportRun(r *jade.Runtime, traceOut, flameOut io.Writer) error {
+	if traceOut != nil {
+		if err := r.ExportTrace(traceOut, jade.ObsOptions{}); err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+	}
+	if flameOut != nil {
+		if err := r.ExportFlame(flameOut); err != nil {
+			return fmt.Errorf("flame export: %w", err)
+		}
+	}
+	return nil
+}
+
+// tracedRingSize is the event-ring capacity for dedicated trace-capture
+// rounds: deep enough that a full workload fits without truncation, so
+// the export carries a phase slice for every retired task. Capture
+// rounds are not timing measurements, so the always-on ring's GC-budget
+// default does not apply.
+const tracedRingSize = 1 << 16
+
+// L3Traced runs one instrumented round of the L3 workload (inproc, deep
+// event ring), checks bit-identity, and writes the run as Perfetto
+// trace JSON and/or collapsed flame stacks. This is what backs
+// `jadebench -exp l3 -trace-out`.
+func L3Traced(grid, workers int, traceOut, flameOut io.Writer) error {
+	if grid == 0 {
+		grid = 16
+	}
+	if workers == 0 {
+		workers = 4
+	}
+	m := cholesky.Symbolic(cholesky.GridLaplacian(grid))
+	oracle := m.Clone()
+	cholesky.FactorSerial(oracle)
+
+	r, err := jade.NewLive(jade.LiveConfig{Workers: workers, TraceRingSize: tracedRingSize})
+	if err != nil {
+		return fmt.Errorf("L3 traced: %w", err)
+	}
+	var jm *cholesky.JadeMatrix
+	err = r.Run(func(t *jade.Task) {
+		jm = cholesky.ToJade(t, m, 0)
+		jm.Factor(t)
+	})
+	if err != nil {
+		return fmt.Errorf("L3 traced: %w", err)
+	}
+	if got := cholesky.FromJade(r, jm); !reflect.DeepEqual(got.Cols, oracle.Cols) {
+		return fmt.Errorf("L3 traced: factorization differs from the serial oracle")
+	}
+	return exportRun(r, traceOut, flameOut)
+}
+
+// SV1Traced runs one instrumented serving round (inproc, deep event
+// ring, capability-tagged workers), checks bit-identity, and writes the
+// exports. This is what backs `jadebench -exp sv1 -trace-out`.
+func SV1Traced(requests, workers int, rate float64, traceOut, flameOut io.Writer) error {
+	if requests == 0 {
+		requests = 64
+	}
+	if workers < 2 {
+		workers = 4
+	}
+	caps := make([][]string, workers)
+	caps[0] = []string{jade.CapCamera}
+	caps[1] = []string{jade.CapDisplay}
+	r, err := jade.NewLive(jade.LiveConfig{
+		Workers: workers, WorkerCaps: caps, TraceRingSize: tracedRingSize,
+	})
+	if err != nil {
+		return fmt.Errorf("SV1 traced: %w", err)
+	}
+	cfg := serve.Config{Requests: requests, Rate: rate}
+	out, err := serve.RunJade(r, cfg)
+	if err != nil {
+		return fmt.Errorf("SV1 traced: %w", err)
+	}
+	if !reflect.DeepEqual(out.Digests, serve.RunSerial(cfg)) {
+		return fmt.Errorf("SV1 traced: digests differ from the serial oracle")
+	}
+	return exportRun(r, traceOut, flameOut)
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.MaxNS != int64(1000*time.Microsecond) {
+		t.Fatalf("max = %d, want %d", s.MaxNS, int64(1000*time.Microsecond))
+	}
+	// Log buckets give coarse quantiles; p50 of a uniform 1..1000µs load
+	// must land within its power-of-two bracket around 500µs.
+	p50 := s.P50()
+	if p50 < 256*time.Microsecond || p50 > 1024*time.Microsecond {
+		t.Fatalf("p50 = %v, want within [256µs, 1024µs]", p50)
+	}
+	if p99 := s.P99(); p99 > time.Duration(s.MaxNS) {
+		t.Fatalf("p99 %v exceeds max %v", p99, time.Duration(s.MaxNS))
+	}
+	if s.Mean() <= 0 {
+		t.Fatalf("mean = %v, want > 0", s.Mean())
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 40 * time.Millisecond, time.Second} {
+		h.Record(d)
+	}
+	s := h.Snapshot()
+	if !(s.P50() <= s.P90() && s.P90() <= s.P99() && s.P99() <= s.Max()) {
+		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v max=%v", s.P50(), s.P90(), s.P99(), s.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(time.Millisecond)
+		b.Record(time.Second)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	m := sa.Merge(sb)
+	if m.Count != 200 {
+		t.Fatalf("merged count = %d, want 200", m.Count)
+	}
+	if m.MaxNS != sb.MaxNS {
+		t.Fatalf("merged max = %d, want %d", m.MaxNS, sb.MaxNS)
+	}
+	if m.SumNS != sa.SumNS+sb.SumNS {
+		t.Fatalf("merged sum = %d, want %d", m.SumNS, sa.SumNS+sb.SumNS)
+	}
+	// Half the mass is at 1ms, so p50 stays in the low bucket while p99
+	// must reflect the 1s population.
+	if p50 := m.P50(); p50 > 4*time.Millisecond {
+		t.Fatalf("merged p50 = %v, want ~1ms", p50)
+	}
+	if p99 := m.P99(); p99 < 500*time.Millisecond {
+		t.Fatalf("merged p99 = %v, want ~1s", p99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(i+1) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+	var fromBuckets uint64
+	for _, c := range s.Counts {
+		fromBuckets += c
+	}
+	if fromBuckets != s.Count {
+		t.Fatalf("bucket sum %d != count %d", fromBuckets, s.Count)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Record(3 * time.Millisecond)
+	got := h.Snapshot().String()
+	for _, want := range []string{"n=1", "p50=", "max="} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestPromHistogramRendering(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	h.Record(10 * time.Millisecond)
+	ms := HistogramMetric("jade_request_seconds", "request latency", [][2]string{{"kind", "egress"}}, h.Snapshot())
+	var sb strings.Builder
+	if err := WritePromText(&sb, ms); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`jade_request_seconds_bucket{kind="egress",le="+Inf"} 2`,
+		`jade_request_seconds_count{kind="egress"} 2`,
+		"# TYPE jade_request_seconds_bucket counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prom text missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Metric is one Prometheus metric family in the text exposition format.
+type Metric struct {
+	Name string
+	Help string
+	Type string // "counter" or "gauge"
+	// Samples are the family's series. They are rendered in the order
+	// given; build them in sorted label order for deterministic output.
+	Samples []Sample
+}
+
+// Sample is one series: ordered label pairs and a value.
+type Sample struct {
+	Labels [][2]string
+	Value  float64
+}
+
+// promEscape escapes a label value for the text format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// WritePromText renders metric families in the Prometheus text
+// exposition format (version 0.0.4).
+func WritePromText(w io.Writer, metrics []Metric) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range metrics {
+		if m.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, m.Help)
+		}
+		typ := m.Type
+		if typ == "" {
+			typ = "gauge"
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, typ)
+		for _, s := range m.Samples {
+			bw.WriteString(m.Name)
+			if len(s.Labels) > 0 {
+				bw.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					fmt.Fprintf(bw, "%s=%q", l[0], promEscape(l[1]))
+				}
+				bw.WriteByte('}')
+			}
+			fmt.Fprintf(bw, " %v\n", s.Value)
+		}
+	}
+	return bw.Flush()
+}
+
+// HistogramMetric renders a latency snapshot as a Prometheus histogram
+// family (seconds): cumulative le buckets over the non-empty range,
+// plus _sum and _count. The three families returned are
+// name_bucket/name_sum/name_count sharing the base labels.
+func HistogramMetric(name, help string, base [][2]string, s HistSnapshot) []Metric {
+	var bucketSamples []Sample
+	var cum uint64
+	lo, hi := -1, -1
+	for i, c := range s.Counts {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	if lo >= 0 {
+		for i := lo; i <= hi; i++ {
+			cum += s.Counts[i]
+			le := float64(bucketUpper(i)) / 1e9
+			bucketSamples = append(bucketSamples, Sample{
+				Labels: append(append([][2]string{}, base...), [2]string{"le", trimFloat(le)}),
+				Value:  float64(cum),
+			})
+		}
+	}
+	bucketSamples = append(bucketSamples, Sample{
+		Labels: append(append([][2]string{}, base...), [2]string{"le", "+Inf"}),
+		Value:  float64(s.Count),
+	})
+	return []Metric{
+		{Name: name + "_bucket", Type: "counter", Samples: bucketSamples},
+		{Name: name + "_sum", Type: "counter", Samples: []Sample{{Labels: base, Value: float64(s.SumNS) / 1e9}}},
+		{Name: name + "_count", Type: "counter", Help: help, Samples: []Sample{{Labels: base, Value: float64(s.Count)}}},
+	}
+}
+
+// trimFloat renders a float compactly and deterministically.
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// SortSamples orders samples by their label values, for deterministic
+// exposition when samples are built from map iteration.
+func SortSamples(samples []Sample) {
+	sort.SliceStable(samples, func(i, j int) bool {
+		a, b := samples[i].Labels, samples[j].Labels
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k][1] != b[k][1] {
+				return a[k][1] < b[k][1]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

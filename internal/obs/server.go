@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handlers supplies the content behind the live endpoint. Each handler
+// receives the ?session= query value ("" for the whole process) and
+// writes its payload; returning an error produces a 500 (or 404 for
+// ErrNoSession). The runtime/service layer wires these to its own
+// report, trace ring and profiler so obs stays dependency-free.
+type Handlers struct {
+	// Metrics renders Prometheus text exposition for /metrics.
+	Metrics func(session string) ([]Metric, error)
+	// Trace writes Perfetto JSON of the current ring for /trace.
+	Trace func(session string, w io.Writer) error
+	// Profile writes the human-readable phase profile for /profile.
+	Profile func(session string, w io.Writer) error
+}
+
+// ErrNoSession is returned by handlers when the ?session= value names
+// no live session; the endpoint maps it to 404.
+var ErrNoSession = fmt.Errorf("obs: no such session")
+
+// Server is a live observability endpoint: /metrics (Prometheus text),
+// /trace (Perfetto JSON of the current event ring) and /profile (phase
+// profile text), each scoped by an optional ?session= query parameter.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the endpoint on addr. An empty host binds loopback only
+// (":0" serves as "127.0.0.1:0") — the endpoint is diagnostic, not
+// hardened, so exposing it beyond the machine is an explicit choice.
+func Serve(addr string, h Handlers) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	fail := func(w http.ResponseWriter, err error) {
+		if err == ErrNoSession {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if h.Metrics == nil {
+			http.Error(w, "metrics not wired", http.StatusNotFound)
+			return
+		}
+		ms, err := h.Metrics(r.URL.Query().Get("session"))
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePromText(w, ms)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if h.Trace == nil {
+			http.Error(w, "trace not wired", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := h.Trace(r.URL.Query().Get("session"), w); err != nil {
+			fail(w, err)
+		}
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		if h.Profile == nil {
+			http.Error(w, "profile not wired", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := h.Profile(r.URL.Query().Get("session"), w); err != nil {
+			fail(w, err)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "jade observability endpoint\n\n/metrics  Prometheus text\n/trace    Perfetto JSON (open in ui.perfetto.dev)\n/profile  phase profile text\n\nAppend ?session=NAME to scope to one tenant session.\n")
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr is the endpoint's bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	var gotSession string
+	srv, err := Serve("127.0.0.1:0", Handlers{
+		Metrics: func(session string) ([]Metric, error) {
+			gotSession = session
+			if session == "missing" {
+				return nil, ErrNoSession
+			}
+			return []Metric{{Name: "jade_up", Type: "gauge", Samples: []Sample{{Value: 1}}}}, nil
+		},
+		Trace: func(session string, w io.Writer) error {
+			return WriteChrome(w, Input{Events: syntheticRun()}, Options{})
+		},
+		Profile: func(session string, w io.Writer) error {
+			_, err := fmt.Fprintf(w, "profile for %q\n", session)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, "jade_up 1") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	code, body = get(t, base+"/metrics?session=7")
+	if code != 200 || gotSession != "7" {
+		t.Fatalf("/metrics?session=7: code %d, handler saw session %q", code, gotSession)
+	}
+	code, _ = get(t, base+"/metrics?session=missing")
+	if code != 404 {
+		t.Fatalf("unknown session = %d, want 404", code)
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != 200 {
+		t.Fatalf("/trace = %d", code)
+	}
+	if _, err := Validate([]byte(body)); err != nil {
+		t.Fatalf("/trace payload invalid: %v", err)
+	}
+
+	code, body = get(t, base+"/profile?session=alpha")
+	if code != 200 || !strings.Contains(body, `profile for "alpha"`) {
+		t.Fatalf("/profile = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+}
+
+func TestServerUnwiredHandlers(t *testing.T) {
+	srv, err := Serve("", Handlers{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/trace", "/profile"} {
+		code, _ := get(t, "http://"+srv.Addr()+path)
+		if code != 404 {
+			t.Fatalf("%s with no handler = %d, want 404", path, code)
+		}
+	}
+	if !strings.HasPrefix(srv.Addr(), "127.0.0.1:") {
+		t.Fatalf("default bind %q is not loopback", srv.Addr())
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateStats summarizes what a validated trace contains, so tests
+// can assert coverage (e.g. "a slice for every retired task") on top of
+// structural validity.
+type ValidateStats struct {
+	Events    int
+	Slices    int // X slices plus matched B/E pairs
+	Flows     int // resolved s→f arrows
+	Counters  int // C samples
+	Instants  int
+	Truncated bool // the trace carries a ring-truncation marker
+	// ExecTasks is the set of task ids that have an exec-phase slice.
+	ExecTasks map[uint64]bool
+}
+
+// Validate structurally checks a Chrome-trace/Perfetto JSON document:
+// it must parse, every per-thread timestamp sequence must be monotonic
+// (non-decreasing in file order), B/E pairs must balance with matching
+// names, and every flow finish must resolve to exactly one flow start
+// at or before it. It returns counts for coverage assertions.
+func Validate(data []byte) (ValidateStats, error) {
+	st := ValidateStats{ExecTasks: map[uint64]bool{}}
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Ts   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			ID   uint64          `json:"id"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return st, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return st, fmt.Errorf("obs: trace has no events")
+	}
+	st.Events = len(doc.TraceEvents)
+
+	type thread struct{ pid, tid int }
+	lastTs := map[thread]float64{}
+	stacks := map[thread][]string{}
+	flowStart := map[uint64]float64{}
+	flowSeen := map[uint64]int{}
+	for i, ev := range doc.TraceEvents {
+		th := thread{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X", "B", "E", "C", "i", "s", "f", "t":
+		default:
+			return st, fmt.Errorf("obs: event %d: unknown phase %q", i, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			return st, fmt.Errorf("obs: event %d (%q): negative ts or dur", i, ev.Name)
+		}
+		if last, ok := lastTs[th]; ok && ev.Ts < last {
+			return st, fmt.Errorf("obs: event %d (%q): ts %.3f before %.3f on pid %d tid %d",
+				i, ev.Name, ev.Ts, last, ev.Pid, ev.Tid)
+		}
+		lastTs[th] = ev.Ts
+		switch ev.Ph {
+		case "X":
+			st.Slices++
+			var args struct {
+				Task  uint64 `json:"task"`
+				Phase string `json:"phase"`
+			}
+			if len(ev.Args) > 0 {
+				_ = json.Unmarshal(ev.Args, &args)
+				if args.Phase == "exec" {
+					st.ExecTasks[args.Task] = true
+				}
+			}
+		case "B":
+			stacks[th] = append(stacks[th], ev.Name)
+			var args struct {
+				Task  uint64 `json:"task"`
+				Phase string `json:"phase"`
+			}
+			if len(ev.Args) > 0 {
+				_ = json.Unmarshal(ev.Args, &args)
+				if args.Phase == "exec" {
+					st.ExecTasks[args.Task] = true
+				}
+			}
+		case "E":
+			stk := stacks[th]
+			if len(stk) == 0 {
+				return st, fmt.Errorf("obs: event %d: E %q with no open B on pid %d tid %d", i, ev.Name, ev.Pid, ev.Tid)
+			}
+			if ev.Name != "" && stk[len(stk)-1] != ev.Name {
+				return st, fmt.Errorf("obs: event %d: E %q closes B %q on pid %d tid %d", i, ev.Name, stk[len(stk)-1], ev.Pid, ev.Tid)
+			}
+			stacks[th] = stk[:len(stk)-1]
+			st.Slices++
+		case "C":
+			st.Counters++
+		case "i":
+			st.Instants++
+			if len(ev.Name) >= 9 && ev.Name[:9] == "TRUNCATED" {
+				st.Truncated = true
+			}
+		case "s":
+			if flowSeen[ev.ID]&1 != 0 {
+				return st, fmt.Errorf("obs: event %d: duplicate flow start id %d", i, ev.ID)
+			}
+			flowSeen[ev.ID] |= 1
+			flowStart[ev.ID] = ev.Ts
+		case "f":
+			if flowSeen[ev.ID]&1 == 0 {
+				return st, fmt.Errorf("obs: event %d: flow finish id %d with no start", i, ev.ID)
+			}
+			if flowSeen[ev.ID]&2 != 0 {
+				return st, fmt.Errorf("obs: event %d: duplicate flow finish id %d", i, ev.ID)
+			}
+			flowSeen[ev.ID] |= 2
+			if ev.Ts < flowStart[ev.ID] {
+				return st, fmt.Errorf("obs: event %d: flow %d finishes at %.3f before its start %.3f", i, ev.ID, ev.Ts, flowStart[ev.ID])
+			}
+			st.Flows++
+		}
+	}
+	for th, stk := range stacks {
+		if len(stk) > 0 {
+			return st, fmt.Errorf("obs: pid %d tid %d: %d unclosed B slices (first %q)", th.pid, th.tid, len(stk), stk[0])
+		}
+	}
+	for id, seen := range flowSeen {
+		if seen != 3 {
+			return st, fmt.Errorf("obs: flow id %d has start but no finish", id)
+		}
+	}
+	return st, nil
+}

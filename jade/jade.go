@@ -43,6 +43,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/rt"
 	"repro/internal/trace"
@@ -119,7 +120,9 @@ type Runtime struct {
 	simulated bool
 	traced    bool
 	wall      time.Duration
+	runStart  time.Time
 	liveAddr  string
+	obsSrv    *obs.Server
 
 	// Live-runtime elastic-membership state (nil/zero otherwise).
 	liveX       *live.Exec
@@ -176,14 +179,18 @@ type SMPConfig struct {
 	MaxLiveTasks int
 	// Trace records execution events (small overhead).
 	Trace bool
+	// TraceRingSize overrides the always-on event ring's capacity in
+	// events (0 = the executor default; ignored when Trace is on).
+	TraceRingSize int
 }
 
 // NewSMP returns a runtime executing on real goroutine parallelism.
 func NewSMP(cfg SMPConfig) *Runtime {
 	return &Runtime{ex: smp.New(smp.Options{
-		Procs:        cfg.Procs,
-		MaxLiveTasks: cfg.MaxLiveTasks,
-		Trace:        cfg.Trace,
+		Procs:         cfg.Procs,
+		MaxLiveTasks:  cfg.MaxLiveTasks,
+		Trace:         cfg.Trace,
+		TraceRingSize: cfg.TraceRingSize,
 	}), traced: cfg.Trace}
 }
 
@@ -198,6 +205,9 @@ type SimConfig struct {
 	Disable []Feature
 	// Trace records execution events.
 	Trace bool
+	// TraceRingSize overrides the always-on event ring's capacity in
+	// events (0 = the executor default; ignored when Trace is on).
+	TraceRingSize int
 	// Fault injects machine crashes, message loss/duplication and link
 	// partitions (nil = fault-free). The runtime detects and recovers them;
 	// the program's results are unchanged.
@@ -208,10 +218,11 @@ type SimConfig struct {
 // deterministic virtual time.
 func NewSimulated(cfg SimConfig) (*Runtime, error) {
 	opts := dist.Options{
-		Platform:     cfg.Platform,
-		MaxLiveTasks: cfg.MaxLiveTasks,
-		Trace:        cfg.Trace,
-		Fault:        cfg.Fault,
+		Platform:      cfg.Platform,
+		MaxLiveTasks:  cfg.MaxLiveTasks,
+		Trace:         cfg.Trace,
+		TraceRingSize: cfg.TraceRingSize,
+		Fault:         cfg.Fault,
 	}
 	for _, f := range cfg.Disable {
 		switch f {
@@ -261,6 +272,20 @@ type LiveConfig struct {
 	MaxLiveTasks int
 	// Trace records execution events.
 	Trace bool
+	// TraceRingSize overrides the always-on event ring's capacity in
+	// events (0 = the executor default 4096; ignored when Trace is on).
+	// Bigger rings widen ExportTrace's window at a small GC cost.
+	TraceRingSize int
+	// WorkerCaps gives in-process worker i the capability tags
+	// WorkerCaps[i] (shorter slices leave later workers untagged). Tasks
+	// created with TaskOptions.RequireCap schedule only onto workers
+	// advertising the tag — a heterogeneous fleet in one process, the
+	// live analogue of the HRV platform's special-purpose machines.
+	WorkerCaps [][]string
+	// Obs starts a live observability endpoint alongside the coordinator
+	// serving /metrics, /trace and /profile (nil = no endpoint). See
+	// ObsConfig.
+	Obs *ObsConfig
 	// Elastic keeps membership open after the run starts: workers may
 	// join mid-run (JoinWorkers, or — with Transport "tcp" — external
 	// jadeworkers dialing in late), drain out gracefully (DrainWorker),
@@ -286,10 +311,15 @@ func NewLive(cfg LiveConfig) (*Runtime, error) {
 	}
 	bodies := live.NewBodyTable()
 	localWorker := func(i int) live.WorkerOptions {
+		var caps []string
+		if i < len(cfg.WorkerCaps) {
+			caps = cfg.WorkerCaps[i]
+		}
 		return live.WorkerOptions{
 			Name:   fmt.Sprintf("local-%d", i+1),
 			Bodies: bodies,
 			Slots:  cfg.WorkerSlots,
+			Caps:   caps,
 		}
 	}
 	var peers []live.Peer
@@ -337,11 +367,12 @@ func NewLive(cfg LiveConfig) (*Runtime, error) {
 		return nil, fmt.Errorf("jade: unknown live transport %q (known: inproc, tcp)", cfg.Transport)
 	}
 	x, err := live.New(live.Options{
-		Peers:        peers,
-		Bodies:       bodies,
-		MaxLiveTasks: cfg.MaxLiveTasks,
-		Trace:        cfg.Trace,
-		OnTaskDone:   cfg.OnTaskDone,
+		Peers:         peers,
+		Bodies:        bodies,
+		MaxLiveTasks:  cfg.MaxLiveTasks,
+		Trace:         cfg.Trace,
+		TraceRingSize: cfg.TraceRingSize,
+		OnTaskDone:    cfg.OnTaskDone,
 	})
 	if err != nil {
 		return nil, err
@@ -373,12 +404,18 @@ func NewLive(cfg LiveConfig) (*Runtime, error) {
 			}()
 		}
 	}
-	return &Runtime{
+	r := &Runtime{
 		ex: x, traced: cfg.Trace, liveAddr: boundAddr,
 		liveX: x, liveBodies: bodies, liveSlots: cfg.WorkerSlots,
 		liveTCP: lateConns != nil, liveElastic: cfg.Elastic,
 		liveNext: cfg.Workers,
-	}, nil
+	}
+	if cfg.Obs != nil {
+		if err := r.startObs(*cfg.Obs); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
 }
 
 // KillWorker injects the fail-stop death of worker machine m on a live
@@ -533,6 +570,7 @@ func RegisterKind(name string, fn KindFunc) {
 // Run must be called exactly once per Runtime.
 func (r *Runtime) Run(main func(t *Task)) error {
 	start := time.Now()
+	r.runStart = start
 	run := func() error {
 		return r.ex.Run(func(tc rt.TC) {
 			main(&Task{tc: tc, r: r})
@@ -601,6 +639,16 @@ type Report struct {
 	// tracing the profile is exact; untraced runs profile the bounded
 	// event ring and Profile.DroppedEvents reports any truncation.
 	Profile *Profile
+	// Latency is per-task-kind latency distributions (p50/p90/p99/max)
+	// reconstructed from the always-on event stream: Total is
+	// create→commit, Exec the processor-held span. Like Profile, it
+	// covers the bounded ring window on untraced runs.
+	Latency []LabelLatency
+	// DroppedEvents is how many events the always-on ring overwrote
+	// (zero with full tracing, or when the run fit the ring). Nonzero
+	// means Profile, Latency and trace exports cover only a suffix of
+	// the run — raise TraceRingSize to widen the window.
+	DroppedEvents uint64
 }
 
 // Report computes the unified metrics report for the finished run. It is
@@ -634,12 +682,15 @@ func (r *Runtime) Report() Report {
 		rep.Workers = x.SlotStats()
 	}
 	log := r.ex.Log()
+	events := log.Events()
 	rep.Profile = profile.Compute(profile.Input{
-		Events:      log.Events(),
+		Events:      events,
 		Dropped:     log.Dropped(),
 		Makespan:    r.Makespan(),
 		MachineBusy: c.Busy,
 	})
+	rep.Latency = obs.LatencyByLabel(events)
+	rep.DroppedEvents = log.Dropped()
 	return rep
 }
 

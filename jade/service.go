@@ -1,8 +1,14 @@
 package jade
 
 import (
+	"fmt"
+	"io"
+	"strconv"
+
 	"repro/internal/exec/live"
 	"repro/internal/exec/live/tenant"
+	"repro/internal/obs"
+	"repro/internal/profile"
 )
 
 // WorkerSlots is one live worker's slot accounting (capacity advertised
@@ -54,6 +60,14 @@ type ServiceConfig struct {
 	MaxLiveTasks int
 	// Trace records execution events on every session.
 	Trace bool
+	// TraceRingSize overrides each session's always-on event ring
+	// capacity (0 = the executor default; ignored when Trace is on).
+	TraceRingSize int
+	// Obs starts a live observability endpoint for the whole service
+	// (nil = none): /metrics serves fleet-level counters plus per-tenant
+	// latency, and every path accepts ?session=ID to scope to one
+	// admitted session's metrics, trace ring, or profile.
+	Obs *ObsConfig
 }
 
 // Service is a multi-tenant session service: many independent Jade
@@ -62,7 +76,8 @@ type ServiceConfig struct {
 // quotas between them. Open sessions with OpenSession, run programs on
 // them exactly as on a dedicated runtime, inspect the fleet with Report.
 type Service struct {
-	svc *tenant.Service
+	svc    *tenant.Service
+	obsSrv *obs.Server
 }
 
 // NewService starts the shared fleet and returns the service.
@@ -79,11 +94,129 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		DefaultSlotsPerWorker: cfg.DefaultSlotsPerWorker,
 		MaxLiveTasks:          cfg.MaxLiveTasks,
 		Trace:                 cfg.Trace,
+		TraceRingSize:         cfg.TraceRingSize,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Service{svc: svc}, nil
+	s := &Service{svc: svc}
+	if cfg.Obs != nil {
+		if err := s.startObs(*cfg.Obs); err != nil {
+			svc.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// sessionExec resolves an obs ?session= value to an admitted session's
+// executor.
+func (s *Service) sessionExec(session string) (*live.Exec, error) {
+	id, err := strconv.ParseUint(session, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad session %q (want a numeric session id)", session)
+	}
+	ts, ok := s.svc.SessionByID(id)
+	if !ok {
+		return nil, obs.ErrNoSession
+	}
+	return ts.X, nil
+}
+
+// startObs wires the service's fleet state into an obs endpoint.
+func (s *Service) startObs(cfg ObsConfig) error {
+	srv, err := obs.Serve(cfg.Addr, obs.Handlers{
+		Metrics: func(session string) ([]obs.Metric, error) {
+			if session == "" {
+				return s.fleetMetrics(), nil
+			}
+			x, err := s.sessionExec(session)
+			if err != nil {
+				return nil, err
+			}
+			return execMetrics(x, x, 0), nil
+		},
+		Trace: func(session string, w io.Writer) error {
+			if session == "" {
+				return fmt.Errorf("a service trace needs ?session=ID (task ids are per-session)")
+			}
+			x, err := s.sessionExec(session)
+			if err != nil {
+				return err
+			}
+			log := x.Log()
+			return obs.WriteChrome(w, obs.Input{
+				Events:  log.Events(),
+				Dropped: log.Dropped(),
+				Process: "session " + session,
+			}, obs.Options{})
+		},
+		Profile: func(session string, w io.Writer) error {
+			if session == "" {
+				return fmt.Errorf("a service profile needs ?session=ID")
+			}
+			x, err := s.sessionExec(session)
+			if err != nil {
+				return err
+			}
+			log := x.Log()
+			p := profile.Compute(profile.Input{Events: log.Events(), Dropped: log.Dropped()})
+			_, werr := io.WriteString(w, p.Text())
+			return werr
+		},
+	})
+	if err != nil {
+		return err
+	}
+	s.obsSrv = srv
+	return nil
+}
+
+// fleetMetrics renders the service-level report as metric families.
+func (s *Service) fleetMetrics() []obs.Metric {
+	r := s.svc.Report()
+	counter := func(name, help string, v float64) obs.Metric {
+		return obs.Metric{Name: name, Help: help, Type: "counter",
+			Samples: []obs.Sample{{Value: v}}}
+	}
+	ms := []obs.Metric{
+		counter("jade_service_sessions_opened_total", "OpenSession calls", float64(r.SessionsOpened)),
+		counter("jade_service_sessions_admitted_total", "sessions past admission", float64(r.SessionsAdmitted)),
+		counter("jade_service_sessions_rejected_total", "ErrBusy load-sheds", float64(r.SessionsRejected)),
+		counter("jade_service_sessions_closed_total", "retired sessions", float64(r.SessionsClosed)),
+		{Name: "jade_service_sessions_active", Help: "currently admitted sessions", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(r.Active)}}},
+		counter("jade_service_tasks_run_total", "tasks run across all sessions", float64(r.TasksRun)),
+		counter("jade_service_frames_total", "protocol frames across all sessions", float64(r.Frames)),
+		counter("jade_service_bytes_total", "wire bytes across all sessions", float64(r.Bytes)),
+	}
+	var active []obs.Sample
+	for name, tr := range r.Tenants {
+		active = append(active, obs.Sample{
+			Labels: [][2]string{{"tenant", name}},
+			Value:  float64(tr.Active),
+		})
+	}
+	if len(active) > 0 {
+		obs.SortSamples(active)
+		ms = append(ms, obs.Metric{Name: "jade_service_tenant_sessions_active",
+			Type: "gauge", Samples: active})
+	}
+	for _, ll := range r.Latency {
+		base := [][2]string{{"label", ll.Label}}
+		ms = append(ms, obs.HistogramMetric("jade_service_task_latency_seconds",
+			"create-to-commit task latency by label, all tenants", base, ll.Total)...)
+	}
+	return ms
+}
+
+// ObsAddr returns the observability endpoint's bound address ("" when
+// none was configured).
+func (s *Service) ObsAddr() string {
+	if s.obsSrv == nil {
+		return ""
+	}
+	return s.obsSrv.Addr()
 }
 
 // Session is one admitted Jade program on the shared fleet. It embeds a
@@ -137,4 +270,10 @@ func (s *Service) KillWorker(d int) error { return s.svc.KillWorker(d) }
 func (s *Service) Report() ServiceReport { return s.svc.Report() }
 
 // Close shuts the service down. Close sessions first for a clean exit.
-func (s *Service) Close() error { return s.svc.Close() }
+func (s *Service) Close() error {
+	if s.obsSrv != nil {
+		s.obsSrv.Close()
+		s.obsSrv = nil
+	}
+	return s.svc.Close()
+}

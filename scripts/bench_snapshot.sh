@@ -16,10 +16,35 @@
 # through the session service's admission gate on inproc and TCP
 # loopback, every session bit-identity-checked) to BENCH_tenant.json.
 #
+# With --serve it records the serving-latency bench (the SV1
+# experiment: the open-loop request-DAG stream at three arrival rates
+# on inproc and TCP loopback, p50/p90/p99/max request latency from the
+# log-bucketed histograms, every run bit-identity-checked) to
+# BENCH_serve.json.
+#
 # Usage: scripts/bench_snapshot.sh [output.json]
 #        scripts/bench_snapshot.sh --live [output.json]
 #        scripts/bench_snapshot.sh --tenant [output.json]
+#        scripts/bench_snapshot.sh --serve [output.json]
 set -eu
+
+if [ "${1:-}" = "--serve" ]; then
+	out=${2:-BENCH_serve.json}
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+	go run ./cmd/jadebench -exp sv1 -servejson "$tmp/sv1.json" >"$tmp/sv1_table.txt"
+	cat "$tmp/sv1_table.txt"
+	{
+		echo '{'
+		echo '  "note": "serving latency (SV1): 64-request open-loop DAG stream (camera ingest -> 2 parallel transforms -> display egress) on 4 workers, p50/p90/p99/max vs arrival rate, bit-identity-checked each run",'
+		echo '  "current":'
+		sed 's/^/  /' "$tmp/sv1.json"
+		echo '}'
+	} >"$out"
+	go run ./scripts/jsoncheck "$out"
+	echo "wrote $out"
+	exit 0
+fi
 
 if [ "${1:-}" = "--tenant" ]; then
 	out=${2:-BENCH_tenant.json}

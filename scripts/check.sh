@@ -11,11 +11,15 @@
 # detector), the tenant tier (multi-tenant session service: wire-level
 # session mux, admission control, per-tenant quotas, cross-tenant
 # isolation and multi-tenant chaos recovery under the race detector),
-# the benchmark-snapshot tier (engine throughput + S1 profiler sweep
+# the obs tier (trace export determinism and structure, histogram
+# merging, the Prometheus endpoint, the serving workload, an SV1 smoke
+# and a structural gate on a real -trace-out artifact), the
+# benchmark-snapshot tier (engine throughput + S1 profiler sweep
 # recorded to BENCH_profile.json), the live-bench tier (sustained live
-# wire-path throughput recorded to BENCH_live.json), and the
-# tenant-bench tier (the MT1 multi-tenant serving stream recorded to
-# BENCH_tenant.json).
+# wire-path throughput recorded to BENCH_live.json), the tenant-bench
+# tier (the MT1 multi-tenant serving stream recorded to
+# BENCH_tenant.json), and the serve-bench tier (the SV1 serving-latency
+# curves recorded to BENCH_serve.json).
 set -eux
 
 go vet ./...
@@ -27,6 +31,11 @@ go test -race -count=2 -run Fault ./internal/fault/... ./internal/exec/dist/... 
 go test -race -count=2 ./internal/transport/... ./internal/exec/live/...
 go test -race -count=2 -run 'Chaos|Fence|Redial|Session|Cadence|Elastic|Membership|Leave|Evict|Drain|Admit|L2' ./internal/transport/... ./internal/exec/live/... ./internal/fault/... ./internal/experiments/...
 go test -race -count=2 -run 'Tenant|Mux|MultiServ|Service|SlotStats|MT1' ./internal/transport/mux/... ./internal/exec/live/... ./jade/... ./internal/experiments/...
+go test -race -count=2 ./internal/obs/... ./internal/apps/serve/...
+go test -race -count=2 -run 'Obs|Export|Latency|TraceRing|RingCap|WorkerCaps|Serve|SV1' ./jade/... ./internal/exec/live/... ./internal/experiments/...
+go run ./cmd/jadebench -exp l3 -quick -trace-out /tmp/jade_l3_trace.json >/dev/null
+go run ./scripts/tracecheck -min-tasks 100 -want-flows /tmp/jade_l3_trace.json
 scripts/bench_snapshot.sh
 scripts/bench_snapshot.sh --live
 scripts/bench_snapshot.sh --tenant
+scripts/bench_snapshot.sh --serve
